@@ -1,0 +1,61 @@
+// Ablation — EASY backfilling, the extension the paper defers to future
+// work (Section 7, citing de Assuncao et al. for preliminary results).
+// Compares head-of-line vs. EASY allocation for the best constituent
+// policies and for the portfolio (whose online simulator backfills too).
+//
+// Expected shape: backfilling helps most where wide jobs block queues of
+// short jobs — the parallel traces (KTH/SDSC/DAS2); the all-serial
+// LPC-EGEE cannot benefit (a serial head job never blocks: any idle VM
+// serves it).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Ablation: head-of-line vs EASY backfilling", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const policy::AllocationMode modes[] = {policy::AllocationMode::kHeadOfLine,
+                                          policy::AllocationMode::kEasyBackfill};
+  const char* mode_names[] = {"head-of-line", "EASY"};
+  const char* constituents[] = {"ODA-UNICEF-FirstFit", "ODX-UNICEF-FirstFit"};
+
+  util::Table table({"Trace", "Scheduler", "Mode", "Avg BSD", "Cost [VM-h]",
+                     "Utility"});
+  const auto params = engine::paper_engine_config().utility;
+  for (const workload::Trace& trace : traces) {
+    std::vector<std::function<engine::ScenarioResult()>> tasks;
+    for (const policy::AllocationMode mode : modes) {
+      for (const char* name : constituents) {
+        tasks.emplace_back([&trace, mode, name] {
+          engine::EngineConfig config = engine::paper_engine_config();
+          config.allocation = mode;
+          return engine::run_single_policy(config, trace,
+                                           *bench::paper_portfolio().find(name),
+                                           engine::PredictorKind::kPerfect);
+        });
+      }
+      tasks.emplace_back([&trace, mode] {
+        engine::EngineConfig config = engine::paper_engine_config();
+        config.allocation = mode;
+        return engine::run_portfolio(config, trace, bench::paper_portfolio(),
+                                     engine::paper_portfolio_config(config),
+                                     engine::PredictorKind::kPerfect);
+      });
+    }
+    const auto results = bench::run_all(env, std::move(tasks));
+    std::size_t r = 0;
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      for (std::size_t s = 0; s < 3; ++s) {
+        const auto& result = results[r++];
+        const auto& m = result.run.metrics;
+        table.add_row({trace.name(), result.run.scheduler_name, mode_names[mode],
+                       util::Cell(m.avg_bounded_slowdown, 3),
+                       util::Cell(m.charged_hours(), 0),
+                       util::Cell(m.utility(params), 2)});
+      }
+    }
+  }
+  bench::emit(env, table, "Backfilling ablation");
+  return 0;
+}

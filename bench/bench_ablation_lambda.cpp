@@ -1,0 +1,50 @@
+// Ablation — the Smart-set fraction lambda (the paper fixes lambda = 0.6
+// and defers its study to future work; this bench provides it). Under the
+// Figure-10 budget (200 ms at 10 ms/policy), sweep lambda over
+// {0.2, 0.4, 0.6, 0.8, 1.0}.
+//
+// Expected shape: small lambda churns good policies out of Smart and
+// wastes budget rediscovering them; lambda = 1 never demotes anything, so
+// the Poor set stays empty and stale policies crowd out exploration. The
+// paper's 0.6 sits in the flat middle.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Ablation: Smart-set fraction lambda", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const engine::EngineConfig config = engine::paper_engine_config();
+  const double lambdas[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    for (const double lambda : lambdas) {
+      tasks.emplace_back([&trace, &config, lambda] {
+        auto pconfig = engine::paper_portfolio_config(config);
+        pconfig.selector.time_constraint_ms = 200.0;
+        pconfig.selector.synthetic_overhead_ms = 10.0;
+        pconfig.selector.use_measured_cost = false;
+        pconfig.selector.lambda = lambda;
+        return engine::run_portfolio(config, trace, bench::paper_portfolio(), pconfig,
+                                     engine::PredictorKind::kPerfect);
+      });
+    }
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+
+  util::Table table({"Trace", "lambda", "Avg BSD", "Cost [VM-h]", "Utility"});
+  std::size_t r = 0;
+  for (const workload::Trace& trace : traces) {
+    for (const double lambda : lambdas) {
+      const auto& m = results[r++].run.metrics;
+      table.add_row({trace.name(), util::Cell(lambda, 1),
+                     util::Cell(m.avg_bounded_slowdown, 3),
+                     util::Cell(m.charged_hours(), 0),
+                     util::Cell(m.utility(config.utility), 2)});
+    }
+  }
+  bench::emit(env, table, "Lambda ablation (Delta = 200 ms, 10 ms/policy)");
+  return 0;
+}

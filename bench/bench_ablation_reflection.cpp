@@ -1,0 +1,70 @@
+// Ablation — the reflection step, the paper's future-work item #1:
+// "find out whether and to what extent the reflection can help improve the
+// quality of the selected policies."
+//
+// Under a tight time budget (40 ms at 10 ms/policy => only ~4 of 60
+// policies per selection), compare Algorithm 1 with and without
+// reflection hints (policies that historically won under the current
+// workload signature are simulated first), against the unbounded selector
+// as the quality ceiling.
+//
+// Expected shape: hints recover a large part of the gap between the tight
+// budget and the ceiling — recurring workload patterns re-suggest their
+// known-good policies instead of waiting for the Smart set to rediscover
+// them.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Ablation: reflection-guided selection under tight budgets", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const engine::EngineConfig config = engine::paper_engine_config();
+
+  struct Variant {
+    const char* label;
+    double delta_ms;  // <= 0: unbounded
+    bool hints;
+  };
+  const Variant variants[] = {
+      {"tight (40ms), no reflection", 40.0, false},
+      {"tight (40ms), reflection", 40.0, true},
+      {"unbounded (ceiling)", 0.0, false},
+  };
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    for (const Variant& v : variants) {
+      tasks.emplace_back([&trace, &config, v] {
+        auto pconfig = engine::paper_portfolio_config(config);
+        pconfig.selector.time_constraint_ms = v.delta_ms;
+        if (v.delta_ms > 0.0) {
+          pconfig.selector.synthetic_overhead_ms = 10.0;
+          pconfig.selector.use_measured_cost = false;
+        }
+        pconfig.use_reflection_hints = v.hints;
+        return engine::run_portfolio(config, trace, bench::paper_portfolio(), pconfig,
+                                     engine::PredictorKind::kPerfect);
+      });
+    }
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+
+  util::Table table({"Trace", "Selector", "Simulated/selection", "Avg BSD",
+                     "Cost [VM-h]", "Utility"});
+  std::size_t r = 0;
+  for (const workload::Trace& trace : traces) {
+    for (const Variant& v : variants) {
+      const auto& result = results[r++];
+      const auto& m = result.run.metrics;
+      table.add_row({trace.name(), v.label,
+                     util::Cell(result.portfolio.mean_simulated_per_invocation, 1),
+                     util::Cell(m.avg_bounded_slowdown, 3),
+                     util::Cell(m.charged_hours(), 0),
+                     util::Cell(m.utility(config.utility), 2)});
+    }
+  }
+  bench::emit(env, table, "Reflection ablation (Delta = 40 ms, 10 ms/policy)");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — dynamic selection triggering, the paper's future-work item #2:
+// "dynamically trigger the portfolio simulation process only when the
+// workload pattern changes, thus reducing the number of invocations while
+// preserving the performance."
+//
+// Compares: periodic selection every tick (the paper's default), periodic
+// every 8 ticks (Figure 9's cheap-but-lossy point), and the
+// workload-signature trigger (kOnChange).
+//
+// Expected shape: kOnChange cuts invocations by an order of magnitude on
+// stable traces at near-identical utility, and keeps re-selecting through
+// bursts where the fixed period-8 scheduler loses utility.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Ablation: periodic vs workload-change-triggered selection", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const engine::EngineConfig config = engine::paper_engine_config();
+
+  struct Variant {
+    const char* label;
+    core::SelectionTrigger trigger;
+    std::uint64_t period;
+  };
+  const Variant variants[] = {
+      {"periodic-1", core::SelectionTrigger::kPeriodic, 1},
+      {"periodic-8", core::SelectionTrigger::kPeriodic, 8},
+      {"on-change", core::SelectionTrigger::kOnChange, 1},
+  };
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    for (const Variant& v : variants) {
+      tasks.emplace_back([&trace, &config, v] {
+        auto pconfig = engine::paper_portfolio_config(config);
+        pconfig.trigger = v.trigger;
+        pconfig.selection_period_ticks = v.period;
+        pconfig.max_stale_ticks = 32;
+        return engine::run_portfolio(config, trace, bench::paper_portfolio(), pconfig,
+                                     engine::PredictorKind::kPerfect);
+      });
+    }
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+
+  util::Table table({"Trace", "Trigger", "Invocations", "Invoc. (vs periodic-1)",
+                     "Avg BSD", "Utility"});
+  std::size_t r = 0;
+  for (const workload::Trace& trace : traces) {
+    const double base =
+        static_cast<double>(results[r].portfolio.invocations);  // periodic-1
+    for (const Variant& v : variants) {
+      const auto& result = results[r++];
+      table.add_row({trace.name(), v.label, result.portfolio.invocations,
+                     util::Cell(static_cast<double>(result.portfolio.invocations) / base, 3),
+                     util::Cell(result.run.metrics.avg_bounded_slowdown, 3),
+                     util::Cell(result.run.metrics.utility(config.utility), 2)});
+    }
+  }
+  bench::emit(env, table, "Selection-trigger ablation");
+  return 0;
+}

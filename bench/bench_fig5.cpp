@@ -1,0 +1,82 @@
+// Figure 5 — the ratio of invocations of the scheduling policies during
+// portfolio runs, at three granularities:
+//   (a) all 60 policies, (b) 5 provisioning x 4 job-selection clusters,
+//   (c) 5 provisioning clusters.
+//
+// Paper result shape: most policies are invoked at least once; ratios are
+// relatively even for KTH/SDSC/DAS2 while a few policies dominate
+// LPC-EGEE; at provisioning granularity ODB+ODX dominate the stable traces
+// and ODB+ODE(+ODX) the bursty short-job traces.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Figure 5: ratio of policy invocations", env);
+
+  const auto& policies = bench::paper_portfolio().policies();
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    tasks.emplace_back([&trace] {
+      return bench::run_portfolio_default(trace, engine::PredictorKind::kPerfect);
+    });
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+
+  // (a) per-policy ratios: print the top 12 per trace plus coverage stats.
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const auto& counts = results[t].portfolio.chosen_counts;
+    const double total = static_cast<double>(results[t].portfolio.invocations);
+    std::vector<std::size_t> order(counts.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return counts[a] > counts[b]; });
+    const auto invoked = static_cast<std::size_t>(
+        std::count_if(counts.begin(), counts.end(), [](std::size_t c) { return c > 0; }));
+    std::printf("-- %s: %zu selections, %zu/60 policies invoked --\n",
+                traces[t].name().c_str(), results[t].portfolio.invocations, invoked);
+    for (std::size_t k = 0; k < 12 && k < order.size(); ++k) {
+      if (counts[order[k]] == 0) break;
+      std::printf("   %-24s %6.2f%%\n", policies[order[k]].name().c_str(),
+                  100.0 * static_cast<double>(counts[order[k]]) / total);
+    }
+    std::printf("\n");
+  }
+
+  // (b) provisioning x job-selection clusters.
+  util::Table cluster20({"Trace", "Cluster", "Ratio %"});
+  // (c) provisioning clusters.
+  util::Table cluster5({"Trace", "ODA %", "ODB %", "ODE %", "ODM %", "ODX %"});
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const auto& counts = results[t].portfolio.chosen_counts;
+    const double total = static_cast<double>(results[t].portfolio.invocations);
+    std::map<std::string, double> by20;
+    std::map<std::string, double> by5;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      const std::string prov = policies[i].provisioning->name();
+      const std::string pair = prov + "-" + policies[i].job_selection->name();
+      by20[pair] += static_cast<double>(counts[i]);
+      by5[prov] += static_cast<double>(counts[i]);
+    }
+    for (const auto& [name, count] : by20) {
+      if (count > 0.0)
+        cluster20.add_row({traces[t].name(), name, util::Cell(100.0 * count / total, 1)});
+    }
+    cluster5.add_row({traces[t].name(), util::Cell(100.0 * by5["ODA"] / total, 1),
+                      util::Cell(100.0 * by5["ODB"] / total, 1),
+                      util::Cell(100.0 * by5["ODE"] / total, 1),
+                      util::Cell(100.0 * by5["ODM"] / total, 1),
+                      util::Cell(100.0 * by5["ODX"] / total, 1)});
+  }
+  std::fputs(cluster20.render("Figure 5(b): provisioning x job-selection ratios").c_str(),
+             stdout);
+  std::printf("\n");
+  bench::emit(env, cluster5, "Figure 5(c): provisioning-cluster ratios");
+  return 0;
+}

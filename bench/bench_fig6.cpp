@@ -1,0 +1,70 @@
+// Figure 6 — the effect of the utility-function parameters on the
+// portfolio scheduler. Top row: the cost-efficiency factor alpha varies
+// over {1,2,3,4} (beta=1) plus the extreme beta=0; bottom row: the
+// task-urgency factor beta varies over {1,2,3,4} (alpha=1) plus alpha=0.
+//
+// Paper result shape: raising alpha barely reduces the charged cost while
+// slowdown creeps up for the bursty traces; beta=0 makes slowdown soar for
+// a marginal cost saving. Raising beta cuts slowdown considerably for
+// DAS2/LPC; at alpha=0 DAS2 pays ~40% more for its minimum slowdown. KTH
+// and SDSC are hardly sensitive (their load leaves little cost headroom).
+#include "bench_common.hpp"
+
+namespace {
+
+struct Setting {
+  const char* label;
+  double alpha;
+  double beta;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Figure 6: effect of the utility function (alpha/beta sweep)", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const Setting settings[] = {
+      // Top row: cost-efficiency sweep.
+      {"a=1,b=1", 1.0, 1.0},
+      {"a=2,b=1", 2.0, 1.0},
+      {"a=3,b=1", 3.0, 1.0},
+      {"a=4,b=1", 4.0, 1.0},
+      {"a=1,b=0", 1.0, 0.0},
+      // Bottom row: task-urgency sweep.
+      {"a=1,b=2", 1.0, 2.0},
+      {"a=1,b=3", 1.0, 3.0},
+      {"a=1,b=4", 1.0, 4.0},
+      {"a=0,b=1", 0.0, 1.0},
+  };
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    for (const Setting& s : settings) {
+      tasks.emplace_back([&trace, s] {
+        engine::EngineConfig config = engine::paper_engine_config();
+        auto pconfig = engine::paper_portfolio_config(config);
+        // The sweep changes the *selection* objective; results are reported
+        // as raw slowdown and cost, which do not depend on kappa/alpha/beta.
+        pconfig.online_sim.utility = metrics::UtilityParams{100.0, s.alpha, s.beta};
+        return engine::run_portfolio(config, trace, bench::paper_portfolio(), pconfig,
+                                     engine::PredictorKind::kPerfect);
+      });
+    }
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+
+  util::Table table({"Trace", "Utility params", "Avg BSD", "Cost [VM-h]"});
+  std::size_t r = 0;
+  for (const workload::Trace& trace : traces) {
+    for (const Setting& s : settings) {
+      const auto& m = results[r++].run.metrics;
+      table.add_row({trace.name(), s.label, util::Cell(m.avg_bounded_slowdown, 3),
+                     util::Cell(m.charged_hours(), 0)});
+    }
+  }
+  bench::emit(env, table, "Figure 6 (portfolio under different selection objectives)");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 7 — performance of portfolio scheduling with *predicted* runtimes
+// (Tsafrir k-NN, k=2 — the average runtime of the user's two most recently
+// completed jobs).
+//
+// Paper result shape: runtime-consuming policies (ODE, ODX, LXF, ...)
+// degrade under prediction error, while the portfolio stays close to its
+// accurate-runtime performance; its improvement over the best constituent
+// grows to +6.9% / +15.6% / +77.3% / +31.0% (KTH / SDSC / DAS2 / LPC).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Figure 7: portfolio vs constituent policies (predicted runtime)", env);
+  (void)bench::figure4_style(env, engine::PredictorKind::kTsafrir,
+                             "Figure 7 (Tsafrir k-NN predicted runtime)");
+  return 0;
+}

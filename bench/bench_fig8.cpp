@@ -1,0 +1,17 @@
+// Figure 8 — performance of portfolio scheduling with raw *user-estimated*
+// runtimes (orders of magnitude above actual runtimes).
+//
+// Paper result shape: ODE over-provisions under inflated estimates (its
+// slowdown drops but its cost grows, markedly on DAS2-fs0); ODX jobs wait
+// longer. The portfolio remains robust and beats the best constituent by
+// +7.7% / +18.0% / +101.1% / +30.7% (KTH / SDSC / DAS2 / LPC).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Figure 8: portfolio vs constituent policies (user estimates)", env);
+  (void)bench::figure4_style(env, engine::PredictorKind::kUserEstimate,
+                             "Figure 8 (user-estimated runtime)");
+  return 0;
+}

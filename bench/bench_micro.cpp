@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark): latencies of the kernels the
+// portfolio scheduler's 200 ms selection budget is made of — the event
+// queue, the online simulator as a function of queue depth, queue ordering,
+// and a full unbounded 60-policy selection. These numbers substantiate the
+// paper's claim that sub-second selection is feasible for a 256-VM cloud.
+#include <benchmark/benchmark.h>
+
+#include "core/selector.hpp"
+#include "engine/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace psched;
+
+void BM_EventQueue_SchedulePop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i)
+      (void)queue.schedule(rng.uniform(0.0, 1e6), [] {});
+    while (!queue.empty()) (void)queue.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueue_SchedulePop)->Range(64, 65536);
+
+void BM_Simulator_DispatchChain(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < n) sim.after(1.0, tick);
+    };
+    sim.after(1.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Simulator_DispatchChain)->Range(1024, 65536);
+
+std::vector<policy::QueuedJob> make_queue(std::size_t depth) {
+  util::Rng rng(7);
+  std::vector<policy::QueuedJob> queue;
+  for (std::size_t i = 0; i < depth; ++i) {
+    policy::QueuedJob q;
+    q.id = static_cast<JobId>(i);
+    q.submit = static_cast<double>(i);
+    q.procs = 1 << rng.uniform_int(0, 4);
+    q.predicted_runtime = rng.uniform(10.0, 3000.0);
+    queue.push_back(q);
+  }
+  return queue;
+}
+
+cloud::CloudProfile typical_profile() {
+  cloud::CloudProfile profile;
+  profile.now = 10000.0;
+  profile.max_vms = 256;
+  profile.boot_delay = 120.0;
+  util::Rng rng(9);
+  for (int i = 0; i < 64; ++i) {
+    cloud::VmView vm;
+    vm.lease_time = profile.now - rng.uniform(0.0, 3600.0);
+    vm.busy = rng.bernoulli(0.5);
+    vm.available_at = vm.busy ? profile.now + rng.uniform(10.0, 2000.0) : profile.now;
+    profile.vms.push_back(vm);
+  }
+  return profile;
+}
+
+void BM_OnlineSim_QueueDepth(benchmark::State& state) {
+  static const policy::Portfolio& portfolio = *new policy::Portfolio(
+      policy::Portfolio::paper_portfolio());
+  core::OnlineSimConfig config;
+  config.utility = metrics::UtilityParams{100.0, 1.0, 1.0};
+  const core::OnlineSimulator sim(config);
+  const auto queue = make_queue(static_cast<std::size_t>(state.range(0)));
+  const auto profile = typical_profile();
+  const auto& policy = portfolio.policies()[13];  // ODB-LXF-FirstFit
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(queue, profile, policy));
+  }
+}
+BENCHMARK(BM_OnlineSim_QueueDepth)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_OrderQueue(benchmark::State& state) {
+  const auto base = make_queue(static_cast<std::size_t>(state.range(0)));
+  const auto policy = policy::make_job_selection("UNICEF");
+  for (auto _ : state) {
+    auto queue = base;
+    policy::order_queue(queue, *policy, 1e6);
+    benchmark::DoNotOptimize(queue.data());
+  }
+}
+BENCHMARK(BM_OrderQueue)->Range(16, 4096);
+
+void BM_FullSelection60(benchmark::State& state) {
+  static const policy::Portfolio& portfolio = *new policy::Portfolio(
+      policy::Portfolio::paper_portfolio());
+  core::OnlineSimConfig sim_config;
+  sim_config.utility = metrics::UtilityParams{100.0, 1.0, 1.0};
+  core::SelectorConfig sel_config;
+  sel_config.time_constraint_ms = 0.0;  // unbounded: all 60 policies
+  const auto queue = make_queue(static_cast<std::size_t>(state.range(0)));
+  const auto profile = typical_profile();
+  core::TimeConstrainedSelector selector(portfolio, core::OnlineSimulator(sim_config),
+                                         sel_config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.select(queue, profile));
+  }
+}
+BENCHMARK(BM_FullSelection60)->RangeMultiplier(4)->Range(4, 64);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const workload::TraceGenerator gen(workload::das2_fs0_like(7.0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(seed++));
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EngineDay(benchmark::State& state) {
+  // One simulated day of the bursty archetype under a fixed policy.
+  const auto trace =
+      workload::TraceGenerator(workload::das2_fs0_like(1.0)).generate(3).cleaned(64);
+  static const policy::Portfolio& portfolio = *new policy::Portfolio(
+      policy::Portfolio::paper_portfolio());
+  const auto config = engine::paper_engine_config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::run_single_policy(
+        config, trace, portfolio.policies()[7], engine::PredictorKind::kPerfect));
+  }
+}
+BENCHMARK(BM_EngineDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

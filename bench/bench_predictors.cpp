@@ -1,0 +1,54 @@
+// Extension bench — predictor quality and its impact on the portfolio
+// (broadens the paper's Section 6.3 from three information regimes to a
+// predictor spectrum). For every trace and predictor: offline accuracy
+// (Tsafrir's min/max measure; ~0.5 is the literature's k-NN level on PWA
+// traces) and the portfolio's end-to-end utility under that predictor.
+//
+// Expected shape: the portfolio's utility degrades only mildly from
+// "accurate" down to raw user estimates — the paper's robustness claim —
+// while accuracy varies wildly across predictors.
+#include "bench_common.hpp"
+#include "predict/suite.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const bench::BenchEnv env = bench::parse_env(argc, argv);
+  bench::banner("Extension: predictor spectrum (accuracy + portfolio impact)", env);
+
+  const std::vector<workload::Trace> traces = bench::make_traces(env);
+  const engine::PredictorKind kinds[] = {
+      engine::PredictorKind::kPerfect,      engine::PredictorKind::kTsafrir,
+      engine::PredictorKind::kLastRuntime,  engine::PredictorKind::kRunningMean,
+      engine::PredictorKind::kEwma,         engine::PredictorKind::kUserEstimate,
+  };
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const workload::Trace& trace : traces) {
+    for (const engine::PredictorKind kind : kinds) {
+      tasks.emplace_back([&trace, kind] {
+        return bench::run_portfolio_default(trace, kind);
+      });
+    }
+  }
+  const auto results = bench::run_all(env, std::move(tasks));
+  const auto params = engine::paper_engine_config().utility;
+
+  util::Table table({"Trace", "Predictor", "Accuracy", "MAE [s]", "Over %",
+                     "Portfolio BSD", "Portfolio utility"});
+  std::size_t r = 0;
+  for (const workload::Trace& trace : traces) {
+    for (const engine::PredictorKind kind : kinds) {
+      const auto predictor = engine::make_predictor(kind);
+      const predict::AccuracyReport acc = predict::evaluate_predictor(trace, *predictor);
+      const auto& m = results[r++].run.metrics;
+      table.add_row({trace.name(), engine::to_string(kind),
+                     util::Cell(acc.mean_accuracy, 3),
+                     util::Cell(acc.mean_abs_error, 0),
+                     util::Cell(100.0 * acc.overestimate_fraction, 1),
+                     util::Cell(m.avg_bounded_slowdown, 3),
+                     util::Cell(m.utility(params), 2)});
+    }
+  }
+  bench::emit(env, table, "Predictor spectrum");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Policy face-off: pit any constituent policies against the portfolio on a
+// chosen workload archetype and information regime.
+//
+//   ./policy_faceoff --trace DAS2-fs0 --days 3 --predictor predicted
+//                    ODA-UNICEF-FirstFit ODX-LXF-FirstFit
+//
+// Flags: --trace {KTH-SP2,SDSC-SP2,DAS2-fs0,LPC-EGEE}, --days N, --seed S,
+//        --predictor {accurate,predicted,user-estimate}; positional
+//        arguments are policy names (default: one good policy per
+//        provisioning cluster).
+#include <cstdio>
+#include <functional>
+
+#include "engine/experiment.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psched;
+  const util::ArgParser args(argc, argv);
+  const std::string trace_name = args.get("trace", "DAS2-fs0");
+  const double days = args.get_double("days", 3.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::string predictor_name = args.get("predictor", "accurate");
+
+  engine::PredictorKind predictor = engine::PredictorKind::kPerfect;
+  if (predictor_name == "predicted") predictor = engine::PredictorKind::kTsafrir;
+  else if (predictor_name == "user-estimate")
+    predictor = engine::PredictorKind::kUserEstimate;
+  else if (predictor_name != "accurate") {
+    std::fprintf(stderr, "unknown --predictor '%s'\n", predictor_name.c_str());
+    return 1;
+  }
+
+  workload::Trace trace;
+  for (const auto& config : workload::paper_archetypes(days)) {
+    if (config.name == trace_name)
+      trace = workload::TraceGenerator(config).generate(seed).cleaned(64);
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "unknown --trace '%s' (or empty slice)\n", trace_name.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> contenders = args.positional();
+  if (contenders.empty()) {
+    contenders = {"ODA-UNICEF-FirstFit", "ODB-UNICEF-FirstFit", "ODE-UNICEF-FirstFit",
+                  "ODM-UNICEF-FirstFit", "ODX-UNICEF-FirstFit"};
+  }
+
+  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  const engine::EngineConfig config = engine::paper_engine_config();
+
+  std::vector<std::function<engine::ScenarioResult()>> tasks;
+  for (const std::string& name : contenders) {
+    const policy::PolicyTriple* triple = portfolio.find(name);
+    if (triple == nullptr) {
+      std::fprintf(stderr, "unknown policy '%s' (format: ODA-FCFS-FirstFit)\n",
+                   name.c_str());
+      return 1;
+    }
+    tasks.emplace_back([&config, &trace, triple, predictor] {
+      return engine::run_single_policy(config, trace, *triple, predictor);
+    });
+  }
+  tasks.emplace_back([&config, &trace, &portfolio, predictor] {
+    return engine::run_portfolio(config, trace, portfolio,
+                                 engine::paper_portfolio_config(config), predictor);
+  });
+  const auto results = engine::run_parallel(tasks);
+
+  std::printf("%s, %.1f days, %zu jobs, %s runtimes\n\n", trace.name().c_str(), days,
+              trace.size(), engine::to_string(predictor).c_str());
+  util::Table table({"Scheduler", "Avg BSD", "Avg wait [s]", "Cost [VM-h]",
+                     "Utilization %", "Utility"});
+  for (const auto& result : results) {
+    const auto& m = result.run.metrics;
+    table.add_row({result.run.scheduler_name, util::Cell(m.avg_bounded_slowdown, 3),
+                   util::Cell(m.avg_wait, 1), util::Cell(m.charged_hours(), 0),
+                   util::Cell(100.0 * m.utilization(), 1),
+                   util::Cell(m.utility(config.utility), 2)});
+  }
+  std::fputs(table.render("face-off").c_str(), stdout);
+  return 0;
+}

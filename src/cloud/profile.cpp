@@ -1,0 +1,23 @@
+#include "cloud/profile.hpp"
+
+namespace psched::cloud {
+
+std::size_t CloudProfile::idle_count() const noexcept {
+  std::size_t n = 0;
+  for (const VmView& vm : vms)
+    if (vm.available_at <= now) ++n;
+  return n;
+}
+
+std::size_t CloudProfile::booting_count() const noexcept {
+  std::size_t n = 0;
+  for (const VmView& vm : vms)
+    if (vm.available_at > now && !vm.busy) ++n;
+  return n;
+}
+
+std::size_t CloudProfile::lease_headroom() const noexcept {
+  return vms.size() >= max_vms ? 0 : max_vms - vms.size();
+}
+
+}  // namespace psched::cloud

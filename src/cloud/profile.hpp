@@ -1,0 +1,43 @@
+#pragma once
+// A point-in-time snapshot of the cloud used by the portfolio's online
+// simulator: enough state to simulate provisioning/allocation forward
+// without touching (or copying) the live provider.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace psched::cloud {
+
+/// Snapshot view of one leased VM.
+struct VmView {
+  SimTime lease_time = 0.0;    ///< billing clock zero
+  SimTime available_at = 0.0;  ///< when the VM can accept a job:
+                               ///<  booting -> boot_complete,
+                               ///<  busy    -> running job's (predicted) completion,
+                               ///<  idle    -> snapshot time
+  bool busy = false;           ///< running a job at snapshot time (disambiguates
+                               ///< busy from booting when completion falls
+                               ///< inside the boot window)
+};
+
+/// Immutable cloud snapshot.
+struct CloudProfile {
+  SimTime now = 0.0;
+  std::size_t max_vms = 256;     ///< provider-wide concurrency cap
+  SimDuration boot_delay = 120;  ///< seconds from lease to usable
+  SimDuration billing_quantum = kSecondsPerHour;  ///< billing granularity
+  std::vector<VmView> vms;       ///< all currently leased instances
+
+  /// VMs usable right now (available_at <= now).
+  [[nodiscard]] std::size_t idle_count() const noexcept;
+
+  /// VMs leased but not yet usable (booting at `now`).
+  [[nodiscard]] std::size_t booting_count() const noexcept;
+
+  /// Headroom under the concurrency cap.
+  [[nodiscard]] std::size_t lease_headroom() const noexcept;
+};
+
+}  // namespace psched::cloud

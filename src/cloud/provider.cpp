@@ -1,0 +1,161 @@
+#include "cloud/provider.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::cloud {
+
+CloudProvider::CloudProvider(ProviderConfig config) : config_(config) {
+  PSCHED_ASSERT(config_.max_vms > 0);
+  PSCHED_ASSERT(config_.boot_delay >= 0.0);
+}
+
+std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
+  const std::size_t grant = std::min(count, lease_headroom());
+  std::vector<VmId> ids;
+  ids.reserve(grant);
+  for (std::size_t i = 0; i < grant; ++i) {
+    VmInstance vm;
+    vm.id = next_id_++;
+    vm.lease_time = now;
+    vm.boot_complete = now + config_.boot_delay;
+    vm.state = config_.boot_delay > 0.0 ? VmState::kBooting : VmState::kIdle;
+    ids.push_back(vm.id);
+    vms_.push_back(vm);
+    ++total_leases_;
+  }
+  return ids;
+}
+
+VmInstance* CloudProvider::find_mut(VmId id) noexcept {
+  // vms_ is sorted by id (monotone append, order-preserving erase).
+  const auto it = std::lower_bound(
+      vms_.begin(), vms_.end(), id,
+      [](const VmInstance& vm, VmId key) { return vm.id < key; });
+  return (it != vms_.end() && it->id == id) ? &*it : nullptr;
+}
+
+const VmInstance* CloudProvider::find(VmId id) const noexcept {
+  return const_cast<CloudProvider*>(this)->find_mut(id);
+}
+
+void CloudProvider::release(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "release of unknown VM");
+  PSCHED_ASSERT_MSG(vm->state == VmState::kIdle, "release of a non-idle VM");
+  charged_hours_ += charged_hours(*vm, now, config_.billing_quantum);
+  vms_.erase(vms_.begin() + (vm - vms_.data()));
+}
+
+void CloudProvider::finish_boot(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "finish_boot of unknown VM");
+  PSCHED_ASSERT_MSG(vm->state == VmState::kBooting, "finish_boot of non-booting VM");
+  PSCHED_ASSERT(now >= vm->boot_complete);
+  vm->state = VmState::kIdle;
+}
+
+void CloudProvider::assign(VmId id, JobId job, SimTime until, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "assign to unknown VM");
+  PSCHED_ASSERT_MSG(vm->state == VmState::kIdle, "assign to a non-idle VM");
+  PSCHED_ASSERT(until >= now);
+  vm->state = VmState::kBusy;
+  vm->running_job = job;
+  vm->busy_until = until;
+}
+
+void CloudProvider::unassign(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "unassign of unknown VM");
+  PSCHED_ASSERT_MSG(vm->state == VmState::kBusy, "unassign of a non-busy VM");
+  (void)now;
+  vm->state = VmState::kIdle;
+  vm->running_job = kInvalidJob;
+  vm->busy_until = 0.0;
+}
+
+std::size_t CloudProvider::release_expiring_idle(SimTime now, SimDuration window,
+                                                 std::size_t keep_reserve) {
+  std::vector<VmId> expiring;
+  std::size_t idle_seen = 0;
+  for (const VmInstance& vm : vms_) {
+    if (vm.state != VmState::kIdle) continue;
+    if (idle_seen++ < keep_reserve) continue;  // the head job's reserve
+    if (remaining_paid(vm, now, config_.billing_quantum) <= window)
+      expiring.push_back(vm.id);
+  }
+  for (const VmId id : expiring) release(id, now);
+  return expiring.size();
+}
+
+void CloudProvider::release_all(SimTime now) {
+  // Jobs must have drained; force-idle any stragglers defensively.
+  for (VmInstance& vm : vms_) vm.state = VmState::kIdle;
+  while (!vms_.empty()) release(vms_.back().id, now);
+}
+
+std::size_t CloudProvider::idle_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      vms_.begin(), vms_.end(),
+      [](const VmInstance& vm) { return vm.state == VmState::kIdle; }));
+}
+
+std::size_t CloudProvider::booting_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      vms_.begin(), vms_.end(),
+      [](const VmInstance& vm) { return vm.state == VmState::kBooting; }));
+}
+
+std::size_t CloudProvider::busy_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      vms_.begin(), vms_.end(),
+      [](const VmInstance& vm) { return vm.state == VmState::kBusy; }));
+}
+
+std::size_t CloudProvider::lease_headroom() const noexcept {
+  return vms_.size() >= config_.max_vms ? 0 : config_.max_vms - vms_.size();
+}
+
+double CloudProvider::charged_hours_total(SimTime now) const noexcept {
+  double total = charged_hours_;
+  for (const VmInstance& vm : vms_) total += charged_hours(vm, now, config_.billing_quantum);
+  return total;
+}
+
+std::vector<VmId> CloudProvider::idle_vms() const {
+  std::vector<VmId> ids;
+  for (const VmInstance& vm : vms_)
+    if (vm.state == VmState::kIdle) ids.push_back(vm.id);
+  return ids;
+}
+
+CloudProfile CloudProvider::snapshot(SimTime now) const {
+  CloudProfile profile;
+  profile.now = now;
+  profile.max_vms = config_.max_vms;
+  profile.boot_delay = config_.boot_delay;
+  profile.billing_quantum = config_.billing_quantum;
+  profile.vms.reserve(vms_.size());
+  for (const VmInstance& vm : vms_) {
+    VmView view;
+    view.lease_time = vm.lease_time;
+    switch (vm.state) {
+      case VmState::kBooting:
+        view.available_at = vm.boot_complete;
+        break;
+      case VmState::kBusy:
+        view.available_at = vm.busy_until;
+        view.busy = true;
+        break;
+      case VmState::kIdle:
+        view.available_at = now;
+        break;
+    }
+    profile.vms.push_back(view);
+  }
+  return profile;
+}
+
+}  // namespace psched::cloud

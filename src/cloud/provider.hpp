@@ -1,0 +1,99 @@
+#pragma once
+// The EC2-style IaaS provider: lease/release with a concurrency cap, a
+// fixed acquisition+boot delay, and per-started-hour billing. This is the
+// authoritative VM state for the outer (trace-driven) simulation.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/profile.hpp"
+#include "cloud/vm.hpp"
+#include "util/types.hpp"
+
+namespace psched::cloud {
+
+struct ProviderConfig {
+  std::size_t max_vms = 256;       ///< paper: up to 256 concurrent VMs
+  SimDuration boot_delay = 120.0;  ///< paper: 120 s acquisition + boot
+  /// Billing granularity: elapsed lease time is rounded up to a multiple
+  /// of this (minimum one quantum). Paper/EC2-classic: 3600 s; modern
+  /// clouds bill per second (see bench_ablation_billing).
+  SimDuration billing_quantum = kSecondsPerHour;
+};
+
+class CloudProvider {
+ public:
+  explicit CloudProvider(ProviderConfig config = {});
+
+  [[nodiscard]] const ProviderConfig& config() const noexcept { return config_; }
+
+  /// Lease up to `count` VMs at `now`; returns the ids actually leased
+  /// (shorter than `count` when the cap binds). New VMs boot until
+  /// now + boot_delay.
+  std::vector<VmId> lease(std::size_t count, SimTime now);
+
+  /// Release an idle VM; charges ceil(lease duration) hours. It is a
+  /// contract violation to release a busy or booting VM.
+  void release(VmId id, SimTime now);
+
+  /// Mark a booting VM usable. Called by the engine at boot_complete time.
+  void finish_boot(VmId id, SimTime now);
+
+  /// Bind an idle VM to a job until `until`.
+  void assign(VmId id, JobId job, SimTime until, SimTime now);
+
+  /// Return a busy VM to idle (its job finished).
+  void unassign(VmId id, SimTime now);
+
+  /// Release every idle VM whose paid period ends within `window` seconds
+  /// of `now` (the end-of-billing-quantum release rule; see DESIGN.md).
+  /// The first `keep_reserve` idle VMs (in id order) are exempt — they are
+  /// a waiting head job's reserve and releasing them would cause
+  /// lease/release thrash. Returns the number released.
+  std::size_t release_expiring_idle(SimTime now, SimDuration window,
+                                    std::size_t keep_reserve = 0);
+
+  /// Release all VMs (end of experiment) so their cost is accounted.
+  void release_all(SimTime now);
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] std::size_t leased_count() const noexcept { return vms_.size(); }
+  [[nodiscard]] std::size_t idle_count() const noexcept;
+  [[nodiscard]] std::size_t booting_count() const noexcept;
+  [[nodiscard]] std::size_t busy_count() const noexcept;
+  [[nodiscard]] std::size_t lease_headroom() const noexcept;
+
+  /// Hours charged for already-released VMs.
+  [[nodiscard]] double charged_hours_released() const noexcept { return charged_hours_; }
+
+  /// Total charged hours if every live VM were released at `now`
+  /// (released + accrued). This is RV in the paper's metrics.
+  [[nodiscard]] double charged_hours_total(SimTime now) const noexcept;
+
+  /// Lifetime count of lease() grants (for diagnostics).
+  [[nodiscard]] std::size_t total_leases() const noexcept { return total_leases_; }
+
+  /// Access a live VM by id. Returns nullptr if unknown/released.
+  [[nodiscard]] const VmInstance* find(VmId id) const noexcept;
+
+  /// Stable iteration over live VMs in id order.
+  [[nodiscard]] const std::vector<VmInstance>& vms() const noexcept { return vms_; }
+
+  /// Ids of VMs usable at `now` (idle), in id order.
+  [[nodiscard]] std::vector<VmId> idle_vms() const;
+
+  /// Snapshot for the online simulator.
+  [[nodiscard]] CloudProfile snapshot(SimTime now) const;
+
+ private:
+  [[nodiscard]] VmInstance* find_mut(VmId id) noexcept;
+
+  ProviderConfig config_;
+  std::vector<VmInstance> vms_;  // live VMs, sorted by id (append + erase)
+  VmId next_id_ = 0;
+  double charged_hours_ = 0.0;
+  std::size_t total_leases_ = 0;
+};
+
+}  // namespace psched::cloud

@@ -1,0 +1,40 @@
+#include "cloud/vm.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::cloud {
+
+double charged_seconds_for(SimTime lease_time, SimTime release_time,
+                           SimDuration quantum) noexcept {
+  PSCHED_ASSERT(release_time >= lease_time);
+  PSCHED_ASSERT(quantum > 0.0);
+  const double units = (release_time - lease_time) / quantum;
+  return std::max(1.0, std::ceil(units)) * quantum;
+}
+
+double charged_hours_for(SimTime lease_time, SimTime release_time,
+                         SimDuration quantum) noexcept {
+  return charged_seconds_for(lease_time, release_time, quantum) / kSecondsPerHour;
+}
+
+double charged_hours(const VmInstance& vm, SimTime now, SimDuration quantum) noexcept {
+  return charged_hours_for(vm.lease_time, now, quantum);
+}
+
+SimTime paid_until(const VmInstance& vm, SimTime now, SimDuration quantum) noexcept {
+  return vm.lease_time + charged_seconds_for(vm.lease_time, now, quantum);
+}
+
+double remaining_paid_at(SimTime lease_time, SimTime now, SimDuration quantum) noexcept {
+  PSCHED_ASSERT(now >= lease_time);
+  const double elapsed = now - lease_time;
+  return charged_seconds_for(lease_time, now, quantum) - elapsed;
+}
+
+double remaining_paid(const VmInstance& vm, SimTime now, SimDuration quantum) noexcept {
+  return remaining_paid_at(vm.lease_time, now, quantum);
+}
+
+}  // namespace psched::cloud

@@ -1,0 +1,210 @@
+#include "core/online_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/vm.hpp"
+#include "util/assert.hpp"
+#include "workload/job.hpp"
+
+namespace psched::core {
+
+namespace {
+
+/// Inner-simulation view of one VM.
+struct InnerVm {
+  VmId id;
+  SimTime lease_time;
+  SimTime available_at;
+  bool fresh;  ///< leased during this simulation (charged from lease_time)
+  bool busy;   ///< has (ever) run a job; unavailable + !busy == booting
+};
+
+/// Charge for a VM released at `release` (see InnerCostModel).
+/// kChargedHours: fresh VMs pay rounded-up hours from their lease;
+/// pre-existing VMs pay only the hours added after the snapshot `t0`.
+/// kElapsedMarginal: every VM pays exactly the time it was held within the
+/// drain window [t0, release] (fresh VMs from their lease instant).
+double charge_seconds(const InnerVm& vm, SimTime release, SimTime t0,
+                      InnerCostModel model, SimDuration quantum) {
+  if (model == InnerCostModel::kElapsedMarginal) {
+    return std::max(0.0, release - std::max(vm.lease_time, t0));
+  }
+  const double total = cloud::charged_seconds_for(vm.lease_time, release, quantum);
+  if (vm.fresh) return total;
+  const double sunk = cloud::charged_seconds_for(vm.lease_time, t0, quantum);
+  return std::max(0.0, total - sunk);
+}
+
+}  // namespace
+
+OnlineSimulator::OnlineSimulator(OnlineSimConfig config) : config_(config) {
+  PSCHED_ASSERT(config_.schedule_period > 0.0);
+  PSCHED_ASSERT(config_.slowdown_bound > 0.0);
+}
+
+SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
+                                     const cloud::CloudProfile& profile,
+                                     const policy::PolicyTriple& policy) const {
+  PSCHED_ASSERT(policy.provisioning && policy.job_selection && policy.vm_selection);
+  const SimTime t0 = profile.now;
+
+  std::vector<InnerVm> vms;
+  vms.reserve(profile.vms.size() + 16);
+  VmId next_vm_id = 0;
+  for (const cloud::VmView& view : profile.vms) {
+    vms.push_back(InnerVm{next_vm_id++, view.lease_time,
+                          std::max(view.available_at, t0), /*fresh=*/false,
+                          view.busy});
+  }
+
+  std::vector<policy::QueuedJob> pending(queue.begin(), queue.end());
+
+  SimOutcome out;
+  SimTime now = t0;
+  double bsd_sum = 0.0;
+  std::size_t finished = 0;
+  const std::size_t total_jobs = pending.size();
+  SimTime last_completion = t0;
+
+  std::vector<policy::VmAvail> avail;  // reused across iterations
+
+  while (!pending.empty()) {
+    if (++out.decisions > config_.max_iterations) {
+      PSCHED_ASSERT_MSG(false, "online simulation exceeded the iteration cap");
+    }
+
+    // --- scheduling context -------------------------------------------------
+    std::size_t idle = 0, booting = 0;
+    for (const InnerVm& vm : vms) {
+      if (vm.available_at <= now) ++idle;
+      else if (!vm.busy) ++booting;
+    }
+    policy::SchedContext ctx;
+    ctx.now = now;
+    ctx.queue = pending;
+    ctx.idle_vms = idle;
+    ctx.booting_vms = booting;
+    ctx.total_vms = vms.size();
+    ctx.max_vms = profile.max_vms;
+
+    // --- 1. provisioning -----------------------------------------------------
+    const std::size_t headroom =
+        vms.size() >= profile.max_vms ? 0 : profile.max_vms - vms.size();
+    const std::size_t to_lease =
+        std::min(policy.provisioning->vms_to_lease(ctx), headroom);
+    for (std::size_t i = 0; i < to_lease; ++i) {
+      vms.push_back(InnerVm{next_vm_id++, now, now + profile.boot_delay,
+                            /*fresh=*/true, /*busy=*/false});
+    }
+
+    // --- 2. allocation (shared planner; head-of-line or EASY backfill) -------
+    policy::order_queue(pending, *policy.job_selection, now);
+    avail.clear();
+    for (const InnerVm& vm : vms)
+      avail.push_back(policy::VmAvail{vm.id, vm.lease_time, vm.available_at});
+    const std::vector<policy::PlannedStart> plan = policy::plan_allocation(
+        now, pending, avail, *policy.vm_selection, config_.allocation,
+        profile.billing_quantum);
+    if (!plan.empty()) {
+      std::vector<bool> served(pending.size(), false);
+      for (const policy::PlannedStart& start : plan) {
+        served[start.queue_index] = true;
+        const policy::QueuedJob& job = pending[start.queue_index];
+        const SimTime completion = now + job.predicted_runtime;
+        for (const VmId chosen : start.vms) {
+          const auto it =
+              std::find_if(vms.begin(), vms.end(),
+                           [chosen](const InnerVm& vm) { return vm.id == chosen; });
+          PSCHED_ASSERT(it != vms.end());
+          it->available_at = completion;
+          it->busy = true;
+        }
+        bsd_sum += workload::bounded_slowdown(job.wait(now), job.predicted_runtime,
+                                              config_.slowdown_bound);
+        out.rj_proc_seconds += job.procs * job.predicted_runtime;
+        last_completion = std::max(last_completion, completion);
+        ++finished;
+      }
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < pending.size(); ++i)
+        if (!served[i]) pending[kept++] = pending[i];
+      pending.resize(kept);
+    }
+
+    // --- 3. idle-VM release ----------------------------------------------------
+    // kEagerSurplus: while jobs wait, every idle VM is the waiting head's
+    // reserve, and once the queue drains the loop exits — the end-of-run
+    // release below settles all remaining charges. Only the boundary rule
+    // needs mid-run releases.
+    if (config_.release_rule == ReleaseRule::kBoundary) {
+      // Idle VMs reserved for the still-waiting head job are exempt (same
+      // thrash-avoidance as the engine's release rule).
+      std::size_t reserve =
+          pending.empty() ? 0 : static_cast<std::size_t>(pending.front().procs);
+      for (std::size_t i = 0; i < vms.size();) {
+        const InnerVm& vm = vms[i];
+        if (vm.available_at <= now && reserve > 0) {
+          --reserve;
+          ++i;
+          continue;
+        }
+        if (vm.available_at <= now &&
+            cloud::remaining_paid_at(vm.lease_time, now, profile.billing_quantum) <=
+                config_.release_window) {
+          out.rv_charged_seconds +=
+              charge_seconds(vm, now, t0, config_.cost_model, profile.billing_quantum);
+          vms[i] = vms.back();
+          vms.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    if (pending.empty()) break;
+
+    // --- 4. advance time ------------------------------------------------------
+    // Next interesting instant: a VM becomes available, or the provisioning
+    // answer changes purely due to waiting (ODX/ODE crossings). If this
+    // iteration changed any state (leases or starts), the policy may act
+    // again at the very next scheduling tick — engine fidelity requires
+    // considering it. Quiet stretches still fast-forward directly to the
+    // next event. Guaranteed to move forward (see DESIGN.md).
+    const bool changed = to_lease > 0 || !plan.empty();
+    SimTime next_avail = kTimeNever;
+    for (const InnerVm& vm : vms)
+      if (vm.available_at > now) next_avail = std::min(next_avail, vm.available_at);
+    // Rebuild the context: provisioning/allocation above changed the state.
+    std::size_t idle2 = 0, booting2 = 0;
+    for (const InnerVm& vm : vms) {
+      if (vm.available_at <= now) ++idle2;
+      else if (!vm.busy) ++booting2;
+    }
+    ctx.queue = pending;
+    ctx.idle_vms = idle2;
+    ctx.booting_vms = booting2;
+    ctx.total_vms = vms.size();
+    const SimTime next_policy = policy.provisioning->next_change(ctx);
+    SimTime next = std::min(next_avail, next_policy);
+    if (changed) next = std::min(next, now + config_.schedule_period);
+    if (next == kTimeNever || next <= now) next = now + config_.schedule_period;
+    PSCHED_ASSERT_MSG(next > now, "online simulation failed to advance");
+    now = next;
+  }
+
+  // Release everything still leased.
+  for (const InnerVm& vm : vms) {
+    out.rv_charged_seconds += charge_seconds(vm, std::max(vm.available_at, now), t0,
+                                             config_.cost_model, profile.billing_quantum);
+  }
+
+  out.avg_bounded_slowdown = finished ? bsd_sum / static_cast<double>(finished) : 1.0;
+  out.sim_makespan = last_completion - t0;
+  out.utility = metrics::utility(config_.utility, out.rj_proc_seconds,
+                                 out.rv_charged_seconds, out.avg_bounded_slowdown);
+  PSCHED_ASSERT(finished == total_jobs);
+  return out;
+}
+
+}  // namespace psched::core

@@ -1,0 +1,59 @@
+#include "core/reflection.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::core {
+
+ReflectionStore::ReflectionStore(std::size_t portfolio_size, std::size_t max_history)
+    : max_history_(max_history), chosen_counts_(portfolio_size, 0) {
+  PSCHED_ASSERT(portfolio_size > 0);
+}
+
+void ReflectionStore::record(SimTime when, const SelectionResult& result,
+                             std::uint64_t context) {
+  PSCHED_ASSERT(result.best_index < chosen_counts_.size());
+  ++invocations_;
+  ++chosen_counts_[result.best_index];
+  total_cost_ms_ += result.total_cost_ms;
+  total_simulated_ += result.simulated();
+  if (context != 0) ++context_wins_[context][result.best_index];
+  if (max_history_ == 0 || history_.size() < max_history_) {
+    history_.push_back(SelectionRecord{when, result.best_index, result.best_utility,
+                                       result.simulated(), result.total_cost_ms,
+                                       context});
+  }
+}
+
+std::vector<std::size_t> ReflectionStore::top_for_context(std::uint64_t context,
+                                                          std::size_t k) const {
+  const auto it = context_wins_.find(context);
+  if (it == context_wins_.end()) return {};
+  std::vector<std::pair<std::size_t, std::size_t>> wins(it->second.begin(),
+                                                        it->second.end());
+  std::sort(wins.begin(), wins.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::size_t> top;
+  for (std::size_t i = 0; i < wins.size() && i < k; ++i) top.push_back(wins[i].first);
+  return top;
+}
+
+std::vector<double> ReflectionStore::invocation_ratios() const {
+  std::vector<double> ratios(chosen_counts_.size(), 0.0);
+  if (invocations_ == 0) return ratios;
+  for (std::size_t i = 0; i < chosen_counts_.size(); ++i)
+    ratios[i] = static_cast<double>(chosen_counts_[i]) /
+                static_cast<double>(invocations_);
+  return ratios;
+}
+
+double ReflectionStore::mean_simulated_per_invocation() const noexcept {
+  return invocations_ ? static_cast<double>(total_simulated_) /
+                            static_cast<double>(invocations_)
+                      : 0.0;
+}
+
+}  // namespace psched::core

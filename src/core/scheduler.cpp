@@ -1,0 +1,64 @@
+#include "core/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace psched::core {
+
+SinglePolicyScheduler::SinglePolicyScheduler(policy::PolicyTriple policy)
+    : policy_(policy) {
+  PSCHED_ASSERT(policy.provisioning && policy.job_selection && policy.vm_selection);
+}
+
+policy::PolicyTriple SinglePolicyScheduler::policy_for_tick(
+    std::uint64_t /*tick*/, std::span<const policy::QueuedJob> /*queue*/,
+    const cloud::CloudProfile& /*profile*/) {
+  return policy_;
+}
+
+std::string SinglePolicyScheduler::name() const { return policy_.name(); }
+
+PortfolioScheduler::PortfolioScheduler(const policy::Portfolio& portfolio,
+                                       PortfolioSchedulerConfig config)
+    : portfolio_(portfolio),
+      config_(config),
+      selector_(portfolio, OnlineSimulator(config.online_sim), config.selector),
+      reflection_(portfolio.size()),
+      current_(portfolio.policies().front()) {
+  PSCHED_ASSERT(config_.selection_period_ticks >= 1);
+}
+
+policy::PolicyTriple PortfolioScheduler::policy_for_tick(
+    std::uint64_t tick, std::span<const policy::QueuedJob> queue,
+    const cloud::CloudProfile& profile) {
+  // An empty queue always defers selection to the next non-empty tick (the
+  // previously selected policy keeps governing until then).
+  if (queue.empty()) return current_;
+
+  const WorkloadSignature signature = signature_of(queue, profile);
+  bool due = false;
+  if (config_.trigger == SelectionTrigger::kPeriodic) {
+    due = tick >= next_selection_tick_;
+  } else {
+    due = !selected_once_ || signature != last_signature_ ||
+          tick - last_selection_tick_ >= config_.max_stale_ticks;
+  }
+  if (due) {
+    std::vector<std::size_t> hints;
+    if (config_.use_reflection_hints) {
+      hints = reflection_.top_for_context(signature_key(signature),
+                                          config_.reflection_hint_count);
+    }
+    const SelectionResult result =
+        selector_.select(queue, profile, current_index_, hints);
+    reflection_.record(profile.now, result, signature_key(signature));
+    current_index_ = result.best_index;
+    current_ = portfolio_.policies()[result.best_index];
+    next_selection_tick_ = tick + config_.selection_period_ticks;
+    last_selection_tick_ = tick;
+    last_signature_ = signature;
+    selected_once_ = true;
+  }
+  return current_;
+}
+
+}  // namespace psched::core

@@ -1,0 +1,159 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace psched::core {
+
+TimeConstrainedSelector::TimeConstrainedSelector(const policy::Portfolio& portfolio,
+                                                 OnlineSimulator simulator,
+                                                 SelectorConfig config)
+    : portfolio_(portfolio),
+      simulator_(std::move(simulator)),
+      config_(config),
+      rng_(config.rng_seed) {
+  PSCHED_ASSERT_MSG(portfolio_.size() > 0, "selector needs a non-empty portfolio");
+  PSCHED_ASSERT(config_.lambda > 0.0 && config_.lambda <= 1.0);
+  reset();
+}
+
+void TimeConstrainedSelector::reset() {
+  smart_.clear();
+  stale_.clear();
+  poor_.clear();
+  // First invocation: every policy is in Smart (paper, Section 4).
+  for (std::size_t i = 0; i < portfolio_.size(); ++i) smart_.push_back(i);
+}
+
+double TimeConstrainedSelector::simulate_one(std::size_t index,
+                                             std::span<const policy::QueuedJob> queue,
+                                             const cloud::CloudProfile& profile,
+                                             std::vector<PolicyScore>& scores) const {
+  const auto start = std::chrono::steady_clock::now();
+  const SimOutcome outcome =
+      simulator_.simulate(queue, profile, portfolio_.policies()[index]);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double measured_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  double cost = config_.synthetic_overhead_ms;
+  if (config_.use_measured_cost) cost += measured_ms;
+  scores.push_back(PolicyScore{index, outcome.utility, cost});
+  return cost;
+}
+
+SelectionResult TimeConstrainedSelector::select(
+    std::span<const policy::QueuedJob> queue, const cloud::CloudProfile& profile,
+    std::size_t preferred_index, std::span<const std::size_t> hints) {
+  PSCHED_ASSERT_MSG(!queue.empty(), "selection on an empty queue is undefined");
+
+  // Reflection hints: pull the suggested policies out of whichever set they
+  // sit in and queue them at the head of Smart (first hint simulated first).
+  for (std::size_t h = hints.size(); h-- > 0;) {
+    const std::size_t hint = hints[h];
+    if (hint >= portfolio_.size()) continue;
+    const auto drop = [hint](auto& container) {
+      const auto it = std::find(container.begin(), container.end(), hint);
+      if (it == container.end()) return false;
+      container.erase(it);
+      return true;
+    };
+    if (drop(smart_) || drop(stale_) || drop(poor_)) smart_.push_front(hint);
+  }
+
+  const bool bounded = config_.time_constraint_ms > 0.0;
+  const auto n = static_cast<double>(smart_.size() + stale_.size() + poor_.size());
+  PSCHED_ASSERT(n > 0.0);
+
+  // Phase 1: split the budget proportionally to the set sizes (Alg. 1 l.1-2).
+  // Unbounded mode (Delta <= 0) simulates the entire portfolio; the quotas
+  // are made infinite directly — an empty set's share of infinity would be
+  // 0 * inf = NaN and poison the leftover arithmetic.
+  const double inf = std::numeric_limits<double>::infinity();
+  const double delta = bounded ? config_.time_constraint_ms : inf;
+  double quota_smart = bounded ? static_cast<double>(smart_.size()) / n * delta : inf;
+  double quota_stale = bounded ? static_cast<double>(stale_.size()) / n * delta : inf;
+  double quota_poor = bounded ? delta - quota_smart - quota_stale : inf;
+
+  std::vector<PolicyScore> scores;
+  scores.reserve(portfolio_.size());
+
+  // Phase 2a: Smart, in order, while its quota lasts (l.3-7).
+  while (!smart_.empty() && quota_smart > 0.0) {
+    const std::size_t index = smart_.front();
+    smart_.pop_front();
+    quota_smart -= simulate_one(index, queue, profile, scores);
+  }
+  // Phase 2b: Stale, in staleness order (l.8-12).
+  while (!stale_.empty() && quota_stale > 0.0) {
+    const std::size_t index = stale_.front();
+    stale_.pop_front();
+    quota_stale -= simulate_one(index, queue, profile, scores);
+  }
+  // Phase 2c: Poor, random picks, with the leftovers folded in (l.13-19).
+  double quota = quota_poor + std::max(0.0, quota_smart) + std::max(0.0, quota_stale);
+  while (!poor_.empty() && quota > 0.0) {
+    const auto pick = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(poor_.size()) - 1));
+    const std::size_t index = poor_[pick];
+    poor_[pick] = poor_.back();
+    poor_.pop_back();
+    quota -= simulate_one(index, queue, profile, scores);
+  }
+
+  // Phase 3: rearrange (l.20-24). Un-simulated Smart leftovers age into
+  // Stale; the simulated policies re-rank into Smart (top lambda) and Poor.
+  for (const std::size_t index : smart_) stale_.push_back(index);
+  smart_.clear();
+
+  PSCHED_ASSERT_MSG(!scores.empty(), "budget did not allow a single simulation");
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const PolicyScore& a, const PolicyScore& b) {
+                     if (a.utility != b.utility) return a.utility > b.utility;
+                     return a.index < b.index;
+                   });
+  // Resolve exact ties at the head of the ranking (see TieBreak). The tie
+  // set is the run of scores equal to the best within absolute epsilon.
+  std::size_t tied = 1;
+  while (tied < scores.size() &&
+         scores[tied].utility >= scores.front().utility - 1e-9)
+    ++tied;
+  std::size_t winner = 0;
+  switch (config_.tie_break) {
+    case TieBreak::kFirstIndex:
+      break;
+    case TieBreak::kRandom:
+      winner = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(tied) - 1));
+      break;
+    case TieBreak::kSticky:
+      for (std::size_t i = 0; i < tied; ++i) {
+        if (scores[i].index == preferred_index) {
+          winner = i;
+          break;
+        }
+      }
+      break;
+  }
+  if (winner != 0) std::swap(scores[0], scores[winner]);
+
+  const auto top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(config_.lambda * static_cast<double>(scores.size()))));
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (i < top) smart_.push_back(scores[i].index);
+    else poor_.push_back(scores[i].index);
+  }
+
+  SelectionResult result;
+  result.best_index = scores.front().index;
+  result.best_utility = scores.front().utility;
+  for (const PolicyScore& s : scores) result.total_cost_ms += s.cost_ms;
+  result.scores = std::move(scores);
+  return result;
+}
+
+}  // namespace psched::core

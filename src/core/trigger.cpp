@@ -1,0 +1,47 @@
+#include "core/trigger.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace psched::core {
+
+namespace {
+/// floor(log2(x + 1)) for non-negative x; 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+std::int32_t log_bucket(double x) noexcept {
+  if (x <= 0.0) return 0;
+  return static_cast<std::int32_t>(std::floor(std::log2(x + 1.0)));
+}
+}  // namespace
+
+WorkloadSignature signature_of(std::span<const policy::QueuedJob> queue,
+                               const cloud::CloudProfile& profile) {
+  WorkloadSignature sig;
+  sig.queue_len = log_bucket(static_cast<double>(queue.size()));
+  double procs = 0.0;
+  double work_minutes = 0.0;
+  double widest = 0.0;
+  for (const policy::QueuedJob& job : queue) {
+    procs += job.procs;
+    work_minutes += job.procs * job.predicted_runtime / 60.0;
+    widest = std::max(widest, static_cast<double>(job.procs));
+  }
+  sig.queued_procs = log_bucket(procs);
+  sig.queued_work = log_bucket(work_minutes);
+  sig.widest_job = log_bucket(widest);
+  sig.idle_vms = log_bucket(static_cast<double>(profile.idle_count()));
+  sig.unavailable_vms =
+      log_bucket(static_cast<double>(profile.vms.size() - profile.idle_count()));
+  return sig;
+}
+
+std::uint64_t signature_key(const WorkloadSignature& sig) noexcept {
+  // Buckets are tiny (< 64); pack 6 x 8 bits.
+  auto pack = [](std::int32_t v) {
+    return static_cast<std::uint64_t>(std::clamp(v, 0, 255));
+  };
+  return pack(sig.queue_len) | pack(sig.queued_procs) << 8 |
+         pack(sig.queued_work) << 16 | pack(sig.widest_job) << 24 |
+         pack(sig.idle_vms) << 32 | pack(sig.unavailable_vms) << 40;
+}
+
+}  // namespace psched::core

@@ -1,0 +1,43 @@
+#pragma once
+// Workload-change detection — the paper's second future-work item:
+// "develop an algorithm that can dynamically trigger the portfolio
+// simulation process only when the workload pattern changes, thus reducing
+// the number of invocations while preserving the performance."
+//
+// The detector reduces the (queue, cloud) state to a coarse signature of
+// logarithmic buckets; the portfolio scheduler re-runs the selection only
+// when the signature differs from the one at the previous selection (with a
+// configurable maximum staleness as a safety net).
+
+#include <compare>
+#include <cstdint>
+#include <span>
+
+#include "cloud/profile.hpp"
+#include "policy/context.hpp"
+
+namespace psched::core {
+
+/// Coarse description of a scheduling problem instance. Two instants with
+/// equal signatures are "the same workload pattern" for triggering
+/// purposes. Buckets are log2-scaled so that small absolute changes in a
+/// large queue do not retrigger, while regime changes always do.
+struct WorkloadSignature {
+  std::int32_t queue_len = 0;     ///< log2 bucket of the queue length
+  std::int32_t queued_procs = 0;  ///< log2 bucket of total requested procs
+  std::int32_t queued_work = 0;   ///< log2 bucket of predicted work (minutes)
+  std::int32_t widest_job = 0;    ///< log2 bucket of the widest queued job
+  std::int32_t idle_vms = 0;      ///< log2 bucket of usable VMs
+  std::int32_t unavailable_vms = 0;  ///< log2 bucket of busy+booting VMs
+
+  friend auto operator<=>(const WorkloadSignature&, const WorkloadSignature&) = default;
+};
+
+/// Compute the signature of the current problem instance.
+[[nodiscard]] WorkloadSignature signature_of(std::span<const policy::QueuedJob> queue,
+                                             const cloud::CloudProfile& profile);
+
+/// Stable 64-bit key for use in hash maps (reflection store contexts).
+[[nodiscard]] std::uint64_t signature_key(const WorkloadSignature& sig) noexcept;
+
+}  // namespace psched::core

@@ -1,0 +1,310 @@
+#include "engine/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::engine {
+
+ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace& trace,
+                                     core::Scheduler& scheduler,
+                                     predict::RuntimePredictor& predictor)
+    : config_(config),
+      trace_(trace),
+      scheduler_(scheduler),
+      predictor_(predictor),
+      provider_(config.provider),
+      collector_(config.slowdown_bound) {
+  PSCHED_ASSERT(config_.schedule_period > 0.0);
+  collector_.keep_records(config_.keep_job_records);
+  std::unordered_map<JobId, const workload::Job*> by_id;
+  by_id.reserve(trace_.size());
+  for (const workload::Job& j : trace_.jobs()) {
+    PSCHED_ASSERT_MSG(static_cast<std::size_t>(j.procs) <= config_.provider.max_vms,
+                      "job wider than the VM cap can never run");
+    PSCHED_ASSERT_MSG(by_id.emplace(j.id, &j).second, "duplicate job id in trace");
+  }
+  // Workflow dependency graph.
+  for (const workload::Job& j : trace_.jobs()) {
+    if (j.deps.empty()) continue;
+    open_deps_[j.id] = j.deps.size();
+    for (const JobId dep : j.deps) {
+      PSCHED_ASSERT_MSG(by_id.contains(dep), "dependency on a job not in the trace");
+      PSCHED_ASSERT_MSG(dep != j.id, "job depends on itself");
+      dependents_[dep].push_back(&j);
+    }
+  }
+}
+
+void ClusterSimulation::enqueue(const workload::Job& job, SimTime eligible) {
+  queue_.push_back(Waiting{&job, eligible});
+  arm_tick(sim_.now());
+}
+
+void ClusterSimulation::arm_tick(SimTime not_before) {
+  if (tick_armed_) return;
+  const double period = config_.schedule_period;
+  // Ticks stay phase-aligned to multiples of the period.
+  const double k = std::ceil(not_before / period);
+  const SimTime when = std::max(k * period, not_before);
+  tick_armed_ = true;
+  sim_.at(when, [this] { on_tick(); });
+}
+
+void ClusterSimulation::on_arrival() {
+  const workload::Job& job = trace_.jobs()[next_arrival_];
+  ++next_arrival_;
+  const auto open = open_deps_.find(job.id);
+  if (open == open_deps_.end() || open->second == 0) {
+    // Dependencies (if any) already completed: eligible at submission.
+    enqueue(job, job.submit);
+  } else {
+    arrived_blocked_.emplace(job.id, &job);
+  }
+}
+
+std::vector<policy::QueuedJob> ClusterSimulation::annotate_queue() const {
+  std::vector<policy::QueuedJob> annotated;
+  annotated.reserve(queue_.size());
+  for (const Waiting& w : queue_) {
+    policy::QueuedJob q;
+    q.id = w.job->id;
+    // Policies rank by waiting time since *eligibility* — a workflow task
+    // blocked on its parents has not been waiting on the scheduler.
+    q.submit = w.eligible;
+    q.procs = w.job->procs;
+    q.predicted_runtime = predictor_.predict(*w.job);
+    annotated.push_back(q);
+  }
+  return annotated;
+}
+
+cloud::CloudProfile ClusterSimulation::make_profile() const {
+  const SimTime now = sim_.now();
+  cloud::CloudProfile profile;
+  profile.now = now;
+  profile.max_vms = provider_.config().max_vms;
+  profile.boot_delay = provider_.config().boot_delay;
+  profile.billing_quantum = provider_.config().billing_quantum;
+  profile.vms.reserve(provider_.vms().size());
+  for (const cloud::VmInstance& vm : provider_.vms()) {
+    cloud::VmView view;
+    view.lease_time = vm.lease_time;
+    switch (vm.state) {
+      case cloud::VmState::kBooting:
+        view.available_at = vm.boot_complete;
+        break;
+      case cloud::VmState::kBusy: {
+        // The scheduler sees the *predicted* completion, never the actual.
+        const auto it = predicted_free_.find(vm.id);
+        PSCHED_ASSERT(it != predicted_free_.end());
+        view.available_at = std::max(it->second, now);
+        view.busy = true;
+        break;
+      }
+      case cloud::VmState::kIdle:
+        view.available_at = now;
+        break;
+    }
+    profile.vms.push_back(view);
+  }
+  return profile;
+}
+
+void ClusterSimulation::on_tick() {
+  tick_armed_ = false;
+  const SimTime now = sim_.now();
+  const auto tick_index =
+      static_cast<std::uint64_t>(std::llround(now / config_.schedule_period));
+  ++ticks_run_;
+
+  std::vector<policy::QueuedJob> annotated = annotate_queue();
+  const cloud::CloudProfile profile = make_profile();
+  const policy::PolicyTriple policy =
+      scheduler_.policy_for_tick(tick_index, annotated, profile);
+
+  // --- 1. provisioning -------------------------------------------------------
+  policy::SchedContext ctx;
+  ctx.now = now;
+  ctx.queue = annotated;
+  ctx.idle_vms = provider_.idle_count();
+  ctx.booting_vms = provider_.booting_count();
+  ctx.total_vms = provider_.leased_count();
+  ctx.max_vms = provider_.config().max_vms;
+  const std::size_t want = policy.provisioning->vms_to_lease(ctx);
+  for (const VmId id : provider_.lease(want, now)) {
+    sim_.after(provider_.config().boot_delay,
+               [this, id] { provider_.finish_boot(id, sim_.now()); });
+  }
+
+  // --- 2. allocation (shared planner; head-of-line or EASY backfill) ---------
+  policy::order_queue(annotated, *policy.job_selection, now);
+  std::vector<policy::VmAvail> avail;
+  avail.reserve(provider_.vms().size());
+  for (const cloud::VmInstance& vm : provider_.vms()) {
+    SimTime available_at = now;
+    switch (vm.state) {
+      case cloud::VmState::kBooting:
+        available_at = vm.boot_complete;
+        break;
+      case cloud::VmState::kBusy:
+        // Predicted, not actual: the planner must not peek. A stale
+        // prediction (already in the past) must still read as "busy, free
+        // any moment" — never as idle-now, which only kIdle VMs are.
+        available_at = std::max(predicted_free_.at(vm.id), now + 1e-6);
+        break;
+      case cloud::VmState::kIdle:
+        break;
+    }
+    avail.push_back(policy::VmAvail{vm.id, vm.lease_time, available_at});
+  }
+  const std::vector<policy::PlannedStart> plan = policy::plan_allocation(
+      now, annotated, std::move(avail), *policy.vm_selection, config_.allocation,
+      config_.provider.billing_quantum);
+
+  std::vector<bool> served(annotated.size(), false);
+  for (const policy::PlannedStart& start : plan) {
+    served[start.queue_index] = true;
+    const policy::QueuedJob& entry = annotated[start.queue_index];
+    // Locate the trace job behind this queue entry.
+    const auto wit = std::find_if(queue_.begin(), queue_.end(), [&](const Waiting& w) {
+      return w.job->id == entry.id;
+    });
+    PSCHED_ASSERT(wit != queue_.end());
+    const workload::Job& job = *wit->job;
+    const SimTime actual_finish = now + job.runtime;
+    const SimTime predicted_finish = now + entry.predicted_runtime;
+
+    Running running;
+    running.job = &job;
+    running.start = now;
+    running.eligible = wit->eligible;
+    running.vms = start.vms;
+    for (const VmId vm : start.vms) {
+      provider_.assign(vm, job.id, actual_finish, now);
+      predicted_free_[vm] = predicted_finish;
+    }
+    const JobId id = job.id;
+    running_.emplace(id, std::move(running));
+    queue_.erase(wit);
+    sim_.at(actual_finish, [this, id] { on_job_finish(id); });
+  }
+  std::size_t head_unserved_procs = 0;  // first job left waiting, if any
+  for (std::size_t i = 0; i < annotated.size(); ++i) {
+    if (!served[i]) {
+      head_unserved_procs = static_cast<std::size_t>(annotated[i].procs);
+      break;
+    }
+  }
+
+  // --- 3. idle-VM release ------------------------------------------------------
+  if (config_.release_rule == ReleaseRule::kEagerSurplus) {
+    // Keep only what the first still-waiting job needs as a reserve;
+    // everything else goes back to the provider (full hours charged).
+    const std::vector<VmId> idle = provider_.idle_vms();
+    for (std::size_t i = head_unserved_procs; i < idle.size(); ++i)
+      provider_.release(idle[i], now);
+  } else {
+    provider_.release_expiring_idle(now, config_.schedule_period,
+                                    head_unserved_procs);
+  }
+
+  // --- telemetry ----------------------------------------------------------------
+  if (config_.telemetry_every_ticks > 0 &&
+      tick_index % config_.telemetry_every_ticks == 0) {
+    TelemetrySample sample;
+    sample.when = now;
+    sample.queued_jobs = queue_.size();
+    for (const Waiting& w : queue_)
+      sample.queued_procs += static_cast<std::size_t>(w.job->procs);
+    sample.leased_vms = provider_.leased_count();
+    sample.idle_vms = provider_.idle_count();
+    sample.busy_vms = provider_.busy_count();
+    sample.booting_vms = provider_.booting_count();
+    telemetry_.push_back(sample);
+  }
+
+  // --- 4. keep ticking while the system is active -----------------------------
+  if (!queue_.empty() || provider_.leased_count() > 0) {
+    tick_armed_ = true;
+    sim_.at(now + config_.schedule_period, [this] { on_tick(); });
+  }
+  // Otherwise the next arrival re-arms the tick.
+}
+
+void ClusterSimulation::on_job_finish(JobId id) {
+  const auto it = running_.find(id);
+  PSCHED_ASSERT_MSG(it != running_.end(), "finish event for unknown job");
+  const Running& running = it->second;
+  const SimTime now = sim_.now();
+
+  for (const VmId vm : running.vms) {
+    provider_.unassign(vm, now);
+    predicted_free_.erase(vm);
+  }
+
+  metrics::JobRecord record;
+  record.id = id;
+  record.submit = running.job->submit;
+  record.eligible = running.eligible;
+  record.start = running.start;
+  record.finish = now;
+  record.procs = running.job->procs;
+  record.runtime = running.job->runtime;
+  record.workflow = running.job->workflow;
+  collector_.record(record);
+
+  predictor_.observe_completion(*running.job);
+  running_.erase(it);
+
+  // Release workflow dependents whose last dependency just completed.
+  const auto deps = dependents_.find(id);
+  if (deps != dependents_.end()) {
+    for (const workload::Job* dependent : deps->second) {
+      auto open = open_deps_.find(dependent->id);
+      PSCHED_ASSERT(open != open_deps_.end() && open->second > 0);
+      if (--open->second == 0) {
+        const auto blocked = arrived_blocked_.find(dependent->id);
+        if (blocked != arrived_blocked_.end()) {
+          arrived_blocked_.erase(blocked);
+          enqueue(*dependent, now);
+        }
+        // Not yet arrived: on_arrival() will enqueue it at submission.
+      }
+    }
+  }
+}
+
+RunResult ClusterSimulation::run() {
+  PSCHED_ASSERT_MSG(collector_.jobs() == 0, "ClusterSimulation::run is single-shot");
+  // All arrivals are scheduled up front so they carry lower sequence
+  // numbers than any tick: a batch of jobs submitted at the same instant is
+  // fully enqueued before the scheduling tick at that instant fires.
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    sim_.at(trace_.jobs()[i].submit, [this] { on_arrival(); });
+  }
+  sim_.run();
+
+  PSCHED_ASSERT_MSG(queue_.empty(), "simulation ended with waiting jobs");
+  PSCHED_ASSERT_MSG(running_.empty(), "simulation ended with running jobs");
+  PSCHED_ASSERT_MSG(arrived_blocked_.empty(),
+                    "simulation ended with dependency-blocked jobs (cyclic or "
+                    "unsatisfiable workflow dependencies)");
+  PSCHED_ASSERT_MSG(provider_.leased_count() == 0,
+                    "simulation ended with leased VMs");
+  collector_.set_charged_seconds(provider_.charged_hours_released() * kSecondsPerHour);
+
+  RunResult result;
+  result.trace_name = trace_.name();
+  result.scheduler_name = scheduler_.name();
+  result.metrics = collector_.finalize();
+  result.ticks = ticks_run_;
+  result.events = sim_.events_dispatched();
+  result.total_leases = provider_.total_leases();
+  if (config_.keep_job_records) result.job_records = collector_.records();
+  result.telemetry = std::move(telemetry_);
+  return result;
+}
+
+}  // namespace psched::engine

@@ -1,0 +1,130 @@
+#pragma once
+// The outer, trace-driven simulation (the paper's extended-DGSim role):
+// replays a workload trace against the IaaS cloud provider under a
+// Scheduler (single policy or portfolio), and produces the paper's
+// performance metrics.
+//
+// Event loop semantics (paper Section 5):
+//  * job arrivals follow the trace;
+//  * a scheduling tick fires every `schedule_period` seconds (20 s) while
+//    the system is active; each tick asks the Scheduler for the governing
+//    policy, provisions VMs, allocates the ordered queue head-first
+//    (no backfilling), then releases idle VMs about to start a new paid
+//    hour;
+//  * leased VMs boot for `boot_delay` seconds before becoming usable and
+//    are billed per started hour (see cloud::CloudProvider);
+//  * jobs run to their *actual* runtime; the scheduler only ever sees
+//    predictions, including for the predicted completion of running VMs in
+//    the cloud profile it receives.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "core/scheduler.hpp"
+#include "metrics/collector.hpp"
+#include "predict/predictor.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace psched::engine {
+
+using core::ReleaseRule;
+
+struct EngineConfig {
+  cloud::ProviderConfig provider;        ///< paper: 256 VMs, 120 s boot
+  double schedule_period = 20.0;         ///< seconds between scheduling ticks
+  double slowdown_bound = 10.0;          ///< bounded-slowdown floor
+  metrics::UtilityParams utility;        ///< reporting utility parameters
+  ReleaseRule release_rule = ReleaseRule::kEagerSurplus;
+  /// kHeadOfLine (paper) or kEasyBackfill (deferred-future-work extension).
+  policy::AllocationMode allocation = policy::AllocationMode::kHeadOfLine;
+  bool keep_job_records = false;         ///< retain per-job outcome records
+  /// Sample fleet/queue state every this many ticks into
+  /// RunResult::telemetry (0 = off). Powers timeline plots and examples.
+  std::uint64_t telemetry_every_ticks = 0;
+};
+
+/// One fleet/queue snapshot (see EngineConfig::telemetry_every_ticks).
+struct TelemetrySample {
+  SimTime when = 0.0;
+  std::size_t queued_jobs = 0;
+  std::size_t queued_procs = 0;
+  std::size_t leased_vms = 0;
+  std::size_t idle_vms = 0;
+  std::size_t busy_vms = 0;
+  std::size_t booting_vms = 0;
+};
+
+struct RunResult {
+  std::string trace_name;
+  std::string scheduler_name;
+  metrics::RunMetrics metrics;
+  std::uint64_t ticks = 0;              ///< scheduling ticks executed
+  std::uint64_t events = 0;             ///< DES events dispatched
+  std::size_t total_leases = 0;         ///< VM lease operations
+  std::vector<metrics::JobRecord> job_records;  ///< when keep_job_records
+  std::vector<TelemetrySample> telemetry;       ///< when telemetry_every_ticks > 0
+};
+
+class ClusterSimulation {
+ public:
+  /// Borrows trace/scheduler/predictor; all must outlive run().
+  ClusterSimulation(EngineConfig config, const workload::Trace& trace,
+                    core::Scheduler& scheduler, predict::RuntimePredictor& predictor);
+
+  /// Execute the whole trace to completion and return the metrics.
+  /// Single-shot: constructing a fresh ClusterSimulation per run keeps
+  /// stateful predictors and schedulers from leaking state across runs.
+  [[nodiscard]] RunResult run();
+
+ private:
+  struct Waiting {
+    const workload::Job* job;
+    SimTime eligible;  ///< max(submit, completion of the last dependency)
+  };
+
+  void on_arrival();
+  void on_tick();
+  void on_job_finish(JobId id);
+  void arm_tick(SimTime not_before);
+  void enqueue(const workload::Job& job, SimTime eligible);
+
+  /// Cloud profile with *predicted* completion times for busy VMs.
+  [[nodiscard]] cloud::CloudProfile make_profile() const;
+  [[nodiscard]] std::vector<policy::QueuedJob> annotate_queue() const;
+
+  EngineConfig config_;
+  const workload::Trace& trace_;
+  core::Scheduler& scheduler_;
+  predict::RuntimePredictor& predictor_;
+
+  sim::Simulator sim_;
+  cloud::CloudProvider provider_;
+  metrics::MetricsCollector collector_;
+
+  std::vector<Waiting> queue_;                 // submit order
+  std::size_t next_arrival_ = 0;               // index into trace jobs
+  bool tick_armed_ = false;
+  std::uint64_t ticks_run_ = 0;
+  std::vector<TelemetrySample> telemetry_;
+
+  struct Running {
+    const workload::Job* job;
+    SimTime start;
+    SimTime eligible;
+    std::vector<VmId> vms;
+  };
+  std::unordered_map<JobId, Running> running_;
+  std::unordered_map<VmId, SimTime> predicted_free_;  // busy VMs only
+
+  // Workflow dependency tracking. A job enters queue_ only when it has
+  // arrived AND all of its dependencies completed.
+  std::unordered_map<JobId, std::size_t> open_deps_;          // remaining deps
+  std::unordered_map<JobId, std::vector<const workload::Job*>> dependents_;
+  std::unordered_map<JobId, const workload::Job*> arrived_blocked_;
+};
+
+}  // namespace psched::engine

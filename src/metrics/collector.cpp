@@ -1,0 +1,54 @@
+#include "metrics/collector.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::metrics {
+
+MetricsCollector::MetricsCollector(double slowdown_bound) : bound_(slowdown_bound) {
+  PSCHED_ASSERT(slowdown_bound > 0.0);
+}
+
+void MetricsCollector::record(const JobRecord& record) {
+  PSCHED_ASSERT_MSG(record.start >= record.submit, "job started before submission");
+  PSCHED_ASSERT_MSG(record.eligible >= record.submit, "eligible before submission");
+  PSCHED_ASSERT_MSG(record.start >= record.eligible, "job started before eligible");
+  PSCHED_ASSERT_MSG(record.finish >= record.start, "job finished before it started");
+  const double bsd = workload::bounded_slowdown(record.wait(), record.runtime, bound_);
+  slowdowns_.add(bsd);
+  waits_.add(record.wait());
+  rj_ += static_cast<double>(record.procs) * record.runtime;
+  makespan_ = std::max(makespan_, record.finish);
+  if (record.workflow != workload::kNoWorkflow) {
+    const auto [it, inserted] = workflows_.try_emplace(
+        record.workflow, WorkflowSpan{record.submit, record.finish});
+    if (!inserted) {
+      it->second.first_submit = std::min(it->second.first_submit, record.submit);
+      it->second.last_finish = std::max(it->second.last_finish, record.finish);
+    }
+  }
+  if (keep_records_) records_.push_back(record);
+}
+
+RunMetrics MetricsCollector::finalize() const {
+  RunMetrics m;
+  m.jobs = slowdowns_.count();
+  m.avg_bounded_slowdown = m.jobs ? slowdowns_.mean() : 1.0;
+  m.max_bounded_slowdown = m.jobs ? slowdowns_.max() : 1.0;
+  m.avg_wait = waits_.mean();
+  m.rj_proc_seconds = rj_;
+  m.rv_charged_seconds = rv_seconds_;
+  m.makespan = makespan_;
+  m.workflows = workflows_.size();
+  for (const auto& [id, span] : workflows_) {
+    const double ms = span.last_finish - span.first_submit;
+    m.avg_workflow_makespan += ms;
+    m.max_workflow_makespan = std::max(m.max_workflow_makespan, ms);
+  }
+  if (m.workflows > 0)
+    m.avg_workflow_makespan /= static_cast<double>(m.workflows);
+  return m;
+}
+
+}  // namespace psched::metrics

@@ -1,0 +1,98 @@
+#pragma once
+// Collects per-job scheduling outcomes and the fleet cost, and reduces them
+// to the paper's performance space Y: average bounded slowdown (BSD), total
+// job runtime (RJ), total charged VM time (RV == cost), utilization, and
+// the compound utility U.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/utility.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace psched::metrics {
+
+/// Outcome of one finished job.
+struct JobRecord {
+  JobId id = kInvalidJob;
+  SimTime submit = 0.0;
+  SimTime eligible = 0.0;  ///< >= submit; when all dependencies completed
+                           ///< (== submit for independent jobs)
+  SimTime start = 0.0;
+  SimTime finish = 0.0;
+  int procs = 1;
+  double runtime = 0.0;
+  workload::WorkflowId workflow = workload::kNoWorkflow;
+
+  /// Waiting time from eligibility (for workflow tasks, time spent ready
+  /// but unscheduled; identical to submit-based wait for independent jobs).
+  [[nodiscard]] double wait() const noexcept { return start - eligible; }
+  [[nodiscard]] double response() const noexcept { return finish - submit; }
+};
+
+/// Aggregated result of a (real or simulated) run.
+struct RunMetrics {
+  std::size_t jobs = 0;
+  double avg_bounded_slowdown = 1.0;
+  double max_bounded_slowdown = 1.0;
+  double avg_wait = 0.0;
+  double rj_proc_seconds = 0.0;   ///< RJ: total real work
+  double rv_charged_seconds = 0.0;///< RV: charged VM time (cost)
+  double makespan = 0.0;          ///< last finish time
+
+  // Workflow aggregates (0 when the trace has no workflow tasks).
+  std::size_t workflows = 0;
+  double avg_workflow_makespan = 0.0;  ///< mean(last finish - first submit)
+  double max_workflow_makespan = 0.0;
+
+  [[nodiscard]] double charged_hours() const noexcept {
+    return rv_charged_seconds / kSecondsPerHour;
+  }
+  [[nodiscard]] double utilization() const noexcept {
+    return rv_charged_seconds > 0.0 ? rj_proc_seconds / rv_charged_seconds : 0.0;
+  }
+  [[nodiscard]] double utility(const UtilityParams& params) const {
+    return metrics::utility(params, rj_proc_seconds, rv_charged_seconds,
+                            avg_bounded_slowdown);
+  }
+};
+
+class MetricsCollector {
+ public:
+  /// `slowdown_bound` is the bounded-slowdown runtime floor (paper: 10 s).
+  explicit MetricsCollector(double slowdown_bound = 10.0);
+
+  void record(const JobRecord& record);
+
+  /// Charged VM time is reported by the cloud provider at the end of a run.
+  void set_charged_seconds(double rv_seconds) noexcept { rv_seconds_ = rv_seconds; }
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return slowdowns_.count(); }
+  [[nodiscard]] RunMetrics finalize() const;
+
+  /// Raw per-job records (kept only when enabled; benches use them for
+  /// distributional analyses).
+  void keep_records(bool keep) noexcept { keep_records_ = keep; }
+  [[nodiscard]] const std::vector<JobRecord>& records() const noexcept { return records_; }
+
+ private:
+  struct WorkflowSpan {
+    SimTime first_submit = 0.0;
+    SimTime last_finish = 0.0;
+  };
+
+  double bound_;
+  bool keep_records_ = false;
+  util::RunningStats slowdowns_;
+  util::RunningStats waits_;
+  double rj_ = 0.0;
+  double rv_seconds_ = 0.0;
+  double makespan_ = 0.0;
+  std::vector<JobRecord> records_;
+  std::unordered_map<workload::WorkflowId, WorkflowSpan> workflows_;
+};
+
+}  // namespace psched::metrics

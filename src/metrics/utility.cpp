@@ -1,0 +1,32 @@
+#include "metrics/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace psched::metrics {
+
+std::string UtilityParams::label() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "U(kappa=%g, alpha=%g, beta=%g)", kappa, alpha, beta);
+  return buf;
+}
+
+double utility(const UtilityParams& params, double rj_proc_seconds,
+               double rv_charged_seconds, double avg_bounded_slowdown) {
+  double utilization = 0.0;
+  if (rj_proc_seconds > 0.0) {
+    // Work done at zero *new* cost (it fit entirely into already-paid VM
+    // time) is perfectly efficient, not worthless.
+    utilization = rv_charged_seconds > 0.0
+                      ? std::clamp(rj_proc_seconds / rv_charged_seconds, 0.0, 1.0)
+                      : 1.0;
+  }
+  const double bsd = std::max(1.0, avg_bounded_slowdown);
+  // 0^0 == 1 by std::pow, so alpha == 0 correctly ignores utilization even
+  // when no VM was ever rented.
+  return params.kappa * std::pow(utilization, params.alpha) *
+         std::pow(1.0 / bsd, params.beta);
+}
+
+}  // namespace psched::metrics

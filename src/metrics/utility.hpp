@@ -1,0 +1,33 @@
+#pragma once
+// The paper's compound utility function (Section 2):
+//
+//     U = kappa * (RJ / RV)^alpha * (1 / BSD)^beta
+//
+// where RJ is the total runtime of all jobs (processor-seconds of real
+// work), RV the total charged runtime of rented VMs (VM-seconds, hours
+// rounded up — i.e. the monetary cost), and BSD the average bounded job
+// slowdown. alpha weights cost-efficiency, beta weights job urgency;
+// the paper uses kappa=100 and alpha=beta=1 unless sweeping (Figure 6).
+
+#include <string>
+
+namespace psched::metrics {
+
+struct UtilityParams {
+  double kappa = 100.0;
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Evaluate U. Degenerate inputs (no work done, zero cost, BSD < 1) clamp
+/// to well-defined values so policy ranking never sees NaN/inf: utilization
+/// RJ/RV is clamped to [0, 1] (work cannot exceed paid capacity, but guard
+/// rounding), BSD to [1, inf), and work done at zero incremental cost
+/// (RJ > 0, RV == 0 — it fit into already-paid VM time) counts as
+/// utilization 1.
+[[nodiscard]] double utility(const UtilityParams& params, double rj_proc_seconds,
+                             double rv_charged_seconds, double avg_bounded_slowdown);
+
+}  // namespace psched::metrics

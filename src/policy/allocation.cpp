@@ -1,0 +1,102 @@
+#include "policy/allocation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::policy {
+
+namespace {
+
+/// Pick `count` VMs from the idle pool in the VM-selection policy's
+/// preference order, remove them from the pool, and mark them busy in
+/// `vms` until `until`.
+std::vector<VmId> take_vms(std::vector<VmCandidate>& idle, std::vector<VmAvail>& vms,
+                           int count, double predicted_runtime, SimTime now,
+                           SimTime until, const VmSelectionPolicy& vm_selection,
+                           SimDuration billing_quantum) {
+  vm_selection.order(idle, predicted_runtime, now, billing_quantum);
+  std::vector<VmId> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  for (int p = 0; p < count; ++p) chosen.push_back(idle[static_cast<std::size_t>(p)].id);
+  idle.erase(idle.begin(), idle.begin() + count);
+  for (const VmId id : chosen) {
+    const auto it = std::find_if(vms.begin(), vms.end(),
+                                 [id](const VmAvail& vm) { return vm.id == id; });
+    PSCHED_ASSERT(it != vms.end());
+    it->available_at = until;
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<PlannedStart> plan_allocation(SimTime now,
+                                          std::span<const QueuedJob> ordered_queue,
+                                          std::vector<VmAvail> vms,
+                                          const VmSelectionPolicy& vm_selection,
+                                          AllocationMode mode,
+                                          SimDuration billing_quantum) {
+  std::vector<PlannedStart> plan;
+
+  std::vector<VmCandidate> idle;
+  for (const VmAvail& vm : vms)
+    if (vm.available_at <= now) idle.push_back({vm.id, vm.lease_time});
+
+  // Phase 1 (both modes): serve from the head while jobs fit.
+  std::size_t head = ordered_queue.size();  // first unserved position
+  for (std::size_t i = 0; i < ordered_queue.size(); ++i) {
+    const QueuedJob& job = ordered_queue[i];
+    if (idle.size() < static_cast<std::size_t>(job.procs)) {
+      head = i;
+      break;
+    }
+    plan.push_back(PlannedStart{
+        i, take_vms(idle, vms, job.procs, job.predicted_runtime, now,
+                    now + job.predicted_runtime, vm_selection, billing_quantum)});
+  }
+  if (mode == AllocationMode::kHeadOfLine || head >= ordered_queue.size()) return plan;
+
+  // Phase 2 (EASY): reservation for the blocked head job.
+  const QueuedJob& blocked = ordered_queue[head];
+  const auto need = static_cast<std::size_t>(blocked.procs);
+  if (vms.size() < need) {
+    // The existing fleet can never host the head job — its start hinges on
+    // future provisioning, for which no reservation can be computed.
+    // Backfilling around an unbounded reservation could starve the head,
+    // so serve nothing past it.
+    return plan;
+  }
+  std::vector<SimTime> times;
+  times.reserve(vms.size());
+  for (const VmAvail& vm : vms) times.push_back(std::max(vm.available_at, now));
+  std::nth_element(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(need) - 1,
+                   times.end());
+  const SimTime shadow = times[need - 1];  // earliest instant `need` VMs are free
+  // VMs free by the shadow time beyond the head's need may be consumed by
+  // backfilled jobs that run past the reservation.
+  std::size_t free_at_shadow = 0;
+  for (const VmAvail& vm : vms)
+    if (std::max(vm.available_at, now) <= shadow) ++free_at_shadow;
+  PSCHED_ASSERT(free_at_shadow >= need);
+  std::size_t extra = free_at_shadow - need;
+
+  for (std::size_t i = head + 1; i < ordered_queue.size(); ++i) {
+    if (idle.empty()) break;
+    const QueuedJob& job = ordered_queue[i];
+    const auto width = static_cast<std::size_t>(job.procs);
+    if (idle.size() < width) continue;
+    const SimTime finish = now + job.predicted_runtime;
+    const bool fits_window = finish <= shadow;
+    if (!fits_window) {
+      if (width > extra) continue;
+      extra -= width;
+    }
+    plan.push_back(PlannedStart{
+        i, take_vms(idle, vms, job.procs, job.predicted_runtime, now, finish,
+                    vm_selection, billing_quantum)});
+  }
+  return plan;
+}
+
+}  // namespace psched::policy

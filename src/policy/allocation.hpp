@@ -1,0 +1,51 @@
+#pragma once
+// The allocation step shared by the outer engine and the online simulator:
+// given the policy-ordered queue and the (predicted) availability of every
+// leased VM, decide which jobs start *now* and on which VMs.
+//
+// Two modes:
+//  * kHeadOfLine — the paper's: serve strictly from the head, stop at the
+//    first job that does not fit.
+//  * kEasyBackfill — EASY backfilling (Lifka '95), the extension the paper
+//    defers to future work: the blocked head job gets a reservation at the
+//    earliest instant enough VMs are (predictedly) available; later jobs
+//    may start immediately iff they fit the idle VMs and either finish by
+//    that reservation or consume only VMs the head will not need.
+//
+// Everything here sees *predicted* completion times only, preserving the
+// scheduler's information constraints.
+
+#include <span>
+#include <vector>
+
+#include "policy/vm_selection.hpp"
+
+namespace psched::policy {
+
+enum class AllocationMode {
+  kHeadOfLine,
+  kEasyBackfill,
+};
+
+/// Availability view of one leased VM at planning time.
+struct VmAvail {
+  VmId id = kInvalidVm;
+  SimTime lease_time = 0.0;    ///< billing clock zero (for VM selection)
+  SimTime available_at = 0.0;  ///< <= now: idle; otherwise predicted free time
+};
+
+/// One planned start: queue position (into the ordered queue) + the VMs.
+struct PlannedStart {
+  std::size_t queue_index = 0;
+  std::vector<VmId> vms;
+};
+
+/// Compute the starts for this scheduling decision. `ordered_queue` must
+/// already be in service order (see order_queue). Pure function: does not
+/// mutate external state; `vms` is taken by value as scratch.
+[[nodiscard]] std::vector<PlannedStart> plan_allocation(
+    SimTime now, std::span<const QueuedJob> ordered_queue, std::vector<VmAvail> vms,
+    const VmSelectionPolicy& vm_selection, AllocationMode mode,
+    SimDuration billing_quantum = kSecondsPerHour);
+
+}  // namespace psched::policy

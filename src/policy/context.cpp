@@ -1,0 +1,20 @@
+#include "policy/context.hpp"
+
+#include <algorithm>
+
+namespace psched::policy {
+
+std::size_t SchedContext::queued_procs() const noexcept {
+  std::size_t total = 0;
+  for (const QueuedJob& j : queue) total += static_cast<std::size_t>(j.procs);
+  return total;
+}
+
+std::size_t SchedContext::max_queued_procs() const noexcept {
+  std::size_t widest = 0;
+  for (const QueuedJob& j : queue)
+    widest = std::max(widest, static_cast<std::size_t>(j.procs));
+  return widest;
+}
+
+}  // namespace psched::policy

@@ -1,0 +1,59 @@
+#include "policy/portfolio.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::policy {
+
+std::string PolicyTriple::name() const {
+  PSCHED_ASSERT(provisioning && job_selection && vm_selection);
+  return provisioning->name() + "-" + job_selection->name() + "-" + vm_selection->name();
+}
+
+Portfolio Portfolio::paper_portfolio() {
+  Portfolio p;
+  for (auto& policy : all_provisioning()) p.add_provisioning(std::move(policy));
+  for (auto& policy : all_job_selection()) p.add_job_selection(std::move(policy));
+  for (auto& policy : all_vm_selection()) p.add_vm_selection(std::move(policy));
+  p.build_combinations();
+  PSCHED_ASSERT(p.size() == 60);
+  return p;
+}
+
+void Portfolio::add_provisioning(std::unique_ptr<ProvisioningPolicy> p) {
+  PSCHED_ASSERT(p != nullptr);
+  provisioning_.push_back(std::move(p));
+}
+
+void Portfolio::add_job_selection(std::unique_ptr<JobSelectionPolicy> p) {
+  PSCHED_ASSERT(p != nullptr);
+  job_selection_.push_back(std::move(p));
+}
+
+void Portfolio::add_vm_selection(std::unique_ptr<VmSelectionPolicy> p) {
+  PSCHED_ASSERT(p != nullptr);
+  vm_selection_.push_back(std::move(p));
+}
+
+void Portfolio::build_combinations() {
+  triples_.clear();
+  triples_.reserve(provisioning_.size() * job_selection_.size() * vm_selection_.size());
+  for (const auto& prov : provisioning_)
+    for (const auto& jobsel : job_selection_)
+      for (const auto& vmsel : vm_selection_)
+        triples_.push_back(PolicyTriple{prov.get(), jobsel.get(), vmsel.get()});
+}
+
+const PolicyTriple* Portfolio::find(const std::string& name) const {
+  const auto it = std::find_if(triples_.begin(), triples_.end(),
+                               [&](const PolicyTriple& t) { return t.name() == name; });
+  return it == triples_.end() ? nullptr : &*it;
+}
+
+std::size_t Portfolio::index_of(const PolicyTriple& triple) const {
+  const auto it = std::find(triples_.begin(), triples_.end(), triple);
+  return static_cast<std::size_t>(it - triples_.begin());
+}
+
+}  // namespace psched::policy

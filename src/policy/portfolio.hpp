@@ -1,0 +1,65 @@
+#pragma once
+// The policy portfolio: the cross product of provisioning x job-selection x
+// VM-selection policies (60 combinations with the paper's constituents),
+// plus support for user-registered custom policies.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "policy/job_selection.hpp"
+#include "policy/provisioning.hpp"
+#include "policy/vm_selection.hpp"
+
+namespace psched::policy {
+
+/// One complete scheduling policy: non-owning triple into the portfolio's
+/// policy pools. Cheap to copy; valid as long as its Portfolio lives.
+struct PolicyTriple {
+  const ProvisioningPolicy* provisioning = nullptr;
+  const JobSelectionPolicy* job_selection = nullptr;
+  const VmSelectionPolicy* vm_selection = nullptr;
+
+  [[nodiscard]] std::string name() const;
+
+  [[nodiscard]] bool operator==(const PolicyTriple& other) const noexcept = default;
+};
+
+class Portfolio {
+ public:
+  /// Empty portfolio; add policy pools then call build_combinations().
+  Portfolio() = default;
+
+  /// The paper's full portfolio: {ODA,ODB,ODE,ODM,ODX} x
+  /// {FCFS,LXF,UNICEF,WFP3} x {BestFit,FirstFit,WorstFit} = 60 policies,
+  /// combination order matching the paper's Figure 5 caption.
+  [[nodiscard]] static Portfolio paper_portfolio();
+
+  /// Register additional constituent policies (takes ownership). Call
+  /// build_combinations() afterwards to refresh the triples.
+  void add_provisioning(std::unique_ptr<ProvisioningPolicy> p);
+  void add_job_selection(std::unique_ptr<JobSelectionPolicy> p);
+  void add_vm_selection(std::unique_ptr<VmSelectionPolicy> p);
+
+  /// Rebuild the cross product of all registered pools.
+  void build_combinations();
+
+  [[nodiscard]] const std::vector<PolicyTriple>& policies() const noexcept {
+    return triples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return triples_.size(); }
+
+  /// Find a policy by its "PROV-JOBSEL-VMSEL" name; nullptr when absent.
+  [[nodiscard]] const PolicyTriple* find(const std::string& name) const;
+
+  /// Index of a triple within policies(); size() when absent.
+  [[nodiscard]] std::size_t index_of(const PolicyTriple& triple) const;
+
+ private:
+  std::vector<std::unique_ptr<ProvisioningPolicy>> provisioning_;
+  std::vector<std::unique_ptr<JobSelectionPolicy>> job_selection_;
+  std::vector<std::unique_ptr<VmSelectionPolicy>> vm_selection_;
+  std::vector<PolicyTriple> triples_;
+};
+
+}  // namespace psched::policy

@@ -1,0 +1,101 @@
+#include "policy/provisioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/job.hpp"
+
+namespace psched::policy {
+
+namespace {
+/// max(0, want - have) in unsigned arithmetic.
+std::size_t deficit(std::size_t want, std::size_t have) noexcept {
+  return want > have ? want - have : 0;
+}
+
+/// Threshold comparisons are inclusive-with-epsilon so that the exact
+/// crossing instants returned by next_change() do trigger the policy
+/// (the online simulator fast-forwards to precisely those instants).
+constexpr double kCrossEps = 1e-6;
+}  // namespace
+
+std::size_t OnDemandAll::vms_to_lease(const SchedContext& ctx) const {
+  return deficit(ctx.queued_procs(), ctx.idle_vms + ctx.booting_vms);
+}
+
+std::size_t OnDemandBalance::vms_to_lease(const SchedContext& ctx) const {
+  return deficit(ctx.queued_procs(), ctx.total_vms);
+}
+
+std::size_t OnDemandExecTime::vms_to_lease(const SchedContext& ctx) const {
+  double work = 0.0;  // predicted processor-seconds queued
+  for (const QueuedJob& j : ctx.queue) work += j.procs * j.predicted_runtime;
+  auto target = static_cast<std::size_t>(std::ceil(work / kSecondsPerHour));
+  // Starvation guard (documented deviation): a job wider than the target
+  // fleet that has already waited an hour forces the fleet up to its width.
+  for (const QueuedJob& j : ctx.queue) {
+    const auto width = static_cast<std::size_t>(j.procs);
+    if (width > ctx.total_vms && j.wait(ctx.now) + kCrossEps >= kStarvationWait)
+      target = std::max(target, width);
+  }
+  return deficit(target, ctx.total_vms);
+}
+
+SimTime OnDemandExecTime::next_change(const SchedContext& ctx) const {
+  // The work-based target is wait-independent; only the starvation guard
+  // changes with time: a job wider than the fleet arms the guard at
+  // submit + kStarvationWait.
+  SimTime next = kTimeNever;
+  for (const QueuedJob& j : ctx.queue) {
+    if (static_cast<std::size_t>(j.procs) > ctx.total_vms) {
+      const SimTime crossing = j.submit + kStarvationWait;
+      if (crossing > ctx.now && crossing < next) next = crossing;
+    }
+  }
+  return next;
+}
+
+std::size_t OnDemandMaximum::vms_to_lease(const SchedContext& ctx) const {
+  return deficit(ctx.max_queued_procs(), ctx.idle_vms + ctx.booting_vms);
+}
+
+std::size_t OnDemandXFactor::vms_to_lease(const SchedContext& ctx) const {
+  std::size_t urgent_procs = 0;
+  for (const QueuedJob& j : ctx.queue) {
+    // (q + max(rt,10)) / max(rt,10) >= 2  <=>  q >= max(rt, 10).
+    const double bounded_rt = std::max(j.predicted_runtime, kBound);
+    if (j.wait(ctx.now) + kCrossEps >= (kThreshold - 1.0) * bounded_rt)
+      urgent_procs += static_cast<std::size_t>(j.procs);
+  }
+  return deficit(urgent_procs, ctx.idle_vms + ctx.booting_vms);
+}
+
+SimTime OnDemandXFactor::next_change(const SchedContext& ctx) const {
+  // Job j crosses the urgency threshold when wait > max(rt, 10):
+  //   (q + max(rt,10)) / max(rt,10) > 2  <=>  q > max(rt, 10).
+  SimTime next = kTimeNever;
+  for (const QueuedJob& j : ctx.queue) {
+    const SimTime crossing = j.submit + std::max(j.predicted_runtime, kBound);
+    if (crossing > ctx.now && crossing < next) next = crossing;
+  }
+  return next;
+}
+
+std::unique_ptr<ProvisioningPolicy> make_provisioning(const std::string& name) {
+  if (name == "ODA") return std::make_unique<OnDemandAll>();
+  if (name == "ODB") return std::make_unique<OnDemandBalance>();
+  if (name == "ODE") return std::make_unique<OnDemandExecTime>();
+  if (name == "ODM") return std::make_unique<OnDemandMaximum>();
+  if (name == "ODX") return std::make_unique<OnDemandXFactor>();
+  throw std::invalid_argument("unknown provisioning policy: " + name);
+}
+
+std::vector<std::unique_ptr<ProvisioningPolicy>> all_provisioning() {
+  std::vector<std::unique_ptr<ProvisioningPolicy>> out;
+  for (const char* name : {"ODA", "ODB", "ODE", "ODM", "ODX"})
+    out.push_back(make_provisioning(name));
+  return out;
+}
+
+}  // namespace psched::policy

@@ -1,0 +1,87 @@
+#pragma once
+// The five resource-provisioning policies of the portfolio (paper §3.1).
+// Each returns how many *new* VMs to lease right now; the engine caps the
+// answer at the provider's headroom.
+
+#include <memory>
+#include <string>
+
+#include "policy/context.hpp"
+
+namespace psched::policy {
+
+class ProvisioningPolicy {
+ public:
+  virtual ~ProvisioningPolicy() = default;
+  [[nodiscard]] virtual std::size_t vms_to_lease(const SchedContext& ctx) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Earliest future instant at which this policy's answer could change if
+  /// no job arrives/finishes and no VM changes state — i.e. purely because
+  /// waiting times grow. kTimeNever for wait-time-independent policies.
+  /// The online simulator uses this to fast-forward idle stretches exactly.
+  [[nodiscard]] virtual SimTime next_change(const SchedContext& /*ctx*/) const {
+    return kTimeNever;
+  }
+};
+
+/// ODA (On-Demand All, the baseline): lease enough VMs for *every* queued
+/// job to start — total queued processors minus already-available capacity.
+class OnDemandAll final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "ODA"; }
+};
+
+/// ODB (On-Demand Balance): keep the fleet size equal to the total
+/// processors required by the queue; busy VMs count toward the balance, so
+/// short jobs finishing soon absorb queued work without new leases
+/// (DawningCloud-style).
+class OnDemandBalance final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "ODB"; }
+};
+
+/// ODE (On-Demand ExecTime): size the fleet to pack the queue's predicted
+/// work into one charged hour: target = ceil(sum(procs * runtime) / 3600).
+/// Deviation from the paper (see DESIGN.md): a starvation guard raises the
+/// target to the widest queued job's size once that job has waited more
+/// than an hour, otherwise a wide job can never start on a small fleet.
+class OnDemandExecTime final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "ODE"; }
+  [[nodiscard]] SimTime next_change(const SchedContext& ctx) const override;
+
+  static constexpr double kStarvationWait = 3600.0;  ///< seconds
+};
+
+/// ODM (On-Demand Maximum): make the widest queued job startable:
+/// lease max_i(procs_i) minus already-available capacity.
+class OnDemandMaximum final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "ODM"; }
+};
+
+/// ODX (On-Demand XFactor): lease for every job whose bounded slowdown
+/// (wait + max(rt,10)) / max(rt,10) exceeds a threshold of 2.
+class OnDemandXFactor final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext& ctx) const override;
+  [[nodiscard]] std::string name() const override { return "ODX"; }
+  [[nodiscard]] SimTime next_change(const SchedContext& ctx) const override;
+
+  static constexpr double kThreshold = 2.0;
+  static constexpr double kBound = 10.0;  ///< bounded-slowdown runtime floor
+};
+
+/// Factory by name ("ODA", "ODB", "ODE", "ODM", "ODX"); throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<ProvisioningPolicy> make_provisioning(const std::string& name);
+
+/// All five, in the paper's order.
+[[nodiscard]] std::vector<std::unique_ptr<ProvisioningPolicy>> all_provisioning();
+
+}  // namespace psched::policy

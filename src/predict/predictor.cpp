@@ -1,0 +1,31 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+
+namespace psched::predict {
+
+namespace {
+// Predictions must be strictly positive: slowdown/priority formulas divide
+// by them. One second is far below every trace's runtime resolution.
+constexpr double kMinPrediction = 1.0;
+}  // namespace
+
+double PerfectPredictor::predict(const workload::Job& job) const {
+  return std::max(kMinPrediction, job.runtime);
+}
+
+double UserEstimatePredictor::predict(const workload::Job& job) const {
+  // Fall back to actual runtime when a trace carries no estimate.
+  const double est = job.estimate > 0.0 ? job.estimate : job.runtime;
+  return std::max(kMinPrediction, est);
+}
+
+std::unique_ptr<RuntimePredictor> make_perfect() {
+  return std::make_unique<PerfectPredictor>();
+}
+
+std::unique_ptr<RuntimePredictor> make_user_estimate() {
+  return std::make_unique<UserEstimatePredictor>();
+}
+
+}  // namespace psched::predict

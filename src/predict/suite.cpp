@@ -1,0 +1,121 @@
+#include "predict/suite.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace psched::predict {
+
+namespace {
+constexpr double kMinPrediction = 1.0;
+
+double fallback_estimate(const workload::Job& job) {
+  const double est = job.estimate > 0.0 ? job.estimate : job.runtime;
+  return std::max(kMinPrediction, est);
+}
+}  // namespace
+
+double LastRuntimePredictor::predict(const workload::Job& job) const {
+  const auto it = last_.find(job.user);
+  if (it == last_.end()) return fallback_estimate(job);
+  const double capped =
+      job.estimate > 0.0 ? std::min(it->second, job.estimate) : it->second;
+  return std::max(kMinPrediction, capped);
+}
+
+void LastRuntimePredictor::observe_completion(const workload::Job& job) {
+  last_[job.user] = job.runtime;
+}
+
+double RunningMeanPredictor::predict(const workload::Job& job) const {
+  const auto it = state_.find(job.user);
+  if (it == state_.end() || it->second.count == 0) return fallback_estimate(job);
+  const double capped =
+      job.estimate > 0.0 ? std::min(it->second.mean, job.estimate) : it->second.mean;
+  return std::max(kMinPrediction, capped);
+}
+
+void RunningMeanPredictor::observe_completion(const workload::Job& job) {
+  State& s = state_[job.user];
+  ++s.count;
+  s.mean += (job.runtime - s.mean) / static_cast<double>(s.count);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  PSCHED_ASSERT(alpha > 0.0 && alpha <= 1.0);
+}
+
+double EwmaPredictor::predict(const workload::Job& job) const {
+  const auto it = ewma_.find(job.user);
+  if (it == ewma_.end()) return fallback_estimate(job);
+  const double capped =
+      job.estimate > 0.0 ? std::min(it->second, job.estimate) : it->second;
+  return std::max(kMinPrediction, capped);
+}
+
+void EwmaPredictor::observe_completion(const workload::Job& job) {
+  const auto it = ewma_.find(job.user);
+  if (it == ewma_.end()) {
+    ewma_[job.user] = job.runtime;
+    return;
+  }
+  it->second = alpha_ * job.runtime + (1.0 - alpha_) * it->second;
+}
+
+std::string EwmaPredictor::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "ewma(alpha=%.2f)", alpha_);
+  return buf;
+}
+
+std::unique_ptr<RuntimePredictor> make_last_runtime() {
+  return std::make_unique<LastRuntimePredictor>();
+}
+std::unique_ptr<RuntimePredictor> make_running_mean() {
+  return std::make_unique<RunningMeanPredictor>();
+}
+std::unique_ptr<RuntimePredictor> make_ewma(double alpha) {
+  return std::make_unique<EwmaPredictor>(alpha);
+}
+
+AccuracyReport evaluate_predictor(const workload::Trace& trace,
+                                  RuntimePredictor& predictor) {
+  AccuracyReport report;
+  if (trace.empty()) return report;
+
+  // Min-heap of (completion time, job index): completions are observed as
+  // soon as they happen relative to the next submission. Jobs are assumed
+  // to run immediately at submission — an optimistic bound on information
+  // availability; an engine run gives the scheduler-dependent exact order.
+  using Completion = std::pair<double, std::size_t>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>> running;
+
+  double accuracy_sum = 0.0;
+  double abs_error_sum = 0.0;
+  std::size_t over = 0, under = 0;
+  const auto& jobs = trace.jobs();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const workload::Job& job = jobs[i];
+    while (!running.empty() && running.top().first <= job.submit) {
+      predictor.observe_completion(jobs[running.top().second]);
+      running.pop();
+    }
+    const double predicted = predictor.predict(job);
+    const double actual = std::max(1.0, job.runtime);
+    accuracy_sum += std::min(predicted, actual) / std::max(predicted, actual);
+    abs_error_sum += std::abs(predicted - actual);
+    if (predicted > actual) ++over;
+    if (predicted < actual) ++under;
+    running.emplace(job.submit + job.runtime, i);
+  }
+  const auto n = static_cast<double>(jobs.size());
+  report.jobs = jobs.size();
+  report.mean_accuracy = accuracy_sum / n;
+  report.mean_abs_error = abs_error_sum / n;
+  report.overestimate_fraction = static_cast<double>(over) / n;
+  report.underestimate_fraction = static_cast<double>(under) / n;
+  return report;
+}
+
+}  // namespace psched::predict

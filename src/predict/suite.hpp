@@ -1,0 +1,81 @@
+#pragma once
+// Additional system-generated runtime predictors beyond the paper's
+// Tsafrir k-NN, plus an accuracy-evaluation harness. The paper points to
+// Matsunaga & Fortes for more sophisticated predictors and reports that
+// the portfolio is robust to prediction error; this suite lets that claim
+// be tested across a spectrum of predictor qualities (see
+// bench_predictors).
+
+#include <memory>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+#include "workload/trace.hpp"
+
+namespace psched::predict {
+
+/// Predicts the runtime of the user's most recently completed job
+/// (k-NN with k = 1; noisier than Tsafrir's k = 2).
+class LastRuntimePredictor final : public RuntimePredictor {
+ public:
+  [[nodiscard]] double predict(const workload::Job& job) const override;
+  void observe_completion(const workload::Job& job) override;
+  [[nodiscard]] std::string name() const override { return "last-runtime"; }
+
+ private:
+  std::unordered_map<UserId, double> last_;
+};
+
+/// Predicts the running mean of all completed runtimes of the user
+/// (infinite-window k-NN; slow to adapt, low variance).
+class RunningMeanPredictor final : public RuntimePredictor {
+ public:
+  [[nodiscard]] double predict(const workload::Job& job) const override;
+  void observe_completion(const workload::Job& job) override;
+  [[nodiscard]] std::string name() const override { return "running-mean"; }
+
+ private:
+  struct State {
+    double mean = 0.0;
+    std::size_t count = 0;
+  };
+  std::unordered_map<UserId, State> state_;
+};
+
+/// Exponentially weighted moving average per user:
+///   estimate <- alpha * runtime + (1 - alpha) * estimate.
+class EwmaPredictor final : public RuntimePredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.5);
+
+  [[nodiscard]] double predict(const workload::Job& job) const override;
+  void observe_completion(const workload::Job& job) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double alpha_;
+  std::unordered_map<UserId, double> ewma_;
+};
+
+[[nodiscard]] std::unique_ptr<RuntimePredictor> make_last_runtime();
+[[nodiscard]] std::unique_ptr<RuntimePredictor> make_running_mean();
+[[nodiscard]] std::unique_ptr<RuntimePredictor> make_ewma(double alpha = 0.5);
+
+/// Offline predictor evaluation: replay the trace in submission order,
+/// feeding each completion back as soon as it happens (a job completing
+/// before a later job's submission is observed before that prediction).
+struct AccuracyReport {
+  std::size_t jobs = 0;
+  /// Mean of min(pred, actual) / max(pred, actual) — Tsafrir's accuracy
+  /// measure, 1 = perfect (the literature reports ~0.5 for k-NN on PWA
+  /// traces).
+  double mean_accuracy = 0.0;
+  double mean_abs_error = 0.0;        ///< seconds
+  double overestimate_fraction = 0.0; ///< fraction with pred > actual
+  double underestimate_fraction = 0.0;
+};
+
+[[nodiscard]] AccuracyReport evaluate_predictor(const workload::Trace& trace,
+                                                RuntimePredictor& predictor);
+
+}  // namespace psched::predict

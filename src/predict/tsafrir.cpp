@@ -1,0 +1,39 @@
+#include "predict/tsafrir.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace psched::predict {
+
+TsafrirPredictor::TsafrirPredictor(std::size_t k) : k_(k) { PSCHED_ASSERT(k >= 1); }
+
+double TsafrirPredictor::predict(const workload::Job& job) const {
+  const double estimate = job.estimate > 0.0 ? job.estimate : job.runtime;
+  const auto it = history_.find(job.user);
+  if (it == history_.end() || it->second.size() < k_) {
+    return std::max(1.0, estimate);
+  }
+  double sum = 0.0;
+  for (const double rt : it->second) sum += rt;
+  const double prediction = sum / static_cast<double>(it->second.size());
+  // Cap at the estimate (kill limit) when the trace provides one.
+  const double capped = job.estimate > 0.0 ? std::min(prediction, job.estimate) : prediction;
+  return std::max(1.0, capped);
+}
+
+void TsafrirPredictor::observe_completion(const workload::Job& job) {
+  auto& window = history_[job.user];
+  window.push_back(job.runtime);
+  while (window.size() > k_) window.pop_front();
+}
+
+std::string TsafrirPredictor::name() const {
+  return "tsafrir-knn(k=" + std::to_string(k_) + ")";
+}
+
+std::unique_ptr<RuntimePredictor> make_tsafrir(std::size_t k) {
+  return std::make_unique<TsafrirPredictor>(k);
+}
+
+}  // namespace psched::predict

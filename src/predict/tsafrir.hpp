@@ -1,0 +1,38 @@
+#pragma once
+// The Tsafrir-Etsion-Feitelson system-generated predictor (TPDS'07), as used
+// by the paper: predict a job's runtime as the average runtime of the same
+// user's k most recently *completed* jobs (k = 2, the authors' recommended
+// window). Until a user has k completions, fall back to the user estimate.
+//
+// The prediction is additionally capped at the user estimate when one is
+// present — estimates are treated as kill limits, so a longer prediction is
+// known to be impossible.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace psched::predict {
+
+class TsafrirPredictor final : public RuntimePredictor {
+ public:
+  explicit TsafrirPredictor(std::size_t k = 2);
+
+  [[nodiscard]] double predict(const workload::Job& job) const override;
+  void observe_completion(const workload::Job& job) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Number of users with at least one completed job.
+  [[nodiscard]] std::size_t known_users() const noexcept { return history_.size(); }
+
+ private:
+  std::size_t k_;
+  std::unordered_map<UserId, std::deque<double>> history_;  // newest at back
+};
+
+[[nodiscard]] std::unique_ptr<RuntimePredictor> make_tsafrir(std::size_t k = 2);
+
+}  // namespace psched::predict

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::sim {
+
+EventId EventQueue::schedule(SimTime t, Callback cb) {
+  PSCHED_ASSERT_MSG(std::isfinite(t), "cannot schedule an event at infinity");
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Lazy deletion: drop the id from the pending set; the heap entry is
+  // skipped when it surfaces. Unknown/fired ids are simply absent.
+  pending_.erase(id);
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() const {
+  // Logically const: only discards dead heap entries.
+  auto& self = const_cast<EventQueue&>(*this);
+  self.skim();
+  return self.heap_.empty() ? kTimeNever : self.heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skim();
+  PSCHED_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+  // priority_queue::top() is const; the POD parts are copied and the callback
+  // moved out via const_cast — the entry is popped on the next line.
+  const Entry& top = heap_.top();
+  Fired fired{top.time, top.id, std::move(const_cast<Entry&>(top).callback)};
+  pending_.erase(fired.id);
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace psched::sim

@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic pending-event set for discrete-event simulation.
+//
+// Ordering is total: (time, sequence). Two events scheduled for the same
+// simulated instant fire in scheduling order, so simulation results never
+// depend on heap-internal tie-breaking. Cancellation is O(1) by id
+// (lazy deletion on pop).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace psched::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute simulated time `t`. Returns a handle usable
+  /// with cancel(). Requires t to be finite.
+  EventId schedule(SimTime t, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (common when a completion races a timeout).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// True if the event id is scheduled and not yet fired or cancelled.
+  [[nodiscard]] bool is_pending(EventId id) const { return pending_.contains(id); }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and return the earliest live event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the monotone sequence number
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drop cancelled entries from the heap top.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;  // scheduled, not fired, not cancelled
+  EventId next_id_ = 1;
+};
+
+}  // namespace psched::sim

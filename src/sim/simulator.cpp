@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace psched::sim {
+
+EventId Simulator::at(SimTime t, EventQueue::Callback cb) {
+  PSCHED_ASSERT_MSG(t >= now_, "scheduling into the past");
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::after(SimDuration delay, EventQueue::Callback cb) {
+  PSCHED_ASSERT_MSG(delay >= 0.0, "negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  PSCHED_ASSERT(fired.time >= now_);
+  now_ = fired.time;
+  ++dispatched_;
+  fired.callback();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(SimTime horizon) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+    ++n;
+  }
+  if (now_ < horizon && horizon != kTimeNever) now_ = horizon;
+  return n;
+}
+
+}  // namespace psched::sim

@@ -1,0 +1,45 @@
+#pragma once
+// The simulation driver: a clock plus an EventQueue. Components schedule
+// callbacks; run() dispatches them in deterministic order until the queue
+// drains or a horizon is reached.
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace psched::sim {
+
+class Simulator {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId at(SimTime t, EventQueue::Callback cb);
+
+  /// Schedule after a relative delay (must be >= 0).
+  EventId after(SimDuration delay, EventQueue::Callback cb);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
+  /// Dispatch events until the queue is empty. Returns events dispatched.
+  std::uint64_t run();
+
+  /// Dispatch events with time <= horizon; the clock ends at
+  /// max(now, min(horizon, last event time)). Returns events dispatched.
+  std::uint64_t run_until(SimTime horizon);
+
+  /// Dispatch exactly one event if present. Returns true if one fired.
+  bool step();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace psched::sim

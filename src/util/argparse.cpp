@@ -1,0 +1,52 @@
+#include "util/argparse.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace psched::util {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+      continue;
+    }
+    // `--name value` unless the next token is another flag (then boolean).
+    if (i + 1 < argc && std::string_view(argv[i + 1]).starts_with("--") == false) {
+      flags_.emplace(std::string(arg), std::string(argv[++i]));
+    } else {
+      flags_.emplace(std::string(arg), "true");
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const { return flags_.contains(name); }
+
+std::string ArgParser::get(const std::string& name, const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace psched::util

@@ -1,0 +1,28 @@
+#pragma once
+// Lightweight contract checking. PSCHED_ASSERT is active in all build types:
+// simulator correctness bugs must never be silently ignored in Release, as
+// benchmarks are built Release and are the primary consumers.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace psched::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "psched assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace psched::detail
+
+#define PSCHED_ASSERT(expr)                                                \
+  do {                                                                     \
+    if (!(expr)) ::psched::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define PSCHED_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr)) ::psched::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,99 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  PSCHED_ASSERT(hi > lo && bins > 0);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  PSCHED_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  PSCHED_ASSERT(bin < counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof label, "%10.1f | ", bin_lo(i));
+    out += label;
+    const auto bar = counts_[i] * width / peak;
+    out.append(bar, '#');
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, " %zu\n", counts_[i]);
+    out += suffix;
+  }
+  return out;
+}
+
+TimeSeriesCounter::TimeSeriesCounter(double bucket_seconds) : bucket_(bucket_seconds) {
+  PSCHED_ASSERT(bucket_seconds > 0.0);
+}
+
+void TimeSeriesCounter::add(double t) noexcept {
+  if (t < 0.0) t = 0.0;
+  const auto bucket = static_cast<std::size_t>(t / bucket_);
+  if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
+  ++counts_[bucket];
+}
+
+std::size_t TimeSeriesCounter::count(std::size_t bucket) const {
+  PSCHED_ASSERT(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double TimeSeriesCounter::mean_count() const noexcept {
+  if (counts_.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t c : counts_) s += static_cast<double>(c);
+  return s / static_cast<double>(counts_.size());
+}
+
+double TimeSeriesCounter::max_count() const noexcept {
+  std::size_t m = 0;
+  for (std::size_t c : counts_) m = std::max(m, c);
+  return static_cast<double>(m);
+}
+
+double TimeSeriesCounter::cv2() const noexcept {
+  if (counts_.size() < 2) return 0.0;
+  const double mu = mean_count();
+  if (mu == 0.0) return 0.0;
+  double var = 0.0;
+  for (std::size_t c : counts_) {
+    const double d = static_cast<double>(c) - mu;
+    var += d * d;
+  }
+  var /= static_cast<double>(counts_.size() - 1);
+  return var / (mu * mu);
+}
+
+}  // namespace psched::util

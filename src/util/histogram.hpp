@@ -1,0 +1,65 @@
+#pragma once
+// Fixed-width and time-bucketed histograms. The time-bucketed variant backs
+// the Figure-3 arrival-pattern reproduction (jobs submitted per 10-minute
+// interval).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psched::util {
+
+/// Histogram over [lo, hi) with `bins` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Lower edge of a bucket.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+
+  /// Render a terminal bar chart, one row per bucket (used by bench_fig3).
+  [[nodiscard]] std::string ascii(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Counts events into consecutive fixed-duration time buckets starting at 0.
+/// Grows on demand; bucket index = floor(t / bucket_seconds).
+class TimeSeriesCounter {
+ public:
+  explicit TimeSeriesCounter(double bucket_seconds);
+
+  void add(double t) noexcept;
+
+  [[nodiscard]] double bucket_seconds() const noexcept { return bucket_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+
+  /// Summary helpers for characterising burstiness.
+  [[nodiscard]] double mean_count() const noexcept;
+  [[nodiscard]] double max_count() const noexcept;
+  /// Squared coefficient of variation of per-bucket counts; >> 1 == bursty.
+  [[nodiscard]] double cv2() const noexcept;
+
+ private:
+  double bucket_;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace psched::util

@@ -1,0 +1,113 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::util {
+
+std::uint64_t Rng::next_u64() noexcept {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  PSCHED_ASSERT(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Lemire-style rejection-free-enough: modulo bias is < 2^-40 for the small
+  // ranges used in the simulator; keep a single rejection loop for exactness.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range + 1) % range;
+  std::uint64_t v = next_u64();
+  while (v > limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::exponential(double lambda) noexcept {
+  PSCHED_ASSERT(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller without the cached second variate: two raw draws per sample
+  // keeps the consumption pattern of the stream independent of call history.
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  PSCHED_ASSERT(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
+double Rng::bounded_pareto(double alpha, double lo, double hi) noexcept {
+  PSCHED_ASSERT(alpha > 0.0 && lo > 0.0 && hi > lo);
+  const double u = uniform();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::int64_t Rng::zipf(std::int64_t n, double s) noexcept {
+  PSCHED_ASSERT(n >= 1 && s > 0.0);
+  // Rejection-inversion sampling (Hormann & Derflinger 1996). Exact for all
+  // s != 1; for s == 1 the H integral degenerates to log, handled below.
+  const auto h_integral = [s](double x) {
+    const double lx = std::log(x);
+    if (std::abs(s - 1.0) < 1e-12) return lx;
+    return std::expm1((1.0 - s) * lx) / (1.0 - s);
+  };
+  const auto h_integral_inv = [s](double x) {
+    if (std::abs(s - 1.0) < 1e-12) return std::exp(x);
+    double t = x * (1.0 - s);
+    if (t < -1.0) t = -1.0;  // numerical clamp
+    return std::exp(std::log1p(t) / (1.0 - s));
+  };
+  const auto h = [s](double x) { return std::exp(-s * std::log(x)); };
+
+  const double hi = h_integral(static_cast<double>(n) + 0.5);
+  const double lo = h_integral(0.5);
+  const double d = hi - lo;
+  for (;;) {
+    const double u = lo + uniform() * d;
+    const double x = h_integral_inv(u);
+    auto k = static_cast<std::int64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= h_integral(kd + 0.5) - h(kd)) return k;
+  }
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  PSCHED_ASSERT_MSG(total > 0.0, "weighted_index needs a positive weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;  // numerical fallthrough
+}
+
+}  // namespace psched::util

@@ -1,0 +1,50 @@
+#pragma once
+// Streaming and batch statistics used by the metrics collector and the
+// benchmark harness.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace psched::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm) plus
+/// min/max tracking. Mergeable (parallel reduction via Chan et al.).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator into this one.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between closest ranks).
+/// `p` in [0, 100]. Copies and sorts; for hot paths use Histogram instead.
+[[nodiscard]] double percentile(std::span<const double> values, double p);
+
+/// Median convenience wrapper.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Arithmetic mean of a sample; 0 for empty input.
+[[nodiscard]] double mean_of(std::span<const double> values) noexcept;
+
+/// Pearson correlation coefficient; 0 if either side has zero variance.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace psched::util

@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace psched::util {
+
+std::string Cell::str() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return std::to_string(*i);
+  const auto& r = std::get<Real>(value_);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", r.precision, r.v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PSCHED_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  PSCHED_ASSERT_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& out = rendered.emplace_back();
+    out.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out.push_back(row[c].str());
+      widths[c] = std::max(widths[c], out.back().size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  const auto emit = [&](const std::vector<std::string>& cells,
+                        const std::vector<Cell>* types) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const bool right = types != nullptr && (*types)[c].numeric();
+      const auto pad = widths[c] - cells[c].size();
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_, nullptr);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) emit(rendered[r], &rows_[r]);
+  return os.str();
+}
+
+namespace {
+void csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    csv_field(os, headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      csv_field(os, row[c].str());
+    }
+    os << '\n';
+  }
+}
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace psched::util

@@ -1,0 +1,57 @@
+#pragma once
+// Column-aligned console tables and CSV emission for the benchmark harness.
+// Every table/figure bench prints a human-readable table and can mirror the
+// same rows to a CSV file for plotting.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace psched::util {
+
+/// One table cell: text, integer, or floating point (fixed precision).
+class Cell {
+ public:
+  Cell(std::string text) : value_(std::move(text)) {}           // NOLINT(google-explicit-constructor)
+  Cell(const char* text) : value_(std::string(text)) {}         // NOLINT(google-explicit-constructor)
+  Cell(std::int64_t v) : value_(v) {}                           // NOLINT(google-explicit-constructor)
+  Cell(int v) : value_(static_cast<std::int64_t>(v)) {}         // NOLINT(google-explicit-constructor)
+  Cell(std::size_t v) : value_(static_cast<std::int64_t>(v)) {} // NOLINT(google-explicit-constructor)
+  Cell(double v, int precision = 2) : value_(Real{v, precision}) {} // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] bool numeric() const noexcept { return !std::holds_alternative<std::string>(value_); }
+
+ private:
+  struct Real {
+    double v;
+    int precision;
+  };
+  std::variant<std::string, std::int64_t, Real> value_;
+};
+
+/// A simple rectangular table. Numeric cells right-align, text left-aligns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<Cell> cells);
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with a title, header rule, and aligned columns.
+  [[nodiscard]] std::string render(const std::string& title = {}) const;
+
+  /// Write the table to `os` as RFC-4180-ish CSV (quotes only when needed).
+  void write_csv(std::ostream& os) const;
+
+  /// Convenience: write CSV to a file path; returns false on IO failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace psched::util

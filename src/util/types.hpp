@@ -1,0 +1,33 @@
+#pragma once
+// Fundamental scalar types shared across psched.
+//
+// Simulation time is kept in double-precision seconds since trace start.
+// All determinism in the simulator comes from total event ordering
+// (time, sequence number), never from floating-point tie-breaking.
+
+#include <cstdint>
+#include <limits>
+
+namespace psched {
+
+/// Simulated time in seconds since the start of the experiment.
+using SimTime = double;
+
+/// A duration in simulated seconds.
+using SimDuration = double;
+
+/// Sentinel for "never" / "unset" time values.
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::infinity();
+
+/// Seconds per charging hour in the EC2-style billing model.
+inline constexpr SimDuration kSecondsPerHour = 3600.0;
+
+/// Identifier types. Strong-ish typedefs: distinct names, same representation.
+using JobId = std::int64_t;
+using VmId = std::int64_t;
+using UserId = std::int32_t;
+
+inline constexpr JobId kInvalidJob = -1;
+inline constexpr VmId kInvalidVm = -1;
+
+}  // namespace psched

@@ -1,0 +1,98 @@
+#include "workload/characterize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace psched::workload {
+
+TraceProfile characterize(const Trace& trace) {
+  TraceProfile p;
+  p.name = trace.name();
+  p.jobs = trace.size();
+  if (trace.empty()) return p;
+
+  const auto& jobs = trace.jobs();
+
+  // Runtimes.
+  std::vector<double> runtimes;
+  runtimes.reserve(jobs.size());
+  for (const Job& j : jobs) runtimes.push_back(j.runtime);
+  p.runtime_p50 = util::percentile(runtimes, 50.0);
+  p.runtime_p90 = util::percentile(runtimes, 90.0);
+  p.runtime_p99 = util::percentile(runtimes, 99.0);
+  p.runtime_mean = util::mean_of(runtimes);
+
+  // Parallelism.
+  std::size_t serial = 0;
+  double procs_sum = 0.0;
+  for (const Job& j : jobs) {
+    serial += j.procs == 1;
+    procs_sum += j.procs;
+    p.max_procs = std::max(p.max_procs, j.procs);
+    const auto bucket = static_cast<std::size_t>(
+        std::floor(std::log2(static_cast<double>(std::max(j.procs, 1)))));
+    if (bucket >= p.width_histogram.size()) p.width_histogram.resize(bucket + 1, 0);
+    ++p.width_histogram[bucket];
+  }
+  p.serial_fraction = static_cast<double>(serial) / static_cast<double>(jobs.size());
+  p.mean_procs = procs_sum / static_cast<double>(jobs.size());
+
+  // Arrival process.
+  const double duration = std::max(trace.duration(), 1.0);
+  p.jobs_per_day = static_cast<double>(jobs.size()) / (duration / 86400.0);
+  util::TimeSeriesCounter counts(600.0);
+  std::array<std::size_t, 24> hourly{};
+  for (const Job& j : jobs) {
+    counts.add(j.submit);
+    const auto hour =
+        static_cast<std::size_t>(std::fmod(j.submit, 86400.0) / 3600.0) % 24;
+    ++hourly[hour];
+  }
+  p.fano_10min = counts.cv2() * counts.mean_count();
+  const double hourly_mean = static_cast<double>(jobs.size()) / 24.0;
+  for (std::size_t h = 0; h < 24; ++h)
+    p.hourly_profile[h] = static_cast<double>(hourly[h]) / hourly_mean;
+
+  // Users.
+  std::unordered_map<UserId, std::size_t> per_user;
+  for (const Job& j : jobs) ++per_user[j.user];
+  p.users = per_user.size();
+  std::size_t top = 0;
+  for (const auto& [user, count] : per_user) top = std::max(top, count);
+  p.top_user_share = static_cast<double>(top) / static_cast<double>(jobs.size());
+
+  // Estimates.
+  double blowup_sum = 0.0;
+  for (const Job& j : jobs)
+    blowup_sum += j.runtime > 0.0 && j.estimate > 0.0 ? j.estimate / j.runtime : 1.0;
+  p.mean_estimate_blowup = blowup_sum / static_cast<double>(jobs.size());
+  return p;
+}
+
+std::string to_string(const TraceProfile& p) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%s: %zu jobs, %.0f/day, Fano %.2f\n",
+                p.name.c_str(), p.jobs, p.jobs_per_day, p.fano_10min);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  runtime  p50 %.0fs  p90 %.0fs  p99 %.0fs  mean %.0fs\n",
+                p.runtime_p50, p.runtime_p90, p.runtime_p99, p.runtime_mean);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  widths   serial %.0f%%  mean %.1f  max %d\n",
+                100.0 * p.serial_fraction, p.mean_procs, p.max_procs);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  users    %zu (top user %.1f%% of jobs); estimate blow-up x%.1f\n",
+                p.users, 100.0 * p.top_user_share, p.mean_estimate_blowup);
+  out += line;
+  return out;
+}
+
+}  // namespace psched::workload

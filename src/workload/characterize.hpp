@@ -1,0 +1,52 @@
+#pragma once
+// Workload characterization beyond Table 1: distributional and temporal
+// statistics of a trace, for validating generated workloads against their
+// archetypes and for profiling user-supplied SWF traces.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace psched::workload {
+
+struct TraceProfile {
+  std::string name;
+  std::size_t jobs = 0;
+
+  // Runtimes (seconds).
+  double runtime_p50 = 0.0;
+  double runtime_p90 = 0.0;
+  double runtime_p99 = 0.0;
+  double runtime_mean = 0.0;
+
+  // Parallelism.
+  double serial_fraction = 0.0;   ///< jobs with procs == 1
+  double mean_procs = 0.0;
+  int max_procs = 0;
+  /// Count of jobs per power-of-two width bucket: index i covers
+  /// widths in [2^i, 2^(i+1)).
+  std::vector<std::size_t> width_histogram;
+
+  // Arrival process.
+  double jobs_per_day = 0.0;
+  double fano_10min = 0.0;        ///< burstiness (variance/mean per 10 min)
+  /// Mean arrival-rate multiplier per hour of day (24 entries, mean 1).
+  std::array<double, 24> hourly_profile{};
+
+  // User population.
+  std::size_t users = 0;
+  double top_user_share = 0.0;    ///< fraction of jobs by the busiest user
+
+  // Estimates.
+  double mean_estimate_blowup = 0.0;  ///< mean(estimate / runtime)
+};
+
+/// Compute the full profile of a trace. O(n log n).
+[[nodiscard]] TraceProfile characterize(const Trace& trace);
+
+/// Render a profile as a human-readable multi-line report.
+[[nodiscard]] std::string to_string(const TraceProfile& profile);
+
+}  // namespace psched::workload

@@ -1,0 +1,141 @@
+#include "workload/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace psched::workload {
+
+namespace {
+constexpr double kDay = 24.0 * 3600.0;
+constexpr double kWeek = 7.0 * kDay;
+}  // namespace
+
+DiurnalProfile::DiurnalProfile(double amplitude, double weekend_factor, double peak_hour)
+    : amplitude_(amplitude), weekend_factor_(weekend_factor), peak_hour_(peak_hour) {
+  PSCHED_ASSERT(amplitude >= 0.0 && amplitude < 1.0);
+  PSCHED_ASSERT(weekend_factor > 0.0);
+  // Daily cosine has mean 1 over a day, so the weekly mean is just the mean
+  // weekday/weekend scale.
+  norm_ = (5.0 + 2.0 * weekend_factor_) / 7.0;
+}
+
+double DiurnalProfile::rate(SimTime t) const noexcept {
+  const double tod = std::fmod(t, kDay) / 3600.0;                 // hour of day
+  const double dow = std::fmod(t, kWeek) / kDay;                  // day of week, 0=Mon
+  const double daily = 1.0 + amplitude_ * std::cos(2.0 * M_PI * (tod - peak_hour_) / 24.0);
+  const double weekly = dow >= 5.0 ? weekend_factor_ : 1.0;
+  return daily * weekly / norm_;
+}
+
+double DiurnalProfile::max_rate() const noexcept {
+  return (1.0 + amplitude_) * std::max(1.0, weekend_factor_) / norm_;
+}
+
+BurstProcess::BurstProcess(double burst_multiplier, double on_mean, double off_mean)
+    : multiplier_(burst_multiplier), on_mean_(on_mean), off_mean_(off_mean) {
+  PSCHED_ASSERT(burst_multiplier >= 1.0);
+  if (bursty()) {
+    PSCHED_ASSERT(on_mean > 0.0 && off_mean > 0.0);
+    // Long-run mean multiplier must be 1:
+    //   (off_mean * base + on_mean * multiplier) / (on_mean + off_mean) = 1
+    base_ = (on_mean_ + off_mean_ - on_mean_ * multiplier_) / off_mean_;
+    PSCHED_ASSERT_MSG(base_ >= 0.0,
+                      "burst multiplier too large for the on/off duty cycle");
+  }
+}
+
+void BurstProcess::materialize(SimTime horizon, util::Rng& rng) {
+  boundaries_.clear();
+  if (!bursty()) return;
+  SimTime t = 0.0;
+  boundaries_.push_back(t);  // start in an off interval
+  bool on = false;
+  while (t < horizon) {
+    t += rng.exponential(1.0 / (on ? on_mean_ : off_mean_));
+    boundaries_.push_back(t);
+    on = !on;
+  }
+}
+
+double BurstProcess::rate(SimTime t) const noexcept {
+  if (!bursty()) return 1.0;
+  // Index of the interval containing t; even -> off, odd -> on.
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - boundaries_.begin());
+  if (idx == 0 || idx > boundaries_.size()) return base_;
+  return (idx - 1) % 2 == 1 ? multiplier_ : base_;
+}
+
+double BurstProcess::max_rate() const noexcept { return bursty() ? multiplier_ : 1.0; }
+
+ArrivalProcess::ArrivalProcess(double base_rate, DiurnalProfile diurnal, BurstProcess burst)
+    : base_rate_(base_rate), diurnal_(diurnal), burst_(std::move(burst)) {
+  PSCHED_ASSERT(base_rate > 0.0);
+}
+
+std::vector<SimTime> ArrivalProcess::sample(SimTime horizon, util::Rng& rng) {
+  burst_.materialize(horizon, rng);
+  const double lambda_max = base_rate_ * diurnal_.max_rate() * burst_.max_rate();
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(base_rate_ * horizon * 1.1) + 16);
+  SimTime t = 0.0;
+  for (;;) {
+    t += rng.exponential(lambda_max);
+    if (t >= horizon) break;
+    const double lambda_t = base_rate_ * diurnal_.rate(t) * burst_.rate(t);
+    if (rng.uniform() * lambda_max < lambda_t) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+ParallelismModel::ParallelismModel(double serial_fraction, double decay, int max_procs)
+    : serial_fraction_(serial_fraction) {
+  PSCHED_ASSERT(serial_fraction >= 0.0 && serial_fraction <= 1.0);
+  PSCHED_ASSERT(decay > 0.0 && decay <= 1.0);
+  PSCHED_ASSERT(max_procs >= 1);
+  double w = 1.0;
+  for (int size = 2; size <= max_procs; size *= 2) {
+    sizes_.push_back(size);
+    weights_.push_back(w);
+    weight_sum_ += w;
+    w *= decay;
+  }
+}
+
+int ParallelismModel::sample(util::Rng& rng) const noexcept {
+  if (sizes_.empty() || rng.bernoulli(serial_fraction_)) return 1;
+  return sizes_[rng.weighted_index(weights_)];
+}
+
+double ParallelismModel::mean() const noexcept {
+  if (sizes_.empty()) return 1.0;
+  double m = 0.0;
+  for (std::size_t i = 0; i < sizes_.size(); ++i)
+    m += static_cast<double>(sizes_[i]) * weights_[i] / weight_sum_;
+  return serial_fraction_ + (1.0 - serial_fraction_) * m;
+}
+
+RuntimeModel::RuntimeModel(double mu, double sigma, double min_runtime, double max_runtime)
+    : mu_(mu), sigma_(sigma), min_(min_runtime), max_(max_runtime) {
+  PSCHED_ASSERT(sigma > 0.0);
+  PSCHED_ASSERT(min_runtime > 0.0 && max_runtime > min_runtime);
+}
+
+double RuntimeModel::sample(util::Rng& rng) const noexcept {
+  return std::clamp(rng.lognormal(mu_, sigma_), min_, max_);
+}
+
+double RuntimeModel::estimate_mean(util::Rng rng, int samples) const noexcept {
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) sum += sample(rng);
+  return sum / samples;
+}
+
+RuntimeModel RuntimeModel::scaled(double factor) const {
+  PSCHED_ASSERT(factor > 0.0);
+  return RuntimeModel(mu_ + std::log(factor), sigma_, min_, max_);
+}
+
+}  // namespace psched::workload

@@ -1,0 +1,124 @@
+#pragma once
+// Building blocks of the synthetic workload generator:
+//  * DiurnalProfile  — deterministic daily/weekly rate modulation
+//  * BurstProcess    — two-state Markov-modulated (on/off) rate multiplier
+//  * ArrivalProcess  — non-homogeneous Poisson sampling via thinning over
+//                      diurnal x burst modulation
+//  * JobSizeModel    — parallelism (power-of-two biased) and runtime
+//                      (clamped log-normal) distributions
+//
+// Everything is driven by psched::util::Rng, so a seed fully determines a
+// trace on every platform.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace psched::workload {
+
+/// Deterministic weekly rate-modulation profile with mean exactly 1 over a
+/// week: a cosine daily cycle peaking at `peak_hour`, scaled down on
+/// weekends. amplitude in [0, 1); weekend_factor > 0.
+class DiurnalProfile {
+ public:
+  DiurnalProfile(double amplitude, double weekend_factor, double peak_hour = 14.0);
+
+  /// Rate multiplier at simulated time t (t=0 is Monday 00:00).
+  [[nodiscard]] double rate(SimTime t) const noexcept;
+
+  /// Largest value rate() can take (used for thinning).
+  [[nodiscard]] double max_rate() const noexcept;
+
+ private:
+  double amplitude_;
+  double weekend_factor_;
+  double peak_hour_;
+  double norm_;  // divides so the weekly mean is 1
+};
+
+/// Alternating-renewal burst process: rate multiplier is `burst_multiplier`
+/// during "on" intervals and `base` during "off" intervals, with
+/// exponentially distributed interval lengths. `base` is derived so the
+/// long-run mean multiplier is 1 (load stays calibrated). A multiplier of 1
+/// (or on-fraction 0) degenerates to the constant 1 profile.
+class BurstProcess {
+ public:
+  /// on_mean/off_mean are the mean durations (s) of on and off intervals.
+  BurstProcess(double burst_multiplier, double on_mean, double off_mean);
+
+  /// Pre-computes the on/off timeline for [0, horizon) with `rng`.
+  void materialize(SimTime horizon, util::Rng& rng);
+
+  /// Multiplier at time t; requires materialize() to have covered t.
+  [[nodiscard]] double rate(SimTime t) const noexcept;
+
+  [[nodiscard]] double max_rate() const noexcept;
+  [[nodiscard]] bool bursty() const noexcept { return multiplier_ > 1.0; }
+
+ private:
+  double multiplier_;
+  double on_mean_;
+  double off_mean_;
+  double base_ = 1.0;
+  // Sorted start times of intervals; even index = off interval, odd = on.
+  std::vector<SimTime> boundaries_;
+};
+
+/// Non-homogeneous Poisson arrivals via Lewis-Shedler thinning with rate
+/// lambda(t) = base_rate * diurnal(t) * burst(t).
+class ArrivalProcess {
+ public:
+  ArrivalProcess(double base_rate, DiurnalProfile diurnal, BurstProcess burst);
+
+  /// Sample all arrival instants in [0, horizon), ascending.
+  [[nodiscard]] std::vector<SimTime> sample(SimTime horizon, util::Rng& rng);
+
+ private:
+  double base_rate_;
+  DiurnalProfile diurnal_;
+  BurstProcess burst_;
+};
+
+/// Parallelism distribution: P(1 processor) = serial_fraction; otherwise a
+/// power of two in [2, max_procs] with geometrically decaying weights
+/// (decay in (0,1]; larger decay = wider jobs more likely).
+class ParallelismModel {
+ public:
+  ParallelismModel(double serial_fraction, double decay, int max_procs);
+
+  [[nodiscard]] int sample(util::Rng& rng) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  double serial_fraction_;
+  std::vector<int> sizes_;
+  std::vector<double> weights_;  // not normalized
+  double weight_sum_ = 0.0;
+};
+
+/// Runtime distribution: log-normal(mu, sigma) clamped to [min, max] secs.
+class RuntimeModel {
+ public:
+  RuntimeModel(double mu, double sigma, double min_runtime, double max_runtime);
+
+  [[nodiscard]] double sample(util::Rng& rng) const noexcept;
+
+  /// Monte-Carlo estimate of the clamped mean with `samples` draws.
+  [[nodiscard]] double estimate_mean(util::Rng rng, int samples = 20000) const noexcept;
+
+  /// Returns a copy whose *unclamped* median is scaled by `factor`
+  /// (used by load calibration).
+  [[nodiscard]] RuntimeModel scaled(double factor) const;
+
+  [[nodiscard]] double min_runtime() const noexcept { return min_; }
+  [[nodiscard]] double max_runtime() const noexcept { return max_; }
+
+ private:
+  double mu_;
+  double sigma_;
+  double min_;
+  double max_;
+};
+
+}  // namespace psched::workload

@@ -1,0 +1,23 @@
+#include "workload/job.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psched::workload {
+
+double bounded_slowdown(double wait, double runtime, double bound) noexcept {
+  const double denom = std::max(runtime, bound);
+  if (denom <= 0.0) return 1.0;
+  return std::max(1.0, (wait + runtime) / denom);
+}
+
+std::string to_string(const Job& j) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "job %lld: submit=%.0fs procs=%d runtime=%.0fs est=%.0fs user=%d",
+                static_cast<long long>(j.id), j.submit, j.procs, j.runtime, j.estimate,
+                j.user);
+  return buf;
+}
+
+}  // namespace psched::workload

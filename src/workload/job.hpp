@@ -1,0 +1,48 @@
+#pragma once
+// The immutable workload job record. Scheduling state (wait, start, finish)
+// lives in the engine; a Job only describes what the user submitted.
+//
+// The model is the paper's: rigid parallel jobs. A job requires `procs`
+// single-core VMs simultaneously for `runtime` seconds; no preemption,
+// no migration, no moldability.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace psched::workload {
+
+/// Grouping id for workflow tasks; kNoWorkflow marks an independent job.
+using WorkflowId = std::int64_t;
+inline constexpr WorkflowId kNoWorkflow = -1;
+
+struct Job {
+  JobId id = kInvalidJob;
+  SimTime submit = 0.0;        ///< submission time, seconds since trace start
+  SimDuration runtime = 0.0;   ///< actual runtime, seconds (> 0)
+  int procs = 1;               ///< number of processors (VMs) required (>= 1)
+  SimDuration estimate = 0.0;  ///< user-provided runtime estimate, seconds
+  UserId user = 0;             ///< submitting user (for the k-NN predictor)
+
+  // Workflow support (the paper's future-work item #4). A job becomes
+  // *eligible* for scheduling only once all jobs in `deps` have completed;
+  // waiting time (and bounded slowdown) is measured from eligibility.
+  std::vector<JobId> deps;            ///< ids of prerequisite jobs (same trace)
+  WorkflowId workflow = kNoWorkflow;  ///< workflow this task belongs to
+};
+
+/// Processor-seconds of real work in the job (the RJ contribution).
+[[nodiscard]] inline double work_of(const Job& j) noexcept {
+  return static_cast<double>(j.procs) * j.runtime;
+}
+
+/// Bounded slowdown of a job that waited `wait` seconds, with runtime bound
+/// `bound` (the paper uses 10 s, following Feitelson et al.):
+///   BSD = max(1, (wait + runtime) / max(runtime, bound))
+[[nodiscard]] double bounded_slowdown(double wait, double runtime, double bound = 10.0) noexcept;
+
+/// Human-readable one-line description (diagnostics/logging).
+[[nodiscard]] std::string to_string(const Job& j);
+
+}  // namespace psched::workload

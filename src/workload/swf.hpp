@@ -1,0 +1,51 @@
+#pragma once
+// Standard Workload Format (SWF) reader/writer.
+//
+// SWF is the Parallel Workloads Archive format the paper's traces ship in
+// (18 whitespace-separated fields per job, ';' header comments). We
+// implement enough of v2.2 to round-trip the fields psched uses, so real
+// PWA traces can be dropped in as a substitute for the generated ones.
+//
+// Field mapping (1-based SWF columns):
+//   1  job number         -> Job::id
+//   2  submit time        -> Job::submit
+//   4  run time           -> Job::runtime
+//   5  allocated procs    -> Job::procs (fallback: 8, requested procs)
+//   9  requested time     -> Job::estimate (fallback: run time)
+//   12 user id            -> Job::user
+//   17 preceding job      -> Job::deps (SWF supports at most one
+//                            predecessor; multi-dependency DAGs cannot be
+//                            represented — write_swf keeps only the first
+//                            dependency of each job)
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace psched::workload {
+
+/// Thrown on malformed SWF input.
+class SwfError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse an SWF stream. `name` labels the trace; `system_cpus` may be 0 to
+/// take the value from the `; MaxProcs:` header comment (if present).
+/// Jobs with negative runtime (SWF meaning: unknown) are kept with
+/// runtime 0 so that Trace::cleaned() drops them, matching the paper.
+[[nodiscard]] Trace read_swf(std::istream& in, std::string name, int system_cpus = 0);
+
+/// Parse an SWF file from disk. Throws SwfError if unreadable.
+[[nodiscard]] Trace load_swf(const std::string& path, std::string name = {},
+                             int system_cpus = 0);
+
+/// Write a trace as SWF (fields psched does not model are written as -1).
+void write_swf(std::ostream& out, const Trace& trace);
+
+/// Write to a file path. Throws SwfError on IO failure.
+void save_swf(const std::string& path, const Trace& trace);
+
+}  // namespace psched::workload

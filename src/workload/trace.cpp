@@ -1,0 +1,99 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace psched::workload {
+
+Trace::Trace(std::string name, int system_cpus, std::vector<Job> jobs)
+    : name_(std::move(name)), system_cpus_(system_cpus), jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(), [](const Job& a, const Job& b) {
+    if (a.submit != b.submit) return a.submit < b.submit;
+    return a.id < b.id;
+  });
+}
+
+SimTime Trace::duration() const noexcept {
+  return jobs_.empty() ? 0.0 : jobs_.back().submit;
+}
+
+double Trace::total_work() const noexcept {
+  double w = 0.0;
+  for (const Job& j : jobs_) w += work_of(j);
+  return w;
+}
+
+double Trace::load() const noexcept {
+  const double d = duration();
+  if (d <= 0.0 || system_cpus_ <= 0) return 0.0;
+  return total_work() / (static_cast<double>(system_cpus_) * d);
+}
+
+std::size_t Trace::count_at_most(int procs) const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      jobs_.begin(), jobs_.end(), [procs](const Job& j) { return j.procs <= procs; }));
+}
+
+Trace Trace::head(SimTime horizon_seconds) const {
+  std::vector<Job> kept;
+  for (const Job& j : jobs_) {
+    if (j.submit >= horizon_seconds) break;
+    kept.push_back(j);
+  }
+  return Trace(name_, system_cpus_, std::move(kept));
+}
+
+Trace Trace::cleaned(int max_procs) const {
+  std::vector<Job> kept;
+  kept.reserve(jobs_.size());
+  for (const Job& j : jobs_) {
+    if (j.runtime <= 0.0 || j.procs <= 0) continue;
+    if (system_cpus_ > 0 && j.procs > system_cpus_) continue;
+    if (j.procs > max_procs) continue;
+    kept.push_back(j);
+  }
+  return Trace(name_, system_cpus_, std::move(kept));
+}
+
+Trace::Summary Trace::summarize(int max_procs) const {
+  Summary s;
+  s.name = name_;
+  s.total_jobs = jobs_.size();
+  const Trace clean = cleaned(max_procs);
+  s.kept_jobs = clean.size();
+  s.kept_percent = jobs_.empty()
+                       ? 0.0
+                       : 100.0 * static_cast<double>(s.kept_jobs) /
+                             static_cast<double>(s.total_jobs);
+  s.cpus = system_cpus_;
+  s.months = duration() / (30.0 * 24.0 * 3600.0);
+  s.load_percent = 100.0 * load();
+  return s;
+}
+
+std::string validate(const Trace& trace) {
+  const auto& jobs = trace.jobs();
+  char buf[160];
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    if (j.runtime <= 0.0) {
+      std::snprintf(buf, sizeof buf, "job %zu has non-positive runtime", i);
+      return buf;
+    }
+    if (j.procs <= 0) {
+      std::snprintf(buf, sizeof buf, "job %zu has non-positive procs", i);
+      return buf;
+    }
+    if (j.estimate < 0.0) {
+      std::snprintf(buf, sizeof buf, "job %zu has negative estimate", i);
+      return buf;
+    }
+    if (i > 0 && jobs[i - 1].submit > j.submit) {
+      std::snprintf(buf, sizeof buf, "jobs %zu and %zu out of submit order", i - 1, i);
+      return buf;
+    }
+  }
+  return {};
+}
+
+}  // namespace psched::workload

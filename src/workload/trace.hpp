@@ -1,0 +1,70 @@
+#pragma once
+// A workload trace: an ordered sequence of jobs plus system metadata, with
+// the cleaning rules from the paper (Section 5.2) and the Table-1 summary
+// statistics.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace psched::workload {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, int system_cpus, std::vector<Job> jobs);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int system_cpus() const noexcept { return system_cpus_; }
+  [[nodiscard]] const std::vector<Job>& jobs() const noexcept { return jobs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return jobs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return jobs_.empty(); }
+
+  /// Trace duration: last submit time (seconds). 0 for empty traces.
+  [[nodiscard]] SimTime duration() const noexcept;
+
+  /// Total work (sum of procs * runtime) in processor-seconds.
+  [[nodiscard]] double total_work() const noexcept;
+
+  /// Offered load on the original system: total_work / (cpus * duration).
+  [[nodiscard]] double load() const noexcept;
+
+  /// Number of jobs requesting at most `procs` processors.
+  [[nodiscard]] std::size_t count_at_most(int procs) const noexcept;
+
+  /// A sub-trace containing only jobs with submit < horizon_seconds,
+  /// preserving name and system size. Used to scale experiments down.
+  [[nodiscard]] Trace head(SimTime horizon_seconds) const;
+
+  /// Paper cleaning rules: drop jobs with runtime <= 0 or procs <= 0, jobs
+  /// wider than the original system, and jobs wider than `max_procs`
+  /// (the paper keeps only jobs requesting up to 64 processors).
+  [[nodiscard]] Trace cleaned(int max_procs = 64) const;
+
+  struct Summary {
+    std::string name;
+    std::size_t total_jobs = 0;     ///< before the <=max_procs filter
+    std::size_t kept_jobs = 0;      ///< after cleaning
+    double kept_percent = 0.0;
+    int cpus = 0;
+    double months = 0.0;            ///< duration in 30-day months
+    double load_percent = 0.0;
+  };
+  /// Table-1-style characteristics of a *raw* trace cleaned at `max_procs`.
+  [[nodiscard]] Summary summarize(int max_procs = 64) const;
+
+ private:
+  std::string name_;
+  int system_cpus_ = 0;
+  std::vector<Job> jobs_;  // sorted by (submit, id)
+};
+
+/// Validates invariants the rest of the system relies on: jobs sorted by
+/// submit time, positive runtimes/procs, estimates >= 0. Returns an empty
+/// string when valid, else a description of the first violation.
+[[nodiscard]] std::string validate(const Trace& trace);
+
+}  // namespace psched::workload

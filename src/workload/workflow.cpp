@@ -1,0 +1,165 @@
+#include "workload/workflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace psched::workload {
+
+namespace {
+
+double round_up(double x, double step) { return std::ceil(x / step) * step; }
+
+/// Emit one task; returns its id.
+JobId emit_task(std::vector<Job>& jobs, JobId& next_id, const WorkflowConfig& c,
+                SimTime submit, WorkflowId workflow, UserId user,
+                std::vector<JobId> deps, util::Rng& rng) {
+  Job task;
+  task.id = next_id++;
+  task.submit = submit;
+  task.runtime = std::clamp(rng.lognormal(c.task_runtime_mu, c.task_runtime_sigma),
+                            c.runtime_min, c.runtime_max);
+  task.procs = 1;
+  if (!rng.bernoulli(c.serial_fraction)) {
+    int width = 2;
+    while (width < c.max_procs && rng.bernoulli(0.5)) width *= 2;
+    task.procs = std::min(width, c.max_procs);
+  }
+  const double blowup = std::pow(10.0, rng.uniform(0.0, c.est_exponent));
+  task.estimate = std::min(c.runtime_max, round_up(task.runtime * blowup, c.est_round));
+  task.user = user;
+  task.workflow = workflow;
+  task.deps = std::move(deps);
+  jobs.push_back(std::move(task));
+  return jobs.back().id;
+}
+
+void emit_chain(std::vector<Job>& jobs, JobId& next_id, const WorkflowConfig& c,
+                SimTime submit, WorkflowId wf, UserId user, int tasks, util::Rng& rng) {
+  JobId prev = kInvalidJob;
+  for (int t = 0; t < tasks; ++t) {
+    std::vector<JobId> deps;
+    if (prev != kInvalidJob) deps.push_back(prev);
+    prev = emit_task(jobs, next_id, c, submit, wf, user, std::move(deps), rng);
+  }
+}
+
+void emit_fork_join(std::vector<Job>& jobs, JobId& next_id, const WorkflowConfig& c,
+                    SimTime submit, WorkflowId wf, UserId user, int tasks,
+                    util::Rng& rng) {
+  // 1 entry + N parallel + 1 exit; N = tasks - 2 (>= 1).
+  const int fan = std::max(1, tasks - 2);
+  const JobId entry = emit_task(jobs, next_id, c, submit, wf, user, {}, rng);
+  std::vector<JobId> middle;
+  middle.reserve(static_cast<std::size_t>(fan));
+  for (int t = 0; t < fan; ++t)
+    middle.push_back(emit_task(jobs, next_id, c, submit, wf, user, {entry}, rng));
+  emit_task(jobs, next_id, c, submit, wf, user, std::move(middle), rng);
+}
+
+void emit_layered(std::vector<Job>& jobs, JobId& next_id, const WorkflowConfig& c,
+                  SimTime submit, WorkflowId wf, UserId user, int tasks,
+                  util::Rng& rng) {
+  const int layers = std::max(
+      2, static_cast<int>(rng.uniform_int(2, std::max(2, c.layers_max))));
+  std::vector<std::vector<JobId>> levels(static_cast<std::size_t>(layers));
+  // Distribute tasks over layers, at least one per layer.
+  for (int layer = 0; layer < layers; ++layer)
+    levels[static_cast<std::size_t>(layer)] = {};
+  for (int t = 0; t < tasks; ++t) {
+    const auto layer = static_cast<std::size_t>(
+        t < layers ? t : rng.uniform_int(0, layers - 1));
+    levels[layer].push_back(kInvalidJob);  // placeholder; filled below
+  }
+  std::vector<JobId> previous;
+  for (auto& level : levels) {
+    std::vector<JobId> current;
+    current.reserve(level.size());
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      std::vector<JobId> deps;
+      if (!previous.empty()) {
+        const auto fanin = static_cast<std::size_t>(rng.uniform_int(
+            1, std::min<std::int64_t>(c.max_fanin,
+                                      static_cast<std::int64_t>(previous.size()))));
+        std::unordered_set<JobId> chosen;
+        while (chosen.size() < fanin) {
+          chosen.insert(previous[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(previous.size()) - 1))]);
+        }
+        deps.assign(chosen.begin(), chosen.end());
+        std::sort(deps.begin(), deps.end());
+      }
+      current.push_back(
+          emit_task(jobs, next_id, c, submit, wf, user, std::move(deps), rng));
+    }
+    previous = std::move(current);
+  }
+}
+
+}  // namespace
+
+Trace generate_workflows(const WorkflowConfig& c, std::uint64_t seed) {
+  PSCHED_ASSERT(c.workflows_per_day > 0.0 && c.duration_days > 0.0);
+  PSCHED_ASSERT(c.min_tasks >= 1 && c.max_tasks >= c.min_tasks);
+  PSCHED_ASSERT(c.max_procs >= 1 && c.max_procs <= c.system_cpus);
+  util::Rng root(seed);
+  util::Rng arrival_rng = root.split();
+  util::Rng task_rng = root.split();
+
+  const double horizon = c.duration_days * 24.0 * 3600.0;
+  ArrivalProcess arrivals(c.workflows_per_day / 86400.0,
+                          DiurnalProfile(c.diurnal_amplitude, c.weekend_factor),
+                          BurstProcess(1.0, 0.0, 0.0));
+  const std::vector<SimTime> submits = arrivals.sample(horizon, arrival_rng);
+
+  std::vector<Job> jobs;
+  JobId next_id = 0;
+  WorkflowId next_workflow = 0;
+  const std::vector<double> weights{c.chain_weight, c.forkjoin_weight,
+                                    c.layered_weight};
+  for (const SimTime submit : submits) {
+    const WorkflowId wf = next_workflow++;
+    const auto user =
+        static_cast<UserId>(task_rng.uniform_int(0, c.num_users - 1));
+    const auto tasks =
+        static_cast<int>(task_rng.uniform_int(c.min_tasks, c.max_tasks));
+    switch (static_cast<DagShape>(task_rng.weighted_index(weights))) {
+      case DagShape::kChain:
+        emit_chain(jobs, next_id, c, submit, wf, user, tasks, task_rng);
+        break;
+      case DagShape::kForkJoin:
+        emit_fork_join(jobs, next_id, c, submit, wf, user, tasks, task_rng);
+        break;
+      case DagShape::kLayered:
+        emit_layered(jobs, next_id, c, submit, wf, user, tasks, task_rng);
+        break;
+    }
+  }
+  return Trace(c.name, c.system_cpus, std::move(jobs));
+}
+
+std::string validate_workflows(const Trace& trace) {
+  std::unordered_map<JobId, const Job*> by_id;
+  for (const Job& j : trace.jobs()) {
+    if (!by_id.emplace(j.id, &j).second) return "duplicate job id";
+  }
+  for (const Job& j : trace.jobs()) {
+    for (const JobId dep : j.deps) {
+      const auto it = by_id.find(dep);
+      if (it == by_id.end()) return "dependency on unknown job";
+      if (dep == j.id) return "self-dependency";
+      if (it->second->workflow != j.workflow) return "cross-workflow dependency";
+      // Generators emit dependencies before dependents: id order is a
+      // topological order, which also rules out cycles.
+      if (dep >= j.id) return "forward dependency (not topologically ordered)";
+      if (it->second->submit > j.submit) return "dependency submitted later";
+    }
+  }
+  return {};
+}
+
+}  // namespace psched::workload

@@ -1,0 +1,76 @@
+#pragma once
+// Scientific-workflow workload generation — the substrate for the paper's
+// future-work item #4 ("we are adapting portfolio scheduling for the
+// execution of scientific workflows"). A workflow is a DAG of tasks
+// expressed through Job::deps; the engine releases a task to the queue
+// when its dependencies complete.
+//
+// Three canonical DAG shapes from the workflow-scheduling literature:
+//   * kChain     — sequential pipelines (e.g. genomics stages);
+//   * kForkJoin  — an entry task fans out to N parallel tasks that join
+//                  into an exit task (e.g. parameter sweeps with a merge);
+//   * kLayered   — L levels, each task depending on 1..k random tasks of
+//                  the previous level (Montage-like irregular DAGs).
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/distributions.hpp"
+#include "workload/trace.hpp"
+
+namespace psched::workload {
+
+enum class DagShape {
+  kChain,
+  kForkJoin,
+  kLayered,
+};
+
+struct WorkflowConfig {
+  std::string name = "workflows";
+  int system_cpus = 128;
+  double duration_days = 2.0;
+  double workflows_per_day = 96.0;     ///< workflow submission rate
+
+  // Shape mix: probability weights for {chain, fork-join, layered}.
+  double chain_weight = 1.0;
+  double forkjoin_weight = 1.0;
+  double layered_weight = 1.0;
+
+  int min_tasks = 4;
+  int max_tasks = 24;          ///< tasks per workflow, uniform
+  int layers_max = 4;          ///< kLayered: number of levels (>= 2)
+  int max_fanin = 3;           ///< kLayered: dependencies per task
+
+  // Task sizes.
+  double task_runtime_mu = std::log(300.0);  ///< log-normal median 300 s
+  double task_runtime_sigma = 1.0;
+  double runtime_min = 5.0;
+  double runtime_max = 6.0 * 3600.0;
+  double serial_fraction = 0.7;  ///< P(task needs 1 VM)
+  int max_procs = 16;            ///< widest task
+
+  // User estimates, as in TraceGenerator.
+  double est_exponent = 1.5;
+  double est_round = 300.0;
+  int num_users = 64;
+
+  // Arrival shape.
+  double diurnal_amplitude = 0.4;
+  double weekend_factor = 0.8;
+};
+
+/// Generate a workflow trace: every task is a Job with deps/workflow set;
+/// all tasks of a workflow share the workflow's submission time (the DAG
+/// is known at submission; eligibility is what staggers execution).
+/// Deterministic in (config, seed).
+[[nodiscard]] Trace generate_workflows(const WorkflowConfig& config, std::uint64_t seed);
+
+/// Structural check: deps reference in-trace earlier-or-equal-submit jobs,
+/// no self/forward references, DAG per workflow (no cycles). Returns an
+/// empty string when valid.
+[[nodiscard]] std::string validate_workflows(const Trace& trace);
+
+}  // namespace psched::workload

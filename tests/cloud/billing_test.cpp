@@ -1,0 +1,64 @@
+// Billing-quantum coverage: the generalized charged_seconds_for and the
+// provider under non-hourly quanta (modern per-second billing).
+#include <gtest/gtest.h>
+
+#include "cloud/provider.hpp"
+#include "cloud/vm.hpp"
+
+namespace psched::cloud {
+namespace {
+
+TEST(BillingQuantum, PerMinuteRounding) {
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 0.0, 60.0), 60.0);   // minimum
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 59.0, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 60.0, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 61.0, 60.0), 120.0);
+}
+
+TEST(BillingQuantum, PerSecondIsNearlyExact) {
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 1234.0, 1.0), 1234.0);
+  EXPECT_DOUBLE_EQ(charged_seconds_for(0.0, 1234.5, 1.0), 1235.0);
+}
+
+TEST(BillingQuantum, HourlyMatchesLegacyHelpers) {
+  EXPECT_DOUBLE_EQ(charged_seconds_for(100.0, 100.0 + 3601.0), 2.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(100.0, 100.0 + 3601.0), 2.0);
+}
+
+TEST(BillingQuantum, RemainingPaidUnderMinuteQuantum) {
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 0.0, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 45.0, 60.0), 15.0);
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 60.0, 60.0), 0.0);
+}
+
+TEST(BillingQuantum, ProviderChargesPerMinute) {
+  ProviderConfig config;
+  config.max_vms = 4;
+  config.boot_delay = 0.0;
+  config.billing_quantum = 60.0;
+  CloudProvider provider(config);
+  const auto ids = provider.lease(1, 0.0);
+  provider.release(ids[0], 130.0);  // 130 s -> 3 minutes -> 180 s = 0.05 h
+  EXPECT_DOUBLE_EQ(provider.charged_hours_released(), 180.0 / 3600.0);
+}
+
+TEST(BillingQuantum, ReleaseExpiringUsesQuantum) {
+  ProviderConfig config;
+  config.max_vms = 2;
+  config.boot_delay = 0.0;
+  config.billing_quantum = 60.0;
+  CloudProvider provider(config);
+  (void)provider.lease(1, 0.0);
+  // 5 s before the minute boundary, a 20 s window catches it.
+  EXPECT_EQ(provider.release_expiring_idle(55.0, 20.0), 1u);
+}
+
+TEST(BillingQuantum, SnapshotCarriesQuantum) {
+  ProviderConfig config;
+  config.billing_quantum = 1.0;
+  CloudProvider provider(config);
+  EXPECT_DOUBLE_EQ(provider.snapshot(0.0).billing_quantum, 1.0);
+}
+
+}  // namespace
+}  // namespace psched::cloud

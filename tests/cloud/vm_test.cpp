@@ -1,0 +1,52 @@
+#include "cloud/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::cloud {
+namespace {
+
+TEST(Billing, MinimumOneHour) {
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(100.0, 100.0 + 3599.0), 1.0);
+}
+
+TEST(Billing, RoundsUpToNextHour) {
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 3601.0), 2.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 7200.0), 2.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 7200.5), 3.0);
+}
+
+TEST(Billing, OffsetLeaseTime) {
+  EXPECT_DOUBLE_EQ(charged_hours_for(500.0, 500.0 + 5400.0), 2.0);
+}
+
+TEST(RemainingPaid, FreshLeaseHasFullHour) {
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 0.0), 3600.0);
+}
+
+TEST(RemainingPaid, MidHour) {
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 1800.0), 1800.0);
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 3599.0), 1.0);
+}
+
+TEST(RemainingPaid, ZeroAtBoundary) {
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 3600.0), 0.0);
+  EXPECT_DOUBLE_EQ(remaining_paid_at(0.0, 7200.0), 0.0);
+}
+
+TEST(RemainingPaid, JustPastBoundaryChargesNewHour) {
+  EXPECT_NEAR(remaining_paid_at(0.0, 3600.5), 3599.5, 1e-9);
+}
+
+TEST(VmInstanceHelpers, UseLeaseTime) {
+  VmInstance vm;
+  vm.lease_time = 1000.0;
+  EXPECT_DOUBLE_EQ(charged_hours(vm, 1000.0 + 4000.0), 2.0);
+  EXPECT_DOUBLE_EQ(paid_until(vm, 1000.0 + 4000.0), 1000.0 + 7200.0);
+  EXPECT_DOUBLE_EQ(remaining_paid(vm, 1000.0 + 4000.0), 3200.0);
+}
+
+}  // namespace
+}  // namespace psched::cloud

@@ -1,0 +1,115 @@
+// EASY backfilling inside the online simulator, and cross-mode invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/online_sim.hpp"
+
+namespace psched::core {
+namespace {
+
+OnlineSimConfig config_with(policy::AllocationMode mode) {
+  OnlineSimConfig c;
+  c.utility = metrics::UtilityParams{100.0, 1.0, 1.0};
+  c.allocation = mode;
+  c.cost_model = InnerCostModel::kChargedHours;
+  return c;
+}
+
+cloud::CloudProfile empty_cloud(SimTime now = 0.0, std::size_t cap = 256) {
+  cloud::CloudProfile p;
+  p.now = now;
+  p.max_vms = cap;
+  p.boot_delay = 120.0;
+  return p;
+}
+
+policy::QueuedJob make_queued(JobId id, double submit, int procs, double predicted) {
+  policy::QueuedJob q;
+  q.id = id;
+  q.submit = submit;
+  q.procs = procs;
+  q.predicted_runtime = predicted;
+  return q;
+}
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+policy::PolicyTriple policy_by_name(const std::string& name) {
+  const policy::PolicyTriple* t = portfolio().find(name);
+  EXPECT_NE(t, nullptr) << name;
+  return *t;
+}
+
+TEST(OnlineSimBackfill, ShortJobSlipsPastBlockedWideHead) {
+  // ODM provisions for the widest job (8 VMs); under FCFS the wide job is
+  // the head while its VMs boot. A 10 s job behind it can backfill onto a
+  // pre-existing idle VM under EASY but must wait under head-of-line.
+  cloud::CloudProfile profile = empty_cloud(100.0);
+  profile.vms.push_back(cloud::VmView{50.0, 100.0, false});  // one idle VM
+  const std::vector<policy::QueuedJob> queue{make_queued(0, 0.0, 8, 1000.0),
+                                             make_queued(1, 90.0, 1, 10.0)};
+  const auto policy = policy_by_name("ODM-FCFS-FirstFit");
+
+  const SimOutcome head_of_line =
+      OnlineSimulator(config_with(policy::AllocationMode::kHeadOfLine))
+          .simulate(queue, profile, policy);
+  const SimOutcome easy =
+      OnlineSimulator(config_with(policy::AllocationMode::kEasyBackfill))
+          .simulate(queue, profile, policy);
+
+  // Both finish everything, but EASY's short job waits far less -> lower BSD.
+  EXPECT_LT(easy.avg_bounded_slowdown, head_of_line.avg_bounded_slowdown);
+}
+
+TEST(OnlineSimBackfill, SameWorkBothModes) {
+  std::vector<policy::QueuedJob> queue;
+  for (int i = 0; i < 15; ++i)
+    queue.push_back(make_queued(i, i * 7.0, 1 + (i % 4) * 2, 30.0 + 250.0 * (i % 3)));
+  for (const char* name :
+       {"ODA-FCFS-FirstFit", "ODM-UNICEF-BestFit", "ODX-LXF-WorstFit"}) {
+    const auto policy = policy_by_name(name);
+    const SimOutcome a =
+        OnlineSimulator(config_with(policy::AllocationMode::kHeadOfLine))
+            .simulate(queue, empty_cloud(), policy);
+    const SimOutcome b =
+        OnlineSimulator(config_with(policy::AllocationMode::kEasyBackfill))
+            .simulate(queue, empty_cloud(), policy);
+    EXPECT_DOUBLE_EQ(a.rj_proc_seconds, b.rj_proc_seconds) << name;
+    EXPECT_TRUE(std::isfinite(b.utility)) << name;
+  }
+}
+
+TEST(OnlineSimBackfill, DeterministicUnderEasy) {
+  std::vector<policy::QueuedJob> queue;
+  for (int i = 0; i < 20; ++i)
+    queue.push_back(make_queued(i, i * 3.0, 1 + i % 8, 20.0 + i * 11.0));
+  const auto policy = policy_by_name("ODE-WFP3-BestFit");
+  const OnlineSimulator sim(config_with(policy::AllocationMode::kEasyBackfill));
+  const SimOutcome a = sim.simulate(queue, empty_cloud(50.0), policy);
+  const SimOutcome b = sim.simulate(queue, empty_cloud(50.0), policy);
+  EXPECT_DOUBLE_EQ(a.utility, b.utility);
+  EXPECT_EQ(a.decisions, b.decisions);
+}
+
+TEST(OnlineSimBackfill, AllSixtyPoliciesCompleteUnderEasy) {
+  std::vector<policy::QueuedJob> queue;
+  for (int i = 0; i < 10; ++i)
+    queue.push_back(make_queued(i, i * 5.0, 1 + (i % 3) * 4, 40.0 + 160.0 * (i % 4)));
+  cloud::CloudProfile profile = empty_cloud(60.0, 32);
+  profile.vms.push_back(cloud::VmView{0.0, 60.0, false});
+  const OnlineSimulator sim(config_with(policy::AllocationMode::kEasyBackfill));
+  double expected_work = 0.0;
+  for (const auto& q : queue) expected_work += q.procs * q.predicted_runtime;
+  for (const policy::PolicyTriple& triple : portfolio().policies()) {
+    const SimOutcome out = sim.simulate(queue, profile, triple);
+    EXPECT_DOUBLE_EQ(out.rj_proc_seconds, expected_work) << triple.name();
+    EXPECT_GE(out.avg_bounded_slowdown, 1.0) << triple.name();
+  }
+}
+
+}  // namespace
+}  // namespace psched::core

@@ -1,0 +1,86 @@
+#include "core/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::core {
+namespace {
+
+policy::QueuedJob make_queued(JobId id, int procs, double predicted) {
+  policy::QueuedJob q;
+  q.id = id;
+  q.submit = 0.0;
+  q.procs = procs;
+  q.predicted_runtime = predicted;
+  return q;
+}
+
+cloud::CloudProfile make_profile(std::size_t idle, std::size_t busy) {
+  cloud::CloudProfile p;
+  p.now = 1000.0;
+  p.max_vms = 256;
+  p.boot_delay = 120.0;
+  for (std::size_t i = 0; i < idle; ++i) p.vms.push_back({0.0, 1000.0, false});
+  for (std::size_t i = 0; i < busy; ++i) p.vms.push_back({0.0, 2000.0, true});
+  return p;
+}
+
+TEST(WorkloadSignature, EmptyQueueIsAllZeroBuckets) {
+  const auto sig = signature_of({}, make_profile(0, 0));
+  EXPECT_EQ(sig.queue_len, 0);
+  EXPECT_EQ(sig.queued_procs, 0);
+  EXPECT_EQ(sig.queued_work, 0);
+  EXPECT_EQ(sig.widest_job, 0);
+  EXPECT_EQ(sig.idle_vms, 0);
+  EXPECT_EQ(sig.unavailable_vms, 0);
+}
+
+TEST(WorkloadSignature, LogBucketsAbsorbSmallChanges) {
+  // 5 vs 6 queued jobs land in the same bucket; 5 vs 50 must not.
+  std::vector<policy::QueuedJob> q5, q6, q50;
+  for (int i = 0; i < 50; ++i) {
+    const auto job = make_queued(i, 1, 60.0);
+    if (i < 5) q5.push_back(job);
+    if (i < 6) q6.push_back(job);
+    q50.push_back(job);
+  }
+  const auto profile = make_profile(2, 2);
+  EXPECT_EQ(signature_of(q5, profile), signature_of(q6, profile));
+  EXPECT_NE(signature_of(q5, profile), signature_of(q50, profile));
+}
+
+TEST(WorkloadSignature, DetectsWidestJobChange) {
+  const auto profile = make_profile(1, 1);
+  const std::vector<policy::QueuedJob> narrow{make_queued(0, 1, 60.0)};
+  const std::vector<policy::QueuedJob> wide{make_queued(0, 32, 60.0)};
+  EXPECT_NE(signature_of(narrow, profile), signature_of(wide, profile));
+}
+
+TEST(WorkloadSignature, DetectsWorkChange) {
+  const auto profile = make_profile(1, 1);
+  const std::vector<policy::QueuedJob> small{make_queued(0, 1, 60.0)};
+  const std::vector<policy::QueuedJob> big{make_queued(0, 1, 60000.0)};
+  EXPECT_NE(signature_of(small, profile), signature_of(big, profile));
+}
+
+TEST(WorkloadSignature, DetectsFleetChange) {
+  const std::vector<policy::QueuedJob> queue{make_queued(0, 1, 60.0)};
+  EXPECT_NE(signature_of(queue, make_profile(0, 0)),
+            signature_of(queue, make_profile(8, 0)));
+  EXPECT_NE(signature_of(queue, make_profile(2, 0)),
+            signature_of(queue, make_profile(2, 30)));
+}
+
+TEST(WorkloadSignature, KeyIsInjectiveOnDistinctSignatures) {
+  const std::vector<policy::QueuedJob> a{make_queued(0, 1, 60.0)};
+  const std::vector<policy::QueuedJob> b{make_queued(0, 16, 6000.0)};
+  const auto profile = make_profile(3, 5);
+  const auto sig_a = signature_of(a, profile);
+  const auto sig_b = signature_of(b, profile);
+  ASSERT_NE(sig_a, sig_b);
+  EXPECT_NE(signature_key(sig_a), signature_key(sig_b));
+  EXPECT_EQ(signature_key(sig_a), signature_key(sig_a));
+  EXPECT_NE(signature_key(sig_a), 0u);  // non-empty instances tag as nonzero
+}
+
+}  // namespace
+}  // namespace psched::core

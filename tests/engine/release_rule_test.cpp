@@ -1,0 +1,110 @@
+// Cross-checks of the two idle-VM release rules and their interaction with
+// allocation modes and billing quanta — parameterized engine sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "engine/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::engine {
+namespace {
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+workload::Trace small_trace(std::uint64_t seed = 77) {
+  workload::GeneratorConfig c;
+  c.name = "rel";
+  c.system_cpus = 64;
+  c.duration_days = 0.4;
+  c.jobs_per_month = 15000.0;
+  c.target_load = 0.35;
+  c.max_procs = 16;
+  c.runtime_max = 4.0 * 3600.0;
+  return workload::TraceGenerator(c).generate(seed).cleaned(16);
+}
+
+using Param = std::tuple<core::ReleaseRule, policy::AllocationMode, double>;
+
+class ReleaseRuleSweep : public testing::TestWithParam<Param> {};
+
+TEST_P(ReleaseRuleSweep, EngineInvariantsHold) {
+  const auto& [release, allocation, quantum] = GetParam();
+  EngineConfig config = paper_engine_config();
+  config.release_rule = release;
+  config.allocation = allocation;
+  config.provider.billing_quantum = quantum;
+  const workload::Trace trace = small_trace();
+  ASSERT_GT(trace.size(), 20u);
+  const auto result = run_single_policy(config, trace,
+                                        *portfolio().find("ODX-UNICEF-FirstFit"),
+                                        PredictorKind::kPerfect);
+  const auto& m = result.run.metrics;
+  EXPECT_EQ(m.jobs, trace.size());
+  EXPECT_GE(m.rv_charged_seconds, m.rj_proc_seconds - 1e-6);
+  EXPECT_GE(m.avg_bounded_slowdown, 1.0);
+  // Charged time is a whole number of quanta (fp residue may land just
+  // below the quantum instead of just above zero).
+  const double residue = std::fmod(m.rv_charged_seconds, quantum);
+  EXPECT_LE(std::min(residue, quantum - residue), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReleaseRuleSweep,
+    testing::Combine(testing::Values(core::ReleaseRule::kEagerSurplus,
+                                     core::ReleaseRule::kBoundary),
+                     testing::Values(policy::AllocationMode::kHeadOfLine,
+                                     policy::AllocationMode::kEasyBackfill),
+                     testing::Values(3600.0, 60.0)),
+    [](const testing::TestParamInfo<Param>& info) {
+      std::string name;
+      name += std::get<0>(info.param) == core::ReleaseRule::kEagerSurplus ? "eager"
+                                                                          : "boundary";
+      name += std::get<1>(info.param) == policy::AllocationMode::kHeadOfLine
+                  ? "_hol"
+                  : "_easy";
+      name += std::get<2>(info.param) == 3600.0 ? "_hourly" : "_minute";
+      return name;
+    });
+
+TEST(ReleaseRules, BoundaryNeverCostsMoreThanEagerHere) {
+  // Holding paid VMs until their boundary can only increase reuse; on the
+  // same trace and policy it should not cost more than eager release.
+  const workload::Trace trace = small_trace(5);
+  EngineConfig eager = paper_engine_config();
+  EngineConfig boundary = paper_engine_config();
+  boundary.release_rule = core::ReleaseRule::kBoundary;
+  const auto triple = *portfolio().find("ODA-UNICEF-FirstFit");
+  const auto cost_eager =
+      run_single_policy(eager, trace, triple, PredictorKind::kPerfect)
+          .run.metrics.rv_charged_seconds;
+  const auto cost_boundary =
+      run_single_policy(boundary, trace, triple, PredictorKind::kPerfect)
+          .run.metrics.rv_charged_seconds;
+  EXPECT_LE(cost_boundary, cost_eager + 1e-6);
+}
+
+TEST(ReleaseRules, PerSecondBillingMakesRulesNearlyEquivalent) {
+  // At 1-second quanta there is no paid tail to hold on to: both rules
+  // converge to nearly the same cost.
+  const workload::Trace trace = small_trace(6);
+  EngineConfig eager = paper_engine_config();
+  eager.provider.billing_quantum = 1.0;
+  EngineConfig boundary = eager;
+  boundary.release_rule = core::ReleaseRule::kBoundary;
+  const auto triple = *portfolio().find("ODB-UNICEF-FirstFit");
+  const auto cost_eager =
+      run_single_policy(eager, trace, triple, PredictorKind::kPerfect)
+          .run.metrics.rv_charged_seconds;
+  const auto cost_boundary =
+      run_single_policy(boundary, trace, triple, PredictorKind::kPerfect)
+          .run.metrics.rv_charged_seconds;
+  EXPECT_NEAR(cost_boundary / cost_eager, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace psched::engine

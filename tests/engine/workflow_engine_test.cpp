@@ -1,0 +1,150 @@
+// Engine-level workflow semantics: dependency gating, eligibility-based
+// waiting, and end-to-end workflow runs under single policies and the
+// portfolio.
+#include <gtest/gtest.h>
+
+#include "engine/experiment.hpp"
+#include "workload/workflow.hpp"
+
+namespace psched::engine {
+namespace {
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+workload::Job make_task(JobId id, double submit, double runtime, int procs,
+                        std::vector<JobId> deps, workload::WorkflowId wf = 1) {
+  workload::Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.procs = procs;
+  j.estimate = runtime;
+  j.deps = std::move(deps);
+  j.workflow = wf;
+  return j;
+}
+
+RunResult run_one(const workload::Trace& trace, const std::string& policy_name) {
+  return run_single_policy(paper_engine_config(), trace, *portfolio().find(policy_name),
+                           PredictorKind::kPerfect)
+      .run;
+}
+
+TEST(WorkflowEngine, ChainRunsSequentially) {
+  // Two-task chain, both submitted at 0; task 1 must start only after
+  // task 0 finishes, even though VMs are plentiful.
+  const workload::Trace trace(
+      "wf", 64, {make_task(0, 0.0, 300.0, 1, {}), make_task(1, 0.0, 200.0, 1, {0})});
+  EngineConfig config = paper_engine_config();
+  config.keep_job_records = true;
+  const auto result = run_single_policy(config, trace,
+                                        *portfolio().find("ODA-FCFS-FirstFit"),
+                                        PredictorKind::kPerfect);
+  ASSERT_EQ(result.run.job_records.size(), 2u);
+  const auto& records = result.run.job_records;
+  const auto& first = records[0].id == 0 ? records[0] : records[1];
+  const auto& second = records[0].id == 1 ? records[0] : records[1];
+  EXPECT_GE(second.start, first.finish);
+  // Task 1 became eligible when task 0 finished, so its wait is small
+  // (next tick + boot), not "since submission".
+  EXPECT_DOUBLE_EQ(second.eligible, first.finish);
+  EXPECT_LE(second.wait(), 160.0);  // <= tick + boot delay
+  // Workflow makespan covers both tasks.
+  EXPECT_EQ(result.run.metrics.workflows, 1u);
+  EXPECT_DOUBLE_EQ(result.run.metrics.avg_workflow_makespan, second.finish);
+}
+
+TEST(WorkflowEngine, ForkJoinParallelizesMiddle) {
+  // entry -> {4 parallel} -> exit. The middle tasks run concurrently.
+  std::vector<workload::Job> tasks{make_task(0, 0.0, 100.0, 1, {})};
+  for (JobId i = 1; i <= 4; ++i) tasks.push_back(make_task(i, 0.0, 400.0, 1, {0}));
+  tasks.push_back(make_task(5, 0.0, 100.0, 1, {1, 2, 3, 4}));
+  const workload::Trace trace("wf", 64, std::move(tasks));
+  EngineConfig config = paper_engine_config();
+  config.keep_job_records = true;
+  const auto result = run_single_policy(config, trace,
+                                        *portfolio().find("ODA-FCFS-FirstFit"),
+                                        PredictorKind::kPerfect);
+  ASSERT_EQ(result.run.metrics.jobs, 6u);
+  double mid_start_min = 1e18, mid_start_max = -1.0, exit_start = 0.0,
+         mid_finish_max = 0.0;
+  for (const auto& record : result.run.job_records) {
+    if (record.id >= 1 && record.id <= 4) {
+      mid_start_min = std::min(mid_start_min, record.start);
+      mid_start_max = std::max(mid_start_max, record.start);
+      mid_finish_max = std::max(mid_finish_max, record.finish);
+    }
+    if (record.id == 5) exit_start = record.start;
+  }
+  // All four middles start within one boot+tick window of each other.
+  EXPECT_LE(mid_start_max - mid_start_min, 160.0);
+  EXPECT_GE(exit_start, mid_finish_max);
+}
+
+TEST(WorkflowEngine, DependencyCompletedBeforeArrival) {
+  // Task 1 arrives long after its dependency finished: eligible at submit.
+  const workload::Trace trace(
+      "wf", 64, {make_task(0, 0.0, 50.0, 1, {}), make_task(1, 5000.0, 50.0, 1, {0})});
+  EngineConfig config = paper_engine_config();
+  config.keep_job_records = true;
+  const auto result = run_single_policy(config, trace,
+                                        *portfolio().find("ODA-FCFS-FirstFit"),
+                                        PredictorKind::kPerfect);
+  for (const auto& record : result.run.job_records) {
+    if (record.id == 1) {
+      EXPECT_DOUBLE_EQ(record.eligible, 5000.0);
+    }
+  }
+}
+
+TEST(WorkflowEngine, GeneratedWorkflowsRunToCompletion) {
+  workload::WorkflowConfig config;
+  config.duration_days = 0.25;
+  config.workflows_per_day = 150.0;
+  const workload::Trace trace = workload::generate_workflows(config, 9);
+  ASSERT_GT(trace.size(), 50u);
+  const RunResult r = run_one(trace, "ODX-UNICEF-FirstFit");
+  EXPECT_EQ(r.metrics.jobs, trace.size());
+  EXPECT_GT(r.metrics.workflows, 0u);
+  EXPECT_GT(r.metrics.avg_workflow_makespan, 0.0);
+  EXPECT_GE(r.metrics.max_workflow_makespan, r.metrics.avg_workflow_makespan);
+}
+
+TEST(WorkflowEngine, PortfolioHandlesWorkflows) {
+  workload::WorkflowConfig wconfig;
+  wconfig.duration_days = 0.25;
+  wconfig.workflows_per_day = 100.0;
+  const workload::Trace trace = workload::generate_workflows(wconfig, 10);
+  const EngineConfig config = paper_engine_config();
+  const auto result = run_portfolio(config, trace, portfolio(),
+                                    paper_portfolio_config(config),
+                                    PredictorKind::kPerfect);
+  EXPECT_EQ(result.run.metrics.jobs, trace.size());
+  EXPECT_GT(result.portfolio.invocations, 0u);
+}
+
+TEST(WorkflowEngine, DeterministicWorkflowRuns) {
+  workload::WorkflowConfig wconfig;
+  wconfig.duration_days = 0.2;
+  const workload::Trace trace = workload::generate_workflows(wconfig, 11);
+  const RunResult a = run_one(trace, "ODB-LXF-BestFit");
+  const RunResult b = run_one(trace, "ODB-LXF-BestFit");
+  EXPECT_DOUBLE_EQ(a.metrics.avg_workflow_makespan, b.metrics.avg_workflow_makespan);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(WorkflowEngine, SelfDependencyAborts) {
+  const workload::Trace trace("wf", 64, {make_task(0, 0.0, 50.0, 1, {0})});
+  EXPECT_DEATH((void)run_one(trace, "ODA-FCFS-FirstFit"), "depends on itself");
+}
+
+TEST(WorkflowEngine, UnknownDependencyAborts) {
+  const workload::Trace trace("wf", 64, {make_task(0, 0.0, 50.0, 1, {99})});
+  EXPECT_DEATH((void)run_one(trace, "ODA-FCFS-FirstFit"), "not in the trace");
+}
+
+}  // namespace
+}  // namespace psched::engine

@@ -1,0 +1,121 @@
+// Feature-interaction coverage: the extension features composed together —
+// backfilling + change trigger + reflection + tight budgets + workflows —
+// must keep every engine invariant intact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/experiment.hpp"
+#include "workload/generator.hpp"
+#include "workload/workflow.hpp"
+
+namespace psched::engine {
+namespace {
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+core::PortfolioSchedulerConfig everything_on(const EngineConfig& config) {
+  auto pconfig = paper_portfolio_config(config);
+  pconfig.selector.time_constraint_ms = 60.0;
+  pconfig.selector.synthetic_overhead_ms = 10.0;
+  pconfig.selector.use_measured_cost = false;
+  pconfig.trigger = core::SelectionTrigger::kOnChange;
+  pconfig.max_stale_ticks = 16;
+  pconfig.use_reflection_hints = true;
+  return pconfig;
+}
+
+TEST(CombinedFeatures, AllExtensionsTogetherOnBatchTrace) {
+  EngineConfig config = paper_engine_config();
+  config.allocation = policy::AllocationMode::kEasyBackfill;
+  config.provider.billing_quantum = 60.0;
+  const auto trace =
+      workload::TraceGenerator(workload::das2_fs0_like(1.0)).generate(123).cleaned(64);
+  ASSERT_GT(trace.size(), 100u);
+
+  const auto result = run_portfolio(config, trace, portfolio(), everything_on(config),
+                                    PredictorKind::kTsafrir);
+  const auto& m = result.run.metrics;
+  EXPECT_EQ(m.jobs, trace.size());
+  EXPECT_GE(m.avg_bounded_slowdown, 1.0);
+  EXPECT_GE(m.rv_charged_seconds, m.rj_proc_seconds - 1e-6);
+  EXPECT_GT(result.portfolio.invocations, 0u);
+  // Tight budget: far fewer than 60 policies per selection.
+  EXPECT_LT(result.portfolio.mean_simulated_per_invocation, 12.0);
+  const double u = m.utility(config.utility);
+  EXPECT_TRUE(std::isfinite(u));
+  EXPECT_GT(u, 0.0);
+}
+
+TEST(CombinedFeatures, AllExtensionsTogetherOnWorkflows) {
+  EngineConfig config = paper_engine_config();
+  config.allocation = policy::AllocationMode::kEasyBackfill;
+  workload::WorkflowConfig wconfig;
+  wconfig.duration_days = 0.25;
+  wconfig.workflows_per_day = 120.0;
+  const auto trace = workload::generate_workflows(wconfig, 5);
+
+  const auto result = run_portfolio(config, trace, portfolio(), everything_on(config),
+                                    PredictorKind::kTsafrir);
+  EXPECT_EQ(result.run.metrics.jobs, trace.size());
+  EXPECT_GT(result.run.metrics.workflows, 0u);
+}
+
+TEST(CombinedFeatures, OnChangeTriggerSavesInvocationsOnStableTrace) {
+  const auto trace =
+      workload::TraceGenerator(workload::kth_sp2_like(1.5)).generate(44).cleaned(64);
+  const EngineConfig config = paper_engine_config();
+  auto periodic = paper_portfolio_config(config);
+  auto onchange = paper_portfolio_config(config);
+  onchange.trigger = core::SelectionTrigger::kOnChange;
+  onchange.max_stale_ticks = 64;
+  const auto rp = run_portfolio(config, trace, portfolio(), periodic,
+                                PredictorKind::kPerfect);
+  const auto rc = run_portfolio(config, trace, portfolio(), onchange,
+                                PredictorKind::kPerfect);
+  // The trigger must cut invocations substantially...
+  EXPECT_LT(static_cast<double>(rc.portfolio.invocations),
+            0.7 * static_cast<double>(rp.portfolio.invocations));
+  // ...without wrecking performance.
+  const double up = rp.run.metrics.utility(config.utility);
+  const double uc = rc.run.metrics.utility(config.utility);
+  EXPECT_GT(uc, 0.8 * up);
+}
+
+TEST(CombinedFeatures, ReflectionHintsDoNotChangeUnboundedResults) {
+  // With an unbounded budget every policy is simulated regardless, so the
+  // hints must not change which policy wins (only the simulation order).
+  const auto trace =
+      workload::TraceGenerator(workload::lpc_egee_like(0.5)).generate(71).cleaned(64);
+  const EngineConfig config = paper_engine_config();
+  auto plain = paper_portfolio_config(config);
+  plain.selector.tie_break = core::TieBreak::kFirstIndex;
+  auto hinted = plain;
+  hinted.use_reflection_hints = true;
+  const auto rp = run_portfolio(config, trace, portfolio(), plain,
+                                PredictorKind::kPerfect);
+  const auto rh = run_portfolio(config, trace, portfolio(), hinted,
+                                PredictorKind::kPerfect);
+  EXPECT_DOUBLE_EQ(rp.run.metrics.utility(config.utility),
+                   rh.run.metrics.utility(config.utility));
+  EXPECT_EQ(rp.portfolio.chosen_counts, rh.portfolio.chosen_counts);
+}
+
+TEST(CombinedFeatures, BackfillNeverLosesWorkAcrossPolicies) {
+  EngineConfig config = paper_engine_config();
+  config.allocation = policy::AllocationMode::kEasyBackfill;
+  const auto trace =
+      workload::TraceGenerator(workload::sdsc_sp2_like(0.5)).generate(31).cleaned(64);
+  for (std::size_t i = 0; i < portfolio().size(); i += 11) {
+    const auto result = run_single_policy(config, trace, portfolio().policies()[i],
+                                          PredictorKind::kPerfect);
+    EXPECT_EQ(result.run.metrics.jobs, trace.size())
+        << portfolio().policies()[i].name();
+  }
+}
+
+}  // namespace
+}  // namespace psched::engine

@@ -1,0 +1,147 @@
+// Property-based sweeps: system-level invariants that must hold for every
+// (policy, workload, predictor) combination — conservation of work, metric
+// sanity, and cost lower bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "engine/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::engine {
+namespace {
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+workload::Trace small_trace(std::uint64_t seed) {
+  workload::GeneratorConfig c;
+  c.name = "prop";
+  c.system_cpus = 64;
+  c.duration_days = 0.5;
+  c.jobs_per_month = 12000.0;
+  c.target_load = 0.3;
+  c.max_procs = 16;
+  c.runtime_max = 6.0 * 3600.0;
+  return workload::TraceGenerator(c).generate(seed).cleaned(16);
+}
+
+using PropertyParam = std::tuple<std::string, PredictorKind, std::uint64_t>;
+
+class PolicyPropertyTest : public testing::TestWithParam<PropertyParam> {};
+
+TEST_P(PolicyPropertyTest, RunInvariants) {
+  const auto& [policy_name, predictor, seed] = GetParam();
+  const workload::Trace trace = small_trace(seed);
+  ASSERT_GT(trace.size(), 20u);
+  const EngineConfig config = paper_engine_config();
+  const auto result =
+      run_single_policy(config, trace, *portfolio().find(policy_name), predictor);
+  const auto& m = result.run.metrics;
+
+  // Conservation: every job finished exactly once, work is preserved
+  // (relative tolerance: summation order differs).
+  EXPECT_EQ(m.jobs, trace.size());
+  EXPECT_NEAR(m.rj_proc_seconds, trace.total_work(), 1e-9 * trace.total_work());
+
+  // Slowdown is bounded below by 1; waits are non-negative.
+  EXPECT_GE(m.avg_bounded_slowdown, 1.0);
+  EXPECT_GE(m.max_bounded_slowdown, m.avg_bounded_slowdown);
+  EXPECT_GE(m.avg_wait, 0.0);
+
+  // Paid capacity can never be less than the work put through it.
+  EXPECT_GE(m.rv_charged_seconds, m.rj_proc_seconds - 1e-6);
+  EXPECT_LE(m.utilization(), 1.0 + 1e-9);
+
+  // The cost is a whole number of VM-hours.
+  EXPECT_NEAR(std::fmod(m.rv_charged_seconds, 3600.0), 0.0, 1e-6);
+
+  // Utility is finite and within [0, kappa].
+  const double u = m.utility(config.utility);
+  EXPECT_TRUE(std::isfinite(u));
+  EXPECT_GE(u, 0.0);
+  EXPECT_LE(u, config.utility.kappa);
+
+  // The makespan covers the last submission.
+  EXPECT_GE(m.makespan, trace.duration());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyGrid, PolicyPropertyTest,
+    testing::Combine(
+        testing::Values("ODA-FCFS-FirstFit", "ODB-LXF-BestFit", "ODE-UNICEF-WorstFit",
+                        "ODM-WFP3-FirstFit", "ODX-UNICEF-BestFit", "ODX-LXF-WorstFit"),
+        testing::Values(PredictorKind::kPerfect, PredictorKind::kTsafrir,
+                        PredictorKind::kUserEstimate),
+        testing::Values(1ull, 2ull)),
+    [](const testing::TestParamInfo<PropertyParam>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         to_string(std::get<1>(info.param)) + "_s" +
+                         std::to_string(std::get<2>(info.param));
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+class AllPoliciesSmokeTest : public testing::TestWithParam<std::size_t> {};
+
+TEST_P(AllPoliciesSmokeTest, EverySinglePolicyCompletesCleanly) {
+  // Sweep the entire 60-policy portfolio (indexed parameterization) over a
+  // short trace: no aborts, conservation holds.
+  static const workload::Trace trace = small_trace(42);
+  const auto& triple = portfolio().policies()[GetParam()];
+  const auto result = run_single_policy(paper_engine_config(), trace, triple,
+                                        PredictorKind::kPerfect);
+  EXPECT_EQ(result.run.metrics.jobs, trace.size()) << triple.name();
+  EXPECT_GE(result.run.metrics.avg_bounded_slowdown, 1.0) << triple.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Portfolio60, AllPoliciesSmokeTest,
+                         testing::Range<std::size_t>(0, 60));
+
+TEST(PortfolioProperties, SelectionCostGrowsWithBudget) {
+  const workload::Trace trace = small_trace(7);
+  const EngineConfig config = paper_engine_config();
+  auto tight = paper_portfolio_config(config);
+  tight.selector.time_constraint_ms = 30.0;
+  tight.selector.synthetic_overhead_ms = 10.0;
+  tight.selector.use_measured_cost = false;
+  auto loose = tight;
+  loose.selector.time_constraint_ms = 300.0;
+  const auto rt = run_portfolio(config, trace, portfolio(), tight,
+                                PredictorKind::kPerfect);
+  const auto rl = run_portfolio(config, trace, portfolio(), loose,
+                                PredictorKind::kPerfect);
+  EXPECT_LT(rt.portfolio.mean_simulated_per_invocation,
+            rl.portfolio.mean_simulated_per_invocation);
+  EXPECT_EQ(rt.run.metrics.jobs, trace.size());
+  EXPECT_EQ(rl.run.metrics.jobs, trace.size());
+}
+
+TEST(PortfolioProperties, UtilityAlphaBetaMonotonicity) {
+  // For a fixed run outcome, raising alpha cannot raise utility when
+  // utilization < 1, and raising beta cannot raise it when BSD > 1.
+  metrics::RunMetrics m;
+  m.jobs = 10;
+  m.rj_proc_seconds = 1800.0;
+  m.rv_charged_seconds = 7200.0;
+  m.avg_bounded_slowdown = 3.0;
+  double prev = 1e18;
+  for (double alpha : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    const double u = m.utility(metrics::UtilityParams{100.0, alpha, 1.0});
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+  prev = 1e18;
+  for (double beta : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    const double u = m.utility(metrics::UtilityParams{100.0, 1.0, beta});
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+}
+
+}  // namespace
+}  // namespace psched::engine

@@ -1,0 +1,135 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::metrics {
+namespace {
+
+JobRecord make_record(JobId id, double submit, double start, double runtime, int procs) {
+  JobRecord r;
+  r.id = id;
+  r.submit = submit;
+  r.eligible = submit;  // independent job: eligible at submission
+  r.start = start;
+  r.finish = start + runtime;
+  r.procs = procs;
+  r.runtime = runtime;
+  return r;
+}
+
+TEST(JobRecord, DerivedQuantities) {
+  const JobRecord r = make_record(0, 100.0, 150.0, 60.0, 2);
+  EXPECT_DOUBLE_EQ(r.wait(), 50.0);
+  EXPECT_DOUBLE_EQ(r.response(), 110.0);
+}
+
+TEST(MetricsCollector, EmptyFinalize) {
+  MetricsCollector c;
+  const RunMetrics m = c.finalize();
+  EXPECT_EQ(m.jobs, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_bounded_slowdown, 1.0);
+  EXPECT_DOUBLE_EQ(m.rj_proc_seconds, 0.0);
+}
+
+TEST(MetricsCollector, AggregatesJobs) {
+  MetricsCollector c(10.0);
+  // Job 1: wait 0, runtime 100 -> BSD 1. Job 2: wait 100, runtime 100 -> 2.
+  c.record(make_record(0, 0, 0, 100, 2));
+  c.record(make_record(1, 0, 100, 100, 4));
+  c.set_charged_seconds(7200.0);
+  const RunMetrics m = c.finalize();
+  EXPECT_EQ(m.jobs, 2u);
+  EXPECT_DOUBLE_EQ(m.avg_bounded_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(m.max_bounded_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_wait, 50.0);
+  EXPECT_DOUBLE_EQ(m.rj_proc_seconds, 600.0);
+  EXPECT_DOUBLE_EQ(m.rv_charged_seconds, 7200.0);
+  EXPECT_DOUBLE_EQ(m.charged_hours(), 2.0);
+  EXPECT_DOUBLE_EQ(m.utilization(), 600.0 / 7200.0);
+  EXPECT_DOUBLE_EQ(m.makespan, 200.0);
+}
+
+TEST(MetricsCollector, BoundAppliesToShortJobs) {
+  MetricsCollector c(10.0);
+  // runtime 1, wait 9 -> (9+1)/10 = 1 (bounded), not 10.
+  c.record(make_record(0, 0, 9, 1, 1));
+  EXPECT_DOUBLE_EQ(c.finalize().avg_bounded_slowdown, 1.0);
+}
+
+TEST(MetricsCollector, UtilityDelegation) {
+  MetricsCollector c;
+  c.record(make_record(0, 0, 0, 1800, 1));
+  c.set_charged_seconds(3600.0);
+  const RunMetrics m = c.finalize();
+  EXPECT_DOUBLE_EQ(m.utility(UtilityParams{100.0, 1.0, 1.0}), 50.0);
+}
+
+TEST(MetricsCollector, RecordsKeptOnlyWhenEnabled) {
+  MetricsCollector off;
+  off.record(make_record(0, 0, 0, 10, 1));
+  EXPECT_TRUE(off.records().empty());
+
+  MetricsCollector on;
+  on.keep_records(true);
+  on.record(make_record(0, 0, 0, 10, 1));
+  ASSERT_EQ(on.records().size(), 1u);
+  EXPECT_EQ(on.records()[0].id, 0);
+}
+
+TEST(MetricsCollector, RejectsCausalityViolations) {
+  MetricsCollector c;
+  JobRecord bad = make_record(0, 100, 50, 10, 1);  // started before submit
+  EXPECT_DEATH(c.record(bad), "before submission");
+  JobRecord worse = make_record(0, 0, 50, 10, 1);
+  worse.finish = 40.0;  // finished before start
+  EXPECT_DEATH(c.record(worse), "before it started");
+}
+
+TEST(MetricsCollector, WaitMeasuredFromEligibility) {
+  MetricsCollector c(10.0);
+  JobRecord r = make_record(0, 0, 500, 100, 1);
+  r.eligible = 450.0;  // blocked on dependencies until 450
+  c.record(r);
+  // Wait = 500 - 450 = 50 -> BSD (50+100)/100 = 1.5, not (500+100)/100.
+  EXPECT_DOUBLE_EQ(c.finalize().avg_bounded_slowdown, 1.5);
+  EXPECT_DOUBLE_EQ(c.finalize().avg_wait, 50.0);
+}
+
+TEST(MetricsCollector, WorkflowMakespans) {
+  MetricsCollector c(10.0);
+  // Workflow 1: submit 0, last finish 400. Workflow 2: submit 100, finish 250.
+  JobRecord a = make_record(0, 0, 0, 100, 1);
+  a.workflow = 1;
+  JobRecord b = make_record(1, 0, 300, 100, 1);
+  b.eligible = 100.0;
+  b.workflow = 1;
+  JobRecord d = make_record(2, 100, 150, 100, 1);
+  d.workflow = 2;
+  JobRecord independent = make_record(3, 0, 0, 50, 1);
+  c.record(a);
+  c.record(b);
+  c.record(d);
+  c.record(independent);
+  const RunMetrics m = c.finalize();
+  EXPECT_EQ(m.workflows, 2u);
+  EXPECT_DOUBLE_EQ(m.max_workflow_makespan, 400.0);
+  EXPECT_DOUBLE_EQ(m.avg_workflow_makespan, (400.0 + 150.0) / 2.0);
+}
+
+TEST(MetricsCollector, NoWorkflowsMeansZeroAggregates) {
+  MetricsCollector c;
+  c.record(make_record(0, 0, 0, 10, 1));
+  const RunMetrics m = c.finalize();
+  EXPECT_EQ(m.workflows, 0u);
+  EXPECT_DOUBLE_EQ(m.avg_workflow_makespan, 0.0);
+}
+
+TEST(RunMetrics, ZeroCostUtilizationIsZero) {
+  RunMetrics m;
+  m.rj_proc_seconds = 10.0;
+  m.rv_charged_seconds = 0.0;
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace psched::metrics

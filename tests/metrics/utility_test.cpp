@@ -1,0 +1,84 @@
+#include "metrics/utility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psched::metrics {
+namespace {
+
+TEST(Utility, PaperDefaultFormula) {
+  const UtilityParams params{100.0, 1.0, 1.0};
+  // utilization 0.5, BSD 2 -> 100 * 0.5 * 0.5 = 25
+  EXPECT_DOUBLE_EQ(utility(params, 1800.0, 3600.0, 2.0), 25.0);
+}
+
+TEST(Utility, AlphaZeroIgnoresCost) {
+  const UtilityParams params{100.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(utility(params, 1.0, 1e9, 2.0), 50.0);
+}
+
+TEST(Utility, BetaZeroIgnoresSlowdown) {
+  const UtilityParams params{100.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(utility(params, 1800.0, 3600.0, 1e9), 50.0);
+}
+
+TEST(Utility, HigherAlphaPenalizesLowUtilizationMore) {
+  const UtilityParams a1{100.0, 1.0, 1.0};
+  const UtilityParams a3{100.0, 3.0, 1.0};
+  EXPECT_GT(utility(a1, 900.0, 3600.0, 1.0), utility(a3, 900.0, 3600.0, 1.0));
+}
+
+TEST(Utility, HigherBetaPenalizesSlowdownMore) {
+  const UtilityParams b1{100.0, 1.0, 1.0};
+  const UtilityParams b3{100.0, 1.0, 3.0};
+  EXPECT_GT(utility(b1, 3600.0, 3600.0, 4.0), utility(b3, 3600.0, 3600.0, 4.0));
+}
+
+TEST(Utility, UtilizationClampedToOne) {
+  const UtilityParams params{100.0, 1.0, 1.0};
+  // rounding noise could make RJ > RV; clamp keeps U <= kappa.
+  EXPECT_DOUBLE_EQ(utility(params, 4000.0, 3600.0, 1.0), 100.0);
+}
+
+TEST(Utility, BsdClampedToAtLeastOne) {
+  const UtilityParams params{100.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(utility(params, 3600.0, 3600.0, 0.5), 100.0);
+}
+
+TEST(Utility, ZeroWorkIsZeroUtility) {
+  const UtilityParams params{100.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(utility(params, 0.0, 3600.0, 1.0), 0.0);
+}
+
+TEST(Utility, FreeWorkCountsAsPerfectUtilization) {
+  // Work that fit into already-paid VM time (RV == 0) is maximally efficient.
+  const UtilityParams params{100.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(utility(params, 600.0, 0.0, 1.0), 100.0);
+}
+
+TEST(Utility, ZeroCostZeroWorkWithAlphaZero) {
+  const UtilityParams params{100.0, 0.0, 1.0};
+  // 0^0 == 1: with alpha 0 the utilization term vanishes entirely.
+  EXPECT_DOUBLE_EQ(utility(params, 0.0, 0.0, 1.0), 100.0);
+}
+
+TEST(Utility, AlwaysFiniteAndNonNegative) {
+  const UtilityParams params{100.0, 2.0, 3.0};
+  for (double rj : {0.0, 1.0, 1e12})
+    for (double rv : {0.0, 1.0, 1e12})
+      for (double bsd : {0.0, 1.0, 1e12}) {
+        const double u = utility(params, rj, rv, bsd);
+        EXPECT_TRUE(std::isfinite(u));
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 100.0);
+      }
+}
+
+TEST(UtilityParams, Label) {
+  const UtilityParams params{100.0, 2.0, 0.0};
+  EXPECT_EQ(params.label(), "U(kappa=100, alpha=2, beta=0)");
+}
+
+}  // namespace
+}  // namespace psched::metrics

@@ -1,0 +1,86 @@
+#include "policy/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace psched::policy {
+namespace {
+
+TEST(Portfolio, PaperPortfolioHas60Policies) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  EXPECT_EQ(p.size(), 60u);
+}
+
+TEST(Portfolio, AllNamesUnique) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  std::set<std::string> names;
+  for (const PolicyTriple& t : p.policies()) names.insert(t.name());
+  EXPECT_EQ(names.size(), 60u);
+}
+
+TEST(Portfolio, CombinationOrderMatchesFigure5Caption) {
+  // {ODA,ODB,ODE,ODM,ODX} x {FCFS,LXF,UNICEF,WFP3} x {BestFit,FirstFit,WorstFit}
+  const Portfolio p = Portfolio::paper_portfolio();
+  EXPECT_EQ(p.policies()[0].name(), "ODA-FCFS-BestFit");
+  EXPECT_EQ(p.policies()[1].name(), "ODA-FCFS-FirstFit");
+  EXPECT_EQ(p.policies()[2].name(), "ODA-FCFS-WorstFit");
+  EXPECT_EQ(p.policies()[3].name(), "ODA-LXF-BestFit");
+  EXPECT_EQ(p.policies()[12].name(), "ODB-FCFS-BestFit");
+  EXPECT_EQ(p.policies()[59].name(), "ODX-WFP3-WorstFit");
+}
+
+TEST(Portfolio, FindByName) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  const PolicyTriple* t = p.find("ODX-UNICEF-FirstFit");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->provisioning->name(), "ODX");
+  EXPECT_EQ(t->job_selection->name(), "UNICEF");
+  EXPECT_EQ(t->vm_selection->name(), "FirstFit");
+  EXPECT_EQ(p.find("ODQ-FCFS-FirstFit"), nullptr);
+}
+
+TEST(Portfolio, IndexOfRoundTrips) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  for (std::size_t i = 0; i < p.size(); i += 7)
+    EXPECT_EQ(p.index_of(p.policies()[i]), i);
+}
+
+TEST(Portfolio, IndexOfUnknownIsSize) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  PolicyTriple bogus;  // null members
+  EXPECT_EQ(p.index_of(bogus), p.size());
+}
+
+// A user-defined provisioning policy to prove the extension point works.
+class AlwaysTen final : public ProvisioningPolicy {
+ public:
+  [[nodiscard]] std::size_t vms_to_lease(const SchedContext&) const override {
+    return 10;
+  }
+  [[nodiscard]] std::string name() const override { return "TEN"; }
+};
+
+TEST(Portfolio, CustomPoliciesExtendTheCrossProduct) {
+  Portfolio p = Portfolio::paper_portfolio();
+  p.add_provisioning(std::make_unique<AlwaysTen>());
+  p.build_combinations();
+  EXPECT_EQ(p.size(), 6u * 4u * 3u);
+  EXPECT_NE(p.find("TEN-FCFS-FirstFit"), nullptr);
+}
+
+TEST(Portfolio, EmptyPortfolioHasNoCombinations) {
+  Portfolio p;
+  p.build_combinations();
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(PolicyTriple, NameFormatting) {
+  const Portfolio p = Portfolio::paper_portfolio();
+  const PolicyTriple t = p.policies().front();
+  EXPECT_EQ(t.name(), t.provisioning->name() + "-" + t.job_selection->name() + "-" +
+                          t.vm_selection->name());
+}
+
+}  // namespace
+}  // namespace psched::policy

@@ -1,0 +1,255 @@
+#include "policy/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psched::policy {
+namespace {
+
+QueuedJob make_queued(JobId id, double submit, int procs, double predicted) {
+  QueuedJob q;
+  q.id = id;
+  q.submit = submit;
+  q.procs = procs;
+  q.predicted_runtime = predicted;
+  return q;
+}
+
+struct ContextFixture {
+  std::vector<QueuedJob> jobs;
+  SchedContext ctx;
+
+  ContextFixture& at(double now) {
+    ctx.now = now;
+    return *this;
+  }
+  ContextFixture& fleet(std::size_t idle, std::size_t booting, std::size_t total,
+                        std::size_t cap = 256) {
+    ctx.idle_vms = idle;
+    ctx.booting_vms = booting;
+    ctx.total_vms = total;
+    ctx.max_vms = cap;
+    return *this;
+  }
+  ContextFixture& add(JobId id, double submit, int procs, double predicted) {
+    jobs.push_back(make_queued(id, submit, procs, predicted));
+    ctx.queue = jobs;
+    return *this;
+  }
+};
+
+// --- ODA ---------------------------------------------------------------------
+
+TEST(OnDemandAll, LeasesForEveryQueuedJob) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 0, 4, 60).add(1, 0, 2, 60);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 6u);
+}
+
+TEST(OnDemandAll, SubtractsIdleAndBooting) {
+  ContextFixture f;
+  f.at(100).fleet(2, 1, 5).add(0, 0, 4, 60).add(1, 0, 2, 60);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 3u);
+}
+
+TEST(OnDemandAll, DoesNotSubtractBusy) {
+  ContextFixture f;
+  // 5 total, 2 idle, 0 booting -> 3 busy; demand 6 -> lease 4.
+  f.at(100).fleet(2, 0, 5).add(0, 0, 6, 60);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 4u);
+}
+
+TEST(OnDemandAll, ZeroWhenSatisfied) {
+  ContextFixture f;
+  f.at(100).fleet(8, 0, 8).add(0, 0, 4, 60);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 0u);
+}
+
+TEST(OnDemandAll, EmptyQueueLeasesNothing) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 0u);
+}
+
+// --- ODB ---------------------------------------------------------------------
+
+TEST(OnDemandBalance, BalancesAgainstWholeFleet) {
+  ContextFixture f;
+  // Busy VMs count: fleet 5 covers demand 6 partially -> lease 1.
+  f.at(100).fleet(0, 0, 5).add(0, 0, 6, 60);
+  EXPECT_EQ(OnDemandBalance{}.vms_to_lease(f.ctx), 1u);
+}
+
+TEST(OnDemandBalance, LeasesLessThanOdaWhenBusy) {
+  ContextFixture f;
+  f.at(100).fleet(2, 0, 5).add(0, 0, 6, 60);
+  EXPECT_LT(OnDemandBalance{}.vms_to_lease(f.ctx), OnDemandAll{}.vms_to_lease(f.ctx));
+}
+
+TEST(OnDemandBalance, ZeroWhenFleetLargeEnough) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 10).add(0, 0, 6, 60);
+  EXPECT_EQ(OnDemandBalance{}.vms_to_lease(f.ctx), 0u);
+}
+
+// --- ODE ---------------------------------------------------------------------
+
+TEST(OnDemandExecTime, PacksWorkIntoHours) {
+  ContextFixture f;
+  // 4 procs x 1800 s + 2 procs x 900 s = 9000 proc-s -> ceil(2.5) = 3 VMs.
+  f.at(100).fleet(0, 0, 0).add(0, 0, 4, 1800).add(1, 0, 2, 900);
+  EXPECT_EQ(OnDemandExecTime{}.vms_to_lease(f.ctx), 3u);
+}
+
+TEST(OnDemandExecTime, SubtractsExistingFleet) {
+  ContextFixture f;
+  f.at(100).fleet(1, 1, 2).add(0, 0, 4, 1800).add(1, 0, 2, 900);
+  EXPECT_EQ(OnDemandExecTime{}.vms_to_lease(f.ctx), 1u);
+}
+
+TEST(OnDemandExecTime, TinyWorkStillLeasesOne) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 0, 1, 5);
+  EXPECT_EQ(OnDemandExecTime{}.vms_to_lease(f.ctx), 1u);
+}
+
+TEST(OnDemandExecTime, StarvationGuardRaisesTarget) {
+  ContextFixture f;
+  // A 16-wide, 10 s job: work target = 1 VM. After > 1 h of waiting, the
+  // guard must raise the target to 16.
+  f.at(4000).fleet(1, 0, 1).add(0, 0, 16, 10);
+  EXPECT_EQ(OnDemandExecTime{}.vms_to_lease(f.ctx), 15u);
+}
+
+TEST(OnDemandExecTime, GuardInactiveBeforeOneHour) {
+  ContextFixture f;
+  f.at(1800).fleet(1, 0, 1).add(0, 0, 16, 10);
+  EXPECT_EQ(OnDemandExecTime{}.vms_to_lease(f.ctx), 0u);
+}
+
+TEST(OnDemandExecTime, NextChangeReportsGuardCrossing) {
+  ContextFixture f;
+  f.at(100).fleet(1, 0, 1).add(0, 50, 16, 10);
+  EXPECT_DOUBLE_EQ(OnDemandExecTime{}.next_change(f.ctx), 50.0 + 3600.0);
+}
+
+TEST(OnDemandExecTime, NextChangeNeverForNarrowJobs) {
+  ContextFixture f;
+  f.at(100).fleet(4, 0, 4).add(0, 50, 2, 10);
+  EXPECT_EQ(OnDemandExecTime{}.next_change(f.ctx), kTimeNever);
+}
+
+// --- ODM ---------------------------------------------------------------------
+
+TEST(OnDemandMaximum, LeasesWidestJob) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 0, 4, 60).add(1, 0, 9, 60).add(2, 0, 2, 60);
+  EXPECT_EQ(OnDemandMaximum{}.vms_to_lease(f.ctx), 9u);
+}
+
+TEST(OnDemandMaximum, SubtractsAvailable) {
+  ContextFixture f;
+  f.at(100).fleet(3, 2, 8).add(0, 0, 9, 60);
+  EXPECT_EQ(OnDemandMaximum{}.vms_to_lease(f.ctx), 4u);
+}
+
+TEST(OnDemandMaximum, LeasesLessThanOdaForManyJobs) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0);
+  for (int i = 0; i < 10; ++i) f.add(i, 0, 4, 60);
+  EXPECT_EQ(OnDemandMaximum{}.vms_to_lease(f.ctx), 4u);
+  EXPECT_EQ(OnDemandAll{}.vms_to_lease(f.ctx), 40u);
+}
+
+// --- ODX ---------------------------------------------------------------------
+
+TEST(OnDemandXFactor, IgnoresFreshJobs) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 95, 4, 600);  // waited 5 s on a 600 s job
+  EXPECT_EQ(OnDemandXFactor{}.vms_to_lease(f.ctx), 0u);
+}
+
+TEST(OnDemandXFactor, LeasesForUrgentJobs) {
+  ContextFixture f;
+  // Wait 700 s >= bounded runtime 600 s -> slowdown >= 2 -> urgent.
+  f.at(700).fleet(0, 0, 0).add(0, 0, 4, 600);
+  EXPECT_EQ(OnDemandXFactor{}.vms_to_lease(f.ctx), 4u);
+}
+
+TEST(OnDemandXFactor, ShortJobsUseBound) {
+  ContextFixture f;
+  // runtime 1 s bounds to 10 s; urgent once the wait reaches 10 s.
+  f.at(10).fleet(0, 0, 0).add(0, 0, 2, 1);
+  EXPECT_EQ(OnDemandXFactor{}.vms_to_lease(f.ctx), 2u);
+}
+
+TEST(OnDemandXFactor, MixedQueueCountsOnlyUrgent) {
+  ContextFixture f;
+  f.at(1000).fleet(1, 0, 1).add(0, 0, 4, 600).add(1, 999, 8, 600);
+  // Job 0 urgent (wait 1000 > 600), job 1 fresh; 4 - 1 available = 3.
+  EXPECT_EQ(OnDemandXFactor{}.vms_to_lease(f.ctx), 3u);
+}
+
+TEST(OnDemandXFactor, NextChangeIsEarliestCrossing) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 90, 1, 600).add(1, 95, 1, 30);
+  // Crossings: 90+600=690 and 95+30=125 -> 125.
+  EXPECT_DOUBLE_EQ(OnDemandXFactor{}.next_change(f.ctx), 125.0);
+}
+
+TEST(OnDemandXFactor, NextChangeSkipsPastCrossings) {
+  ContextFixture f;
+  f.at(1000).fleet(0, 0, 0).add(0, 0, 1, 600);  // crossed at 600 already
+  EXPECT_EQ(OnDemandXFactor{}.next_change(f.ctx), kTimeNever);
+}
+
+TEST(OnDemandXFactor, TriggersExactlyAtItsReportedCrossing) {
+  ContextFixture f;
+  f.at(100).fleet(0, 0, 0).add(0, 90, 3, 600);
+  const SimTime crossing = OnDemandXFactor{}.next_change(f.ctx);
+  f.at(crossing);
+  EXPECT_EQ(OnDemandXFactor{}.vms_to_lease(f.ctx), 3u);
+}
+
+// --- factory / registry -------------------------------------------------------
+
+TEST(ProvisioningFactory, KnownNames) {
+  for (const char* name : {"ODA", "ODB", "ODE", "ODM", "ODX"})
+    EXPECT_EQ(make_provisioning(name)->name(), name);
+}
+
+TEST(ProvisioningFactory, UnknownNameThrows) {
+  EXPECT_THROW((void)make_provisioning("NOPE"), std::invalid_argument);
+}
+
+TEST(ProvisioningFactory, AllFiveInOrder) {
+  const auto all = all_provisioning();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0]->name(), "ODA");
+  EXPECT_EQ(all[4]->name(), "ODX");
+}
+
+// --- cross-policy invariants ---------------------------------------------------
+
+class AllProvisioningTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(AllProvisioningTest, EmptyQueueLeasesNothing) {
+  const auto policy = make_provisioning(GetParam());
+  ContextFixture f;
+  f.at(100).fleet(3, 2, 10);
+  EXPECT_EQ(policy->vms_to_lease(f.ctx), 0u);
+}
+
+TEST_P(AllProvisioningTest, AnswerIsDeterministic) {
+  const auto policy = make_provisioning(GetParam());
+  ContextFixture f;
+  f.at(5000).fleet(1, 1, 4).add(0, 0, 8, 120).add(1, 100, 2, 30).add(2, 4000, 16, 9000);
+  EXPECT_EQ(policy->vms_to_lease(f.ctx), policy->vms_to_lease(f.ctx));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllProvisioningTest,
+                         testing::Values("ODA", "ODB", "ODE", "ODM", "ODX"));
+
+}  // namespace
+}  // namespace psched::policy

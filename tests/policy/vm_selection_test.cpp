@@ -1,0 +1,114 @@
+#include "policy/vm_selection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::policy {
+namespace {
+
+VmCandidate vm(VmId id, SimTime lease_time) { return VmCandidate{id, lease_time}; }
+
+TEST(RemainingAfterRun, WithinPaidHour) {
+  // Leased at 0, now 1000, job 600 s: finishes at 1600, paid until 3600.
+  EXPECT_DOUBLE_EQ(remaining_after_run(vm(0, 0.0), 600.0, 1000.0), 2000.0);
+}
+
+TEST(RemainingAfterRun, CrossingBoundaryStartsNewHour) {
+  // Leased at 0, now 3000, job 1000 s: finishes 4000 -> paid until 7200.
+  EXPECT_DOUBLE_EQ(remaining_after_run(vm(0, 0.0), 1000.0, 3000.0), 3200.0);
+}
+
+TEST(FirstFit, PreservesOrder) {
+  std::vector<VmCandidate> c{vm(3, 0), vm(1, 500), vm(2, 900)};
+  FirstFit{}.order(c, 100.0, 1000.0, kSecondsPerHour);
+  EXPECT_EQ(c[0].id, 3);
+  EXPECT_EQ(c[1].id, 1);
+  EXPECT_EQ(c[2].id, 2);
+}
+
+TEST(BestFit, PicksTightestRemaining) {
+  // now = 1000, job 600 s -> finish 1600.
+  // VM A leased 0:    remaining after = 3600-1600 = 2000
+  // VM B leased 800:  remaining after = 800+3600-1600 = 2800
+  // VM C leased 1000: remaining after = 1000+3600-1600 = 3000
+  std::vector<VmCandidate> c{vm(0, 1000.0), vm(1, 0.0), vm(2, 800.0)};
+  BestFit{}.order(c, 600.0, 1000.0, kSecondsPerHour);
+  EXPECT_EQ(c[0].id, 1);
+  EXPECT_EQ(c[1].id, 2);
+  EXPECT_EQ(c[2].id, 0);
+}
+
+TEST(WorstFit, IsReverseOfBestFit) {
+  std::vector<VmCandidate> best{vm(0, 1000.0), vm(1, 0.0), vm(2, 800.0)};
+  std::vector<VmCandidate> worst = best;
+  BestFit{}.order(best, 600.0, 1000.0, kSecondsPerHour);
+  WorstFit{}.order(worst, 600.0, 1000.0, kSecondsPerHour);
+  ASSERT_EQ(best.size(), worst.size());
+  for (std::size_t i = 0; i < best.size(); ++i)
+    EXPECT_EQ(best[i].id, worst[worst.size() - 1 - i].id);
+}
+
+TEST(BestFit, TiesBreakById) {
+  std::vector<VmCandidate> c{vm(7, 100.0), vm(2, 100.0), vm(5, 100.0)};
+  BestFit{}.order(c, 50.0, 200.0, kSecondsPerHour);
+  EXPECT_EQ(c[0].id, 2);
+  EXPECT_EQ(c[1].id, 5);
+  EXPECT_EQ(c[2].id, 7);
+}
+
+TEST(BestFit, AccountsForBoundaryWrap) {
+  // now = 3500. Job of 200 s finishes at 3700.
+  // VM A leased 0: finish just crossed its boundary (3600) -> remaining 3500.
+  // VM B leased 3400: paid until 7000 -> remaining 3300. B is tighter.
+  std::vector<VmCandidate> c{vm(0, 0.0), vm(1, 3400.0)};
+  BestFit{}.order(c, 200.0, 3500.0, kSecondsPerHour);
+  EXPECT_EQ(c[0].id, 1);
+}
+
+TEST(VmSelectionFactory, LongAndShortNames) {
+  EXPECT_EQ(make_vm_selection("FirstFit")->name(), "FirstFit");
+  EXPECT_EQ(make_vm_selection("FF")->name(), "FirstFit");
+  EXPECT_EQ(make_vm_selection("BF")->name(), "BestFit");
+  EXPECT_EQ(make_vm_selection("WF")->name(), "WorstFit");
+}
+
+TEST(VmSelectionFactory, UnknownThrows) {
+  EXPECT_THROW((void)make_vm_selection("RandomFit"), std::invalid_argument);
+}
+
+TEST(VmSelectionFactory, AllThreePaperOrder) {
+  const auto all = all_vm_selection();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name(), "BestFit");
+  EXPECT_EQ(all[1]->name(), "FirstFit");
+  EXPECT_EQ(all[2]->name(), "WorstFit");
+}
+
+class AllVmSelectionTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(AllVmSelectionTest, OrderIsAPermutation) {
+  const auto policy = make_vm_selection(GetParam());
+  std::vector<VmCandidate> c;
+  for (VmId i = 0; i < 20; ++i) c.push_back(vm(i, static_cast<double>(i) * 137.0));
+  policy->order(c, 321.0, 5000.0);
+  ASSERT_EQ(c.size(), 20u);
+  std::vector<bool> seen(20, false);
+  for (const auto& candidate : c) {
+    ASSERT_GE(candidate.id, 0);
+    ASSERT_LT(candidate.id, 20);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(candidate.id)]);
+    seen[static_cast<std::size_t>(candidate.id)] = true;
+  }
+}
+
+TEST_P(AllVmSelectionTest, EmptyListIsFine) {
+  const auto policy = make_vm_selection(GetParam());
+  std::vector<VmCandidate> c;
+  policy->order(c, 100.0, 0.0);
+  EXPECT_TRUE(c.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllVmSelectionTest,
+                         testing::Values("FirstFit", "BestFit", "WorstFit"));
+
+}  // namespace
+}  // namespace psched::policy

@@ -1,0 +1,108 @@
+#include "predict/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/tsafrir.hpp"
+
+namespace psched::predict {
+namespace {
+
+workload::Job make_job(UserId user, double runtime, double estimate) {
+  workload::Job j;
+  j.user = user;
+  j.runtime = runtime;
+  j.estimate = estimate;
+  j.procs = 1;
+  return j;
+}
+
+TEST(PerfectPredictor, ReturnsActualRuntime) {
+  PerfectPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(make_job(0, 300.0, 9000.0)), 300.0);
+}
+
+TEST(PerfectPredictor, FloorsAtOneSecond) {
+  PerfectPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(make_job(0, 0.25, 10.0)), 1.0);
+}
+
+TEST(UserEstimatePredictor, ReturnsEstimate) {
+  UserEstimatePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(make_job(0, 300.0, 9000.0)), 9000.0);
+}
+
+TEST(UserEstimatePredictor, FallsBackToRuntimeWhenNoEstimate) {
+  UserEstimatePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(make_job(0, 300.0, 0.0)), 300.0);
+}
+
+TEST(TsafrirPredictor, FallsBackToEstimateWithoutHistory) {
+  TsafrirPredictor p(2);
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 100.0, 5000.0)), 5000.0);
+}
+
+TEST(TsafrirPredictor, StillEstimateAfterOneCompletion) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 200.0, 5000.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 100.0, 5000.0)), 5000.0);
+}
+
+TEST(TsafrirPredictor, AveragesLastTwoCompletions) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 300.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 42.0, 0.0)), 200.0);
+}
+
+TEST(TsafrirPredictor, WindowSlides) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 300.0, 0.0));
+  p.observe_completion(make_job(1, 500.0, 0.0));  // evicts the 100 s job
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 42.0, 0.0)), 400.0);
+}
+
+TEST(TsafrirPredictor, UsersAreIndependent) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(2, 900.0, 0.0));
+  p.observe_completion(make_job(2, 900.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 100.0);
+  EXPECT_DOUBLE_EQ(p.predict(make_job(2, 1.0, 0.0)), 900.0);
+  EXPECT_EQ(p.known_users(), 2u);
+}
+
+TEST(TsafrirPredictor, PredictionCappedAtEstimate) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 4000.0, 0.0));
+  p.observe_completion(make_job(1, 4000.0, 0.0));
+  // The new job's kill limit is 1000 s; predicting beyond it is impossible.
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 42.0, 1000.0)), 1000.0);
+}
+
+TEST(TsafrirPredictor, ConfigurableK) {
+  TsafrirPredictor p(3);
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 200.0, 0.0));
+  // Only 2 of 3 completions: still falls back.
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 5.0, 7777.0)), 7777.0);
+  p.observe_completion(make_job(1, 300.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 5.0, 0.0)), 200.0);
+}
+
+TEST(Factories, ProduceCorrectTypes) {
+  EXPECT_EQ(make_perfect()->name(), "perfect");
+  EXPECT_EQ(make_user_estimate()->name(), "user-estimate");
+  EXPECT_EQ(make_tsafrir(2)->name(), "tsafrir-knn(k=2)");
+}
+
+TEST(TsafrirPredictor, NeverReturnsNonPositive) {
+  TsafrirPredictor p(2);
+  p.observe_completion(make_job(1, 0.0, 0.0));
+  p.observe_completion(make_job(1, 0.0, 0.0));
+  EXPECT_GE(p.predict(make_job(1, 0.0, 0.0)), 1.0);
+}
+
+}  // namespace
+}  // namespace psched::predict

@@ -1,0 +1,118 @@
+#include "predict/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/tsafrir.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::predict {
+namespace {
+
+workload::Job make_job(UserId user, double runtime, double estimate,
+                       double submit = 0.0) {
+  workload::Job j;
+  j.user = user;
+  j.runtime = runtime;
+  j.estimate = estimate;
+  j.submit = submit;
+  j.procs = 1;
+  return j;
+}
+
+TEST(LastRuntimePredictor, TracksMostRecentCompletion) {
+  LastRuntimePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 50.0, 900.0)), 900.0);  // fallback
+  p.observe_completion(make_job(1, 120.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 50.0, 0.0)), 120.0);
+  p.observe_completion(make_job(1, 40.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 50.0, 0.0)), 40.0);
+}
+
+TEST(LastRuntimePredictor, CappedAtEstimate) {
+  LastRuntimePredictor p;
+  p.observe_completion(make_job(1, 5000.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 50.0, 600.0)), 600.0);
+}
+
+TEST(RunningMeanPredictor, AveragesAllHistory) {
+  RunningMeanPredictor p;
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 200.0, 0.0));
+  p.observe_completion(make_job(1, 600.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 300.0);
+}
+
+TEST(RunningMeanPredictor, UsersIndependent) {
+  RunningMeanPredictor p;
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(2, 900.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 100.0);
+  EXPECT_DOUBLE_EQ(p.predict(make_job(2, 1.0, 0.0)), 900.0);
+}
+
+TEST(EwmaPredictor, ExponentialSmoothing) {
+  EwmaPredictor p(0.5);
+  p.observe_completion(make_job(1, 100.0, 0.0));  // seed: 100
+  p.observe_completion(make_job(1, 300.0, 0.0));  // 0.5*300 + 0.5*100 = 200
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 200.0);
+  p.observe_completion(make_job(1, 0.0, 0.0));  // 0.5*0 + 0.5*200 = 100
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 100.0);
+}
+
+TEST(EwmaPredictor, AlphaOneIsLastRuntime) {
+  EwmaPredictor p(1.0);
+  p.observe_completion(make_job(1, 100.0, 0.0));
+  p.observe_completion(make_job(1, 555.0, 0.0));
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 1.0, 0.0)), 555.0);
+}
+
+TEST(EwmaPredictor, RejectsBadAlpha) {
+  EXPECT_DEATH(EwmaPredictor(0.0), "alpha");
+  EXPECT_DEATH(EwmaPredictor(1.5), "alpha");
+}
+
+TEST(Factories, Names) {
+  EXPECT_EQ(make_last_runtime()->name(), "last-runtime");
+  EXPECT_EQ(make_running_mean()->name(), "running-mean");
+  EXPECT_EQ(make_ewma(0.25)->name(), "ewma(alpha=0.25)");
+}
+
+TEST(EvaluatePredictor, PerfectPredictorScoresOne) {
+  const auto trace =
+      workload::TraceGenerator(workload::kth_sp2_like(1.0)).generate(3).cleaned(64);
+  PerfectPredictor p;
+  const AccuracyReport report = evaluate_predictor(trace, p);
+  EXPECT_EQ(report.jobs, trace.size());
+  EXPECT_NEAR(report.mean_accuracy, 1.0, 1e-9);
+  EXPECT_NEAR(report.mean_abs_error, 0.0, 1e-9);
+}
+
+TEST(EvaluatePredictor, UserEstimatesOverestimate) {
+  // Generated estimates are blown-up runtimes: the over-fraction must be
+  // large and the accuracy well below 1.
+  const auto trace =
+      workload::TraceGenerator(workload::sdsc_sp2_like(1.0)).generate(4).cleaned(64);
+  UserEstimatePredictor p;
+  const AccuracyReport report = evaluate_predictor(trace, p);
+  EXPECT_GT(report.overestimate_fraction, 0.8);
+  EXPECT_LT(report.mean_accuracy, 0.7);
+}
+
+TEST(EvaluatePredictor, LearningBeatsRawEstimates) {
+  const auto trace =
+      workload::TraceGenerator(workload::lpc_egee_like(2.0)).generate(5).cleaned(64);
+  UserEstimatePredictor estimates;
+  TsafrirPredictor knn(2);
+  const AccuracyReport raw = evaluate_predictor(trace, estimates);
+  const AccuracyReport learned = evaluate_predictor(trace, knn);
+  EXPECT_GT(learned.mean_accuracy, raw.mean_accuracy);
+}
+
+TEST(EvaluatePredictor, EmptyTrace) {
+  PerfectPredictor p;
+  const AccuracyReport report = evaluate_predictor(workload::Trace{}, p);
+  EXPECT_EQ(report.jobs, 0u);
+}
+
+}  // namespace
+}  // namespace psched::predict

@@ -1,0 +1,110 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psched::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.schedule(5.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().callback();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  q.schedule(2.0, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.cancel(987654);
+  q.cancel(kInvalidEvent);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelFiredIdIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  (void)q.pop();
+  q.cancel(id);  // already fired
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, IsPendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.is_pending(id));
+  (void)q.pop();
+  EXPECT_FALSE(q.is_pending(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, PopReturnsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.schedule(4.5, [] {});
+  const auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 4.5);
+  EXPECT_EQ(fired.id, id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<double> times;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 997);
+    q.schedule(t, [] {});
+  }
+  double prev = -1.0;
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, prev);
+    prev = fired.time;
+  }
+}
+
+TEST(EventQueue, SchedulingInfinityAborts) {
+  EventQueue q;
+  EXPECT_DEATH((void)q.schedule(kTimeNever, [] {}), "infinity");
+}
+
+}  // namespace
+}  // namespace psched::sim

@@ -1,0 +1,60 @@
+#include "util/argparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, SpaceSeparatedValue) {
+  const auto p = parse({"--weeks", "6"});
+  EXPECT_TRUE(p.has("weeks"));
+  EXPECT_EQ(p.get_int("weeks", 0), 6);
+}
+
+TEST(ArgParser, EqualsValue) {
+  const auto p = parse({"--seed=99"});
+  EXPECT_EQ(p.get_int("seed", 0), 99);
+}
+
+TEST(ArgParser, BooleanFlag) {
+  const auto p = parse({"--verbose", "--csv", "out.csv"});
+  EXPECT_TRUE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get("csv", ""), "out.csv");
+}
+
+TEST(ArgParser, Fallbacks) {
+  const auto p = parse({});
+  EXPECT_FALSE(p.has("missing"));
+  EXPECT_EQ(p.get("missing", "d"), "d");
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("missing", 1.5), 1.5);
+  EXPECT_TRUE(p.get_bool("missing", true));
+}
+
+TEST(ArgParser, DoubleParsing) {
+  const auto p = parse({"--load", "0.75"});
+  EXPECT_DOUBLE_EQ(p.get_double("load", 0.0), 0.75);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto p = parse({"trace.swf", "--weeks", "2", "other"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "trace.swf");
+  EXPECT_EQ(p.positional()[1], "other");
+}
+
+TEST(ArgParser, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a"));
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a"));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a"));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+}
+
+}  // namespace
+}  // namespace psched::util

@@ -1,0 +1,88 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::util {
+namespace {
+
+TEST(Histogram, BinningAndEdges) {
+  Histogram h(0.0, 10.0, 5);  // width 2
+  h.add(0.0);   // bin 0 (inclusive lower edge)
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-0.1);
+  h.add(10.0);  // hi edge is exclusive -> overflow
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinLowerEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+}
+
+TEST(Histogram, AsciiRendersOneRowPerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(TimeSeriesCounter, BucketsByTime) {
+  TimeSeriesCounter c(600.0);  // 10-minute buckets (the Figure-3 resolution)
+  c.add(0.0);
+  c.add(599.9);
+  c.add(600.0);
+  c.add(1800.0);
+  ASSERT_EQ(c.buckets(), 4u);
+  EXPECT_EQ(c.count(0), 2u);
+  EXPECT_EQ(c.count(1), 1u);
+  EXPECT_EQ(c.count(2), 0u);
+  EXPECT_EQ(c.count(3), 1u);
+}
+
+TEST(TimeSeriesCounter, NegativeClampsToFirstBucket) {
+  TimeSeriesCounter c(10.0);
+  c.add(-5.0);
+  EXPECT_EQ(c.count(0), 1u);
+}
+
+TEST(TimeSeriesCounter, SummaryStatistics) {
+  TimeSeriesCounter c(1.0);
+  for (double t : {0.2, 0.4, 2.5}) c.add(t);  // counts: 2, 0, 1
+  EXPECT_DOUBLE_EQ(c.mean_count(), 1.0);
+  EXPECT_DOUBLE_EQ(c.max_count(), 2.0);
+  EXPECT_GT(c.cv2(), 0.0);
+}
+
+TEST(TimeSeriesCounter, ConstantSeriesHasZeroCv2) {
+  TimeSeriesCounter c(1.0);
+  for (double t : {0.5, 1.5, 2.5}) c.add(t);
+  EXPECT_DOUBLE_EQ(c.cv2(), 0.0);
+}
+
+TEST(TimeSeriesCounter, BurstySeriesHasHighCv2) {
+  TimeSeriesCounter stable(1.0), bursty(1.0);
+  for (int i = 0; i < 100; ++i) stable.add(i + 0.5);
+  for (int i = 0; i < 100; ++i) bursty.add(0.001 * i);  // all in one bucket
+  bursty.add(99.5);                                     // stretch to same width
+  EXPECT_GT(bursty.cv2(), 10.0 * (stable.cv2() + 0.01));
+}
+
+}  // namespace
+}  // namespace psched::util

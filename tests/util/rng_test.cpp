@@ -1,0 +1,189 @@
+// Deterministic RNG and distribution sanity. Distribution tests use wide
+// statistical tolerances (they are regression guards, not GOF tests).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace psched::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child must not replay the parent's sequence.
+  Rng parent2(99);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child.next_u64() == parent.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(7), b(7);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear in 1000 draws
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);  // mean = 1/lambda
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(3.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(12);
+  std::vector<double> xs(100001);
+  for (auto& x : xs) x = rng.lognormal(2.0, 1.0);
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], std::exp(2.0), 0.15);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, 4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);  // Weibull(1, scale) mean == scale
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.bounded_pareto(1.5, 2.0, 100.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, ZipfRankRange) {
+  Rng rng(15);
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = rng.zipf(50, 1.2);
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 50);
+  }
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(16);
+  int rank1 = 0, rank50 = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto k = rng.zipf(50, 1.2);
+    if (k == 1) ++rank1;
+    if (k == 50) ++rank50;
+  }
+  EXPECT_GT(rank1, 10 * rank50);
+}
+
+TEST(Rng, ZipfDegenerateN1) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.zipf(1, 1.0), 1);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(18);
+  const std::vector<double> w{1.0, 3.0};
+  int hi = 0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) hi += (rng.weighted_index(w) == 1);
+  EXPECT_NEAR(static_cast<double>(hi) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexIgnoresNonPositive) {
+  Rng rng(19);
+  const std::vector<double> w{0.0, -2.0, 5.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted_index(w), 2u);
+}
+
+}  // namespace
+}  // namespace psched::util

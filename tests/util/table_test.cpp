@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psched::util {
+namespace {
+
+TEST(Cell, Rendering) {
+  EXPECT_EQ(Cell("abc").str(), "abc");
+  EXPECT_EQ(Cell(std::int64_t{42}).str(), "42");
+  EXPECT_EQ(Cell(3.14159, 2).str(), "3.14");
+  EXPECT_EQ(Cell(3.14159, 4).str(), "3.1416");
+}
+
+TEST(Cell, NumericFlag) {
+  EXPECT_FALSE(Cell("x").numeric());
+  EXPECT_TRUE(Cell(1).numeric());
+  EXPECT_TRUE(Cell(1.5).numeric());
+}
+
+TEST(Table, RenderContainsHeadersAndValues) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", 1});
+  t.add_row({"beta", 2});
+  const std::string out = t.render("demo");
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"h", "n"});
+  t.add_row({"longtext", 1});
+  t.add_row({"x", 100});
+  const std::string out = t.render();
+  // Every line should have the same length (aligned columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  // Skip the header line, use the rule line as reference.
+  std::getline(is, line);
+  std::getline(is, line);
+  width = line.size();
+  while (std::getline(is, line)) EXPECT_EQ(line.size(), width) << line;
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(Table, CsvPlainValuesUnquoted) {
+  Table t({"x"});
+  t.add_row({42});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\n42\n");
+}
+
+TEST(Table, SaveCsvFailsOnBadPath) {
+  Table t({"x"});
+  EXPECT_FALSE(t.save_csv("/nonexistent-dir/f.csv"));
+}
+
+}  // namespace
+}  // namespace psched::util

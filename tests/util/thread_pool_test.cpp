@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace psched::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForRethrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::logic_error("bad index");
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ManyTasksComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i)
+    futures.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace psched::util

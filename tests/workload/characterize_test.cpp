@@ -1,0 +1,95 @@
+#include "workload/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace psched::workload {
+namespace {
+
+Job make_job(JobId id, double submit, double runtime, int procs, UserId user,
+             double estimate = 0.0) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.procs = procs;
+  j.user = user;
+  j.estimate = estimate;
+  return j;
+}
+
+TEST(Characterize, EmptyTrace) {
+  const TraceProfile p = characterize(Trace{});
+  EXPECT_EQ(p.jobs, 0u);
+}
+
+TEST(Characterize, RuntimePercentiles) {
+  std::vector<Job> jobs;
+  for (int i = 1; i <= 100; ++i)
+    jobs.push_back(make_job(i, i * 10.0, i * 1.0, 1, 0));  // runtimes 1..100
+  const TraceProfile p = characterize(Trace("t", 64, std::move(jobs)));
+  EXPECT_NEAR(p.runtime_p50, 50.5, 1.0);
+  EXPECT_NEAR(p.runtime_p90, 90.0, 1.5);
+  EXPECT_NEAR(p.runtime_mean, 50.5, 1e-9);
+}
+
+TEST(Characterize, ParallelismStats) {
+  std::vector<Job> jobs{make_job(0, 0, 10, 1, 0), make_job(1, 1, 10, 1, 0),
+                        make_job(2, 2, 10, 4, 0), make_job(3, 3, 10, 16, 0)};
+  const TraceProfile p = characterize(Trace("t", 64, std::move(jobs)));
+  EXPECT_DOUBLE_EQ(p.serial_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(p.mean_procs, 5.5);
+  EXPECT_EQ(p.max_procs, 16);
+  // Width buckets: 2 jobs at 2^0, 1 at 2^2, 1 at 2^4.
+  ASSERT_GE(p.width_histogram.size(), 5u);
+  EXPECT_EQ(p.width_histogram[0], 2u);
+  EXPECT_EQ(p.width_histogram[2], 1u);
+  EXPECT_EQ(p.width_histogram[4], 1u);
+}
+
+TEST(Characterize, UserStats) {
+  std::vector<Job> jobs{make_job(0, 0, 10, 1, 7), make_job(1, 1, 10, 1, 7),
+                        make_job(2, 2, 10, 1, 7), make_job(3, 3, 10, 1, 9)};
+  const TraceProfile p = characterize(Trace("t", 64, std::move(jobs)));
+  EXPECT_EQ(p.users, 2u);
+  EXPECT_DOUBLE_EQ(p.top_user_share, 0.75);
+}
+
+TEST(Characterize, EstimateBlowup) {
+  std::vector<Job> jobs{make_job(0, 0, 100, 1, 0, 300.0),
+                        make_job(1, 1, 100, 1, 0, 500.0)};
+  const TraceProfile p = characterize(Trace("t", 64, std::move(jobs)));
+  EXPECT_DOUBLE_EQ(p.mean_estimate_blowup, 4.0);  // (3 + 5) / 2
+}
+
+TEST(Characterize, HourlyProfileMeansOne) {
+  const auto trace =
+      TraceGenerator(kth_sp2_like(7.0)).generate(11).cleaned(64);
+  const TraceProfile p = characterize(trace);
+  double mean = 0.0;
+  for (const double h : p.hourly_profile) mean += h;
+  EXPECT_NEAR(mean / 24.0, 1.0, 1e-9);
+  // The diurnal cycle leaves a visible day/night contrast.
+  EXPECT_GT(p.hourly_profile[14], p.hourly_profile[3]);
+}
+
+TEST(Characterize, GeneratedArchetypeShapes) {
+  const auto kth = characterize(TraceGenerator(kth_sp2_like(7.0)).generate(1).cleaned(64));
+  const auto lpc = characterize(TraceGenerator(lpc_egee_like(7.0)).generate(1).cleaned(64));
+  EXPECT_LT(kth.serial_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(lpc.serial_fraction, 1.0);
+  EXPECT_GT(lpc.fano_10min, kth.fano_10min);
+  EXPECT_GT(kth.mean_estimate_blowup, 2.0);  // orders-of-magnitude estimates
+}
+
+TEST(Characterize, ToStringMentionsKeyNumbers) {
+  std::vector<Job> jobs{make_job(0, 0, 10, 1, 0)};
+  const TraceProfile p = characterize(Trace("demo", 64, std::move(jobs)));
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1 jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psched::workload

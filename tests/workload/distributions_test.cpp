@@ -1,0 +1,168 @@
+#include "workload/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace psched::workload {
+namespace {
+
+constexpr double kDay = 24.0 * 3600.0;
+constexpr double kWeek = 7.0 * kDay;
+
+TEST(DiurnalProfile, WeeklyMeanIsOne) {
+  const DiurnalProfile p(0.7, 0.5);
+  double sum = 0.0;
+  constexpr int n = 7 * 24 * 4;  // 15-minute sampling over a week
+  for (int i = 0; i < n; ++i) sum += p.rate(i * kWeek / n);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(DiurnalProfile, PeaksAtPeakHour) {
+  const DiurnalProfile p(0.8, 1.0, 14.0);
+  const double at_peak = p.rate(14.0 * 3600.0);
+  const double at_night = p.rate(2.0 * 3600.0);
+  EXPECT_GT(at_peak, at_night);
+  EXPECT_NEAR(at_peak, 1.8, 1e-9);  // weekday, weekend factor 1 -> norm 1
+}
+
+TEST(DiurnalProfile, WeekendIsScaledDown) {
+  const DiurnalProfile p(0.0, 0.5);
+  const double weekday = p.rate(0.0);            // Monday 00:00
+  const double weekend = p.rate(5.0 * kDay);     // Saturday 00:00
+  EXPECT_NEAR(weekend / weekday, 0.5, 1e-9);
+}
+
+TEST(DiurnalProfile, MaxRateBoundsRate) {
+  const DiurnalProfile p(0.6, 1.2);
+  const double cap = p.max_rate();
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_LE(p.rate(i * kWeek / 1000.0), cap + 1e-12);
+}
+
+TEST(BurstProcess, NonBurstyIsConstantOne) {
+  util::Rng rng(1);
+  BurstProcess b(1.0, 0.0, 0.0);
+  b.materialize(1000.0, rng);
+  EXPECT_FALSE(b.bursty());
+  EXPECT_DOUBLE_EQ(b.rate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.rate(999.0), 1.0);
+  EXPECT_DOUBLE_EQ(b.max_rate(), 1.0);
+}
+
+TEST(BurstProcess, LongRunMeanMultiplierIsOne) {
+  util::Rng rng(2);
+  BurstProcess b(10.0, 500.0, 10000.0);
+  const double horizon = 5e6;
+  b.materialize(horizon, rng);
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += b.rate(i * horizon / n);
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(BurstProcess, RateIsBaseOrMultiplier) {
+  util::Rng rng(3);
+  BurstProcess b(5.0, 100.0, 1000.0);
+  b.materialize(1e5, rng);
+  for (int i = 0; i < 1000; ++i) {
+    const double r = b.rate(i * 100.0);
+    EXPECT_TRUE(r == 5.0 || std::abs(r - (1100.0 - 500.0) / 1000.0) < 1e-9)
+        << "unexpected rate " << r;
+  }
+}
+
+TEST(BurstProcess, TooLargeMultiplierAborts) {
+  // duty cycle 50%: multiplier 3 would need negative base rate
+  EXPECT_DEATH(BurstProcess(3.0, 1000.0, 1000.0), "duty cycle");
+}
+
+TEST(ArrivalProcess, CountMatchesRate) {
+  util::Rng rng(4);
+  ArrivalProcess a(0.01, DiurnalProfile(0.0, 1.0), BurstProcess(1.0, 0, 0));
+  const double horizon = 1e6;
+  const auto times = a.sample(horizon, rng);
+  EXPECT_NEAR(static_cast<double>(times.size()), 0.01 * horizon,
+              4.0 * std::sqrt(0.01 * horizon));
+}
+
+TEST(ArrivalProcess, ArrivalsAscendAndInRange) {
+  util::Rng rng(5);
+  ArrivalProcess a(0.05, DiurnalProfile(0.5, 0.7), BurstProcess(4.0, 500, 5000));
+  const auto times = a.sample(1e5, rng);
+  ASSERT_FALSE(times.empty());
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GT(times[i], times[i - 1]);
+  EXPECT_GE(times.front(), 0.0);
+  EXPECT_LT(times.back(), 1e5);
+}
+
+TEST(ArrivalProcess, DeterministicForSeed) {
+  ArrivalProcess a(0.02, DiurnalProfile(0.5, 0.7), BurstProcess(3.0, 500, 5000));
+  util::Rng r1(42), r2(42);
+  ArrivalProcess b(0.02, DiurnalProfile(0.5, 0.7), BurstProcess(3.0, 500, 5000));
+  EXPECT_EQ(a.sample(1e5, r1), b.sample(1e5, r2));
+}
+
+TEST(ParallelismModel, SerialFractionOneIsAllSerial) {
+  util::Rng rng(6);
+  const ParallelismModel m(1.0, 0.5, 64);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(m.sample(rng), 1);
+  EXPECT_DOUBLE_EQ(m.mean(), 1.0);
+}
+
+TEST(ParallelismModel, SamplesArePowersOfTwoWithinCap) {
+  util::Rng rng(7);
+  const ParallelismModel m(0.2, 0.7, 64);
+  for (int i = 0; i < 5000; ++i) {
+    const int n = m.sample(rng);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 64);
+    EXPECT_EQ(n & (n - 1), 0) << n << " is not a power of two";
+  }
+}
+
+TEST(ParallelismModel, EmpiricalMeanMatchesAnalytic) {
+  util::Rng rng(8);
+  const ParallelismModel m(0.3, 0.6, 32);
+  double sum = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) sum += m.sample(rng);
+  EXPECT_NEAR(sum / n, m.mean(), 0.05);
+}
+
+TEST(RuntimeModel, SamplesClamped) {
+  util::Rng rng(9);
+  const RuntimeModel m(std::log(100.0), 3.0, 10.0, 1000.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double t = m.sample(rng);
+    EXPECT_GE(t, 10.0);
+    EXPECT_LE(t, 1000.0);
+  }
+}
+
+TEST(RuntimeModel, ScaledShiftsMedian) {
+  util::Rng rng(10);
+  const RuntimeModel base(std::log(100.0), 0.5, 1.0, 1e9);
+  const RuntimeModel doubled = base.scaled(2.0);
+  double sb = 0.0, sd = 0.0;
+  constexpr int n = 50000;
+  util::Rng r1(11), r2(11);
+  for (int i = 0; i < n; ++i) sb += base.sample(r1);
+  for (int i = 0; i < n; ++i) sd += doubled.sample(r2);
+  EXPECT_NEAR(sd / sb, 2.0, 0.05);
+}
+
+TEST(RuntimeModel, EstimateMeanTracksSampling) {
+  const RuntimeModel m(std::log(50.0), 1.0, 1.0, 1e6);
+  util::Rng rng(12);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  util::Rng sampler(13);
+  for (int i = 0; i < n; ++i) sum += m.sample(sampler);
+  EXPECT_NEAR(m.estimate_mean(rng, 50000) / (sum / n), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace psched::workload

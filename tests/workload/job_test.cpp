@@ -1,0 +1,53 @@
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::workload {
+namespace {
+
+TEST(BoundedSlowdown, NoWaitIsOne) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(0.0, 100.0), 1.0);
+}
+
+TEST(BoundedSlowdown, LongJobUsesActualRuntime) {
+  // wait 100, runtime 100 -> (100+100)/100 = 2
+  EXPECT_DOUBLE_EQ(bounded_slowdown(100.0, 100.0), 2.0);
+}
+
+TEST(BoundedSlowdown, ShortJobUsesBound) {
+  // runtime 1 s is floored at the 10 s bound: (90+1)/10
+  EXPECT_DOUBLE_EQ(bounded_slowdown(90.0, 1.0), 9.1);
+}
+
+TEST(BoundedSlowdown, NeverBelowOne) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(0.0, 1.0), 1.0);  // (0+1)/10 clamps to 1
+  EXPECT_DOUBLE_EQ(bounded_slowdown(0.0, 5.0), 1.0);
+}
+
+TEST(BoundedSlowdown, CustomBound) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(50.0, 1.0, 50.0), 51.0 / 50.0);
+}
+
+TEST(BoundedSlowdown, ExactlyAtBound) {
+  EXPECT_DOUBLE_EQ(bounded_slowdown(10.0, 10.0), 2.0);
+}
+
+TEST(WorkOf, IsProcsTimesRuntime) {
+  Job j;
+  j.procs = 8;
+  j.runtime = 450.0;
+  EXPECT_DOUBLE_EQ(work_of(j), 3600.0);
+}
+
+TEST(JobToString, MentionsKeyFields) {
+  Job j;
+  j.id = 17;
+  j.procs = 4;
+  j.runtime = 60.0;
+  const std::string s = to_string(j);
+  EXPECT_NE(s.find("17"), std::string::npos);
+  EXPECT_NE(s.find("procs=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psched::workload

@@ -1,0 +1,166 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psched::workload {
+namespace {
+
+TEST(Swf, ParsesBasicRecord) {
+  //            id submit wait run procs cpu mem reqp reqt reqm st user ...
+  std::istringstream in(
+      "; MaxProcs: 100\n"
+      "1 100 5 300 4 -1 -1 4 600 -1 1 7 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "test");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.system_cpus(), 100);
+  const Job& j = t.jobs()[0];
+  EXPECT_DOUBLE_EQ(j.submit, 100.0);
+  EXPECT_DOUBLE_EQ(j.runtime, 300.0);
+  EXPECT_EQ(j.procs, 4);
+  EXPECT_DOUBLE_EQ(j.estimate, 600.0);
+  EXPECT_EQ(j.user, 7);
+}
+
+TEST(Swf, FallsBackToRequestedProcs) {
+  std::istringstream in("1 0 0 10 -1 -1 -1 8 -1 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "test", 64);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.jobs()[0].procs, 8);
+}
+
+TEST(Swf, UnknownRuntimeBecomesZeroAndIsCleaned) {
+  std::istringstream in("1 0 0 -1 4 -1 -1 4 -1 -1 0 1 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "test", 64);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.jobs()[0].runtime, 0.0);
+  EXPECT_EQ(t.cleaned().size(), 0u);
+}
+
+TEST(Swf, MissingEstimateFallsBackToRuntime) {
+  std::istringstream in("1 0 0 120 2 -1 -1 2 -1 -1 1 3 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "test", 64);
+  EXPECT_DOUBLE_EQ(t.jobs()[0].estimate, 120.0);
+}
+
+TEST(Swf, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "; Comment: something\n"
+      "\n"
+      "; UnixStartTime: 0\n"
+      "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_EQ(read_swf(in, "t", 4).size(), 1u);
+}
+
+TEST(Swf, ExplicitCpusOverridesHeader) {
+  std::istringstream in(
+      "; MaxProcs: 100\n"
+      "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_EQ(read_swf(in, "t", 256).system_cpus(), 256);
+}
+
+TEST(Swf, ThrowsOnMalformedField) {
+  std::istringstream in("1 0 zero 10 1\n");
+  EXPECT_THROW((void)read_swf(in, "t", 4), SwfError);
+}
+
+TEST(Swf, ThrowsOnShortRecord) {
+  std::istringstream in("1 0 3\n");
+  EXPECT_THROW((void)read_swf(in, "t", 4), SwfError);
+}
+
+TEST(Swf, ThrowsOnMissingFile) {
+  EXPECT_THROW((void)load_swf("/does/not/exist.swf"), SwfError);
+}
+
+TEST(Swf, RoundTripPreservesModeledFields) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 20; ++i) {
+    Job j;
+    j.id = i;
+    j.submit = i * 37.0;
+    j.runtime = 100.0 + i;
+    j.procs = 1 + i % 8;
+    j.estimate = 500.0 + i;
+    j.user = i % 5;
+    jobs.push_back(j);
+  }
+  const Trace original("rt", 64, std::move(jobs));
+
+  std::stringstream buffer;
+  write_swf(buffer, original);
+  const Trace parsed = read_swf(buffer, "rt");
+
+  ASSERT_EQ(parsed.size(), original.size());
+  EXPECT_EQ(parsed.system_cpus(), 64);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const Job& a = original.jobs()[i];
+    const Job& b = parsed.jobs()[i];
+    EXPECT_DOUBLE_EQ(a.submit, b.submit);
+    EXPECT_DOUBLE_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.procs, b.procs);
+    EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+    EXPECT_EQ(a.user, b.user);
+  }
+}
+
+TEST(Swf, JobNumberBecomesId) {
+  std::istringstream in(
+      "7 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+      "9 5 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  const Trace t = read_swf(in, "t", 4);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.jobs()[0].id, 7);
+  EXPECT_EQ(t.jobs()[1].id, 9);
+}
+
+TEST(Swf, PrecedingJobBecomesDependency) {
+  std::istringstream in(
+      "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n"
+      "2 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 1 -1\n");
+  const Trace t = read_swf(in, "t", 4);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.jobs()[0].deps.empty());
+  ASSERT_EQ(t.jobs()[1].deps.size(), 1u);
+  EXPECT_EQ(t.jobs()[1].deps[0], 1);
+}
+
+TEST(Swf, SingleDependencyRoundTrips) {
+  Job a;
+  a.id = 10;
+  a.submit = 0;
+  a.runtime = 5;
+  a.procs = 1;
+  Job b = a;
+  b.id = 11;
+  b.deps = {10};
+  b.workflow = 3;
+  std::stringstream buffer;
+  write_swf(buffer, Trace("wf", 16, {a, b}));
+  const Trace parsed = read_swf(buffer, "wf");
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(parsed.jobs()[0].deps.empty());
+  ASSERT_EQ(parsed.jobs()[1].deps.size(), 1u);
+  EXPECT_EQ(parsed.jobs()[1].deps[0], 10);
+}
+
+TEST(Swf, SaveAndLoadFile) {
+  Job j;
+  j.id = 0;
+  j.submit = 1.0;
+  j.runtime = 2.0;
+  j.procs = 3;
+  j.estimate = 4.0;
+  j.user = 5;
+  const Trace t("file", 32, {j});
+  const std::string path = testing::TempDir() + "/psched_swf_test.swf";
+  save_swf(path, t);
+  const Trace loaded = load_swf(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.system_cpus(), 32);
+  EXPECT_EQ(loaded.jobs()[0].procs, 3);
+}
+
+}  // namespace
+}  // namespace psched::workload

@@ -1,0 +1,106 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psched::workload {
+namespace {
+
+Job make_job(JobId id, double submit, double runtime, int procs) {
+  Job j;
+  j.id = id;
+  j.submit = submit;
+  j.runtime = runtime;
+  j.procs = procs;
+  j.estimate = runtime * 2;
+  return j;
+}
+
+TEST(Trace, SortsJobsBySubmitTime) {
+  Trace t("t", 64, {make_job(0, 30.0, 10, 1), make_job(1, 10.0, 10, 1)});
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.jobs()[0].id, 1);
+  EXPECT_EQ(t.jobs()[1].id, 0);
+}
+
+TEST(Trace, DurationIsLastSubmit) {
+  Trace t("t", 64, {make_job(0, 5.0, 1, 1), make_job(1, 99.0, 1, 1)});
+  EXPECT_DOUBLE_EQ(t.duration(), 99.0);
+  EXPECT_DOUBLE_EQ(Trace{}.duration(), 0.0);
+}
+
+TEST(Trace, TotalWorkAndLoad) {
+  // 2 jobs: 4x100 + 2x50 = 500 proc-seconds over 100 s on 10 CPUs => 0.5
+  Trace t("t", 10, {make_job(0, 0.0, 100, 4), make_job(1, 100.0, 50, 2)});
+  EXPECT_DOUBLE_EQ(t.total_work(), 500.0);
+  EXPECT_DOUBLE_EQ(t.load(), 0.5);
+}
+
+TEST(Trace, CountAtMost) {
+  Trace t("t", 128,
+          {make_job(0, 0, 1, 1), make_job(1, 1, 1, 64), make_job(2, 2, 1, 65)});
+  EXPECT_EQ(t.count_at_most(64), 2u);
+  EXPECT_EQ(t.count_at_most(1), 1u);
+}
+
+TEST(Trace, HeadCutsAtHorizon) {
+  Trace t("t", 64, {make_job(0, 0, 1, 1), make_job(1, 50, 1, 1), make_job(2, 100, 1, 1)});
+  const Trace h = t.head(100.0);  // strictly before the horizon
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.name(), "t");
+  EXPECT_EQ(h.system_cpus(), 64);
+}
+
+TEST(Trace, CleanedDropsInvalidJobs) {
+  std::vector<Job> jobs{make_job(0, 0, 10, 4),   // keep
+                        make_job(1, 1, 0, 4),    // zero runtime
+                        make_job(2, 2, 10, 0),   // zero procs
+                        make_job(3, 3, 10, 200), // wider than the system
+                        make_job(4, 4, 10, 65)}; // wider than 64
+  Trace t("t", 128, std::move(jobs));
+  const Trace clean = t.cleaned(64);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_EQ(clean.jobs()[0].id, 0);
+}
+
+TEST(Trace, CleanedKeepsWideJobsWhenLimitRaised) {
+  Trace t("t", 128, {make_job(0, 0, 10, 65)});
+  EXPECT_EQ(t.cleaned(128).size(), 1u);
+}
+
+TEST(Trace, SummarizeMatchesTable1Shape) {
+  std::vector<Job> jobs;
+  for (int i = 0; i < 99; ++i) jobs.push_back(make_job(i, i * 60.0, 100, 2));
+  jobs.push_back(make_job(99, 99 * 60.0, 100, 100));  // one wide job
+  Trace t("demo", 100, std::move(jobs));
+  const auto s = t.summarize(64);
+  EXPECT_EQ(s.total_jobs, 100u);
+  EXPECT_EQ(s.kept_jobs, 99u);
+  EXPECT_NEAR(s.kept_percent, 99.0, 1e-9);
+  EXPECT_EQ(s.cpus, 100);
+  EXPECT_GT(s.load_percent, 0.0);
+}
+
+TEST(Validate, AcceptsGoodTrace) {
+  Trace t("t", 64, {make_job(0, 0, 10, 1), make_job(1, 5, 10, 2)});
+  EXPECT_EQ(validate(t), "");
+}
+
+TEST(Validate, FlagsNonPositiveRuntime) {
+  Trace t("t", 64, {make_job(0, 0, 0, 1)});
+  EXPECT_NE(validate(t).find("runtime"), std::string::npos);
+}
+
+TEST(Validate, FlagsNonPositiveProcs) {
+  Trace t("t", 64, {make_job(0, 0, 10, 0)});
+  EXPECT_NE(validate(t).find("procs"), std::string::npos);
+}
+
+TEST(Validate, FlagsNegativeEstimate) {
+  Job j = make_job(0, 0, 10, 1);
+  j.estimate = -1.0;
+  Trace t("t", 64, {j});
+  EXPECT_NE(validate(t).find("estimate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psched::workload

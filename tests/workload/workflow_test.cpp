@@ -1,0 +1,137 @@
+#include "workload/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace psched::workload {
+namespace {
+
+WorkflowConfig small_config() {
+  WorkflowConfig c;
+  c.duration_days = 0.5;
+  c.workflows_per_day = 200.0;
+  c.min_tasks = 3;
+  c.max_tasks = 12;
+  return c;
+}
+
+TEST(WorkflowGenerator, ProducesValidDags) {
+  const Trace trace = generate_workflows(small_config(), 1);
+  ASSERT_GT(trace.size(), 100u);
+  EXPECT_EQ(validate_workflows(trace), "");
+  EXPECT_EQ(validate(trace), "");  // also a structurally valid trace
+}
+
+TEST(WorkflowGenerator, DeterministicForSeed) {
+  const Trace a = generate_workflows(small_config(), 7);
+  const Trace b = generate_workflows(small_config(), 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].deps, b.jobs()[i].deps);
+    EXPECT_DOUBLE_EQ(a.jobs()[i].runtime, b.jobs()[i].runtime);
+  }
+}
+
+TEST(WorkflowGenerator, EveryTaskBelongsToAWorkflow) {
+  const Trace trace = generate_workflows(small_config(), 2);
+  for (const Job& j : trace.jobs()) EXPECT_NE(j.workflow, kNoWorkflow);
+}
+
+TEST(WorkflowGenerator, TasksShareSubmitTimeWithinWorkflow) {
+  const Trace trace = generate_workflows(small_config(), 3);
+  std::map<WorkflowId, double> submit;
+  for (const Job& j : trace.jobs()) {
+    const auto [it, inserted] = submit.emplace(j.workflow, j.submit);
+    if (!inserted) {
+      EXPECT_DOUBLE_EQ(it->second, j.submit);
+    }
+  }
+}
+
+TEST(WorkflowGenerator, TaskCountsWithinBounds) {
+  const auto config = small_config();
+  const Trace trace = generate_workflows(config, 4);
+  std::map<WorkflowId, int> counts;
+  for (const Job& j : trace.jobs()) ++counts[j.workflow];
+  for (const auto& [wf, count] : counts) {
+    EXPECT_GE(count, config.min_tasks);
+    EXPECT_LE(count, config.max_tasks);
+  }
+}
+
+TEST(WorkflowGenerator, ChainOnlyIsLinear) {
+  WorkflowConfig c = small_config();
+  c.forkjoin_weight = 0.0;
+  c.layered_weight = 0.0;
+  const Trace trace = generate_workflows(c, 5);
+  // In a chain, every task has at most one dependency and at most one
+  // dependent.
+  std::map<JobId, int> dependents;
+  for (const Job& j : trace.jobs()) {
+    EXPECT_LE(j.deps.size(), 1u);
+    for (const JobId dep : j.deps) ++dependents[dep];
+  }
+  for (const auto& [id, count] : dependents) EXPECT_EQ(count, 1);
+}
+
+TEST(WorkflowGenerator, ForkJoinShape) {
+  WorkflowConfig c = small_config();
+  c.chain_weight = 0.0;
+  c.layered_weight = 0.0;
+  c.min_tasks = 6;
+  c.max_tasks = 6;
+  const Trace trace = generate_workflows(c, 6);
+  // Group by workflow: expect 1 entry (no deps), 4 middle (1 dep each),
+  // 1 exit (4 deps).
+  std::map<WorkflowId, std::vector<const Job*>> by_wf;
+  for (const Job& j : trace.jobs()) by_wf[j.workflow].push_back(&j);
+  for (const auto& [wf, tasks] : by_wf) {
+    ASSERT_EQ(tasks.size(), 6u);
+    int entries = 0, middles = 0, exits = 0;
+    for (const Job* t : tasks) {
+      if (t->deps.empty()) ++entries;
+      else if (t->deps.size() == 1) ++middles;
+      else if (t->deps.size() == 4) ++exits;
+    }
+    EXPECT_EQ(entries, 1);
+    EXPECT_EQ(middles, 4);
+    EXPECT_EQ(exits, 1);
+  }
+}
+
+TEST(WorkflowGenerator, LayeredFaninBounded) {
+  WorkflowConfig c = small_config();
+  c.chain_weight = 0.0;
+  c.forkjoin_weight = 0.0;
+  c.max_fanin = 2;
+  const Trace trace = generate_workflows(c, 8);
+  for (const Job& j : trace.jobs()) EXPECT_LE(j.deps.size(), 2u);
+}
+
+TEST(ValidateWorkflows, CatchesBrokenDeps) {
+  Job a;
+  a.id = 0;
+  a.submit = 0;
+  a.runtime = 10;
+  a.procs = 1;
+  a.workflow = 1;
+  Job b = a;
+  b.id = 1;
+  b.deps = {5};  // unknown
+  EXPECT_NE(validate_workflows(Trace("t", 64, {a, b})), "");
+
+  b.deps = {1};  // self
+  EXPECT_NE(validate_workflows(Trace("t", 64, {a, b})), "");
+
+  b.deps = {0};
+  b.workflow = 2;  // cross-workflow
+  EXPECT_NE(validate_workflows(Trace("t", 64, {a, b})), "");
+
+  b.workflow = 1;
+  EXPECT_EQ(validate_workflows(Trace("t", 64, {a, b})), "");
+}
+
+}  // namespace
+}  // namespace psched::workload

@@ -1,0 +1,211 @@
+// psched — command-line driver for the library.
+//
+// Subcommands:
+//   list-policies
+//       Print the 60-policy portfolio.
+//   generate  --archetype NAME --days N [--seed S] [--out FILE.swf]
+//             [--workflows] [--rate WF_PER_DAY]
+//       Generate a synthetic trace (or workflow campaign) and write SWF.
+//   characterize  FILE.swf | --archetype NAME --days N [--seed S]
+//       Print the workload profile (Table-1 summary + distributions).
+//   run  [FILE.swf | --archetype NAME] [--days N] [--seed S]
+//        [--scheduler portfolio|POLICY-NAME] [--predictor accurate|predicted|
+//         user-estimate|last-runtime|running-mean|ewma]
+//        [--delta MS] [--period TICKS] [--backfill] [--on-change]
+//        [--reflection] [--quantum SECONDS] [--csv FILE]
+//       Run one scenario and print the paper's metrics.
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "engine/experiment.hpp"
+#include "util/argparse.hpp"
+#include "util/table.hpp"
+#include "workload/characterize.hpp"
+#include "workload/generator.hpp"
+#include "workload/swf.hpp"
+#include "workload/workflow.hpp"
+
+namespace {
+
+using namespace psched;
+
+int usage() {
+  std::fputs(
+      "usage: psched <list-policies|generate|characterize|run> [flags]\n"
+      "       see the header of tools/psched_cli.cpp or README.md\n",
+      stderr);
+  return 1;
+}
+
+workload::Trace trace_from_args(const util::ArgParser& args, bool& ok) {
+  ok = true;
+  const double days = args.get_double("days", 7.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20130717));
+
+  // Positional SWF file wins.
+  for (const std::string& positional : args.positional()) {
+    if (positional.find(".swf") != std::string::npos) {
+      try {
+        return workload::load_swf(positional).cleaned(
+            static_cast<int>(args.get_int("max-procs", 64)));
+      } catch (const workload::SwfError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        ok = false;
+        return {};
+      }
+    }
+  }
+  if (args.get_bool("workflows")) {
+    workload::WorkflowConfig config;
+    config.duration_days = days;
+    config.workflows_per_day = args.get_double("rate", 96.0);
+    return workload::generate_workflows(config, seed);
+  }
+  const std::string archetype = args.get("archetype", "KTH-SP2");
+  for (const auto& config : workload::paper_archetypes(days)) {
+    if (config.name == archetype)
+      return workload::TraceGenerator(config).generate(seed).cleaned(64);
+  }
+  std::fprintf(stderr,
+               "error: unknown archetype '%s' (KTH-SP2, SDSC-SP2, DAS2-fs0, "
+               "LPC-EGEE)\n",
+               archetype.c_str());
+  ok = false;
+  return {};
+}
+
+int cmd_list_policies() {
+  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  for (const policy::PolicyTriple& triple : portfolio.policies())
+    std::printf("%s\n", triple.name().c_str());
+  return 0;
+}
+
+int cmd_generate(const util::ArgParser& args) {
+  bool ok = true;
+  const workload::Trace trace = trace_from_args(args, ok);
+  if (!ok) return 2;
+  const std::string out = args.get("out", "trace.swf");
+  try {
+    workload::save_swf(out, trace);
+  } catch (const workload::SwfError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  std::printf("wrote %zu jobs to %s\n", trace.size(), out.c_str());
+  return 0;
+}
+
+int cmd_characterize(const util::ArgParser& args) {
+  bool ok = true;
+  const workload::Trace trace = trace_from_args(args, ok);
+  if (!ok) return 2;
+  const auto summary = trace.summarize(64);
+  std::printf("%s: %zu jobs, %.2f months, load %.1f%% on %d CPUs\n",
+              trace.name().c_str(), summary.total_jobs, summary.months,
+              summary.load_percent, summary.cpus);
+  std::fputs(workload::to_string(workload::characterize(trace)).c_str(), stdout);
+  return 0;
+}
+
+engine::PredictorKind predictor_from(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "accurate") return engine::PredictorKind::kPerfect;
+  if (name == "predicted") return engine::PredictorKind::kTsafrir;
+  if (name == "user-estimate") return engine::PredictorKind::kUserEstimate;
+  if (name == "last-runtime") return engine::PredictorKind::kLastRuntime;
+  if (name == "running-mean") return engine::PredictorKind::kRunningMean;
+  if (name == "ewma") return engine::PredictorKind::kEwma;
+  ok = false;
+  return engine::PredictorKind::kPerfect;
+}
+
+int cmd_run(const util::ArgParser& args) {
+  bool ok = true;
+  const workload::Trace trace = trace_from_args(args, ok);
+  if (!ok) return 2;
+  if (trace.empty()) {
+    std::fputs("error: empty trace\n", stderr);
+    return 2;
+  }
+
+  const engine::PredictorKind predictor =
+      predictor_from(args.get("predictor", "accurate"), ok);
+  if (!ok) {
+    std::fputs("error: unknown --predictor\n", stderr);
+    return 1;
+  }
+
+  engine::EngineConfig config = engine::paper_engine_config();
+  if (args.get_bool("backfill"))
+    config.allocation = policy::AllocationMode::kEasyBackfill;
+  config.provider.billing_quantum = args.get_double("quantum", 3600.0);
+
+  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  const std::string scheduler = args.get("scheduler", "portfolio");
+
+  engine::ScenarioResult result;
+  if (scheduler == "portfolio") {
+    auto pconfig = engine::paper_portfolio_config(config);
+    pconfig.selector.time_constraint_ms = args.get_double("delta", 0.0);
+    pconfig.selection_period_ticks =
+        static_cast<std::uint64_t>(args.get_int("period", 1));
+    if (args.get_bool("on-change")) pconfig.trigger = core::SelectionTrigger::kOnChange;
+    pconfig.use_reflection_hints = args.get_bool("reflection");
+    result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor);
+  } else {
+    const policy::PolicyTriple* triple = portfolio.find(scheduler);
+    if (triple == nullptr) {
+      std::fprintf(stderr, "error: unknown policy '%s' (try list-policies)\n",
+                   scheduler.c_str());
+      return 1;
+    }
+    result = engine::run_single_policy(config, trace, *triple, predictor);
+  }
+
+  const auto& m = result.run.metrics;
+  util::Table table({"Metric", "Value"});
+  table.add_row({"scheduler", result.run.scheduler_name});
+  table.add_row({"trace", trace.name()});
+  table.add_row({"predictor", engine::to_string(predictor)});
+  table.add_row({"jobs", m.jobs});
+  table.add_row({"avg bounded slowdown", util::Cell(m.avg_bounded_slowdown, 3)});
+  table.add_row({"avg wait [s]", util::Cell(m.avg_wait, 1)});
+  table.add_row({"charged cost [VM-h]", util::Cell(m.charged_hours(), 1)});
+  table.add_row({"utilization [%]", util::Cell(100.0 * m.utilization(), 1)});
+  table.add_row({"utility", util::Cell(m.utility(config.utility), 2)});
+  if (m.workflows > 0) {
+    table.add_row({"workflows", m.workflows});
+    table.add_row({"avg workflow makespan [min]",
+                   util::Cell(m.avg_workflow_makespan / 60.0, 1)});
+  }
+  if (result.is_portfolio) {
+    table.add_row({"selection invocations", result.portfolio.invocations});
+    table.add_row({"policies simulated/selection",
+                   util::Cell(result.portfolio.mean_simulated_per_invocation, 1)});
+  }
+  std::fputs(table.render("psched run").c_str(), stdout);
+
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty() && !table.save_csv(csv)) {
+    std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const util::ArgParser args(argc - 1, argv + 1);
+  if (command == "list-policies") return cmd_list_policies();
+  if (command == "generate") return cmd_generate(args);
+  if (command == "characterize") return cmd_characterize(args);
+  if (command == "run") return cmd_run(args);
+  return usage();
+}
