@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_billing.dir/bench_ablation_billing.cpp.o"
+  "CMakeFiles/bench_ablation_billing.dir/bench_ablation_billing.cpp.o.d"
+  "bench_ablation_billing"
+  "bench_ablation_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reflection.dir/bench_ablation_reflection.cpp.o"
+  "CMakeFiles/bench_ablation_reflection.dir/bench_ablation_reflection.cpp.o.d"
+  "bench_ablation_reflection"
+  "bench_ablation_reflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trigger.dir/bench_ablation_trigger.cpp.o"
+  "CMakeFiles/bench_ablation_trigger.dir/bench_ablation_trigger.cpp.o.d"
+  "bench_ablation_trigger"
+  "bench_ablation_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workflows.dir/bench_workflows.cpp.o"
+  "CMakeFiles/bench_workflows.dir/bench_workflows.cpp.o.d"
+  "bench_workflows"
+  "bench_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

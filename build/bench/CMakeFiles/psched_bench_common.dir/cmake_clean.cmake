@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psched_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/psched_bench_common.dir/common/bench_common.cpp.o.d"
+  "libpsched_bench_common.a"
+  "libpsched_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psched_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/profile.cpp" "src/CMakeFiles/psched.dir/cloud/profile.cpp.o" "gcc" "src/CMakeFiles/psched.dir/cloud/profile.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/CMakeFiles/psched.dir/cloud/provider.cpp.o" "gcc" "src/CMakeFiles/psched.dir/cloud/provider.cpp.o.d"
+  "/root/repo/src/cloud/vm.cpp" "src/CMakeFiles/psched.dir/cloud/vm.cpp.o" "gcc" "src/CMakeFiles/psched.dir/cloud/vm.cpp.o.d"
+  "/root/repo/src/core/online_sim.cpp" "src/CMakeFiles/psched.dir/core/online_sim.cpp.o" "gcc" "src/CMakeFiles/psched.dir/core/online_sim.cpp.o.d"
+  "/root/repo/src/core/reflection.cpp" "src/CMakeFiles/psched.dir/core/reflection.cpp.o" "gcc" "src/CMakeFiles/psched.dir/core/reflection.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/psched.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/psched.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/selector.cpp" "src/CMakeFiles/psched.dir/core/selector.cpp.o" "gcc" "src/CMakeFiles/psched.dir/core/selector.cpp.o.d"
+  "/root/repo/src/core/trigger.cpp" "src/CMakeFiles/psched.dir/core/trigger.cpp.o" "gcc" "src/CMakeFiles/psched.dir/core/trigger.cpp.o.d"
+  "/root/repo/src/engine/cluster_sim.cpp" "src/CMakeFiles/psched.dir/engine/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/psched.dir/engine/cluster_sim.cpp.o.d"
+  "/root/repo/src/engine/experiment.cpp" "src/CMakeFiles/psched.dir/engine/experiment.cpp.o" "gcc" "src/CMakeFiles/psched.dir/engine/experiment.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/psched.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/psched.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/utility.cpp" "src/CMakeFiles/psched.dir/metrics/utility.cpp.o" "gcc" "src/CMakeFiles/psched.dir/metrics/utility.cpp.o.d"
+  "/root/repo/src/policy/allocation.cpp" "src/CMakeFiles/psched.dir/policy/allocation.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/allocation.cpp.o.d"
+  "/root/repo/src/policy/context.cpp" "src/CMakeFiles/psched.dir/policy/context.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/context.cpp.o.d"
+  "/root/repo/src/policy/job_selection.cpp" "src/CMakeFiles/psched.dir/policy/job_selection.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/job_selection.cpp.o.d"
+  "/root/repo/src/policy/portfolio.cpp" "src/CMakeFiles/psched.dir/policy/portfolio.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/portfolio.cpp.o.d"
+  "/root/repo/src/policy/provisioning.cpp" "src/CMakeFiles/psched.dir/policy/provisioning.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/provisioning.cpp.o.d"
+  "/root/repo/src/policy/vm_selection.cpp" "src/CMakeFiles/psched.dir/policy/vm_selection.cpp.o" "gcc" "src/CMakeFiles/psched.dir/policy/vm_selection.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/CMakeFiles/psched.dir/predict/predictor.cpp.o" "gcc" "src/CMakeFiles/psched.dir/predict/predictor.cpp.o.d"
+  "/root/repo/src/predict/suite.cpp" "src/CMakeFiles/psched.dir/predict/suite.cpp.o" "gcc" "src/CMakeFiles/psched.dir/predict/suite.cpp.o.d"
+  "/root/repo/src/predict/tsafrir.cpp" "src/CMakeFiles/psched.dir/predict/tsafrir.cpp.o" "gcc" "src/CMakeFiles/psched.dir/predict/tsafrir.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/psched.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/psched.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/psched.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/psched.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/util/argparse.cpp" "src/CMakeFiles/psched.dir/util/argparse.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/argparse.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/psched.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/psched.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/psched.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/psched.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/psched.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/psched.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/characterize.cpp" "src/CMakeFiles/psched.dir/workload/characterize.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/characterize.cpp.o.d"
+  "/root/repo/src/workload/distributions.cpp" "src/CMakeFiles/psched.dir/workload/distributions.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/distributions.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/psched.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/CMakeFiles/psched.dir/workload/job.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/job.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/CMakeFiles/psched.dir/workload/swf.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/swf.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/psched.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/workflow.cpp" "src/CMakeFiles/psched.dir/workload/workflow.cpp.o" "gcc" "src/CMakeFiles/psched.dir/workload/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

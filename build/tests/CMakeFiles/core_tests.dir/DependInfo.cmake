@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/online_sim_backfill_test.cpp" "tests/CMakeFiles/core_tests.dir/core/online_sim_backfill_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_sim_backfill_test.cpp.o.d"
+  "/root/repo/tests/core/online_sim_test.cpp" "tests/CMakeFiles/core_tests.dir/core/online_sim_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/online_sim_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/selector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/selector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/selector_test.cpp.o.d"
+  "/root/repo/tests/core/trigger_test.cpp" "tests/CMakeFiles/core_tests.dir/core/trigger_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/trigger_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/online_sim_backfill_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/online_sim_backfill_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/online_sim_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/online_sim_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/selector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/selector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/trigger_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/trigger_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/cluster_sim_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/cluster_sim_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/cluster_sim_test.cpp.o.d"
+  "/root/repo/tests/engine/release_rule_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/release_rule_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/release_rule_test.cpp.o.d"
+  "/root/repo/tests/engine/workflow_engine_test.cpp" "tests/CMakeFiles/engine_tests.dir/engine/workflow_engine_test.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/engine/workflow_engine_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policy/allocation_test.cpp" "tests/CMakeFiles/policy_tests.dir/policy/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/allocation_test.cpp.o.d"
+  "/root/repo/tests/policy/job_selection_test.cpp" "tests/CMakeFiles/policy_tests.dir/policy/job_selection_test.cpp.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/job_selection_test.cpp.o.d"
+  "/root/repo/tests/policy/portfolio_test.cpp" "tests/CMakeFiles/policy_tests.dir/policy/portfolio_test.cpp.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/portfolio_test.cpp.o.d"
+  "/root/repo/tests/policy/provisioning_test.cpp" "tests/CMakeFiles/policy_tests.dir/policy/provisioning_test.cpp.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/provisioning_test.cpp.o.d"
+  "/root/repo/tests/policy/vm_selection_test.cpp" "tests/CMakeFiles/policy_tests.dir/policy/vm_selection_test.cpp.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policy/vm_selection_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tests.dir/policy/allocation_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/allocation_test.cpp.o.d"
+  "CMakeFiles/policy_tests.dir/policy/job_selection_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/job_selection_test.cpp.o.d"
+  "CMakeFiles/policy_tests.dir/policy/portfolio_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/portfolio_test.cpp.o.d"
+  "CMakeFiles/policy_tests.dir/policy/provisioning_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/provisioning_test.cpp.o.d"
+  "CMakeFiles/policy_tests.dir/policy/vm_selection_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/vm_selection_test.cpp.o.d"
+  "policy_tests"
+  "policy_tests.pdb"
+  "policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

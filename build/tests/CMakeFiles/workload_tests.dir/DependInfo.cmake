@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/characterize_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/characterize_test.cpp.o.d"
+  "/root/repo/tests/workload/distributions_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/distributions_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/distributions_test.cpp.o.d"
+  "/root/repo/tests/workload/generator_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/generator_test.cpp.o.d"
+  "/root/repo/tests/workload/job_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/job_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/job_test.cpp.o.d"
+  "/root/repo/tests/workload/swf_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/swf_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/swf_test.cpp.o.d"
+  "/root/repo/tests/workload/trace_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/trace_test.cpp.o.d"
+  "/root/repo/tests/workload/workflow_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/workflow_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/psched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/cloud_tests[1]_include.cmake")
+include("/root/repo/build/tests/predict_tests[1]_include.cmake")
+include("/root/repo/build/tests/policy_tests[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/engine_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+add_test(cli_list_policies "/root/repo/build/tools/psched" "list-policies")
+set_tests_properties(cli_list_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_characterize "/root/repo/build/tools/psched" "characterize" "--archetype" "DAS2-fs0" "--days" "1" "--seed" "3")
+set_tests_properties(cli_characterize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;83;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_single "/root/repo/build/tools/psched" "run" "--archetype" "KTH-SP2" "--days" "0.5" "--scheduler" "ODA-UNICEF-FirstFit" "--predictor" "accurate")
+set_tests_properties(cli_run_single PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;85;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_portfolio "/root/repo/build/tools/psched" "run" "--archetype" "LPC-EGEE" "--days" "0.3" "--scheduler" "portfolio" "--predictor" "predicted" "--delta" "100")
+set_tests_properties(cli_run_portfolio PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_workflows "/root/repo/build/tools/psched" "run" "--workflows" "--days" "0.2" "--rate" "60" "--backfill")
+set_tests_properties(cli_run_workflows PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;91;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_generate_roundtrip "/root/repo/build/tools/psched" "generate" "--archetype" "SDSC-SP2" "--days" "0.5" "--out" "/root/repo/build/tests/cli_demo.swf")
+set_tests_properties(cli_generate_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;93;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_characterize_swf "/root/repo/build/tools/psched" "characterize" "/root/repo/build/tests/cli_demo.swf")
+set_tests_properties(cli_characterize_swf PROPERTIES  DEPENDS "cli_generate_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;96;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_policy "/root/repo/build/tools/psched" "run" "--archetype" "KTH-SP2" "--days" "0.1" "--scheduler" "NOPE")
+set_tests_properties(cli_rejects_unknown_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;99;add_test;/root/repo/tests/CMakeLists.txt;0;")

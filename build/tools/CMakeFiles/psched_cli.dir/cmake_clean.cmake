@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psched_cli.dir/psched_cli.cpp.o"
+  "CMakeFiles/psched_cli.dir/psched_cli.cpp.o.d"
+  "psched"
+  "psched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
