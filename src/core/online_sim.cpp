@@ -46,6 +46,8 @@ OnlineSimulator::OnlineSimulator(OnlineSimConfig config) : config_(config) {
 SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
                                      const cloud::CloudProfile& profile,
                                      const policy::PolicyTriple& policy) const {
+  // Const-thread-safe (see header): all mutable state below is stack-local;
+  // config_, the profile snapshot, and the policy objects are only read.
   PSCHED_ASSERT(policy.provisioning && policy.job_selection && policy.vm_selection);
   const SimTime t0 = profile.now;
 

@@ -81,6 +81,15 @@ struct SimOutcome {
   std::size_t decisions = 0;    ///< decision-loop iterations executed
 };
 
+/// Thread-safety: `simulate` is const-thread-safe — any number of threads
+/// may call it concurrently on one OnlineSimulator instance (with the same
+/// or different arguments). This is a stated contract, not an accident: the
+/// simulator holds only the immutable config, every piece of scratch state
+/// (VM views, the pending queue, allocation plans) lives on the calling
+/// thread's stack, and the policies it drives are stateless (`const`
+/// interfaces throughout policy/*.hpp). The wave-parallel selector and the
+/// concurrency stress test in tests/core/selector_parallel_test.cpp rely on
+/// this; keep new scratch state per-call (or thread_local) when extending.
 class OnlineSimulator {
  public:
   explicit OnlineSimulator(OnlineSimConfig config);
@@ -89,12 +98,13 @@ class OnlineSimulator {
 
   /// Simulate `policy` scheduling `queue` starting from `profile`.
   /// Deterministic: same inputs -> same outcome on every platform.
+  /// Safe to call concurrently from multiple threads (see class comment).
   [[nodiscard]] SimOutcome simulate(std::span<const policy::QueuedJob> queue,
                                     const cloud::CloudProfile& profile,
                                     const policy::PolicyTriple& policy) const;
 
  private:
-  OnlineSimConfig config_;
+  OnlineSimConfig config_;  ///< immutable after construction
 };
 
 }  // namespace psched::core

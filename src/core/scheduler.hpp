@@ -74,8 +74,14 @@ struct PortfolioSchedulerConfig {
 
 class PortfolioScheduler final : public Scheduler {
  public:
-  /// Borrows `portfolio` (must outlive the scheduler).
-  PortfolioScheduler(const policy::Portfolio& portfolio, PortfolioSchedulerConfig config);
+  /// Borrows `portfolio` (must outlive the scheduler). `eval_pool`
+  /// (optional, borrowed) is forwarded to the selector for wave-parallel
+  /// candidate evaluation when `config.selector.eval_threads > 1`; sharing
+  /// one pool between an outer scenario sweep and the inner selector waves
+  /// keeps the machine from being oversubscribed (see DESIGN.md, threading
+  /// model).
+  PortfolioScheduler(const policy::Portfolio& portfolio, PortfolioSchedulerConfig config,
+                     util::ThreadPool* eval_pool = nullptr);
 
   [[nodiscard]] policy::PolicyTriple policy_for_tick(
       std::uint64_t tick, std::span<const policy::QueuedJob> queue,

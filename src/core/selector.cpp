@@ -4,22 +4,40 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psched::core {
 
 TimeConstrainedSelector::TimeConstrainedSelector(const policy::Portfolio& portfolio,
                                                  OnlineSimulator simulator,
-                                                 SelectorConfig config)
+                                                 SelectorConfig config,
+                                                 util::ThreadPool* shared_pool)
     : portfolio_(portfolio),
       simulator_(std::move(simulator)),
       config_(config),
       rng_(config.rng_seed) {
   PSCHED_ASSERT_MSG(portfolio_.size() > 0, "selector needs a non-empty portfolio");
   PSCHED_ASSERT(config_.lambda > 0.0 && config_.lambda <= 1.0);
+  wave_width_ = config_.eval_threads != 0
+                    ? config_.eval_threads
+                    : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (wave_width_ > 1) {
+    if (shared_pool != nullptr) {
+      pool_ = shared_pool;
+    } else {
+      // The coordinating thread drains waves too (ThreadPool::run_batch), so
+      // wave_width_ - 1 workers give wave_width_ concurrent simulations.
+      owned_pool_ = std::make_unique<util::ThreadPool>(wave_width_ - 1);
+      pool_ = owned_pool_.get();
+    }
+  }
   reset();
 }
+
+TimeConstrainedSelector::~TimeConstrainedSelector() = default;
 
 void TimeConstrainedSelector::reset() {
   smart_.clear();
@@ -43,6 +61,41 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
   if (config_.use_measured_cost) cost += measured_ms;
   scores.push_back(PolicyScore{index, outcome.utility, cost});
   return cost;
+}
+
+double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
+                                         std::span<const policy::QueuedJob> queue,
+                                         const cloud::CloudProfile& profile,
+                                         std::vector<PolicyScore>& scores) const {
+  PSCHED_ASSERT(!wave.empty());
+  // A singleton wave runs inline on the coordinating thread — this is the
+  // whole story when eval_threads = 1, which keeps that path bit-identical
+  // to the sequential algorithm (no pool, no extra timing scopes).
+  if (wave.size() == 1) return simulate_one(wave.front(), queue, profile, scores);
+
+  PSCHED_ASSERT(pool_ != nullptr);
+  std::vector<SimOutcome> outcomes(wave.size());
+  std::vector<double> measured_ms(wave.size());
+  pool_->run_batch(wave.size(), [&](std::size_t k) {
+    const auto start = std::chrono::steady_clock::now();
+    outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    measured_ms[k] = std::chrono::duration<double, std::milli>(elapsed).count();
+  });
+
+  // Scores append in wave (= submission) order, so the ranking input is
+  // independent of which worker finished first. The wave's budget charge is
+  // the slowest member (they ran concurrently) plus one synthetic overhead.
+  double slowest_ms = 0.0;
+  for (std::size_t k = 0; k < wave.size(); ++k) {
+    double cost = config_.synthetic_overhead_ms;
+    if (config_.use_measured_cost) {
+      cost += measured_ms[k];
+      slowest_ms = std::max(slowest_ms, measured_ms[k]);
+    }
+    scores.push_back(PolicyScore{wave[k], outcomes[k].utility, cost});
+  }
+  return config_.synthetic_overhead_ms + slowest_ms;
 }
 
 SelectionResult TimeConstrainedSelector::select(
@@ -80,28 +133,45 @@ SelectionResult TimeConstrainedSelector::select(
 
   std::vector<PolicyScore> scores;
   scores.reserve(portfolio_.size());
+  double charged_ms = 0.0;       // budget actually charged (sum of wave costs)
+  std::vector<std::size_t> wave;
+  wave.reserve(wave_width_);
+
+  // Waves fill with up to wave_width_ candidates on the coordinating thread
+  // (front-of-set order; for Poor, RNG draws — also coordinating-thread-only,
+  // so the draw sequence matches the sequential algorithm's pick-by-pick
+  // sampling) and are simulated concurrently by run_wave.
+  const auto drain_ordered = [&](std::deque<std::size_t>& set, double& quota) {
+    while (!set.empty() && quota > 0.0) {
+      wave.clear();
+      while (!set.empty() && wave.size() < wave_width_) {
+        wave.push_back(set.front());
+        set.pop_front();
+      }
+      const double cost = run_wave(wave, queue, profile, scores);
+      quota -= cost;
+      charged_ms += cost;
+    }
+  };
 
   // Phase 2a: Smart, in order, while its quota lasts (l.3-7).
-  while (!smart_.empty() && quota_smart > 0.0) {
-    const std::size_t index = smart_.front();
-    smart_.pop_front();
-    quota_smart -= simulate_one(index, queue, profile, scores);
-  }
+  drain_ordered(smart_, quota_smart);
   // Phase 2b: Stale, in staleness order (l.8-12).
-  while (!stale_.empty() && quota_stale > 0.0) {
-    const std::size_t index = stale_.front();
-    stale_.pop_front();
-    quota_stale -= simulate_one(index, queue, profile, scores);
-  }
+  drain_ordered(stale_, quota_stale);
   // Phase 2c: Poor, random picks, with the leftovers folded in (l.13-19).
   double quota = quota_poor + std::max(0.0, quota_smart) + std::max(0.0, quota_stale);
   while (!poor_.empty() && quota > 0.0) {
-    const auto pick = static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(poor_.size()) - 1));
-    const std::size_t index = poor_[pick];
-    poor_[pick] = poor_.back();
-    poor_.pop_back();
-    quota -= simulate_one(index, queue, profile, scores);
+    wave.clear();
+    while (!poor_.empty() && wave.size() < wave_width_) {
+      const auto pick = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(poor_.size()) - 1));
+      wave.push_back(poor_[pick]);
+      poor_[pick] = poor_.back();
+      poor_.pop_back();
+    }
+    const double cost = run_wave(wave, queue, profile, scores);
+    quota -= cost;
+    charged_ms += cost;
   }
 
   // Phase 3: rearrange (l.20-24). Un-simulated Smart leftovers age into
@@ -151,7 +221,7 @@ SelectionResult TimeConstrainedSelector::select(
   SelectionResult result;
   result.best_index = scores.front().index;
   result.best_utility = scores.front().utility;
-  for (const PolicyScore& s : scores) result.total_cost_ms += s.cost_ms;
+  result.total_cost_ms = charged_ms;
   result.scores = std::move(scores);
   return result;
 }

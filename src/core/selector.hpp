@@ -14,15 +14,31 @@
 //
 // The budget can count measured wall time, a fixed synthetic per-policy
 // cost (for the deterministic Figure-10 experiment), or both.
+//
+// Candidate evaluation can run in parallel waves (SelectorConfig::
+// eval_threads): each set is drained in deterministic groups of up to
+// eval_threads candidates simulated concurrently on a util::ThreadPool,
+// and a wave is charged against the budget as the maximum of its members'
+// measured costs plus one synthetic overhead — concurrent simulations
+// overlap in wall time, so Delta buys up to eval_threads× more candidates.
+// All sequencing decisions (which candidates form a wave, Poor-set RNG
+// draws, score order) happen on the coordinating thread, so results are
+// deterministic for a fixed eval_threads, and eval_threads = 1 is
+// bit-identical to the original sequential algorithm.
 
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/online_sim.hpp"
 #include "util/rng.hpp"
+
+namespace psched::util {
+class ThreadPool;
+}  // namespace psched::util
 
 namespace psched::core {
 
@@ -54,6 +70,13 @@ struct SelectorConfig {
   bool use_measured_cost = true;
   /// Seed for the random sampling of the Poor set.
   std::uint64_t rng_seed = 0x5eed;
+  /// Candidates simulated concurrently per evaluation wave. 1 (default)
+  /// preserves the sequential Algorithm 1 bit-for-bit; k > 1 drains
+  /// Smart/Stale/Poor in deterministic waves of up to k candidates, each
+  /// wave charged max(member measured cost) + synthetic_overhead_ms, so a
+  /// budget Delta simulates up to k× more policies. 0 means hardware
+  /// concurrency.
+  std::size_t eval_threads = 1;
 };
 
 /// Utility score of one simulated policy.
@@ -67,6 +90,9 @@ struct SelectionResult {
   std::size_t best_index = 0;
   double best_utility = 0.0;
   std::vector<PolicyScore> scores;  ///< all policies simulated this round
+  /// Budget actually charged: the sum of per-wave costs. Equal to the sum
+  /// of the scores' cost_ms when eval_threads = 1; smaller with parallel
+  /// waves (concurrent members overlap in wall time).
   double total_cost_ms = 0.0;
 
   [[nodiscard]] std::size_t simulated() const noexcept { return scores.size(); }
@@ -74,9 +100,17 @@ struct SelectionResult {
 
 class TimeConstrainedSelector {
  public:
-  /// The selector borrows `portfolio` (must outlive the selector).
+  /// The selector borrows `portfolio` (must outlive the selector). When
+  /// `config.eval_threads` exceeds 1, candidate waves run on `shared_pool`
+  /// if given (it must outlive the selector; the coordinating thread helps
+  /// drain each wave, so a pool already busy with outer scenario sweeps is
+  /// safe to share) or on an internally owned pool of eval_threads - 1
+  /// workers otherwise.
   TimeConstrainedSelector(const policy::Portfolio& portfolio, OnlineSimulator simulator,
-                          SelectorConfig config);
+                          SelectorConfig config,
+                          util::ThreadPool* shared_pool = nullptr);
+  // Out of line: the owned pool's deleter needs the complete ThreadPool.
+  ~TimeConstrainedSelector();
 
   /// Run Algorithm 1 on the given problem instance. Requires a non-empty
   /// queue (an empty instance cannot rank policies). `preferred_index` is
@@ -101,6 +135,10 @@ class TimeConstrainedSelector {
   [[nodiscard]] const SelectorConfig& config() const noexcept { return config_; }
   [[nodiscard]] const OnlineSimulator& simulator() const noexcept { return simulator_; }
 
+  /// Effective candidates per wave (eval_threads with 0 resolved to the
+  /// hardware concurrency).
+  [[nodiscard]] std::size_t wave_width() const noexcept { return wave_width_; }
+
  private:
   /// Simulate policy `index` and append its score to `scores`; returns the
   /// budget cost charged.
@@ -108,10 +146,21 @@ class TimeConstrainedSelector {
                       const cloud::CloudProfile& profile,
                       std::vector<PolicyScore>& scores) const;
 
+  /// Simulate one wave of candidates (concurrently when the wave has more
+  /// than one member), append their scores in wave order, and return the
+  /// budget cost charged for the whole wave.
+  double run_wave(std::span<const std::size_t> wave,
+                  std::span<const policy::QueuedJob> queue,
+                  const cloud::CloudProfile& profile,
+                  std::vector<PolicyScore>& scores) const;
+
   const policy::Portfolio& portfolio_;
   OnlineSimulator simulator_;
   SelectorConfig config_;
   util::Rng rng_;
+  std::size_t wave_width_ = 1;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  ///< only if no shared pool
+  util::ThreadPool* pool_ = nullptr;              ///< non-null iff wave_width_ > 1
 
   std::deque<std::size_t> smart_;
   std::deque<std::size_t> stale_;

@@ -44,8 +44,8 @@ ScenarioResult run_single_policy(const EngineConfig& config, const workload::Tra
 ScenarioResult run_portfolio(const EngineConfig& config, const workload::Trace& trace,
                              const policy::Portfolio& portfolio,
                              const core::PortfolioSchedulerConfig& pconfig,
-                             PredictorKind predictor) {
-  core::PortfolioScheduler scheduler(portfolio, pconfig);
+                             PredictorKind predictor, util::ThreadPool* eval_pool) {
+  core::PortfolioScheduler scheduler(portfolio, pconfig, eval_pool);
   const auto pred = make_predictor(predictor);
   ClusterSimulation sim(config, trace, scheduler, *pred);
   ScenarioResult result;
@@ -65,6 +65,15 @@ std::vector<ScenarioResult> run_parallel(
   std::vector<ScenarioResult> results(tasks.size());
   util::ThreadPool pool(threads);
   pool.parallel_for(tasks.size(), [&](std::size_t i) { results[i] = tasks[i](); });
+  return results;
+}
+
+std::vector<ScenarioResult> run_parallel(
+    const std::vector<std::function<ScenarioResult(util::ThreadPool&)>>& tasks,
+    std::size_t threads) {
+  std::vector<ScenarioResult> results(tasks.size());
+  util::ThreadPool pool(threads);
+  pool.parallel_for(tasks.size(), [&](std::size_t i) { results[i] = tasks[i](pool); });
   return results;
 }
 

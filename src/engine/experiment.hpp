@@ -12,6 +12,7 @@
 #include "engine/cluster_sim.hpp"
 #include "predict/suite.hpp"
 #include "predict/tsafrir.hpp"
+#include "util/thread_pool.hpp"
 
 namespace psched::engine {
 
@@ -49,17 +50,33 @@ struct ScenarioResult {
                                                policy::PolicyTriple triple,
                                                PredictorKind predictor);
 
-/// Run the portfolio scheduler over a trace.
+/// Run the portfolio scheduler over a trace. `eval_pool` (optional,
+/// borrowed) hosts the selector's wave-parallel candidate evaluation when
+/// `pconfig.selector.eval_threads > 1`; pass the scenario sweep's own pool
+/// (see the pool-aware run_parallel overload) so outer and inner
+/// parallelism share one set of workers instead of oversubscribing.
 [[nodiscard]] ScenarioResult run_portfolio(const EngineConfig& config,
                                            const workload::Trace& trace,
                                            const policy::Portfolio& portfolio,
                                            const core::PortfolioSchedulerConfig& pconfig,
-                                           PredictorKind predictor);
+                                           PredictorKind predictor,
+                                           util::ThreadPool* eval_pool = nullptr);
 
-/// Run `tasks` scenario thunks across a shared thread pool (one engine per
-/// task; engines are single-threaded). Results keep task order.
+/// Run `tasks` scenario thunks across a shared thread pool. Results keep
+/// task order. Each task owns its engine: engines are thread-compatible
+/// (one engine per thread, no shared mutable state), and any inner
+/// selector-wave parallelism a task wants must come through the pool-aware
+/// overload below.
 [[nodiscard]] std::vector<ScenarioResult> run_parallel(
     const std::vector<std::function<ScenarioResult()>>& tasks, std::size_t threads = 0);
+
+/// Pool-aware variant: each task receives the sweep's shared pool so it can
+/// forward it to run_portfolio (inner selector waves then borrow idle sweep
+/// workers — ThreadPool::run_batch lets a task help drain its own waves, so
+/// nesting cannot deadlock and the total thread count stays at `threads`).
+[[nodiscard]] std::vector<ScenarioResult> run_parallel(
+    const std::vector<std::function<ScenarioResult(util::ThreadPool&)>>& tasks,
+    std::size_t threads = 0);
 
 /// Default engine configuration matching the paper's setup: 256 VMs,
 /// 120 s boot delay, 20 s scheduling period, 10 s slowdown bound,

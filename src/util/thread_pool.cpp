@@ -2,8 +2,47 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace psched::util {
+
+namespace {
+
+/// Shared between the run_batch caller and its helper tasks. Heap-allocated
+/// and reference-counted because helpers may be scheduled after the batch is
+/// already drained and run_batch has returned.
+struct BatchState {
+  BatchState(std::size_t n_, std::function<void(std::size_t)> fn_)
+      : n(n_), fn(std::move(fn_)) {}
+  const std::size_t n;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+/// Claim and run batch indices until the index space is exhausted. Failed
+/// tasks still count as done so the waiter wakes.
+void drain_batch(const std::shared_ptr<BatchState>& state) {
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) return;
+    try {
+      state->fn(i);
+    } catch (...) {
+      std::lock_guard lock(state->mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
+      std::lock_guard lock(state->mutex);
+      state->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -59,6 +98,29 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   for (auto& f : futures) f.get();
   if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_batch(std::size_t n, std::function<void(std::size_t)> fn) {
+  if (n == 0) return;
+  if (n == 1) {  // nothing to fan out; run inline, exceptions propagate as-is
+    fn(0);
+    return;
+  }
+  auto state = std::make_shared<BatchState>(n, std::move(fn));
+  // Helpers beyond n-1 could never claim an index; beyond size() they could
+  // never run concurrently. Their futures are discarded: completion is
+  // tracked by the batch's own done-count, so the caller does not stall on
+  // helpers the pool schedules late (or never, if the batch drains first).
+  const std::size_t helpers = std::min(n - 1, size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    (void)submit([state] { drain_batch(state); });
+  }
+  drain_batch(state);
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->n;
+  });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace psched::util

@@ -1,8 +1,9 @@
 #pragma once
 // A fixed-size thread pool used to parallelize independent experiment
-// configurations (bench sweeps) and, optionally, exhaustive portfolio
-// evaluation. Tasks are type-erased; `parallel_for_each` provides the common
-// fork-join pattern with exception propagation.
+// configurations (bench sweeps) and the selector's candidate-evaluation
+// waves. Tasks are type-erased; `parallel_for` provides the common
+// fork-join pattern with exception propagation, and `run_batch` the
+// nested-safe variant the selector uses from inside pool workers.
 
 #include <condition_variable>
 #include <cstddef>
@@ -43,7 +44,22 @@ class ThreadPool {
 
   /// Run `fn(i)` for i in [0, n) across the pool; blocks until all complete.
   /// The first exception thrown by any task is rethrown on the caller.
+  /// Must NOT be called from inside a pool worker: with every worker blocked
+  /// in a nested parallel_for, the sub-tasks would never run. Nested code
+  /// uses run_batch instead.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Submit-and-collect helper for a batch of `n` tasks, order-preserving:
+  /// `fn(i)` writes the result slot the caller indexed by `i`, so collected
+  /// results keep submission order regardless of which thread ran which
+  /// task. Unlike parallel_for, the calling thread helps drain the batch, so
+  /// run_batch is safe to call from inside a pool worker (nested selector
+  /// waves under an outer scenario sweep): the batch completes even when
+  /// every other worker is busy, and the caller never waits on helper tasks
+  /// the pool has not scheduled yet — stragglers find the index space
+  /// exhausted and return without touching the (shared) batch state's work.
+  /// The first exception thrown by any task is rethrown on the caller.
+  void run_batch(std::size_t n, std::function<void(std::size_t)> fn);
 
  private:
   void worker_loop();

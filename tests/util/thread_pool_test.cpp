@@ -58,5 +58,54 @@ TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, RunBatchFillsEveryOrderedSlot) {
+  ThreadPool pool(4);
+  std::vector<int> slots(500, -1);
+  pool.run_batch(slots.size(), [&](std::size_t i) { slots[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, RunBatchZeroAndOneAreInline) {
+  ThreadPool pool(2);
+  pool.run_batch(0, [](std::size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  pool.run_batch(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RunBatchRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_batch(16,
+                              [](std::size_t i) {
+                                if (i % 5 == 3) throw std::runtime_error("batch boom");
+                              }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RunBatchIsSafeFromInsideWorkers) {
+  // Saturation + nesting: more outer tasks than workers, each running an
+  // inner batch on the same pool. parallel_for would deadlock here (all
+  // workers blocked waiting for sub-tasks no thread is free to run);
+  // run_batch's caller participation must drain everything.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.run_batch(32, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
+TEST(ThreadPool, RunBatchNestsTwoLevelsDeep) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.run_batch(4, [&](std::size_t) {
+    pool.run_batch(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
 }  // namespace
 }  // namespace psched::util

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Docs lint: fail when README.md or DESIGN.md reference API surface that no
+# longer exists — a SelectorConfig field spelled `SelectorConfig::name`, or
+# a CLI/bench flag spelled `--name` that no source file implements. Keeps
+# the documented configuration surface honest as fields and flags evolve.
+#
+# Run directly (tools/check_docs.sh) or via ctest (test name: docs_lint).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+docs="README.md DESIGN.md"
+
+# --- 1. SelectorConfig::field references must name real fields -------------
+# Known fields: member declarations between `struct SelectorConfig {` and
+# the closing brace (last identifier before '=' or ';').
+fields=$(sed -n '/^struct SelectorConfig {/,/^};/p' src/core/selector.hpp \
+  | grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_]+\s*(=|;)' \
+  | sed -E 's/\s*(=|;).*//; s/.*\s([a-z_]+)$/\1/')
+if [ -z "$fields" ]; then
+  echo "docs-lint: could not extract SelectorConfig fields from src/core/selector.hpp" >&2
+  exit 1
+fi
+for ref in $(grep -ohE 'SelectorConfig::[a-zA-Z_]+' $docs | sort -u); do
+  field=${ref#SelectorConfig::}
+  if ! printf '%s\n' "$fields" | grep -qx "$field"; then
+    echo "docs-lint: $ref is referenced in docs but is not a SelectorConfig field" >&2
+    fail=1
+  fi
+done
+
+# --- 2. --flags mentioned in docs must exist in the sources ----------------
+# Flags of external tools (cmake/ctest themselves) are allowlisted.
+allow="output-on-failure test-dir build"
+for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs | sort -u); do
+  name=${flag#--}
+  if printf '%s\n' $allow | grep -qx "$name"; then continue; fi
+  # ArgParser looks flags up by bare name ("delta"); headers/docs may also
+  # carry the dashed form. Either counts as implemented.
+  if grep -rq -- "\"$name\"" src/ tools/ bench/ examples/ 2>/dev/null; then continue; fi
+  if grep -rq -- "$flag" src/ tools/ bench/ examples/ 2>/dev/null; then continue; fi
+  echo "docs-lint: $flag is referenced in docs but implemented nowhere in src/, tools/, bench/, examples/" >&2
+  fail=1
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-lint: FAILED — update README.md/DESIGN.md or the allowlist in tools/check_docs.sh" >&2
+else
+  echo "docs-lint: OK"
+fi
+exit $fail

@@ -11,9 +11,11 @@
 //   run  [FILE.swf | --archetype NAME] [--days N] [--seed S]
 //        [--scheduler portfolio|POLICY-NAME] [--predictor accurate|predicted|
 //         user-estimate|last-runtime|running-mean|ewma]
-//        [--delta MS] [--period TICKS] [--backfill] [--on-change]
-//        [--reflection] [--quantum SECONDS] [--csv FILE]
-//       Run one scenario and print the paper's metrics.
+//        [--delta MS] [--eval-threads N] [--period TICKS] [--backfill]
+//        [--on-change] [--reflection] [--quantum SECONDS] [--csv FILE]
+//       Run one scenario and print the paper's metrics. --eval-threads N
+//       simulates selector candidates in parallel waves of N (0 = hardware
+//       concurrency; default 1 = the sequential algorithm).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstdio>
@@ -151,6 +153,8 @@ int cmd_run(const util::ArgParser& args) {
   if (scheduler == "portfolio") {
     auto pconfig = engine::paper_portfolio_config(config);
     pconfig.selector.time_constraint_ms = args.get_double("delta", 0.0);
+    pconfig.selector.eval_threads =
+        static_cast<std::size_t>(args.get_int("eval-threads", 1));
     pconfig.selection_period_ticks =
         static_cast<std::uint64_t>(args.get_int("period", 1));
     if (args.get_bool("on-change")) pconfig.trigger = core::SelectionTrigger::kOnChange;
