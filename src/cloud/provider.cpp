@@ -12,7 +12,14 @@ CloudProvider::CloudProvider(ProviderConfig config) : config_(config) {
 }
 
 std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
-  const std::size_t grant = std::min(count, lease_headroom());
+  std::size_t headroom = lease_headroom();
+  // Seeded fault (validation self-test): overshoot the concurrency cap by
+  // one — the InvariantChecker must catch the extra grant.
+  if (config_.inject_fault == validate::FaultInjection::kCapOvershoot &&
+      count > headroom) {
+    ++headroom;
+  }
+  const std::size_t grant = std::min(count, headroom);
   std::vector<VmId> ids;
   ids.reserve(grant);
   for (std::size_t i = 0; i < grant; ++i) {
@@ -21,9 +28,14 @@ std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
     vm.lease_time = now;
     vm.boot_complete = now + config_.boot_delay;
     vm.state = config_.boot_delay > 0.0 ? VmState::kBooting : VmState::kIdle;
+    // Seeded fault: the VM is usable immediately, boot never awaited. The
+    // advertised boot_complete stays truthful so the checker can tell.
+    if (config_.inject_fault == validate::FaultInjection::kSkipBootDelay)
+      vm.state = VmState::kIdle;
     ids.push_back(vm.id);
     vms_.push_back(vm);
     ++total_leases_;
+    if (observer_ != nullptr) observer_->on_lease(vms_.back(), vms_.size(), now);
   }
   return ids;
 }
@@ -44,7 +56,13 @@ void CloudProvider::release(VmId id, SimTime now) {
   VmInstance* vm = find_mut(id);
   PSCHED_ASSERT_MSG(vm != nullptr, "release of unknown VM");
   PSCHED_ASSERT_MSG(vm->state == VmState::kIdle, "release of a non-idle VM");
-  charged_hours_ += charged_hours(*vm, now, config_.billing_quantum);
+  double charge = charged_hours(*vm, now, config_.billing_quantum);
+  // Seeded fault (validation self-test): bill one quantum too few — the
+  // classic off-by-one at the started-hour boundary.
+  if (config_.inject_fault == validate::FaultInjection::kBillingOffByOne)
+    charge = std::max(0.0, charge - config_.billing_quantum / kSecondsPerHour);
+  charged_hours_ += charge;
+  if (observer_ != nullptr) observer_->on_release(*vm, charge, now);
   vms_.erase(vms_.begin() + (vm - vms_.data()));
 }
 
@@ -54,6 +72,7 @@ void CloudProvider::finish_boot(VmId id, SimTime now) {
   PSCHED_ASSERT_MSG(vm->state == VmState::kBooting, "finish_boot of non-booting VM");
   PSCHED_ASSERT(now >= vm->boot_complete);
   vm->state = VmState::kIdle;
+  if (observer_ != nullptr) observer_->on_finish_boot(*vm, now);
 }
 
 void CloudProvider::assign(VmId id, JobId job, SimTime until, SimTime now) {
@@ -61,6 +80,7 @@ void CloudProvider::assign(VmId id, JobId job, SimTime until, SimTime now) {
   PSCHED_ASSERT_MSG(vm != nullptr, "assign to unknown VM");
   PSCHED_ASSERT_MSG(vm->state == VmState::kIdle, "assign to a non-idle VM");
   PSCHED_ASSERT(until >= now);
+  if (observer_ != nullptr) observer_->on_assign(*vm, job, now);  // pre-state
   vm->state = VmState::kBusy;
   vm->running_job = job;
   vm->busy_until = until;
@@ -70,10 +90,10 @@ void CloudProvider::unassign(VmId id, SimTime now) {
   VmInstance* vm = find_mut(id);
   PSCHED_ASSERT_MSG(vm != nullptr, "unassign of unknown VM");
   PSCHED_ASSERT_MSG(vm->state == VmState::kBusy, "unassign of a non-busy VM");
-  (void)now;
   vm->state = VmState::kIdle;
   vm->running_job = kInvalidJob;
   vm->busy_until = 0.0;
+  if (observer_ != nullptr) observer_->on_unassign(*vm, now);
 }
 
 std::size_t CloudProvider::release_expiring_idle(SimTime now, SimDuration window,

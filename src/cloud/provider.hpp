@@ -10,6 +10,7 @@
 #include "cloud/profile.hpp"
 #include "cloud/vm.hpp"
 #include "util/types.hpp"
+#include "validate/fault.hpp"
 
 namespace psched::cloud {
 
@@ -20,6 +21,28 @@ struct ProviderConfig {
   /// of this (minimum one quantum). Paper/EC2-classic: 3600 s; modern
   /// clouds bill per second (see bench_ablation_billing).
   SimDuration billing_quantum = kSecondsPerHour;
+  /// Validation self-test mutations (validate/fault.hpp): deliberately
+  /// break billing/boot/cap behavior so the InvariantChecker's detection is
+  /// itself testable. kNone (always, outside validation tests) is correct
+  /// behavior.
+  validate::FaultInjection inject_fault = validate::FaultInjection::kNone;
+};
+
+/// Passive observer of provider state transitions (validation hook). Each
+/// callback fires *after* the provider applied the transition (for assign,
+/// `vm` is the pre-assignment snapshot so the observer can see the state
+/// the VM was taken from). Null observer = one branch per operation.
+class ProviderObserver {
+ public:
+  virtual ~ProviderObserver() = default;
+  virtual void on_lease(const VmInstance& vm, std::size_t leased_count, SimTime now) = 0;
+  virtual void on_finish_boot(const VmInstance& vm, SimTime now) = 0;
+  /// `vm` is the instance as it was immediately before assignment.
+  virtual void on_assign(const VmInstance& vm, JobId job, SimTime now) = 0;
+  virtual void on_unassign(const VmInstance& vm, SimTime now) = 0;
+  /// `charged_hours_delta` is what this release added to the charged total.
+  virtual void on_release(const VmInstance& vm, double charged_hours_delta,
+                          SimTime now) = 0;
 };
 
 class CloudProvider {
@@ -27,6 +50,10 @@ class CloudProvider {
   explicit CloudProvider(ProviderConfig config = {});
 
   [[nodiscard]] const ProviderConfig& config() const noexcept { return config_; }
+
+  /// Attach (or detach, with nullptr) a validation observer. Borrowed; must
+  /// outlive the provider or be detached first.
+  void set_observer(ProviderObserver* observer) noexcept { observer_ = observer; }
 
   /// Lease up to `count` VMs at `now`; returns the ids actually leased
   /// (shorter than `count` when the cap binds). New VMs boot until
@@ -94,6 +121,7 @@ class CloudProvider {
   VmId next_id_ = 0;
   double charged_hours_ = 0.0;
   std::size_t total_leases_ = 0;
+  ProviderObserver* observer_ = nullptr;
 };
 
 }  // namespace psched::cloud

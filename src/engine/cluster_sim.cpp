@@ -7,17 +7,35 @@
 
 namespace psched::engine {
 
+namespace {
+
+/// The provider executes fault mutations (validation self-test); the checker
+/// below still judges against the *intended* config, so the fault surfaces.
+EngineConfig with_fault_applied(EngineConfig config) {
+  config.provider.inject_fault = config.validation.inject_fault;
+  return config;
+}
+
+}  // namespace
+
 ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace& trace,
                                      core::Scheduler& scheduler,
                                      predict::RuntimePredictor& predictor)
-    : config_(config),
+    : config_(with_fault_applied(std::move(config))),
       trace_(trace),
       scheduler_(scheduler),
       predictor_(predictor),
-      provider_(config.provider),
-      collector_(config.slowdown_bound) {
+      provider_(config_.provider),
+      collector_(config_.slowdown_bound) {
   PSCHED_ASSERT(config_.schedule_period > 0.0);
   collector_.keep_records(config_.keep_job_records);
+  if (config_.validation.check_invariants) {
+    cloud::ProviderConfig intended = config_.provider;
+    intended.inject_fault = validate::FaultInjection::kNone;
+    checker_ = std::make_unique<validate::InvariantChecker>(config_.validation, intended);
+    sim_.set_observer(checker_.get());
+    provider_.set_observer(checker_.get());
+  }
   std::unordered_map<JobId, const workload::Job*> by_id;
   by_id.reserve(trace_.size());
   for (const workload::Job& j : trace_.jobs()) {
@@ -53,6 +71,7 @@ void ClusterSimulation::arm_tick(SimTime not_before) {
 }
 
 void ClusterSimulation::on_arrival() {
+  detail::sim_context().set(sim_.now(), "arrival");
   const workload::Job& job = trace_.jobs()[next_arrival_];
   ++next_arrival_;
   const auto open = open_deps_.find(job.id);
@@ -115,6 +134,7 @@ cloud::CloudProfile ClusterSimulation::make_profile() const {
 void ClusterSimulation::on_tick() {
   tick_armed_ = false;
   const SimTime now = sim_.now();
+  detail::sim_context().set(now, "tick");
   const auto tick_index =
       static_cast<std::uint64_t>(std::llround(now / config_.schedule_period));
   ++ticks_run_;
@@ -123,6 +143,11 @@ void ClusterSimulation::on_tick() {
   const cloud::CloudProfile profile = make_profile();
   const policy::PolicyTriple policy =
       scheduler_.policy_for_tick(tick_index, annotated, profile);
+  if (policy != context_policy_) {
+    // Re-format the context label only on a policy switch (rare).
+    context_policy_ = policy;
+    detail::sim_context().set_policy(policy.name().c_str());
+  }
 
   // --- 1. provisioning -------------------------------------------------------
   policy::SchedContext ctx;
@@ -134,6 +159,9 @@ void ClusterSimulation::on_tick() {
   ctx.max_vms = provider_.config().max_vms;
   const std::size_t want = policy.provisioning->vms_to_lease(ctx);
   for (const VmId id : provider_.lease(want, now)) {
+    // Only VMs actually booting await a finish_boot event: with a zero boot
+    // delay (or the skip-boot-delay validation fault) the lease is born idle.
+    if (provider_.find(id)->state != cloud::VmState::kBooting) continue;
     sim_.after(provider_.config().boot_delay,
                [this, id] { provider_.finish_boot(id, sim_.now()); });
   }
@@ -186,6 +214,9 @@ void ClusterSimulation::on_tick() {
       predicted_free_[vm] = predicted_finish;
     }
     const JobId id = job.id;
+    if (checker_)
+      checker_->on_job_started(id, job.procs, start.vms.size(), running.eligible,
+                               job.submit, now);
     running_.emplace(id, std::move(running));
     queue_.erase(wit);
     sim_.at(actual_finish, [this, id] { on_job_finish(id); });
@@ -225,6 +256,16 @@ void ClusterSimulation::on_tick() {
     telemetry_.push_back(sample);
   }
 
+  if (checker_) {
+    validate::JobCensus census;
+    census.submitted = next_arrival_;
+    census.queued = queue_.size();
+    census.running = running_.size();
+    census.finished = collector_.jobs();
+    census.blocked = arrived_blocked_.size();
+    checker_->on_tick_end(census, provider_.leased_count(), now);
+  }
+
   // --- 4. keep ticking while the system is active -----------------------------
   if (!queue_.empty() || provider_.leased_count() > 0) {
     tick_armed_ = true;
@@ -234,6 +275,7 @@ void ClusterSimulation::on_tick() {
 }
 
 void ClusterSimulation::on_job_finish(JobId id) {
+  detail::sim_context().set(sim_.now(), "job-finish");
   const auto it = running_.find(id);
   PSCHED_ASSERT_MSG(it != running_.end(), "finish event for unknown job");
   const Running& running = it->second;
@@ -254,6 +296,7 @@ void ClusterSimulation::on_job_finish(JobId id) {
   record.runtime = running.job->runtime;
   record.workflow = running.job->workflow;
   collector_.record(record);
+  if (checker_) checker_->on_job_finished(record, now);
 
   predictor_.observe_completion(*running.job);
   running_.erase(it);
@@ -285,6 +328,7 @@ RunResult ClusterSimulation::run() {
     sim_.at(trace_.jobs()[i].submit, [this] { on_arrival(); });
   }
   sim_.run();
+  detail::sim_context().set(sim_.now(), "run-end");
 
   PSCHED_ASSERT_MSG(queue_.empty(), "simulation ended with waiting jobs");
   PSCHED_ASSERT_MSG(running_.empty(), "simulation ended with running jobs");
@@ -304,6 +348,12 @@ RunResult ClusterSimulation::run() {
   result.total_leases = provider_.total_leases();
   if (config_.keep_job_records) result.job_records = collector_.records();
   result.telemetry = std::move(telemetry_);
+  if (checker_) {
+    checker_->on_run_end(result.metrics, sim_, provider_.charged_hours_released());
+    result.invariant_checks = checker_->checks_run();
+    result.invariant_violations = checker_->violations();
+  }
+  detail::sim_context().clear();
   return result;
 }
 

@@ -18,6 +18,7 @@
 //    the cloud profile it receives.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "metrics/collector.hpp"
 #include "predict/predictor.hpp"
 #include "sim/simulator.hpp"
+#include "validate/invariant_checker.hpp"
 #include "workload/trace.hpp"
 
 namespace psched::engine {
@@ -45,6 +47,9 @@ struct EngineConfig {
   /// Sample fleet/queue state every this many ticks into
   /// RunResult::telemetry (0 = off). Powers timeline plots and examples.
   std::uint64_t telemetry_every_ticks = 0;
+  /// Runtime validation: per-event invariant checking and fault self-test
+  /// mutations (src/validate). Off by default; zero-cost when off.
+  validate::ValidationConfig validation;
 };
 
 /// One fleet/queue snapshot (see EngineConfig::telemetry_every_ticks).
@@ -67,6 +72,11 @@ struct RunResult {
   std::size_t total_leases = 0;         ///< VM lease operations
   std::vector<metrics::JobRecord> job_records;  ///< when keep_job_records
   std::vector<TelemetrySample> telemetry;       ///< when telemetry_every_ticks > 0
+  /// Invariant checks evaluated (0 unless validation.check_invariants).
+  std::uint64_t invariant_checks = 0;
+  /// Recorded violations (non-empty only in record mode; abort mode dies at
+  /// the first one). See validate::ValidationConfig::abort_on_violation.
+  std::vector<validate::Violation> invariant_violations;
 };
 
 class ClusterSimulation {
@@ -104,6 +114,8 @@ class ClusterSimulation {
   sim::Simulator sim_;
   cloud::CloudProvider provider_;
   metrics::MetricsCollector collector_;
+  std::unique_ptr<validate::InvariantChecker> checker_;  // when check_invariants
+  policy::PolicyTriple context_policy_{};  // last policy published to SimContext
 
   std::vector<Waiting> queue_;                 // submit order
   std::size_t next_arrival_ = 0;               // index into trace jobs

@@ -84,6 +84,11 @@ EngineConfig paper_engine_config() {
   config.schedule_period = 20.0;
   config.slowdown_bound = 10.0;
   config.utility = metrics::UtilityParams{100.0, 1.0, 1.0};
+#ifdef PSCHED_VALIDATE_BUILD
+  // Validation preset (-DPSCHED_VALIDATE=ON): every consumer of the default
+  // config runs with the runtime invariant checker attached.
+  config.validation.check_invariants = true;
+#endif
   return config;
 }
 

@@ -11,13 +11,14 @@ EventId EventQueue::schedule(SimTime t, Callback cb) {
   const EventId id = next_id_++;
   heap_.push(Entry{t, id, std::move(cb)});
   pending_.insert(id);
+  ++total_scheduled_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
   // Lazy deletion: drop the id from the pending set; the heap entry is
   // skipped when it surfaces. Unknown/fired ids are simply absent.
-  pending_.erase(id);
+  if (pending_.erase(id) > 0) ++total_cancelled_;
 }
 
 void EventQueue::skim() {

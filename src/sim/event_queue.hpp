@@ -48,6 +48,12 @@ class EventQueue {
   };
   Fired pop();
 
+  // --- lifetime accounting (validation) ------------------------------------
+  // Every scheduled event is eventually popped, cancelled, or still pending;
+  // the InvariantChecker asserts this conservation law at end of run.
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return total_scheduled_; }
+  [[nodiscard]] std::uint64_t total_cancelled() const noexcept { return total_cancelled_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -67,6 +73,8 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> pending_;  // scheduled, not fired, not cancelled
   EventId next_id_ = 1;
+  std::uint64_t total_scheduled_ = 0;
+  std::uint64_t total_cancelled_ = 0;  // live cancels only (no-op cancels excluded)
 };
 
 }  // namespace psched::sim

@@ -6,20 +6,26 @@ namespace psched::sim {
 
 EventId Simulator::at(SimTime t, EventQueue::Callback cb) {
   PSCHED_ASSERT_MSG(t >= now_, "scheduling into the past");
-  return queue_.schedule(t, std::move(cb));
+  const EventId id = queue_.schedule(t, std::move(cb));
+  if (observer_ != nullptr) observer_->on_schedule(t, now_, id);
+  return id;
 }
 
 EventId Simulator::after(SimDuration delay, EventQueue::Callback cb) {
   PSCHED_ASSERT_MSG(delay >= 0.0, "negative delay");
-  return queue_.schedule(now_ + delay, std::move(cb));
+  const EventId id = queue_.schedule(now_ + delay, std::move(cb));
+  if (observer_ != nullptr) observer_->on_schedule(now_ + delay, now_, id);
+  return id;
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
   PSCHED_ASSERT(fired.time >= now_);
+  const SimTime previous = now_;
   now_ = fired.time;
   ++dispatched_;
+  if (observer_ != nullptr) observer_->on_dispatch(now_, previous, fired.id);
   fired.callback();
   return true;
 }

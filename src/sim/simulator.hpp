@@ -10,10 +10,29 @@
 
 namespace psched::sim {
 
+/// Passive observer of the event loop (validation hook). The simulator
+/// notifies it on every schedule and dispatch; a null observer costs one
+/// predictable branch per operation, so observation is zero-cost when off.
+/// Observers must not mutate the simulator they observe.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// An event was scheduled at absolute time `when` while the clock read `now`.
+  virtual void on_schedule(SimTime when, SimTime now, EventId id) = 0;
+
+  /// An event is about to fire: the clock moved from `previous` to `now`.
+  virtual void on_dispatch(SimTime now, SimTime previous, EventId id) = 0;
+};
+
 class Simulator {
  public:
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+  /// Attach (or detach, with nullptr) a validation observer. Borrowed; must
+  /// outlive the simulator or be detached first.
+  void set_observer(SimObserver* observer) noexcept { observer_ = observer; }
 
   /// Schedule at an absolute time (must be >= now()).
   EventId at(SimTime t, EventQueue::Callback cb);
@@ -25,6 +44,9 @@ class Simulator {
 
   [[nodiscard]] bool has_pending() const noexcept { return !queue_.empty(); }
   [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+
+  /// Event-lifetime accounting for the conservation invariant (validation).
+  [[nodiscard]] const EventQueue& queue() const noexcept { return queue_; }
 
   /// Dispatch events until the queue is empty. Returns events dispatched.
   std::uint64_t run();
@@ -40,6 +62,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t dispatched_ = 0;
+  SimObserver* observer_ = nullptr;
 };
 
 }  // namespace psched::sim

@@ -2,16 +2,70 @@
 // Lightweight contract checking. PSCHED_ASSERT is active in all build types:
 // simulator correctness bugs must never be silently ignored in Release, as
 // benchmarks are built Release and are the primary consumers.
+//
+// Failure reports carry the *simulation* context — the simulated clock, the
+// event being dispatched, and the governing policy triple — which the engine
+// publishes into a thread-local SimContext as it runs. Without it, an
+// assertion deep inside the billing or allocation code is unactionable ("a
+// VM was released twice" — at which simulated second? under which policy?).
+// The validation subsystem (src/validate) routes invariant violations
+// through the same reporting path via invariant_fail().
 
 #include <cstdio>
 #include <cstdlib>
 
 namespace psched::detail {
 
+/// Per-thread simulation context attached to assertion/invariant failures.
+/// The engine updates it on every dispatched event (a few plain stores; the
+/// policy name is re-formatted only when the governing policy changes).
+struct SimContext {
+  double now = -1.0;            ///< simulated clock; < 0 means "outside a run"
+  const char* event = nullptr;  ///< static label: "tick", "arrival", ...
+  char policy[96] = {};         ///< governing policy triple ("" when none)
+
+  void set(double t, const char* event_label) noexcept {
+    now = t;
+    event = event_label;
+  }
+  void set_policy(const char* name) noexcept {
+    std::snprintf(policy, sizeof(policy), "%s", name != nullptr ? name : "");
+  }
+  void clear() noexcept {
+    now = -1.0;
+    event = nullptr;
+    policy[0] = '\0';
+  }
+};
+
+inline SimContext& sim_context() noexcept {
+  thread_local SimContext context;
+  return context;
+}
+
+inline void print_sim_context() noexcept {
+  const SimContext& c = sim_context();
+  if (c.now < 0.0 && c.event == nullptr && c.policy[0] == '\0') return;
+  std::fprintf(stderr, "  sim context: t=%.3f s, event=%s, policy=%s\n", c.now,
+               c.event != nullptr ? c.event : "?",
+               c.policy[0] != '\0' ? c.policy : "-");
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "psched assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
                line, msg ? msg : "");
+  print_sim_context();
+  std::abort();
+}
+
+/// Abort path for InvariantChecker violations (validate/invariant_checker):
+/// same report shape and the same simulation context as PSCHED_ASSERT, but
+/// named by invariant rather than by expression text.
+[[noreturn]] inline void invariant_fail(const char* invariant, const char* detail) {
+  std::fprintf(stderr, "psched invariant violated: %s\n  %s\n", invariant,
+               detail ? detail : "");
+  print_sim_context();
   std::abort();
 }
 

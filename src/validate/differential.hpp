@@ -1,0 +1,91 @@
+#pragma once
+// Differential oracle: the inner online simulator (core/online_sim) and the
+// outer trace-driven engine (engine/cluster_sim) implement the same
+// scheduling semantics twice — shared planner, shared release rules, shared
+// billing. On a *closed* problem instance they must agree, and this module
+// asserts that they do.
+//
+// Ground rules for a closed instance (anything else makes disagreement
+// legitimate, not a bug):
+//   * every job is submitted at t=0 (no future arrivals — the inner
+//     simulator never sees arrivals);
+//   * runtimes are exact multiples of the scheduling period (both sides
+//     quantize decisions to ticks; off-tick completions round differently);
+//   * predictions are perfect (the engine runs jobs for their actual
+//     runtime; the inner simulator only ever sees predictions);
+//   * the starting fleet is empty (a non-empty fleet snapshot has paid-time
+//     history the two sides account identically only through the profile,
+//     which normalize_closed_instance does not attempt to construct);
+//   * no workflow dependencies (the inner simulator has no DAG support).
+//
+// Under these rules agreement is EXACT up to floating-point accumulation
+// order; DifferentialTolerance is pure FP slack, not model slack (see
+// DESIGN.md, "Validation & testing"). tests/integration/consistency_test.cpp
+// pins the same property on a hand-written instance; this oracle generalizes
+// it to arbitrary generated workloads and exposes it to psched_cli
+// (--differential) and the validation test suite.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/online_sim.hpp"
+#include "engine/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::validate {
+
+/// Permitted disagreement between the two implementations. The defaults are
+/// floating-point-accumulation slack only: both sides sum the same exact
+/// per-job/per-VM quantities in different orders. Any modeling bug is off by
+/// at least one tick, one billing quantum, or one job — many orders of
+/// magnitude above these.
+struct DifferentialTolerance {
+  double bsd_abs = 1e-9;      ///< |avg bounded slowdown| disagreement
+  double seconds_abs = 1e-6;  ///< |RJ| and |RV| disagreement (seconds)
+};
+
+/// One policy's verdict: the inner simulator's prediction vs. the engine's
+/// ground truth on the same closed instance.
+struct DifferentialResult {
+  std::string policy;
+  core::SimOutcome predicted;    ///< inner online-simulator outcome
+  metrics::RunMetrics actual;    ///< outer engine outcome
+  bool pass = false;
+  std::string detail;            ///< populated on failure
+};
+
+struct DifferentialReport {
+  std::vector<DifferentialResult> results;
+  std::size_t failures = 0;
+  [[nodiscard]] bool pass() const noexcept { return failures == 0; }
+};
+
+/// Rewrite `jobs` into a closed instance obeying the ground rules above:
+/// submit := 0, runtime := ceil to a positive multiple of
+/// config.schedule_period, procs clamped to [1, max_vms], estimate :=
+/// runtime, dependencies dropped.
+[[nodiscard]] std::vector<workload::Job> normalize_closed_instance(
+    std::vector<workload::Job> jobs, const engine::EngineConfig& config);
+
+/// Convenience: generate a synthetic workload, keep the first `max_jobs`
+/// jobs, and normalize it into a closed instance.
+[[nodiscard]] std::vector<workload::Job> closed_instance_from_generator(
+    const workload::GeneratorConfig& generator, std::uint64_t seed,
+    std::size_t max_jobs, const engine::EngineConfig& config);
+
+/// Run one policy through both implementations on an already-normalized
+/// closed instance and compare within `tolerance`.
+[[nodiscard]] DifferentialResult run_differential(
+    const engine::EngineConfig& config, const std::vector<workload::Job>& closed_jobs,
+    const policy::PolicyTriple& policy, DifferentialTolerance tolerance = {});
+
+/// Sweep every `stride`-th policy of `portfolio` (stride 6 covers all
+/// provisioning clusters, job orders, and VM selectors, matching the
+/// consistency test's sample).
+[[nodiscard]] DifferentialReport run_differential_portfolio(
+    const engine::EngineConfig& config, const std::vector<workload::Job>& closed_jobs,
+    const policy::Portfolio& portfolio, std::size_t stride = 6,
+    DifferentialTolerance tolerance = {});
+
+}  // namespace psched::validate

@@ -1,0 +1,25 @@
+#include "validate/fault.hpp"
+
+namespace psched::validate {
+
+const char* to_string(FaultInjection fault) noexcept {
+  switch (fault) {
+    case FaultInjection::kNone: return "none";
+    case FaultInjection::kBillingOffByOne: return "billing-off-by-one";
+    case FaultInjection::kSkipBootDelay: return "skip-boot-delay";
+    case FaultInjection::kCapOvershoot: return "cap-overshoot";
+  }
+  return "unknown";
+}
+
+FaultInjection fault_from_string(const std::string& name, bool& ok) {
+  ok = true;
+  if (name.empty() || name == "none") return FaultInjection::kNone;
+  if (name == "billing-off-by-one") return FaultInjection::kBillingOffByOne;
+  if (name == "skip-boot-delay") return FaultInjection::kSkipBootDelay;
+  if (name == "cap-overshoot") return FaultInjection::kCapOvershoot;
+  ok = false;
+  return FaultInjection::kNone;
+}
+
+}  // namespace psched::validate

@@ -1,0 +1,170 @@
+#include "validate/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "engine/experiment.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace psched::validate {
+
+namespace {
+
+/// Everything one seed needs to run (and re-run, during shrinking).
+struct Scenario {
+  std::vector<workload::Job> jobs;
+  engine::EngineConfig config;
+  engine::PredictorKind predictor = engine::PredictorKind::kPerfect;
+  policy::PolicyTriple triple{};   ///< single-policy scenarios
+  bool portfolio = false;          ///< run the portfolio scheduler instead
+  std::string description;
+};
+
+/// Derive one scenario deterministically from its seed. Small caps and short
+/// boot delays are deliberate: a 4-VM cap under a burst exercises vm.cap and
+/// the release rules far harder than the paper's 256.
+Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
+                       const policy::Portfolio& portfolio) {
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  Scenario s;
+
+  const std::vector<workload::GeneratorConfig> archetypes =
+      workload::paper_archetypes(/*duration_days=*/rng.uniform(0.05, 0.2));
+  workload::GeneratorConfig gen = archetypes[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(archetypes.size()) - 1))];
+  // Short horizons under-sample the arrival process; boost the rate so most
+  // seeds still see queue contention.
+  gen.jobs_per_month *= rng.uniform(1.0, 4.0);
+
+  s.config = engine::paper_engine_config();
+  static constexpr std::size_t kCaps[] = {4, 8, 16, 32};
+  static constexpr double kBootDelays[] = {30.0, 120.0, 300.0};
+  static constexpr double kQuanta[] = {60.0, 900.0, 3600.0};
+  s.config.provider.max_vms = kCaps[rng.uniform_int(0, 3)];
+  s.config.provider.boot_delay = kBootDelays[rng.uniform_int(0, 2)];
+  s.config.provider.billing_quantum = kQuanta[rng.uniform_int(0, 2)];
+  s.config.release_rule = rng.bernoulli(0.5) ? engine::ReleaseRule::kEagerSurplus
+                                             : engine::ReleaseRule::kBoundary;
+  s.config.allocation = rng.bernoulli(0.5) ? policy::AllocationMode::kHeadOfLine
+                                           : policy::AllocationMode::kEasyBackfill;
+  s.config.validation.check_invariants = true;
+  s.config.validation.abort_on_violation = false;
+  s.config.validation.inject_fault = fuzz.inject_fault;
+
+  static constexpr engine::PredictorKind kPredictors[] = {
+      engine::PredictorKind::kPerfect, engine::PredictorKind::kTsafrir,
+      engine::PredictorKind::kUserEstimate};
+  s.predictor = kPredictors[rng.uniform_int(0, 2)];
+
+  s.jobs = workload::TraceGenerator(gen)
+               .generate(seed)
+               .cleaned(static_cast<int>(s.config.provider.max_vms))
+               .jobs();
+  if (s.jobs.size() > fuzz.max_jobs) s.jobs.resize(fuzz.max_jobs);
+
+  s.portfolio = seed % 5 == 0;
+  if (!s.portfolio) {
+    const auto& policies = portfolio.policies();
+    s.triple = policies[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(policies.size()) - 1))];
+  }
+
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%s, %zu jobs, cap=%zu, boot=%.0fs, quantum=%.0fs, %s, %s, "
+                "predictor=%s, %s",
+                gen.name.c_str(), s.jobs.size(), s.config.provider.max_vms,
+                s.config.provider.boot_delay, s.config.provider.billing_quantum,
+                s.config.release_rule == engine::ReleaseRule::kEagerSurplus
+                    ? "eager-release" : "boundary-release",
+                s.config.allocation == policy::AllocationMode::kHeadOfLine
+                    ? "head-of-line" : "easy-backfill",
+                engine::to_string(s.predictor).c_str(),
+                s.portfolio ? "portfolio" : s.triple.name().c_str());
+  s.description = buf;
+  return s;
+}
+
+/// Run one scenario on a job prefix; returns the violations (empty = clean).
+struct RunOutcome {
+  std::uint64_t checks = 0;
+  std::vector<Violation> violations;
+};
+
+RunOutcome run_scenario(const Scenario& s, std::size_t job_count,
+                        const policy::Portfolio& portfolio) {
+  std::vector<workload::Job> jobs(s.jobs.begin(),
+                                  s.jobs.begin() + static_cast<std::ptrdiff_t>(job_count));
+  const workload::Trace trace("fuzz", static_cast<int>(s.config.provider.max_vms),
+                              std::move(jobs));
+  engine::ScenarioResult result;
+  if (s.portfolio) {
+    core::PortfolioSchedulerConfig pconfig = engine::paper_portfolio_config(s.config);
+    // Select infrequently: the invariants under test live in the engine and
+    // provider, and a cheap selector keeps 50-seed runs inside the smoke cap.
+    pconfig.selection_period_ticks = 16;
+    result = engine::run_portfolio(s.config, trace, portfolio, pconfig, s.predictor);
+  } else {
+    result = engine::run_single_policy(s.config, trace, s.triple, s.predictor);
+  }
+  return RunOutcome{result.run.invariant_checks,
+                    std::move(result.run.invariant_violations)};
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(const FuzzConfig& config) {
+  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  FuzzReport report;
+  report.seeds_requested = config.num_seeds;
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+        .count();
+  };
+
+  for (std::size_t i = 0; i < config.num_seeds; ++i) {
+    if (config.time_cap_seconds > 0.0 && elapsed() >= config.time_cap_seconds) {
+      report.timed_out = true;
+      break;
+    }
+    const std::uint64_t seed = config.base_seed + i;
+    const Scenario scenario = make_scenario(seed, config, portfolio);
+    if (scenario.jobs.empty()) {  // degenerate horizon: nothing to run
+      ++report.seeds_run;
+      continue;
+    }
+    RunOutcome outcome = run_scenario(scenario, scenario.jobs.size(), portfolio);
+    report.total_checks += outcome.checks;
+    ++report.seeds_run;
+    if (outcome.violations.empty()) continue;
+
+    // First failure: report it, optionally shrunk to a smaller prefix.
+    FuzzFailure failure;
+    failure.seed = seed;
+    failure.original_jobs = scenario.jobs.size();
+    failure.scenario = scenario.description;
+    std::size_t jobs = scenario.jobs.size();
+    if (config.shrink) {
+      // Prefix halving: keep the half-sized prefix while it still violates.
+      // Greedy and simple — the goal is a smaller repro, not a minimal one.
+      while (jobs > 1) {
+        const std::size_t half = jobs / 2;
+        RunOutcome shrunk = run_scenario(scenario, half, portfolio);
+        if (shrunk.violations.empty()) break;
+        jobs = half;
+        outcome = std::move(shrunk);
+      }
+    }
+    failure.jobs = jobs;
+    failure.violations = std::move(outcome.violations);
+    report.failure = std::move(failure);
+    break;
+  }
+  return report;
+}
+
+}  // namespace psched::validate

@@ -1,0 +1,220 @@
+#include "validate/invariant_checker.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace psched::validate {
+
+namespace {
+
+/// Absolute slack for comparisons between independently accumulated floating
+/// point sums (billing quanta, proc-seconds). The quantities compared are
+/// exact multiples of the same inputs, so any real bug is off by at least one
+/// quantum or one job — many orders of magnitude above this.
+constexpr double kEps = 1e-6;
+
+template <typename... Args>
+std::string format(const char* fmt, Args... args) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return buf;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(ValidationConfig config,
+                                   cloud::ProviderConfig provider)
+    : config_(config), provider_(provider) {}
+
+void InvariantChecker::fail(const char* invariant, SimTime when, std::string detail) {
+  ++violation_count_;
+  if (config_.abort_on_violation)
+    psched::detail::invariant_fail(invariant, detail.c_str());
+  if (violations_.size() < config_.max_recorded_violations)
+    violations_.push_back(Violation{invariant, std::move(detail), when});
+}
+
+// --- event loop --------------------------------------------------------------
+
+void InvariantChecker::on_schedule(SimTime when, SimTime now, sim::EventId id) {
+  if (!check(when >= now)) {
+    fail("event.no-past-schedule", now,
+         format("event scheduled at t=%.6f while clock reads t=%.6f", when, now) +
+             " (id " + std::to_string(id) + ")");
+  }
+}
+
+void InvariantChecker::on_dispatch(SimTime now, SimTime previous, sim::EventId id) {
+  if (!check(now >= previous)) {
+    fail("event.monotone-time", now,
+         format("clock moved backwards: %.6f -> %.6f", previous, now) + " (event " +
+             std::to_string(id) + ")");
+  }
+  last_dispatch_ = now;
+}
+
+// --- cloud provider -----------------------------------------------------------
+
+void InvariantChecker::on_lease(const cloud::VmInstance& vm, std::size_t leased_count,
+                                SimTime now) {
+  if (!check(leased_count <= provider_.max_vms)) {
+    fail("vm.cap", now,
+         format("leased fleet of %.0f VMs exceeds the cap of %.0f",
+                static_cast<double>(leased_count),
+                static_cast<double>(provider_.max_vms)));
+  }
+  if (!check(vm.boot_complete >= vm.lease_time)) {
+    fail("vm.boot-before-run", now,
+         format("VM advertises boot_complete=%.3f before lease_time=%.3f",
+                vm.boot_complete, vm.lease_time));
+  }
+}
+
+void InvariantChecker::on_finish_boot(const cloud::VmInstance& vm, SimTime now) {
+  if (!check(now + kEps >= vm.boot_complete)) {
+    fail("vm.boot-before-run", now,
+         format("boot completed at t=%.3f, before the advertised boot_complete=%.3f",
+                now, vm.boot_complete));
+  }
+}
+
+void InvariantChecker::on_assign(const cloud::VmInstance& vm, JobId job, SimTime now) {
+  if (!check(vm.state == cloud::VmState::kIdle)) {
+    fail("vm.idle-before-assign", now,
+         "job " + std::to_string(job) + " assigned to VM " + std::to_string(vm.id) +
+             " which is not idle");
+  }
+  if (!check(now + kEps >= vm.boot_complete)) {
+    fail("vm.boot-before-run", now,
+         "job " + std::to_string(job) + " starts on VM " + std::to_string(vm.id) +
+             format(" at t=%.3f, %.3f s before its boot completes", now,
+                    vm.boot_complete - now));
+  }
+}
+
+void InvariantChecker::on_unassign(const cloud::VmInstance& vm, SimTime now) {
+  if (!check(vm.state == cloud::VmState::kIdle)) {
+    fail("vm.idle-before-assign", now,
+         "VM " + std::to_string(vm.id) + " not idle after unassign");
+  }
+}
+
+void InvariantChecker::on_release(const cloud::VmInstance& vm,
+                                  double charged_hours_delta, SimTime now) {
+  const double expected =
+      cloud::charged_hours_for(vm.lease_time, now, provider_.billing_quantum);
+  if (!check(std::abs(charged_hours_delta - expected) <= kEps)) {
+    fail("billing.ceil", now,
+         "VM " + std::to_string(vm.id) +
+             format(" charged %.6f h on release; ceil(lease/quantum) requires %.6f h",
+                    charged_hours_delta, expected));
+  }
+  if (!check(charged_hours_delta >= -kEps)) {
+    fail("billing.monotone", now,
+         format("negative release charge %.6f h (total would shrink by %.6f)",
+                charged_hours_delta, -charged_hours_delta));
+  }
+  charged_total_hours_ += charged_hours_delta;
+}
+
+// --- engine ------------------------------------------------------------------
+
+void InvariantChecker::on_job_started(JobId job, int procs, std::size_t vm_count,
+                                      SimTime eligible, SimTime submit, SimTime now) {
+  if (!check(static_cast<std::size_t>(procs) == vm_count)) {
+    fail("job.width", now,
+         "job " + std::to_string(job) +
+             format(" needs %.0f VMs but was started on %.0f",
+                    static_cast<double>(procs), static_cast<double>(vm_count)));
+  }
+  if (!check(now + kEps >= eligible && eligible + kEps >= submit)) {
+    fail("job.start-after-eligible", now,
+         "job " + std::to_string(job) +
+             format(" started at t=%.3f with eligible=%.3f and submit=%.3f", now,
+                    eligible, submit));
+  }
+}
+
+void InvariantChecker::on_job_finished(const metrics::JobRecord& record, SimTime now) {
+  if (!check(record.runtime >= 0.0 && record.procs >= 1 &&
+             record.finish + kEps >= record.start)) {
+    fail("metrics.consistent", now,
+         "job " + std::to_string(record.id) +
+             format(" finished with runtime=%.3f, start-to-finish=%.3f",
+                    record.runtime, record.finish - record.start));
+  }
+  expected_rj_ += static_cast<double>(record.procs) * record.runtime;
+  ++finished_jobs_;
+}
+
+void InvariantChecker::on_tick_end(const JobCensus& census, std::size_t leased_vms,
+                                   SimTime now) {
+  const std::size_t accounted =
+      census.queued + census.running + census.finished + census.blocked;
+  if (!check(census.submitted == accounted)) {
+    fail("job.conservation", now,
+         format("submitted=%.0f but queued+running+finished+blocked=%.0f",
+                static_cast<double>(census.submitted),
+                static_cast<double>(accounted)));
+  }
+  if (!check(leased_vms <= provider_.max_vms)) {
+    fail("vm.cap", now,
+         format("tick ends with %.0f leased VMs, cap is %.0f",
+                static_cast<double>(leased_vms),
+                static_cast<double>(provider_.max_vms)));
+  }
+}
+
+void InvariantChecker::on_run_end(const metrics::RunMetrics& metrics,
+                                  const sim::Simulator& sim,
+                                  double provider_charged_hours) {
+  // Event conservation: every scheduled event was dispatched or cancelled
+  // (the queue must have drained for the run to end).
+  const sim::EventQueue& q = sim.queue();
+  const std::uint64_t accounted =
+      sim.events_dispatched() + q.total_cancelled() + q.size();
+  if (!check(q.total_scheduled() == accounted)) {
+    fail("event.conservation", sim.now(),
+         format("scheduled %.0f events but dispatched+cancelled+pending=%.0f",
+                static_cast<double>(q.total_scheduled()),
+                static_cast<double>(accounted)));
+  }
+
+  // Utility inputs: non-negative work and cost, BSD has a floor of 1.
+  if (!check(metrics.rj_proc_seconds >= 0.0 && metrics.rv_charged_seconds >= 0.0 &&
+             metrics.avg_bounded_slowdown >= 1.0 - kEps &&
+             std::isfinite(metrics.avg_bounded_slowdown))) {
+    fail("metrics.consistent", sim.now(),
+         format("degenerate utility inputs: RJ=%.3f, RV=%.3f, BSD=%.6f",
+                metrics.rj_proc_seconds, metrics.rv_charged_seconds,
+                metrics.avg_bounded_slowdown));
+  }
+
+  // RJ must equal the checker's independent sum over finished jobs.
+  if (!check(std::abs(metrics.rj_proc_seconds - expected_rj_) <=
+             kEps * std::max(1.0, expected_rj_))) {
+    fail("metrics.consistent", sim.now(),
+         format("collector RJ=%.6f disagrees with the sum over finished jobs %.6f",
+                metrics.rj_proc_seconds, expected_rj_));
+  }
+  if (!check(metrics.jobs == finished_jobs_)) {
+    fail("metrics.consistent", sim.now(),
+         format("collector finished %.0f jobs, checker observed %.0f",
+                static_cast<double>(metrics.jobs),
+                static_cast<double>(finished_jobs_)));
+  }
+
+  // RV must equal the provider's released charges, which in turn must match
+  // the checker's own per-release accumulation.
+  const double rv_hours = metrics.rv_charged_seconds / kSecondsPerHour;
+  if (!check(std::abs(rv_hours - provider_charged_hours) <= kEps &&
+             std::abs(provider_charged_hours - charged_total_hours_) <= kEps)) {
+    fail("metrics.consistent", sim.now(),
+         format("RV=%.6f h vs provider=%.6f h vs checker total=%.6f h", rv_hours,
+                provider_charged_hours, charged_total_hours_));
+  }
+}
+
+}  // namespace psched::validate

@@ -1,0 +1,121 @@
+#pragma once
+// Runtime invariant checker for the outer cluster simulation.
+//
+// The checker observes every event-loop, cloud-provider, and engine-level
+// transition of a run and asserts the IaaS-model invariants the paper's
+// results depend on (the catalog below, documented in DESIGN.md,
+// "Validation & testing"). It is compiled in always and attached only when
+// ValidationConfig::check_invariants is set — a disengaged checker costs
+// the engine one null-pointer branch per hook site.
+//
+// Invariant catalog (names appear in violation reports):
+//   event.monotone-time    dispatch timestamps never decrease
+//   event.no-past-schedule events are never scheduled before the clock
+//   event.conservation     scheduled == dispatched + cancelled + pending
+//   vm.cap                 leased VM count <= ProviderConfig::max_vms
+//   vm.boot-before-run     no job is assigned to a VM before boot_complete
+//   vm.idle-before-assign  jobs start only on idle VMs
+//   billing.ceil           each release charges ceil(lease/quantum) quanta
+//   billing.monotone       the charged total never decreases
+//   job.conservation       submitted == queued + running + finished + blocked
+//   job.width              a started job occupies exactly `procs` VMs
+//   job.start-after-eligible  start >= eligibility >= submission
+//   metrics.consistent     RJ/RV/BSD non-negative, BSD >= 1, RJ matches the
+//                          sum of finished jobs' work, RV matches the
+//                          provider's released charges
+//
+// Violations either abort through util/assert.hpp::invariant_fail (with the
+// simulated clock / event / policy context) or, in record mode, accumulate
+// on the checker for harnesses to inspect (ValidationConfig::
+// abort_on_violation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "metrics/collector.hpp"
+#include "sim/simulator.hpp"
+#include "util/types.hpp"
+#include "validate/validation.hpp"
+
+namespace psched::validate {
+
+/// One recorded invariant violation (record mode).
+struct Violation {
+  std::string invariant;  ///< catalog name, e.g. "billing.ceil"
+  std::string detail;     ///< human-readable specifics
+  SimTime when = 0.0;     ///< simulated clock at detection
+};
+
+/// Aggregate job counts the engine reports at each scheduling tick for the
+/// conservation invariant.
+struct JobCensus {
+  std::size_t submitted = 0;  ///< arrivals dispatched so far
+  std::size_t queued = 0;     ///< waiting in the scheduler queue
+  std::size_t running = 0;    ///< currently executing
+  std::size_t finished = 0;   ///< completed (recorded by the collector)
+  std::size_t blocked = 0;    ///< arrived but dependency-blocked
+};
+
+class InvariantChecker final : public sim::SimObserver, public cloud::ProviderObserver {
+ public:
+  /// `provider` carries the *intended* semantics (cap, boot delay, billing
+  /// quantum); the checker judges observed behavior against it, so injected
+  /// faults (ProviderConfig::inject_fault) surface as violations.
+  InvariantChecker(ValidationConfig config, cloud::ProviderConfig provider);
+
+  // --- sim::SimObserver -----------------------------------------------------
+  void on_schedule(SimTime when, SimTime now, sim::EventId id) override;
+  void on_dispatch(SimTime now, SimTime previous, sim::EventId id) override;
+
+  // --- cloud::ProviderObserver ----------------------------------------------
+  void on_lease(const cloud::VmInstance& vm, std::size_t leased_count,
+                SimTime now) override;
+  void on_finish_boot(const cloud::VmInstance& vm, SimTime now) override;
+  void on_assign(const cloud::VmInstance& vm, JobId job, SimTime now) override;
+  void on_unassign(const cloud::VmInstance& vm, SimTime now) override;
+  void on_release(const cloud::VmInstance& vm, double charged_hours_delta,
+                  SimTime now) override;
+
+  // --- engine hooks ---------------------------------------------------------
+  /// A job left the queue and started on `vm_count` VMs.
+  void on_job_started(JobId job, int procs, std::size_t vm_count, SimTime eligible,
+                      SimTime submit, SimTime now);
+  /// A job finished; `record` is what the engine handed the collector.
+  void on_job_finished(const metrics::JobRecord& record, SimTime now);
+  /// End of a scheduling tick: job conservation + cap re-check.
+  void on_tick_end(const JobCensus& census, std::size_t leased_vms, SimTime now);
+  /// End of run: event conservation, metric consistency, utility inputs.
+  void on_run_end(const metrics::RunMetrics& metrics, const sim::Simulator& sim,
+                  double provider_charged_hours);
+
+  // --- results --------------------------------------------------------------
+  [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }
+  [[nodiscard]] std::uint64_t violation_count() const noexcept { return violation_count_; }
+  [[nodiscard]] const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+
+ private:
+  /// Count one evaluated check; returns `ok` so call sites read naturally.
+  bool check(bool ok) noexcept {
+    ++checks_;
+    return ok;
+  }
+  void fail(const char* invariant, SimTime when, std::string detail);
+
+  ValidationConfig config_;
+  cloud::ProviderConfig provider_;  ///< intended semantics
+
+  std::uint64_t checks_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::vector<Violation> violations_;
+
+  SimTime last_dispatch_ = 0.0;
+  double charged_total_hours_ = 0.0;  ///< checker's own running total
+  double expected_rj_ = 0.0;          ///< sum of finished jobs' procs * runtime
+  std::size_t finished_jobs_ = 0;
+};
+
+}  // namespace psched::validate

@@ -1,0 +1,38 @@
+#pragma once
+// Configuration of the runtime validation subsystem (see DESIGN.md,
+// "Validation & testing"). The checks themselves live in
+// validate/invariant_checker.hpp; this header is deliberately tiny so the
+// engine config can embed it without pulling in the checker machinery.
+
+#include <cstddef>
+
+#include "validate/fault.hpp"
+
+namespace psched::validate {
+
+struct ValidationConfig {
+  /// Master switch for the per-event InvariantChecker. Compiled in always;
+  /// when false the engine keeps null observer pointers and every hook site
+  /// is a single predictable branch (measured to be within noise of the
+  /// pre-validation engine — see the bench_fig10 criterion in ISSUE/PR
+  /// notes). CLI: --check-invariants.
+  bool check_invariants = false;
+
+  /// true (default): a violation aborts through util/assert.hpp's
+  /// invariant_fail(), printing the simulated clock, event, and governing
+  /// policy. false: violations are recorded on the checker (and surfaced in
+  /// RunResult::invariant_violations) so harnesses — the fuzzer, the
+  /// self-test suite — can observe them without dying.
+  bool abort_on_violation = true;
+
+  /// Self-test mutation mode (CLI: --inject-fault): deliberately break one
+  /// known-bad behavior and let the test suite assert the checker fires.
+  FaultInjection inject_fault = FaultInjection::kNone;
+
+  /// Cap on recorded violations per run in record mode (a broken invariant
+  /// tends to fire on every subsequent event; the first few carry all the
+  /// signal).
+  std::size_t max_recorded_violations = 64;
+};
+
+}  // namespace psched::validate

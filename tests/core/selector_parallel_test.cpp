@@ -90,6 +90,41 @@ TEST(SelectorParallel, IdenticalResultSequencesAcrossThreadCounts) {
   }
 }
 
+TEST(SelectorParallel, DeterminismMatrixAcrossWidthsAndRepeats) {
+  // Determinism matrix (validation suite satellite): for every wave width in
+  // {1, 2, 4, 8}, two consecutive same-seed replays on fresh selector
+  // instances must reproduce the eval_threads = 1 reference bit-for-bit.
+  // This pins down both axes separately — thread-count independence (results
+  // do not depend on the width) and run-to-run determinism (no hidden state,
+  // iteration-order, or scheduling dependence between repeats).
+  const auto events = make_events(200, 0xd15c0);
+  SelectorConfig base;
+  base.time_constraint_ms = 0.0;
+  base.synthetic_overhead_ms = 0.0;
+  base.use_measured_cost = false;
+
+  // Reference sequence from the sequential selector.
+  std::vector<SelectionResult> reference;
+  reference.reserve(events.size());
+  TimeConstrainedSelector ref(portfolio(), OnlineSimulator(sim_config()), base);
+  for (const ReplayEvent& event : events)
+    reference.push_back(ref.select(event.queue, event.profile));
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SelectorConfig config = base;
+    config.eval_threads = threads;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        const SelectionResult r = s.select(events[e].queue, events[e].profile);
+        SCOPED_TRACE(testing::Message()
+                     << "threads=" << threads << " repeat=" << repeat);
+        expect_identical(reference[e], r, e);
+      }
+    }
+  }
+}
+
 TEST(SelectorParallel, WaveChargingBuysMorePoliciesPerDelta) {
   // Figure-10 configuration, Delta = 120 ms at 10 ms/policy: the sequential
   // selector affords 12 simulations; waves of 4 are charged once per wave,

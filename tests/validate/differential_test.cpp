@@ -1,0 +1,88 @@
+// Differential oracle: the inner online simulator and the outer engine must
+// agree on closed instances within the documented (pure floating-point)
+// tolerance — and the oracle must be sharp enough to notice a seeded
+// one-quantum billing bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "validate/differential.hpp"
+#include "validate/fault.hpp"
+
+namespace psched::validate {
+namespace {
+
+const policy::Portfolio& portfolio() {
+  static const policy::Portfolio p = policy::Portfolio::paper_portfolio();
+  return p;
+}
+
+TEST(Differential, NormalizationProducesAClosedInstance) {
+  const engine::EngineConfig config = engine::paper_engine_config();
+  const std::vector<workload::Job> closed = closed_instance_from_generator(
+      workload::kth_sp2_like(0.5), /*seed=*/7, /*max_jobs=*/60, config);
+  ASSERT_FALSE(closed.empty());
+  for (const workload::Job& job : closed) {
+    EXPECT_EQ(job.submit, 0.0);
+    EXPECT_GE(job.runtime, config.schedule_period);
+    // Tick-aligned runtimes (the exactness precondition).
+    const double ticks = job.runtime / config.schedule_period;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-9);
+    EXPECT_GE(job.procs, 1);
+    EXPECT_LE(job.procs, static_cast<int>(config.provider.max_vms));
+    EXPECT_EQ(job.estimate, job.runtime);
+    EXPECT_TRUE(job.deps.empty());
+  }
+}
+
+TEST(Differential, PortfolioSampleAgreesOnGeneratedWorkload) {
+  const engine::EngineConfig config = engine::paper_engine_config();
+  const std::vector<workload::Job> closed = closed_instance_from_generator(
+      workload::kth_sp2_like(0.5), /*seed=*/7, /*max_jobs=*/60, config);
+  ASSERT_FALSE(closed.empty());
+
+  const DifferentialReport report =
+      run_differential_portfolio(config, closed, portfolio());
+  EXPECT_EQ(report.results.size(), 10u);  // every 6th of 60 policies
+  for (const DifferentialResult& r : report.results)
+    EXPECT_TRUE(r.pass) << r.policy << ": " << r.detail;
+  EXPECT_TRUE(report.pass());
+}
+
+TEST(Differential, AgreesAcrossArchetypesAndSeeds) {
+  const engine::EngineConfig config = engine::paper_engine_config();
+  const auto* triple = portfolio().find("ODM-UNICEF-BestFit");
+  ASSERT_NE(triple, nullptr);
+  for (const auto& generator : workload::paper_archetypes(0.3)) {
+    for (const std::uint64_t seed : {3ull, 19ull}) {
+      const std::vector<workload::Job> closed =
+          closed_instance_from_generator(generator, seed, 40, config);
+      if (closed.empty()) continue;  // degenerate short-horizon draw
+      const DifferentialResult r = run_differential(config, closed, *triple);
+      EXPECT_TRUE(r.pass) << generator.name << " seed " << seed << ": " << r.detail;
+    }
+  }
+}
+
+TEST(Differential, SeededBillingFaultBreaksAgreement) {
+  // The oracle's sensitivity check: with the engine's provider billing one
+  // quantum too few per release, the inner simulator (which bills
+  // correctly) must disagree on RV far beyond the tolerance.
+  engine::EngineConfig config = engine::paper_engine_config();
+  config.validation.inject_fault = FaultInjection::kBillingOffByOne;
+  const std::vector<workload::Job> closed = closed_instance_from_generator(
+      workload::kth_sp2_like(0.5), /*seed=*/7, /*max_jobs=*/40, config);
+  ASSERT_FALSE(closed.empty());
+
+  const auto* triple = portfolio().find("ODA-FCFS-FirstFit");
+  ASSERT_NE(triple, nullptr);
+  const DifferentialResult r = run_differential(config, closed, *triple);
+  EXPECT_FALSE(r.pass);
+  EXPECT_FALSE(r.detail.empty());
+  // The disagreement is at least one billing quantum of cost.
+  EXPECT_GE(std::abs(r.predicted.rv_charged_seconds - r.actual.rv_charged_seconds),
+            config.provider.billing_quantum - 1e-6);
+}
+
+}  // namespace
+}  // namespace psched::validate

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Docs lint: fail when README.md or DESIGN.md reference API surface that no
-# longer exists — a SelectorConfig field spelled `SelectorConfig::name`, or
-# a CLI/bench flag spelled `--name` that no source file implements. Keeps
+# Docs lint: fail when README.md, DESIGN.md, or CONTRIBUTING.md reference API
+# surface that no longer exists — a config field spelled `SomeConfig::name`,
+# or a CLI/bench flag spelled `--name` that no source file implements. Keeps
 # the documented configuration surface honest as fields and flags evolve.
 #
 # Run directly (tools/check_docs.sh) or via ctest (test name: docs_lint).
@@ -9,29 +9,38 @@ set -u
 cd "$(dirname "$0")/.."
 
 fail=0
-docs="README.md DESIGN.md"
+docs="README.md DESIGN.md CONTRIBUTING.md"
 
-# --- 1. SelectorConfig::field references must name real fields -------------
-# Known fields: member declarations between `struct SelectorConfig {` and
-# the closing brace (last identifier before '=' or ';').
-fields=$(sed -n '/^struct SelectorConfig {/,/^};/p' src/core/selector.hpp \
-  | grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_]+\s*(=|;)' \
-  | sed -E 's/\s*(=|;).*//; s/.*\s([a-z_]+)$/\1/')
-if [ -z "$fields" ]; then
-  echo "docs-lint: could not extract SelectorConfig fields from src/core/selector.hpp" >&2
-  exit 1
-fi
-for ref in $(grep -ohE 'SelectorConfig::[a-zA-Z_]+' $docs | sort -u); do
-  field=${ref#SelectorConfig::}
-  if ! printf '%s\n' "$fields" | grep -qx "$field"; then
-    echo "docs-lint: $ref is referenced in docs but is not a SelectorConfig field" >&2
+# --- 1. Config::field references must name real struct fields --------------
+# Known fields: member declarations between `struct <Name> {` and the
+# closing brace (last identifier before '=' or ';').
+check_config_fields() {
+  local struct_name=$1 header=$2
+  local fields
+  fields=$(sed -n "/^struct $struct_name {/,/^};/p" "$header" \
+    | grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_]+\s*(=|;)' \
+    | sed -E 's/\s*(=|;).*//; s/.*\s([a-z_]+)$/\1/')
+  if [ -z "$fields" ]; then
+    echo "docs-lint: could not extract $struct_name fields from $header" >&2
     fail=1
+    return
   fi
-done
+  local ref field
+  for ref in $(grep -ohE "$struct_name::[a-zA-Z_]+" $docs | sort -u); do
+    field=${ref#"$struct_name"::}
+    if ! printf '%s\n' "$fields" | grep -qx "$field"; then
+      echo "docs-lint: $ref is referenced in docs but is not a $struct_name field" >&2
+      fail=1
+    fi
+  done
+}
+check_config_fields SelectorConfig src/core/selector.hpp
+check_config_fields ValidationConfig src/validate/validation.hpp
+check_config_fields FuzzConfig src/validate/fuzz.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
-# Flags of external tools (cmake/ctest themselves) are allowlisted.
-allow="output-on-failure test-dir build"
+# Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.
+allow="output-on-failure test-dir build preset gtest"
 for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs | sort -u); do
   name=${flag#--}
   if printf '%s\n' $allow | grep -qx "$name"; then continue; fi
@@ -44,7 +53,7 @@ for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs | sort -u); do
 done
 
 if [ "$fail" -ne 0 ]; then
-  echo "docs-lint: FAILED — update README.md/DESIGN.md or the allowlist in tools/check_docs.sh" >&2
+  echo "docs-lint: FAILED — update the docs or the allowlist in tools/check_docs.sh" >&2
 else
   echo "docs-lint: OK"
 fi

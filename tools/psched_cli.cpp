@@ -13,9 +13,17 @@
 //         user-estimate|last-runtime|running-mean|ewma]
 //        [--delta MS] [--eval-threads N] [--period TICKS] [--backfill]
 //        [--on-change] [--reflection] [--quantum SECONDS] [--csv FILE]
+//        [--check-invariants] [--inject-fault NAME] [--differential]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
+//       Validation: --check-invariants attaches the runtime invariant
+//       checker (aborts with context on the first violation);
+//       --inject-fault NAME (billing-off-by-one, skip-boot-delay,
+//       cap-overshoot) seeds a known-bad provider behavior in record mode
+//       and reports what the checker caught (exit 2); --differential runs
+//       the inner-vs-outer simulator oracle on the workload instead of a
+//       normal experiment (see src/validate/differential.hpp).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstdio>
@@ -25,6 +33,7 @@
 #include "engine/experiment.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
+#include "validate/differential.hpp"
 #include "workload/characterize.hpp"
 #include "workload/generator.hpp"
 #include "workload/swf.hpp"
@@ -125,6 +134,32 @@ engine::PredictorKind predictor_from(const std::string& name, bool& ok) {
   return engine::PredictorKind::kPerfect;
 }
 
+/// `run --differential`: the inner-vs-outer oracle on this workload,
+/// swept across every 6th portfolio policy.
+int cmd_differential(const engine::EngineConfig& config, const workload::Trace& trace) {
+  std::vector<workload::Job> jobs = trace.jobs();
+  constexpr std::size_t kMaxJobs = 120;  // 10 policies x engine run each
+  if (jobs.size() > kMaxJobs) jobs.resize(kMaxJobs);
+  const std::vector<workload::Job> closed =
+      validate::normalize_closed_instance(std::move(jobs), config);
+
+  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  const validate::DifferentialReport report =
+      validate::run_differential_portfolio(config, closed, portfolio);
+
+  util::Table table({"Policy", "BSD", "Cost [VM-h]", "Verdict"});
+  for (const validate::DifferentialResult& r : report.results) {
+    table.add_row({r.policy, util::Cell(r.actual.avg_bounded_slowdown, 3),
+                   util::Cell(r.actual.charged_hours(), 1),
+                   r.pass ? "agree" : "DISAGREE"});
+    if (!r.pass) std::fprintf(stderr, "%s: %s\n", r.policy.c_str(), r.detail.c_str());
+  }
+  std::fputs(table.render("psched run --differential").c_str(), stdout);
+  std::printf("%zu policies, %zu disagreements (%zu closed jobs)\n",
+              report.results.size(), report.failures, closed.size());
+  return report.pass() ? 0 : 2;
+}
+
 int cmd_run(const util::ArgParser& args) {
   bool ok = true;
   const workload::Trace trace = trace_from_args(args, ok);
@@ -145,6 +180,27 @@ int cmd_run(const util::ArgParser& args) {
   if (args.get_bool("backfill"))
     config.allocation = policy::AllocationMode::kEasyBackfill;
   config.provider.billing_quantum = args.get_double("quantum", 3600.0);
+
+  // Enable-only: a PSCHED_VALIDATE build turns checking on in the default
+  // config, and the absence of the flag must not turn it back off.
+  if (args.get_bool("check-invariants")) config.validation.check_invariants = true;
+  config.validation.inject_fault =
+      validate::fault_from_string(args.get("inject-fault", "none"), ok);
+  if (!ok) {
+    std::fputs(
+        "error: unknown --inject-fault (none, billing-off-by-one, "
+        "skip-boot-delay, cap-overshoot)\n",
+        stderr);
+    return 1;
+  }
+  if (config.validation.inject_fault != validate::FaultInjection::kNone) {
+    // A seeded fault is a checker self-test: record violations and report
+    // them instead of dying on the first one.
+    config.validation.check_invariants = true;
+    config.validation.abort_on_violation = false;
+  }
+
+  if (args.get_bool("differential")) return cmd_differential(config, trace);
 
   const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
   const std::string scheduler = args.get("scheduler", "portfolio");
@@ -191,14 +247,22 @@ int cmd_run(const util::ArgParser& args) {
     table.add_row({"policies simulated/selection",
                    util::Cell(result.portfolio.mean_simulated_per_invocation, 1)});
   }
+  if (config.validation.check_invariants) {
+    table.add_row({"invariant checks", result.run.invariant_checks});
+    table.add_row({"invariant violations", result.run.invariant_violations.size()});
+  }
   std::fputs(table.render("psched run").c_str(), stdout);
+
+  for (const validate::Violation& v : result.run.invariant_violations)
+    std::fprintf(stderr, "invariant violated: %s at t=%.3f s\n  %s\n",
+                 v.invariant.c_str(), v.when, v.detail.c_str());
 
   const std::string csv = args.get("csv", "");
   if (!csv.empty() && !table.save_csv(csv)) {
     std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
     return 2;
   }
-  return 0;
+  return result.run.invariant_violations.empty() ? 0 : 2;
 }
 
 }  // namespace
