@@ -4,7 +4,6 @@
 // authoritative VM state for the outer (trace-driven) simulation.
 
 #include <cstddef>
-#include <unordered_map>
 #include <vector>
 
 #include "cloud/profile.hpp"

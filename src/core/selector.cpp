@@ -51,6 +51,13 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
                                              std::span<const policy::QueuedJob> queue,
                                              const cloud::CloudProfile& profile,
                                              std::vector<PolicyScore>& scores) const {
+  if (config_.budget_mode == BudgetMode::kFixedCount) {
+    // Deterministic accounting: one unit per candidate, no clock read.
+    const SimOutcome outcome =
+        simulator_.simulate(queue, profile, portfolio_.policies()[index]);
+    scores.push_back(PolicyScore{index, outcome.utility, 1.0});
+    return 1.0;
+  }
   const auto start = std::chrono::steady_clock::now();
   const SimOutcome outcome =
       simulator_.simulate(queue, profile, portfolio_.policies()[index]);
@@ -74,6 +81,20 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
   if (wave.size() == 1) return simulate_one(wave.front(), queue, profile, scores);
 
   PSCHED_ASSERT(pool_ != nullptr);
+  if (config_.budget_mode == BudgetMode::kFixedCount) {
+    // Deterministic accounting: workers fill disjoint outcome slots without
+    // touching a clock; each candidate charges one unit, so a wave costs
+    // its size and the budget drains exactly as in the sequential run —
+    // that (plus the quota-capped wave fill in select()) is what makes the
+    // candidate set identical across eval_threads widths.
+    std::vector<SimOutcome> outcomes(wave.size());
+    pool_->run_batch(wave.size(), [&](std::size_t k) {
+      outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+    });
+    for (std::size_t k = 0; k < wave.size(); ++k)
+      scores.push_back(PolicyScore{wave[k], outcomes[k].utility, 1.0});
+    return static_cast<double>(wave.size());
+  }
   std::vector<SimOutcome> outcomes(wave.size());
   std::vector<double> measured_ms(wave.size());
   pool_->run_batch(wave.size(), [&](std::size_t k) {
@@ -117,16 +138,22 @@ SelectionResult TimeConstrainedSelector::select(
     if (drop(smart_) || drop(stale_) || drop(poor_)) smart_.push_front(hint);
   }
 
-  const bool bounded = config_.time_constraint_ms > 0.0;
+  const bool fixed = config_.budget_mode == BudgetMode::kFixedCount;
+  const bool bounded =
+      fixed ? config_.fixed_count > 0 : config_.time_constraint_ms > 0.0;
   const auto n = static_cast<double>(smart_.size() + stale_.size() + poor_.size());
   PSCHED_ASSERT(n > 0.0);
 
   // Phase 1: split the budget proportionally to the set sizes (Alg. 1 l.1-2).
-  // Unbounded mode (Delta <= 0) simulates the entire portfolio; the quotas
-  // are made infinite directly — an empty set's share of infinity would be
+  // In kFixedCount mode Delta is a simulation count (one unit per candidate);
+  // otherwise it is milliseconds. Unbounded mode (Delta <= 0, or
+  // fixed_count = 0) simulates the entire portfolio; the quotas are made
+  // infinite directly — an empty set's share of infinity would be
   // 0 * inf = NaN and poison the leftover arithmetic.
   const double inf = std::numeric_limits<double>::infinity();
-  const double delta = bounded ? config_.time_constraint_ms : inf;
+  const double delta = bounded ? (fixed ? static_cast<double>(config_.fixed_count)
+                                        : config_.time_constraint_ms)
+                               : inf;
   double quota_smart = bounded ? static_cast<double>(smart_.size()) / n * delta : inf;
   double quota_stale = bounded ? static_cast<double>(stale_.size()) / n * delta : inf;
   double quota_poor = bounded ? delta - quota_smart - quota_stale : inf;
@@ -141,10 +168,20 @@ SelectionResult TimeConstrainedSelector::select(
   // (front-of-set order; for Poor, RNG draws — also coordinating-thread-only,
   // so the draw sequence matches the sequential algorithm's pick-by-pick
   // sampling) and are simulated concurrently by run_wave.
+  //
+  // In fixed-count mode a wave additionally never overshoots the remaining
+  // quota: the sequential algorithm runs exactly ceil(quota) more unit-cost
+  // simulations before the budget flips non-positive, so capping the fill at
+  // that count keeps the simulated candidate set — and therefore the whole
+  // round — identical for every eval_threads width.
+  const auto wave_cap = [&](double quota) {
+    if (!(fixed && bounded)) return wave_width_;
+    return std::min(wave_width_, static_cast<std::size_t>(std::ceil(quota)));
+  };
   const auto drain_ordered = [&](std::deque<std::size_t>& set, double& quota) {
     while (!set.empty() && quota > 0.0) {
       wave.clear();
-      while (!set.empty() && wave.size() < wave_width_) {
+      while (!set.empty() && wave.size() < wave_cap(quota)) {
         wave.push_back(set.front());
         set.pop_front();
       }
@@ -162,7 +199,7 @@ SelectionResult TimeConstrainedSelector::select(
   double quota = quota_poor + std::max(0.0, quota_smart) + std::max(0.0, quota_stale);
   while (!poor_.empty() && quota > 0.0) {
     wave.clear();
-    while (!poor_.empty() && wave.size() < wave_width_) {
+    while (!poor_.empty() && wave.size() < wave_cap(quota)) {
       const auto pick = static_cast<std::size_t>(
           rng_.uniform_int(0, static_cast<std::int64_t>(poor_.size()) - 1));
       wave.push_back(poor_[pick]);

@@ -13,7 +13,10 @@
 // staleness). The best simulated policy is returned for real scheduling.
 //
 // The budget can count measured wall time, a fixed synthetic per-policy
-// cost (for the deterministic Figure-10 experiment), or both.
+// cost (for the deterministic Figure-10 experiment), or both — or, with
+// BudgetMode::kFixedCount, a plain simulation count, which removes every
+// clock read from the selection path and makes a round reproducible
+// bit-for-bit across machines and eval_threads widths.
 //
 // Candidate evaluation can run in parallel waves (SelectorConfig::
 // eval_threads): each set is drained in deterministic groups of up to
@@ -35,6 +38,7 @@
 
 #include "core/online_sim.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace psched::util {
 class ThreadPool;
@@ -53,9 +57,33 @@ enum class TieBreak {
   kFirstIndex,  ///< lowest portfolio index (fully deterministic ranking)
 };
 
+/// How the selection budget Delta is accounted.
+enum class BudgetMode {
+  /// Delta is wall time: each simulation charges measured steady_clock
+  /// milliseconds (use_measured_cost) plus synthetic_overhead_ms. Matches
+  /// the paper's deployment model; machine-dependent by design.
+  kWallclock,
+  /// Delta is a simulation count: every candidate charges exactly one unit
+  /// and the selector reads no clock at all, so a round's outcome is a pure
+  /// function of (portfolio, queue, profile, seed) — bit-identical across
+  /// machines, load conditions, and eval_threads widths. use_measured_cost
+  /// and synthetic_overhead_ms are ignored.
+  kFixedCount,
+};
+
 struct SelectorConfig {
+  /// Budget accounting mode; kFixedCount removes every wall-clock read from
+  /// the selection path (psched-lint rule D1's allowlist covers only the
+  /// kWallclock branch).
+  BudgetMode budget_mode = BudgetMode::kWallclock;
+  /// Per-round simulation budget when budget_mode = kFixedCount: the number
+  /// of candidate simulations Delta buys (split across Smart/Stale/Poor
+  /// proportionally, exactly like the millisecond budget). 0 means
+  /// unbounded. Ignored in kWallclock mode.
+  std::size_t fixed_count = 0;
   /// Delta in milliseconds; <= 0 means unbounded (simulate the whole
   /// portfolio — the paper's Sections 6.1-6.4 operating point).
+  /// Ignored in kFixedCount mode.
   double time_constraint_ms = 0.0;
   /// Tie resolution among equal-best policies.
   TieBreak tie_break = TieBreak::kRandom;
@@ -157,14 +185,19 @@ class TimeConstrainedSelector {
   const policy::Portfolio& portfolio_;
   OnlineSimulator simulator_;
   SelectorConfig config_;
-  util::Rng rng_;
+  // All sequencing state below is touched only by the coordinating thread
+  // that called select(): wave workers receive disjoint score slots and
+  // never see the RNG or the sets. PSCHED_CONFINED_TO documents (but cannot
+  // verify) this; the determinism matrix tests enforce it by requiring
+  // bit-identical results across eval_threads widths.
+  util::Rng rng_ PSCHED_CONFINED_TO("selector coordinating thread");
   std::size_t wave_width_ = 1;
   std::unique_ptr<util::ThreadPool> owned_pool_;  ///< only if no shared pool
   util::ThreadPool* pool_ = nullptr;              ///< non-null iff wave_width_ > 1
 
-  std::deque<std::size_t> smart_;
-  std::deque<std::size_t> stale_;
-  std::vector<std::size_t> poor_;
+  std::deque<std::size_t> smart_ PSCHED_CONFINED_TO("selector coordinating thread");
+  std::deque<std::size_t> stale_ PSCHED_CONFINED_TO("selector coordinating thread");
+  std::vector<std::size_t> poor_ PSCHED_CONFINED_TO("selector coordinating thread");
 };
 
 }  // namespace psched::core

@@ -1,6 +1,8 @@
 #include "metrics/collector.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -41,7 +43,16 @@ RunMetrics MetricsCollector::finalize() const {
   m.rv_charged_seconds = rv_seconds_;
   m.makespan = makespan_;
   m.workflows = workflows_.size();
-  for (const auto& [id, span] : workflows_) {
+  // Aggregate through an id-sorted snapshot: the average is a floating-point
+  // sum, so folding in hash-table order would make the reported metric
+  // depend on the map's hash state (psched-lint D2; pinned by the
+  // HashStateDoesNotLeakIntoMetrics regression test).
+  // psched-lint: order-insensitive(snapshot is sorted by workflow id below)
+  std::vector<std::pair<workload::WorkflowId, WorkflowSpan>> spans(workflows_.begin(),
+                                                                   workflows_.end());
+  std::sort(spans.begin(), spans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, span] : spans) {
     const double ms = span.last_finish - span.first_submit;
     m.avg_workflow_makespan += ms;
     m.max_workflow_makespan = std::max(m.max_workflow_makespan, ms);

@@ -1,0 +1,50 @@
+#pragma once
+// Tolerance-based floating-point comparison helpers — the sanctioned
+// alternative to `==`/`!=` on float/double, which psched-lint rule D4 bans
+// outside src/util/ (exact FP equality is representation-dependent: it
+// breaks under -ffast-math, x87 excess precision, and FMA contraction, all
+// of which vary by toolchain and silently fork "deterministic" results).
+//
+// Semantics follow the usual combined-tolerance scheme: values are equal
+// when they differ by at most `abs_tol`, or by at most `rel_tol` times the
+// larger magnitude. The absolute term handles comparisons near zero, where
+// a pure relative test can never succeed.
+//
+// Simulation code that needs *bit-identical* reproduction (golden files,
+// the determinism matrix) should compare through integer representations
+// or serialized text instead — a tolerance is a statement that small
+// divergence is acceptable, which is exactly wrong for those tests.
+
+#include <algorithm>
+#include <cmath>
+
+namespace psched::util {
+
+inline constexpr double kDefaultRelTol = 1e-9;
+inline constexpr double kDefaultAbsTol = 1e-12;
+
+/// True when |x| is within `abs_tol` of zero.
+[[nodiscard]] inline bool near_zero(double x, double abs_tol = kDefaultAbsTol) {
+  return std::fabs(x) <= abs_tol;
+}
+
+/// Combined relative/absolute tolerance equality. NaN compares unequal to
+/// everything (including NaN), matching IEEE expectations.
+[[nodiscard]] inline bool approx_eq(double a, double b,
+                                    double rel_tol = kDefaultRelTol,
+                                    double abs_tol = kDefaultAbsTol) {
+  if (a == b) return true;  // fast path; also covers matching infinities
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * scale;
+}
+
+/// approx_eq over `a <= b`: true when a is below b or within tolerance.
+[[nodiscard]] inline bool approx_le(double a, double b,
+                                    double rel_tol = kDefaultRelTol,
+                                    double abs_tol = kDefaultAbsTol) {
+  return a <= b || approx_eq(a, b, rel_tol, abs_tol);
+}
+
+}  // namespace psched::util

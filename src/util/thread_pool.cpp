@@ -18,9 +18,9 @@ struct BatchState {
   const std::function<void(std::size_t)> fn;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::exception_ptr error;
+  Mutex mutex;
+  CondVar cv;
+  std::exception_ptr error PSCHED_GUARDED_BY(mutex);
 };
 
 /// Claim and run batch indices until the index space is exhausted. Failed
@@ -32,11 +32,11 @@ void drain_batch(const std::shared_ptr<BatchState>& state) {
     try {
       state->fn(i);
     } catch (...) {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       if (!state->error) state->error = std::current_exception();
     }
     if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->n) {
-      std::lock_guard lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->cv.notify_all();
     }
   }
@@ -52,7 +52,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -63,8 +63,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Explicit while-wait (not wait-with-predicate): the thread-safety
+      // analysis cannot see through a predicate lambda, but it tracks the
+      // capability across condition_variable_any::wait on the scoped lock.
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -77,7 +80,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
   std::exception_ptr error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   const std::size_t tasks = std::min(n, size());
   std::vector<std::future<void>> futures;
   futures.reserve(tasks);
@@ -89,7 +92,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard lock(error_mutex);
+          MutexLock lock(error_mutex);
           if (!error) error = std::current_exception();
           return;
         }
@@ -116,10 +119,10 @@ void ThreadPool::run_batch(std::size_t n, std::function<void(std::size_t)> fn) {
     (void)submit([state] { drain_batch(state); });
   }
   drain_batch(state);
-  std::unique_lock lock(state->mutex);
-  state->cv.wait(lock, [&] {
-    return state->done.load(std::memory_order_acquire) == state->n;
-  });
+  MutexLock lock(state->mutex);
+  while (state->done.load(std::memory_order_acquire) != state->n) {
+    state->cv.wait(lock);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -4,16 +4,20 @@
 // waves. Tasks are type-erased; `parallel_for` provides the common
 // fork-join pattern with exception propagation, and `run_batch` the
 // nested-safe variant the selector uses from inside pool workers.
+//
+// Shared state is annotated with the clang thread-safety capability macros
+// (util/thread_annotations.hpp): under clang, -Wthread-safety verifies that
+// queue_ and stop_ are only touched with mutex_ held.
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace psched::util {
 
@@ -35,7 +39,7 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     auto fut = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -65,10 +69,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ PSCHED_GUARDED_BY(mutex_);
+  bool stop_ PSCHED_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace psched::util

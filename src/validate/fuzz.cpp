@@ -19,6 +19,11 @@ struct Scenario {
   engine::PredictorKind predictor = engine::PredictorKind::kPerfect;
   policy::PolicyTriple triple{};   ///< single-policy scenarios
   bool portfolio = false;          ///< run the portfolio scheduler instead
+  /// Portfolio scenarios run the selector in fixed-count budget mode (no
+  /// clock reads), so a failing seed replays identically while shrinking
+  /// regardless of machine load; both knobs are fuzzed per seed.
+  std::size_t selector_fixed_count = 0;
+  std::size_t selector_eval_threads = 1;
   std::string description;
 };
 
@@ -69,6 +74,10 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
     const auto& policies = portfolio.policies();
     s.triple = policies[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(policies.size()) - 1))];
+  } else {
+    // Drawn last so the earlier scenario-shape draws keep their streams.
+    s.selector_fixed_count = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    s.selector_eval_threads = static_cast<std::size_t>(rng.uniform_int(1, 4));
   }
 
   char buf[224];
@@ -105,6 +114,9 @@ RunOutcome run_scenario(const Scenario& s, std::size_t job_count,
     // Select infrequently: the invariants under test live in the engine and
     // provider, and a cheap selector keeps 50-seed runs inside the smoke cap.
     pconfig.selection_period_ticks = 16;
+    pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
+    pconfig.selector.fixed_count = s.selector_fixed_count;
+    pconfig.selector.eval_threads = s.selector_eval_threads;
     result = engine::run_portfolio(s.config, trace, portfolio, pconfig, s.predictor);
   } else {
     result = engine::run_single_policy(s.config, trace, s.triple, s.predictor);

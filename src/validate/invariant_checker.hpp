@@ -36,6 +36,7 @@
 #include "cloud/provider.hpp"
 #include "metrics/collector.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/types.hpp"
 #include "validate/validation.hpp"
 
@@ -58,6 +59,11 @@ struct JobCensus {
   std::size_t blocked = 0;    ///< arrived but dependency-blocked
 };
 
+/// All observer hooks run on the engine's event-loop thread: the engine is
+/// single-threaded (selector candidate waves parallelize *inner* what-if
+/// simulations, never the outer engine), so the checker's counters need no
+/// locking. PSCHED_CONFINED_TO records this; attaching one checker to
+/// engines on multiple threads is unsupported.
 class InvariantChecker final : public sim::SimObserver, public cloud::ProviderObserver {
  public:
   /// `provider` carries the *intended* semantics (cap, boot delay, billing
@@ -108,14 +114,16 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
   ValidationConfig config_;
   cloud::ProviderConfig provider_;  ///< intended semantics
 
-  std::uint64_t checks_ = 0;
-  std::uint64_t violation_count_ = 0;
-  std::vector<Violation> violations_;
+  std::uint64_t checks_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::uint64_t violation_count_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::vector<Violation> violations_ PSCHED_CONFINED_TO("engine event loop");
 
-  SimTime last_dispatch_ = 0.0;
-  double charged_total_hours_ = 0.0;  ///< checker's own running total
-  double expected_rj_ = 0.0;          ///< sum of finished jobs' procs * runtime
-  std::size_t finished_jobs_ = 0;
+  SimTime last_dispatch_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+  /// Checker's own running total of charged hours.
+  double charged_total_hours_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+  /// Sum of finished jobs' procs * runtime.
+  double expected_rj_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+  std::size_t finished_jobs_ PSCHED_CONFINED_TO("engine event loop") = 0;
 };
 
 }  // namespace psched::validate

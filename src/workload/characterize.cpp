@@ -63,6 +63,7 @@ TraceProfile characterize(const Trace& trace) {
   for (const Job& j : jobs) ++per_user[j.user];
   p.users = per_user.size();
   std::size_t top = 0;
+  // psched-lint: order-insensitive(max over counts is commutative)
   for (const auto& [user, count] : per_user) top = std::max(top, count);
   p.top_user_share = static_cast<double>(top) / static_cast<double>(jobs.size());
 

@@ -90,6 +90,7 @@ void emit_layered(std::vector<Job>& jobs, JobId& next_id, const WorkflowConfig& 
           chosen.insert(previous[static_cast<std::size_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(previous.size()) - 1))]);
         }
+        // psched-lint: order-insensitive(snapshot is sorted on the next line)
         deps.assign(chosen.begin(), chosen.end());
         std::sort(deps.begin(), deps.end());
       }

@@ -228,6 +228,74 @@ TEST(SelectorParallel, EngineRunIsIdenticalAcrossEvalThreads) {
   EXPECT_EQ(seq.portfolio.chosen_counts, wav.portfolio.chosen_counts);
 }
 
+TEST(SelectorParallel, FixedCountMatrixIsBitIdenticalAcrossWidths) {
+  // The fixed-count budget mode's whole point: with Delta accounted as a
+  // simulation count (no clock reads anywhere in the selection path), a
+  // *bounded* budget must also reproduce bit-for-bit across eval_threads
+  // widths — the wave fill is capped at ceil(remaining quota), so every
+  // width simulates exactly the candidates the sequential algorithm would.
+  // (Contrast the wallclock matrix above, which must run unbounded to be
+  // width-independent.)
+  const auto events = make_events(200, 0xf1c5ed);
+  SelectorConfig base;
+  base.budget_mode = BudgetMode::kFixedCount;
+  base.fixed_count = 17;  // deliberately not a multiple of any wave width
+
+  std::vector<SelectionResult> reference;
+  reference.reserve(events.size());
+  TimeConstrainedSelector ref(portfolio(), OnlineSimulator(sim_config()), base);
+  for (const ReplayEvent& event : events)
+    reference.push_back(ref.select(event.queue, event.profile));
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SelectorConfig config = base;
+    config.eval_threads = threads;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+      for (std::size_t e = 0; e < events.size(); ++e) {
+        SCOPED_TRACE(testing::Message()
+                     << "threads=" << threads << " repeat=" << repeat);
+        const SelectionResult r = s.select(events[e].queue, events[e].profile);
+        expect_identical(reference[e], r, e);
+        EXPECT_EQ(reference[e].total_cost_ms, r.total_cost_ms) << "event " << e;
+      }
+    }
+  }
+}
+
+TEST(SelectorParallel, FixedCountBudgetBuysExactlyThatManySimulations) {
+  // First invocation, all 60 policies Smart: fixed_count = 12 must buy
+  // exactly 12 unit-cost simulations — for the sequential selector and for
+  // waves of 8 alike (8 + 4, capped by the remaining quota), unlike
+  // wallclock waves where a wave charges once for all members.
+  const auto events = make_events(1, 0xc0);
+  SelectorConfig config;
+  config.budget_mode = BudgetMode::kFixedCount;
+  config.fixed_count = 12;
+
+  for (const std::size_t threads : {1u, 8u}) {
+    config.eval_threads = threads;
+    TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+    const SelectionResult r = s.select(events[0].queue, events[0].profile);
+    EXPECT_EQ(r.simulated(), 12u) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(r.total_cost_ms, 12.0) << "threads=" << threads;
+    for (const PolicyScore& score : r.scores) EXPECT_DOUBLE_EQ(score.cost_ms, 1.0);
+  }
+}
+
+TEST(SelectorParallel, FixedCountZeroMeansUnbounded) {
+  // fixed_count = 0 simulates the whole portfolio, mirroring Delta <= 0 in
+  // wallclock mode; each candidate still charges one unit.
+  const auto events = make_events(1, 0x00b);
+  SelectorConfig config;
+  config.budget_mode = BudgetMode::kFixedCount;
+  config.fixed_count = 0;
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+  const SelectionResult r = s.select(events[0].queue, events[0].profile);
+  EXPECT_EQ(r.simulated(), 60u);
+  EXPECT_DOUBLE_EQ(r.total_cost_ms, 60.0);
+}
+
 TEST(SelectorParallel, ConcurrentSimulateMatchesSequential) {
   // The OnlineSimulator thread-safety contract (online_sim.hpp): concurrent
   // simulate() calls on one shared instance must race-free reproduce the

@@ -124,6 +124,63 @@ TEST(MetricsCollector, NoWorkflowsMeansZeroAggregates) {
   EXPECT_DOUBLE_EQ(m.avg_workflow_makespan, 0.0);
 }
 
+TEST(MetricsCollector, HashStateDoesNotLeakIntoMetrics) {
+  // Regression for psched-lint rule D2 in MetricsCollector::finalize(): the
+  // workflow-makespan average is a floating-point sum over an unordered_map,
+  // so iterating in bucket order would tie the reported metric to the map's
+  // hash state. std::hash cannot be reseeded directly, so the test varies
+  // the observable proxy: insertion history (forward / reverse / strided),
+  // which changes bucket layout and therefore raw iteration order. The
+  // sorted-snapshot emission must make every run bit-identical.
+  //
+  // Per-job statistics are Welford-accumulated in record order, which is
+  // order-sensitive for general inputs — every record therefore carries the
+  // *identical* wait and runtime (exact under any order), so any divergence
+  // below is attributable to the workflow map alone.
+  constexpr std::size_t kWorkflows = 257;  // > default bucket count, forces rehashes
+  std::vector<JobRecord> records;
+  for (std::size_t w = 0; w < kWorkflows; ++w) {
+    const double base = static_cast<double>(w) * 10000.0;
+    // Two records per workflow; the span gap 0.1*w is not representable in
+    // binary, so the makespan sum order is observable in the last bits.
+    JobRecord first = make_record(static_cast<JobId>(2 * w), base, base + 50.0,
+                                  100.0, 1);
+    first.workflow = static_cast<workload::WorkflowId>(w);
+    JobRecord second =
+        make_record(static_cast<JobId>(2 * w + 1), base + 0.1 * static_cast<double>(w),
+                    base + 0.1 * static_cast<double>(w) + 50.0, 100.0, 1);
+    second.workflow = static_cast<workload::WorkflowId>(w);
+    records.push_back(first);
+    records.push_back(second);
+  }
+
+  const auto run = [&](const std::vector<std::size_t>& order) {
+    MetricsCollector c(10.0);
+    for (const std::size_t i : order) c.record(records[i]);
+    return c.finalize();
+  };
+  std::vector<std::size_t> forward(records.size());
+  for (std::size_t i = 0; i < forward.size(); ++i) forward[i] = i;
+  std::vector<std::size_t> reverse(forward.rbegin(), forward.rend());
+  std::vector<std::size_t> strided;  // co-prime stride: a full permutation
+  for (std::size_t i = 0; i < records.size(); ++i)
+    strided.push_back(i * 7 % records.size());
+
+  const RunMetrics a = run(forward);
+  const RunMetrics b = run(reverse);
+  const RunMetrics d = run(strided);
+  ASSERT_EQ(a.workflows, kWorkflows);
+  for (const RunMetrics* m : {&b, &d}) {
+    EXPECT_EQ(a.avg_workflow_makespan, m->avg_workflow_makespan);  // bit-exact
+    EXPECT_EQ(a.max_workflow_makespan, m->max_workflow_makespan);
+    EXPECT_EQ(a.workflows, m->workflows);
+    EXPECT_EQ(a.avg_bounded_slowdown, m->avg_bounded_slowdown);
+    EXPECT_EQ(a.avg_wait, m->avg_wait);
+    EXPECT_EQ(a.rj_proc_seconds, m->rj_proc_seconds);
+    EXPECT_EQ(a.makespan, m->makespan);
+  }
+}
+
 TEST(RunMetrics, ZeroCostUtilizationIsZero) {
   RunMetrics m;
   m.rj_proc_seconds = 10.0;

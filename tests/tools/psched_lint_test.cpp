@@ -1,0 +1,172 @@
+// psched-lint rule engine: one check per rule D1-D4 (detection, allowlist,
+// suppression honoring), the SUPP meta-rule, the fixture self-test, and the
+// gate the whole PR hangs on — the real tree lints clean.
+//
+// Compile-time paths: PSCHED_SOURCE_ROOT (repo root) and
+// PSCHED_LINT_FIXTURES (tools/psched_lint/fixtures), injected by CMake.
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace psched::lint {
+namespace {
+
+/// Lint an in-memory snippet as `rel_path`, using only the snippet's own
+/// unordered-container declarations as the TU table.
+std::vector<Finding> lint_snippet(const std::string& code,
+                                  const std::string& rel_path,
+                                  LintOptions options = {}) {
+  const SourceFile file = load_source_from_string(code, rel_path);
+  std::vector<Finding> findings = file.annotation_errors;
+  const std::vector<Finding> rule_findings =
+      lint_file(file, file.unordered_names, options);
+  findings.insert(findings.end(), rule_findings.begin(), rule_findings.end());
+  return findings;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+std::string dump(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings)
+    out += f.file + ":" + std::to_string(f.line) + " [" + f.rule + "] " +
+           f.message + "\n";
+  return out;
+}
+
+TEST(PschedLint, D1FlagsWallClockAndEntropyReads) {
+  const std::string code =
+      "#include <chrono>\n"
+      "double now_ms() {\n"
+      "  auto t = std::chrono::system_clock::now();\n"
+      "  return double(rand());\n"
+      "}\n";
+  const auto findings = lint_snippet(code, "src/core/scheduler.cpp");
+  EXPECT_TRUE(has_rule(findings, "D1")) << dump(findings);
+  // Both the clock read and the rand() call fire.
+  EXPECT_GE(findings.size(), 2u) << dump(findings);
+}
+
+TEST(PschedLint, D1AllowlistCoversClocksButNeverEntropy) {
+  const std::string code =
+      "#include <chrono>\n"
+      "double tick() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"  // allowlisted
+      "  return double(rand());\n"                      // never allowlisted
+      "}\n";
+  // selector.cpp is on the default clock allowlist.
+  const auto findings = lint_snippet(code, "src/core/selector.cpp");
+  ASSERT_EQ(findings.size(), 1u) << dump(findings);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(PschedLint, D2FlagsUnorderedIterationAndHonorsAnnotation) {
+  const std::string bad =
+      "#include <unordered_map>\n"
+      "int sum(const std::unordered_map<int, int>& counts) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : counts) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_snippet(bad, "src/policy/x.cpp"), "D2"));
+
+  const std::string annotated =
+      "#include <unordered_map>\n"
+      "int sum(const std::unordered_map<int, int>& counts) {\n"
+      "  int total = 0;\n"
+      "  // psched-lint: order-insensitive(integer addition is commutative)\n"
+      "  for (const auto& [k, v] : counts) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  const auto findings = lint_snippet(annotated, "src/policy/x.cpp");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, D2SeesContainersDeclaredInIncludedHeaders) {
+  // The member is declared in the header; the .cpp only iterates it. The
+  // per-TU name table must carry the declaration across the include.
+  const SourceFile header = load_source_from_string(
+      "#include <unordered_set>\n"
+      "struct Registry { std::unordered_set<int> live; };\n",
+      "src/x/registry.hpp");
+  ASSERT_EQ(header.unordered_names.count("live"), 1u);
+
+  const SourceFile impl = load_source_from_string(
+      "#include \"x/registry.hpp\"\n"
+      "int count(const Registry& r) {\n"
+      "  int n = 0;\n"
+      "  for (int v : r.live) n += v;\n"
+      "  return n;\n"
+      "}\n",
+      "src/x/registry.cpp");
+  // Without the header's names the iteration is invisible...
+  EXPECT_FALSE(has_rule(lint_file(impl, impl.unordered_names, {}), "D2"));
+  // ...with the TU union it is caught.
+  std::set<std::string> tu = impl.unordered_names;
+  tu.insert(header.unordered_names.begin(), header.unordered_names.end());
+  EXPECT_TRUE(has_rule(lint_file(impl, tu, {}), "D2"));
+}
+
+TEST(PschedLint, D3FlagsUnseededEnginesButAcceptsNamedSeeds) {
+  EXPECT_TRUE(has_rule(
+      lint_snippet("#include <random>\nstd::mt19937 gen;\n", "src/a.cpp"),
+      "D3"));
+  EXPECT_TRUE(has_rule(
+      lint_snippet("#include <random>\nstd::mt19937 gen(12345);\n", "src/a.cpp"),
+      "D3"));
+  EXPECT_TRUE(has_rule(
+      lint_snippet("#include <random>\n"
+                   "std::mt19937_64 gen{std::random_device{}()};\n",
+                   "src/a.cpp"),
+      "D3"));
+  const auto ok = lint_snippet(
+      "#include <random>\n"
+      "void f(unsigned seed) { std::mt19937 gen(seed); (void)gen; }\n",
+      "src/a.cpp");
+  EXPECT_FALSE(has_rule(ok, "D3")) << dump(ok);
+}
+
+TEST(PschedLint, D4FlagsFloatLiteralEqualityOutsideUtil) {
+  const std::string code = "bool settled(double x) { return x == 0.0; }\n";
+  EXPECT_TRUE(has_rule(lint_snippet(code, "src/engine/x.cpp"), "D4"));
+  // src/util/ hosts the tolerance helpers themselves.
+  EXPECT_FALSE(has_rule(lint_snippet(code, "src/util/float_cmp.hpp"), "D4"));
+}
+
+TEST(PschedLint, SuppressionWithoutJustificationIsItselfAFinding) {
+  const std::string code =
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<int, int>& m) {\n"
+      "  int t = 0;\n"
+      "  // psched-lint: order-insensitive\n"
+      "  for (const auto& [k, v] : m) t += v;\n"
+      "  return t;\n"
+      "}\n";
+  const auto findings = lint_snippet(code, "src/a.cpp");
+  // The bare directive is reported AND grants no suppression.
+  EXPECT_TRUE(has_rule(findings, "SUPP")) << dump(findings);
+  EXPECT_TRUE(has_rule(findings, "D2")) << dump(findings);
+}
+
+TEST(PschedLint, FixtureSelfTestPasses) {
+  EXPECT_TRUE(run_self_test(PSCHED_LINT_FIXTURES));
+}
+
+TEST(PschedLint, RealTreeLintsClean) {
+  LintOptions options;
+  options.root = PSCHED_SOURCE_ROOT;
+  const std::vector<Finding> findings =
+      lint_tree(options, {"src", "bench", "tools"}, {"tools/psched_lint/fixtures/"});
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+}  // namespace
+}  // namespace psched::lint

@@ -52,6 +52,27 @@ for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs | sort -u); do
   fail=1
 done
 
+# --- 3. psched-lint rule IDs must be documented in DESIGN.md §8 ------------
+# Source of truth: the rule catalog in tools/psched_lint/lint.hpp ("D1".."Dk"
+# plus SUPP, the catalog's comment lines). Every implemented rule needs a
+# matching "**D<k> —" (or SUPP mention) in DESIGN's static-analysis section.
+rules=$(grep -ohE '^//   (D[0-9]+|SUPP)\b' tools/psched_lint/lint.hpp \
+  | sed -E 's|^//   ||' | sort -u)
+if [ -z "$rules" ]; then
+  echo "docs-lint: could not extract the rule catalog from tools/psched_lint/lint.hpp" >&2
+  fail=1
+fi
+for rule in $rules; do
+  case $rule in
+    SUPP) pattern="rule.\`SUPP\`|rule SUPP|(\`SUPP\`)" ;;
+    *)    pattern="\*\*$rule — " ;;
+  esac
+  if ! grep -qE "$pattern" DESIGN.md; then
+    echo "docs-lint: psched-lint rule $rule is implemented but not documented in DESIGN.md §8" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs-lint: FAILED — update the docs or the allowlist in tools/check_docs.sh" >&2
 else

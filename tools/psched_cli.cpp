@@ -11,12 +11,17 @@
 //   run  [FILE.swf | --archetype NAME] [--days N] [--seed S]
 //        [--scheduler portfolio|POLICY-NAME] [--predictor accurate|predicted|
 //         user-estimate|last-runtime|running-mean|ewma]
-//        [--delta MS] [--eval-threads N] [--period TICKS] [--backfill]
+//        [--delta MS] [--budget-mode wallclock|fixed-count] [--fixed-count N]
+//        [--eval-threads N] [--period TICKS] [--backfill]
 //        [--on-change] [--reflection] [--quantum SECONDS] [--csv FILE]
 //        [--check-invariants] [--inject-fault NAME] [--differential]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
+//       --budget-mode fixed-count accounts the selection budget as a
+//       per-round simulation count (--fixed-count N, 0 = unbounded) instead
+//       of wall-clock milliseconds: no clock reads, so runs are bit-identical
+//       across machines and --eval-threads widths.
 //       Validation: --check-invariants attaches the runtime invariant
 //       checker (aborts with context on the first violation);
 //       --inject-fault NAME (billing-off-by-one, skip-boot-delay,
@@ -209,6 +214,16 @@ int cmd_run(const util::ArgParser& args) {
   if (scheduler == "portfolio") {
     auto pconfig = engine::paper_portfolio_config(config);
     pconfig.selector.time_constraint_ms = args.get_double("delta", 0.0);
+    const std::string budget_mode = args.get("budget-mode", "wallclock");
+    if (budget_mode == "fixed-count") {
+      pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
+      pconfig.selector.fixed_count =
+          static_cast<std::size_t>(args.get_int("fixed-count", 0));
+    } else if (budget_mode != "wallclock") {
+      std::fputs("error: --budget-mode must be wallclock or fixed-count\n",
+                 stderr);
+      return 1;
+    }
     pconfig.selector.eval_threads =
         static_cast<std::size_t>(args.get_int("eval-threads", 1));
     pconfig.selection_period_ticks =

@@ -1,0 +1,17 @@
+// Fixture: every statement here is a D1 determinism hazard — ambient time
+// or entropy reaching simulated code. The self-test asserts psched_lint
+// reports rule D1 for this file. Not compiled into any target.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double simulated_decision_latency() {
+  const auto wall = std::chrono::system_clock::now();          // D1: wall clock
+  const auto mono = std::chrono::steady_clock::now();          // D1: not allowlisted here
+  const long stamp = time(nullptr);                            // D1: classic seed source
+  const int noise = rand();                                    // D1: global RNG
+  std::random_device entropy;                                  // D1: ambient entropy
+  return static_cast<double>(stamp + noise + entropy()) +
+         std::chrono::duration<double>(mono - wall).count();
+}

@@ -1,0 +1,30 @@
+// Fixture: hash-order-dependent traversals feeding a decision. The
+// self-test asserts psched_lint reports rule D2 for this file.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct PolicyStats {
+  std::unordered_map<std::string, double> utilities;
+  std::unordered_set<int> winners;
+
+  // Range-for over an unordered map: the first max-tie encountered wins, so
+  // the chosen policy depends on the hash state.
+  std::string pick_best() const {
+    std::string best;
+    double top = -1.0;
+    for (const auto& [name, utility] : utilities) {  // D2: range-for
+      if (utility > top) {
+        top = utility;
+        best = name;
+      }
+    }
+    return best;
+  }
+
+  // Iterator traversal into an unsorted snapshot: emission order leaks.
+  std::vector<int> winner_list() const {
+    return std::vector<int>(winners.begin(), winners.end());  // D2: begin()
+  }
+};

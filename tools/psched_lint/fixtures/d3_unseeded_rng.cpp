@@ -1,0 +1,10 @@
+// Fixture: mt19937 constructions that cannot be reproduced from a reported
+// seed. The self-test asserts psched_lint reports rule D3 for this file.
+#include <random>
+
+double sample_noise() {
+  std::mt19937 implicit_seed;                       // D3: default-constructed
+  std::mt19937 literal_seed(12345);                 // D3: literal, not a named parameter
+  std::mt19937_64 hardware{std::random_device{}()}; // D3 (and D1): ambient entropy
+  return static_cast<double>(implicit_seed() + literal_seed() + hardware());
+}

@@ -1,0 +1,16 @@
+// Fixture: exact floating-point equality against literals. The self-test
+// asserts psched_lint reports rule D4 for this file.
+
+bool budget_exhausted(double quota_ms) {
+  return quota_ms == 0.0;  // D4: exact == on a double
+}
+
+int count_until_converged(double delta) {
+  int rounds = 0;
+  while (delta != 1.0) {  // D4: exact != on a double
+    delta = (delta + 1.0) / 2.0;
+    ++rounds;
+    if (rounds > 64) break;
+  }
+  return rounds;
+}

@@ -1,0 +1,10 @@
+// Fixture: suppression annotations without a justification are themselves
+// violations (rule SUPP) — the annotation contract requires a reason.
+#include <unordered_map>
+
+double total(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  // psched-lint: order-insensitive
+  for (const auto& [key, w] : weights) sum += w;
+  return sum;
+}

@@ -1,0 +1,739 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace psched::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// One lexical token we care about: an identifier or a numeric literal.
+struct Token {
+  std::string text;
+  std::size_t begin = 0;  ///< offset into the blanked code
+  std::size_t end = 0;    ///< one past the last character
+  std::size_t line = 1;
+  bool is_number = false;
+};
+
+/// True for numeric literals that are floating-point: a '.', an exponent, or
+/// an f/F suffix on a decimal literal (0x1p3 hex floats are not used here).
+bool is_float_literal(const std::string& t) {
+  if (t.size() >= 2 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) return false;
+  const bool has_dot = t.find('.') != std::string::npos;
+  const bool has_exp = t.find('e') != std::string::npos || t.find('E') != std::string::npos;
+  const bool f_suffix = t.back() == 'f' || t.back() == 'F';
+  return has_dot || has_exp || f_suffix;
+}
+
+/// Blank comments and string/char literals (preserving newlines and column
+/// positions) and hand each comment's text to `on_comment(line, text)` where
+/// `line` is the line the comment ends on.
+template <typename CommentFn>
+std::string blank_noncode(const std::string& in, CommentFn on_comment) {
+  std::string out = in;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const auto blank_at = [&](std::size_t pos) {
+    if (out[pos] != '\n') out[pos] = ' ';
+  };
+  while (i < in.size()) {
+    const char c = in[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < in.size() && in[i] != '\n') {
+        blank_at(i);
+        ++i;
+      }
+      on_comment(line, in.substr(start, i - start));
+    } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+      const std::size_t start = i;
+      blank_at(i);
+      blank_at(i + 1);
+      i += 2;
+      while (i + 1 < in.size() && !(in[i] == '*' && in[i + 1] == '/')) {
+        if (in[i] == '\n') ++line;
+        blank_at(i);
+        ++i;
+      }
+      if (i + 1 < in.size()) {
+        blank_at(i);
+        blank_at(i + 1);
+        i += 2;
+      } else {
+        i = in.size();
+      }
+      on_comment(line, in.substr(start, i - start));
+    } else if (c == 'R' && i + 1 < in.size() && in[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < in.size() && in[j] != '(') delim += in[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t close = in.find(closer, j);
+      const std::size_t stop = close == std::string::npos ? in.size() : close + closer.size();
+      for (; i < stop; ++i) {
+        if (in[i] == '\n') ++line;
+        blank_at(i);
+      }
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      blank_at(i);
+      ++i;
+      while (i < in.size() && in[i] != quote) {
+        if (in[i] == '\\' && i + 1 < in.size()) {
+          blank_at(i);
+          ++i;
+        }
+        if (in[i] == '\n') ++line;  // unterminated literal; keep line counts sane
+        blank_at(i);
+        ++i;
+      }
+      if (i < in.size()) {
+        blank_at(i);
+        ++i;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (is_ident_start(c)) {
+      Token t;
+      t.begin = i;
+      t.line = line;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      t.end = i;
+      t.text = code.substr(t.begin, t.end - t.begin);
+      tokens.push_back(std::move(t));
+    } else if (is_digit(c) || (c == '.' && i + 1 < code.size() && is_digit(code[i + 1]))) {
+      Token t;
+      t.begin = i;
+      t.line = line;
+      t.is_number = true;
+      // Consume the numeric literal: digits, '.', exponents with signs,
+      // digit separators, and suffixes.
+      while (i < code.size()) {
+        const char d = code[i];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > t.begin &&
+                   (code[i - 1] == 'e' || code[i - 1] == 'E' || code[i - 1] == 'p' ||
+                    code[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      t.end = i;
+      t.text = code.substr(t.begin, t.end - t.begin);
+      tokens.push_back(std::move(t));
+    } else {
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::size_t skip_space(const std::string& code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])))
+    ++i;
+  return i;
+}
+
+/// From an opening bracket at `open` ('(' / '{' / '<'), return the offset of
+/// the matching closer, or npos. For '<', parentheses inside template
+/// arguments are balanced too.
+std::size_t match_bracket(const std::string& code, std::size_t open) {
+  const char oc = code[open];
+  const char cc = oc == '(' ? ')' : oc == '{' ? '}' : '>';
+  int depth = 0;
+  int paren_depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    const char c = code[i];
+    if (oc == '<') {
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (paren_depth > 0) continue;
+    }
+    if (c == oc) ++depth;
+    else if (c == cc && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  const auto it = std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> compute_line_starts(const std::string& code) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+/// Parse `psched-lint:` directives out of one comment's text. Returns the
+/// suppression keys granted; malformed directives are reported via `errors`.
+std::set<std::string> parse_directives(const std::string& comment, std::size_t line,
+                                       const std::string& file,
+                                       std::vector<Finding>& errors) {
+  std::set<std::string> keys;
+  std::size_t pos = 0;
+  static const std::string kMarker = "psched-lint:";
+  while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+    pos += kMarker.size();
+    std::size_t i = pos;
+    while (i < comment.size() && comment[i] == ' ') ++i;
+    std::size_t word_end = i;
+    while (word_end < comment.size() &&
+           (is_ident_char(comment[word_end]) || comment[word_end] == '-'))
+      ++word_end;
+    const std::string word = comment.substr(i, word_end - i);
+    const auto malformed = [&](const std::string& why) {
+      errors.push_back(Finding{file, line, "SUPP",
+                               "malformed psched-lint directive (" + why +
+                                   "): every suppression needs a parenthesized "
+                                   "justification, e.g. `psched-lint: "
+                                   "order-insensitive(max is commutative)`"});
+    };
+    if (word == "order-insensitive") {
+      const std::size_t open = skip_space(comment, word_end);
+      const std::size_t close =
+          open < comment.size() && comment[open] == '('
+              ? comment.find(')', open)
+              : std::string::npos;
+      if (close == std::string::npos || close - open <= 1) {
+        malformed("order-insensitive without a justification");
+      } else {
+        keys.insert("order-insensitive");
+      }
+    } else if (word == "allow") {
+      const std::size_t open = skip_space(comment, word_end);
+      const std::size_t close =
+          open < comment.size() && comment[open] == '('
+              ? comment.find(')', open)
+              : std::string::npos;
+      if (close == std::string::npos) {
+        malformed("allow without (rule, justification)");
+      } else {
+        const std::string args = comment.substr(open + 1, close - open - 1);
+        const std::size_t comma = args.find(',');
+        const std::string rule = args.substr(0, comma == std::string::npos ? args.size() : comma);
+        const std::string trimmed_rule = rule.substr(rule.find_first_not_of(' '));
+        const bool known = trimmed_rule == "D1" || trimmed_rule == "D2" ||
+                           trimmed_rule == "D3" || trimmed_rule == "D4";
+        const bool justified =
+            comma != std::string::npos &&
+            args.find_first_not_of(" \t", comma + 1) != std::string::npos;
+        if (!known) {
+          malformed("unknown rule id '" + trimmed_rule + "'");
+        } else if (!justified) {
+          malformed("allow(" + trimmed_rule + ") without a justification");
+        } else {
+          keys.insert(trimmed_rule);
+        }
+      }
+    }
+    // Other words after "psched-lint:" are prose (docs talking about the
+    // linter), not directives. A typo'd directive therefore grants no
+    // suppression — fail-safe, since the underlying violation still fires.
+  }
+  return keys;
+}
+
+bool has_prefix(const std::string& path, const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
+    return path.rfind(p, 0) == 0;
+  });
+}
+
+bool suppressed(const SourceFile& file, std::size_t line, const std::string& key) {
+  for (const std::size_t l : {line, line > 0 ? line - 1 : 0}) {
+    const auto it = file.suppressions.find(l);
+    if (it != file.suppressions.end() && it->second.count(key) > 0) return true;
+  }
+  return false;
+}
+
+// --- D1: wall-clock and ambient entropy -----------------------------------
+
+void check_wall_clock(const SourceFile& file, const std::vector<Token>& tokens,
+                      const LintOptions& options, std::vector<Finding>& out) {
+  const bool clocks_allowed = options.clock_allowlist.count(file.path) > 0 ||
+                              has_prefix(file.path, options.clock_allowed_prefixes);
+  const auto flag = [&](const Token& t, const std::string& what) {
+    if (suppressed(file, t.line, "D1")) return;
+    out.push_back(Finding{file.path, t.line, "D1",
+                          what + " — simulated code must take time and entropy "
+                                "from the simulation clock / seeded util::Rng "
+                                "(see DESIGN.md §8)"});
+  };
+  for (const Token& t : tokens) {
+    if (t.is_number) continue;
+    const char next =
+        skip_space(file.code, t.end) < file.code.size()
+            ? file.code[skip_space(file.code, t.end)]
+            : '\0';
+    if (t.text == "system_clock" || t.text == "steady_clock" ||
+        t.text == "high_resolution_clock") {
+      if (!clocks_allowed) flag(t, "clock read (std::chrono::" + t.text + ")");
+    } else if (t.text == "gettimeofday" || t.text == "localtime" || t.text == "gmtime") {
+      if (!clocks_allowed) flag(t, "wall-clock call (" + t.text + ")");
+    } else if (t.text == "clock" && next == '(') {
+      if (!clocks_allowed) flag(t, "wall-clock call (clock())");
+    } else if (t.text == "time" && next == '(') {
+      // time(nullptr) / time(0) / time(NULL): the classic seed source.
+      const std::size_t open = skip_space(file.code, t.end);
+      const std::size_t arg = skip_space(file.code, open + 1);
+      if (file.code.compare(arg, 7, "nullptr") == 0 ||
+          file.code.compare(arg, 4, "NULL") == 0 ||
+          (arg < file.code.size() && file.code[arg] == '0')) {
+        if (!clocks_allowed) flag(t, "wall-clock call (time(...))");
+      }
+    } else if (t.text == "rand" && next == '(') {
+      flag(t, "unseeded global RNG (rand())");
+    } else if (t.text == "srand") {
+      flag(t, "global RNG seeding (srand)");
+    } else if (t.text == "random_device") {
+      flag(t, "ambient entropy (std::random_device)");
+    }
+  }
+}
+
+// --- D2: unordered-container traversal ------------------------------------
+
+/// Final identifier of an expression like `this->foo.bar_` / `x.y`; empty
+/// when the expression is not a plain member/identifier chain (calls,
+/// arithmetic, brackets all disqualify it).
+std::string chain_tail(const std::string& expr) {
+  std::string tail;
+  std::size_t i = 0;
+  const std::string trimmed = [&] {
+    const std::size_t b = expr.find_first_not_of(" \t\n");
+    const std::size_t e = expr.find_last_not_of(" \t\n");
+    return b == std::string::npos ? std::string() : expr.substr(b, e - b + 1);
+  }();
+  while (i < trimmed.size()) {
+    const char c = trimmed[i];
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < trimmed.size() && is_ident_char(trimmed[j])) ++j;
+      tail = trimmed.substr(i, j - i);
+      i = j;
+    } else if (c == '.' || c == ' ') {
+      ++i;
+    } else if (c == '-' && i + 1 < trimmed.size() && trimmed[i + 1] == '>') {
+      i += 2;
+    } else if (c == ':' && i + 1 < trimmed.size() && trimmed[i + 1] == ':') {
+      i += 2;
+    } else {
+      return {};  // call, subscript, cast, arithmetic... not a plain chain
+    }
+  }
+  return tail;
+}
+
+void check_unordered_iteration(const SourceFile& file, const std::vector<Token>& tokens,
+                               const std::set<std::string>& tu_names,
+                               const std::vector<std::size_t>& line_starts,
+                               std::vector<Finding>& out) {
+  const auto flag = [&](std::size_t line, const std::string& name, const std::string& how) {
+    if (suppressed(file, line, "order-insensitive") || suppressed(file, line, "D2")) return;
+    out.push_back(Finding{
+        file.path, line, "D2",
+        how + " of unordered container '" + name +
+            "' — iteration order is hash-state dependent; use an ordered "
+            "container or a sorted snapshot, or annotate the line with "
+            "`// psched-lint: order-insensitive(<justification>)`"});
+  };
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.is_number) continue;
+    if (tu_names.count(t.text) > 0) {
+      // `name.begin(` / `name.cbegin(`: iterator traversal or an unsorted
+      // snapshot (both order-dependent at the point of use).
+      std::size_t i = skip_space(file.code, t.end);
+      if (i < file.code.size() && file.code[i] == '.') {
+        i = skip_space(file.code, i + 1);
+        if (file.code.compare(i, 5, "begin") == 0 ||
+            file.code.compare(i, 6, "cbegin") == 0) {
+          flag(t.line, t.text, "iterator traversal (begin())");
+        }
+      }
+      continue;
+    }
+    if (t.text != "for") continue;
+    const std::size_t open = skip_space(file.code, t.end);
+    if (open >= file.code.size() || file.code[open] != '(') continue;
+    const std::size_t close = match_bracket(file.code, open);
+    if (close == std::string::npos) continue;
+    const std::string head = file.code.substr(open + 1, close - open - 1);
+    // Find the range-for ':' at top nesting level (skip '::').
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      const char c = head[i];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      else if (c == ':' && depth == 0) {
+        if ((i + 1 < head.size() && head[i + 1] == ':') || (i > 0 && head[i - 1] == ':')) {
+          ++i;
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    const std::string tail = chain_tail(head.substr(colon + 1));
+    if (!tail.empty() && tu_names.count(tail) > 0)
+      flag(line_of(line_starts, open), tail, "range-for");
+  }
+}
+
+// --- D3: mt19937 seeding ---------------------------------------------------
+
+void check_mt19937(const SourceFile& file, const std::vector<Token>& tokens,
+                   std::vector<Finding>& out) {
+  static const std::set<std::string> kTypeNoise = {
+      "std",      "static_cast", "uint32_t", "uint64_t", "size_t", "unsigned",
+      "int",      "long",        "const",    "auto",     "seed_seq"};
+  const auto flag = [&](std::size_t line, const std::string& why) {
+    if (suppressed(file, line, "D3")) return;
+    out.push_back(Finding{file.path, line, "D3",
+                          "std::mt19937 construction " + why +
+                              " — engines must be seeded from a named, "
+                              "config-threaded seed parameter so runs are "
+                              "reproducible (prefer util::Rng)"});
+  };
+  for (std::size_t k = 0; k < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.text != "mt19937" && t.text != "mt19937_64") continue;
+    // Optionally skip a declared variable name: `std::mt19937 rng(...)`.
+    std::size_t i = skip_space(file.code, t.end);
+    if (i < file.code.size() && is_ident_start(file.code[i])) {
+      while (i < file.code.size() && is_ident_char(file.code[i])) ++i;
+      i = skip_space(file.code, i);
+    }
+    if (i >= file.code.size()) continue;
+    const char c = file.code[i];
+    if (c == ';') {
+      flag(t.line, "is default-constructed (fixed implementation-defined seed)");
+      continue;
+    }
+    if (c != '(' && c != '{') continue;
+    const std::size_t close = match_bracket(file.code, i);
+    if (close == std::string::npos) continue;
+    const std::string args = file.code.substr(i + 1, close - i - 1);
+    if (args.find("random_device") != std::string::npos) {
+      flag(t.line, "is seeded from std::random_device (ambient entropy)");
+      continue;
+    }
+    const std::vector<Token> arg_tokens = tokenize(args);
+    const bool has_named_seed =
+        std::any_of(arg_tokens.begin(), arg_tokens.end(), [&](const Token& a) {
+          return !a.is_number && kTypeNoise.count(a.text) == 0;
+        });
+    if (arg_tokens.empty()) {
+      flag(t.line, "takes no seed argument");
+    } else if (!has_named_seed) {
+      flag(t.line, "is seeded with a literal, not a named seed parameter");
+    }
+  }
+}
+
+// --- D4: float equality ----------------------------------------------------
+
+void check_float_equality(const SourceFile& file, const std::vector<Token>& tokens,
+                          const std::vector<std::size_t>& line_starts,
+                          const LintOptions& options, std::vector<Finding>& out) {
+  if (has_prefix(file.path, options.float_eq_allowed_prefixes)) return;
+  const std::string& code = file.code;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const bool eq = code[i] == '=' && code[i + 1] == '=';
+    const bool ne = code[i] == '!' && code[i + 1] == '=';
+    if (!eq && !ne) continue;
+    if (i + 2 < code.size() && code[i + 2] == '=') continue;
+    if (eq && i > 0 &&
+        std::string("=!<>+-*/%&|^").find(code[i - 1]) != std::string::npos)
+      continue;
+    // Binary-search the token list for the operator's neighbors.
+    const Token* prev = nullptr;
+    const Token* next = nullptr;
+    for (const Token& t : tokens) {
+      if (t.end <= i) prev = &t;
+      if (t.begin >= i + 2) {
+        next = &t;
+        break;
+      }
+    }
+    const auto is_adjacent_float = [&](const Token* t, bool before) {
+      if (t == nullptr || !t->is_number || !is_float_literal(t->text)) return false;
+      // Only treat it as an operand if nothing but spaces/sign separates it
+      // from the operator.
+      const std::size_t lo = before ? t->end : i + 2;
+      const std::size_t hi = before ? i : t->begin;
+      for (std::size_t p = lo; p < hi; ++p) {
+        const char c = code[p];
+        if (!std::isspace(static_cast<unsigned char>(c)) && c != '-' && c != '+')
+          return false;
+      }
+      return true;
+    };
+    if (is_adjacent_float(prev, true) || is_adjacent_float(next, false)) {
+      const std::size_t line = line_of(line_starts, i);
+      if (suppressed(file, line, "D4")) continue;
+      out.push_back(Finding{
+          file.path, line, "D4",
+          std::string("floating-point ") + (eq ? "==" : "!=") +
+              " against a literal — exact FP equality is "
+              "representation-dependent; use util/float_cmp.hpp "
+              "(approx_eq / near_zero) or an integer representation"});
+      i += 1;
+    }
+  }
+}
+
+// --- declaration collection ------------------------------------------------
+
+void collect_unordered_declarations(SourceFile& file, const std::vector<Token>& tokens) {
+  for (const Token& t : tokens) {
+    if (t.text != "unordered_map" && t.text != "unordered_set" &&
+        t.text != "unordered_multimap" && t.text != "unordered_multiset")
+      continue;
+    std::size_t i = skip_space(file.code, t.end);
+    if (i >= file.code.size() || file.code[i] != '<') continue;
+    const std::size_t close = match_bracket(file.code, i);
+    if (close == std::string::npos) continue;
+    std::size_t j = skip_space(file.code, close + 1);
+    while (j < file.code.size() && (file.code[j] == '&' || file.code[j] == '*'))
+      j = skip_space(file.code, j + 1);
+    if (j < file.code.size() && is_ident_start(file.code[j])) {
+      std::size_t k = j;
+      while (k < file.code.size() && is_ident_char(file.code[k])) ++k;
+      file.unordered_names.insert(file.code.substr(j, k - j));
+    }
+  }
+}
+
+void collect_includes(SourceFile& file, const std::string& raw) {
+  std::istringstream in(raw);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    const std::size_t inc = line.find("include", hash);
+    if (inc == std::string::npos) continue;
+    const std::size_t open = line.find('"', inc);
+    if (open == std::string::npos) continue;  // <system> includes: not project files
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    file.includes.push_back(line.substr(open + 1, close - open - 1));
+  }
+}
+
+}  // namespace
+
+SourceFile load_source_from_string(const std::string& contents, const std::string& rel_path) {
+  SourceFile file;
+  file.path = rel_path;
+  file.code = blank_noncode(contents, [&](std::size_t line, const std::string& text) {
+    if (text.find("psched-lint:") == std::string::npos) return;
+    const std::set<std::string> keys =
+        parse_directives(text, line, rel_path, file.annotation_errors);
+    if (!keys.empty()) {
+      file.suppressions[line].insert(keys.begin(), keys.end());
+      file.suppressions[line + 1].insert(keys.begin(), keys.end());
+    }
+  });
+  collect_includes(file, contents);
+  const std::vector<Token> tokens = tokenize(file.code);
+  collect_unordered_declarations(file, tokens);
+  return file;
+}
+
+SourceFile load_source(const std::filesystem::path& abs_path, const std::string& rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load_source_from_string(buf.str(), rel_path);
+}
+
+std::vector<Finding> lint_file(const SourceFile& file,
+                               const std::set<std::string>& tu_unordered_names,
+                               const LintOptions& options) {
+  std::vector<Finding> out = file.annotation_errors;
+  const std::vector<Token> tokens = tokenize(file.code);
+  const std::vector<std::size_t> line_starts = compute_line_starts(file.code);
+  check_wall_clock(file, tokens, options, out);
+  check_unordered_iteration(file, tokens, tu_unordered_names, line_starts, out);
+  check_mt19937(file, tokens, out);
+  check_float_equality(file, tokens, line_starts, options, out);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+namespace {
+
+bool has_source_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Resolve `include` (as written in the directive) against the project
+/// layout; returns the root-relative generic path or "" when not found.
+std::string resolve_include(const std::filesystem::path& root, const std::string& include,
+                            const std::string& includer_rel) {
+  namespace fs = std::filesystem;
+  const fs::path includer_dir = fs::path(includer_rel).parent_path();
+  for (const fs::path& candidate :
+       {fs::path("src") / include, fs::path(include), includer_dir / include,
+        fs::path("tools") / include, fs::path("bench") / include}) {
+    const fs::path normal = candidate.lexically_normal();
+    if (fs::exists(root / normal)) return normal.generic_string();
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Finding> lint_tree(const LintOptions& options,
+                               const std::vector<std::string>& subdirs,
+                               const std::vector<std::string>& exclude_prefixes) {
+  namespace fs = std::filesystem;
+  std::map<std::string, SourceFile> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = options.root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !has_source_extension(entry.path())) continue;
+      const std::string rel =
+          fs::path(entry.path()).lexically_relative(options.root).generic_string();
+      if (has_prefix(rel, exclude_prefixes)) continue;
+      files.emplace(rel, load_source(entry.path(), rel));
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const auto& [rel, file] : files) {
+    // The TU's unordered names: this file's plus everything reachable
+    // through its project includes (headers pull in their own includes).
+    std::set<std::string> tu_names = file.unordered_names;
+    std::vector<std::string> pending = {rel};
+    std::set<std::string> visited = {rel};
+    while (!pending.empty()) {
+      const std::string current = pending.back();
+      pending.pop_back();
+      const auto it = files.find(current);
+      if (it == files.end()) continue;
+      tu_names.insert(it->second.unordered_names.begin(),
+                      it->second.unordered_names.end());
+      for (const std::string& inc : it->second.includes) {
+        const std::string resolved = resolve_include(options.root, inc, current);
+        if (!resolved.empty() && visited.insert(resolved).second)
+          pending.push_back(resolved);
+      }
+    }
+    const std::vector<Finding> file_findings = lint_file(file, tu_names, options);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  return findings;
+}
+
+bool run_self_test(const std::filesystem::path& fixture_dir) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(fixture_dir)) {
+    std::cerr << "psched-lint self-test: fixture directory " << fixture_dir
+              << " does not exist\n";
+    return false;
+  }
+  LintOptions options;
+  options.root = fixture_dir;
+  // Fixtures are judged raw: no file-level allowlists apply inside the
+  // fixture tree (suppression annotations still do — that is one of the
+  // behaviors under test).
+  options.clock_allowlist.clear();
+  options.clock_allowed_prefixes.clear();
+  options.float_eq_allowed_prefixes.clear();
+
+  bool ok = true;
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(fixture_dir)) {
+    if (!entry.is_regular_file() || !has_source_extension(entry.path())) continue;
+    const std::string name = entry.path().filename().string();
+    const SourceFile file = load_source(entry.path(), name);
+    const std::vector<Finding> findings = lint_file(file, file.unordered_names, options);
+    ++checked;
+    if (name.rfind("ok_", 0) == 0) {
+      if (!findings.empty()) {
+        ok = false;
+        std::cerr << "psched-lint self-test: " << name
+                  << " must lint clean but produced:\n";
+        for (const Finding& f : findings)
+          std::cerr << "  " << f.file << ":" << f.line << ": [" << f.rule << "] "
+                    << f.message << "\n";
+      }
+      continue;
+    }
+    // d<K>_*.cpp (and supp_*.cpp for the SUPP diagnostic) must trip their rule.
+    std::string expected;
+    if (name.rfind("supp_", 0) == 0) {
+      expected = "SUPP";
+    } else if (name.size() > 2 && name[0] == 'd' && is_digit(name[1]) && name[2] == '_') {
+      expected = std::string("D") + name[1];
+    } else {
+      ok = false;
+      std::cerr << "psched-lint self-test: unrecognized fixture name " << name
+                << " (expected d<K>_*, supp_*, or ok_*)\n";
+      continue;
+    }
+    const bool hit = std::any_of(findings.begin(), findings.end(),
+                                 [&](const Finding& f) { return f.rule == expected; });
+    if (!hit) {
+      ok = false;
+      std::cerr << "psched-lint self-test: " << name << " must trip rule " << expected
+                << " but did not (findings: " << findings.size() << ")\n";
+    }
+  }
+  if (checked == 0) {
+    std::cerr << "psched-lint self-test: no fixtures found in " << fixture_dir << "\n";
+    return false;
+  }
+  if (ok)
+    std::cout << "psched-lint self-test: OK (" << checked << " fixtures)\n";
+  return ok;
+}
+
+}  // namespace psched::lint

@@ -1,0 +1,116 @@
+#pragma once
+// psched-lint: the project's determinism-hazard static analyzer.
+//
+// A portfolio selector is only trustworthy if repeated runs of the same
+// scenario are bit-identical (DESIGN.md §8). The runtime determinism matrix
+// tests that property after the fact; this linter rejects the known hazard
+// patterns at the source level, before they can become flaky experiments.
+//
+// Rule catalog (IDs appear in reports and in suppression annotations):
+//   D1  wall-clock / ambient entropy reads (std::chrono::*_clock::now,
+//       time(nullptr), rand(), srand, std::random_device, gettimeofday,
+//       localtime, clock()) outside the explicit allowlist — the selector's
+//       Delta-budget timing (src/core/selector.cpp), the fuzz harness's
+//       wall-time cap (src/validate/fuzz.cpp), and bench/ timing harnesses.
+//   D2  range-for or .begin() traversal of a std::unordered_map /
+//       std::unordered_set — iteration order is hash-state dependent, so any
+//       policy, metric, or engine decision fed from it is nondeterministic.
+//       Convert to an ordered container or a sorted snapshot, or annotate
+//       the line `// psched-lint: order-insensitive(<why order cannot leak>)`.
+//   D3  std::mt19937 / std::mt19937_64 constructions that do not take a
+//       named seed parameter (default-constructed, literal-seeded, or seeded
+//       from std::random_device). Seeds must be threaded through configs so
+//       a run is reproducible from its reported seed.
+//   D4  float/double equality (==, !=) against a floating-point literal
+//       outside src/util/ — use the util/float_cmp.hpp tolerance helpers.
+//
+// The analysis is token-level with a small amount of structure ("AST-lite"):
+// comments and string literals are blanked before matching, unordered
+// container names are collected per translation unit by resolving project
+// #include directives, and suppressions are honored from comments on the
+// flagged line or the line directly above it:
+//
+//   // psched-lint: order-insensitive(max over values is commutative)
+//   // psched-lint: allow(D1, this file measures real wall time)
+//
+// A justification inside the parentheses is mandatory; a bare suppression is
+// itself reported (rule SUPP).
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace psched::lint {
+
+/// One reported finding.
+struct Finding {
+  std::string file;     ///< path relative to the scan root
+  std::size_t line = 0; ///< 1-based
+  std::string rule;     ///< "D1".."D4" or "SUPP"
+  std::string message;
+};
+
+struct LintOptions {
+  /// Scan root; findings are reported relative to it and the D1/D4
+  /// allowlists match against root-relative paths.
+  std::filesystem::path root;
+  /// Root-relative files allowed to read monotonic/wall clocks (D1).
+  std::set<std::string> clock_allowlist = {
+      "src/core/selector.cpp",   // Delta-budget wall-clock charging
+      "src/validate/fuzz.cpp",   // fuzz smoke wall-time cap
+  };
+  /// Root-relative directory prefixes allowed to read clocks (D1): bench
+  /// harnesses measure real wall time by design.
+  std::vector<std::string> clock_allowed_prefixes = {"bench/"};
+  /// Root-relative directory prefixes where float equality is allowed (D4):
+  /// the tolerance helpers themselves live here.
+  std::vector<std::string> float_eq_allowed_prefixes = {"src/util/"};
+};
+
+/// A source file loaded and pre-processed for scanning.
+struct SourceFile {
+  std::string path;          ///< root-relative, '/'-separated
+  std::string code;          ///< comments and string/char literals blanked
+  /// line (1-based) -> suppression keys active there ("order-insensitive",
+  /// "D1".."D4"). A suppression on line N covers lines N and N+1.
+  std::map<std::size_t, std::set<std::string>> suppressions;
+  std::vector<Finding> annotation_errors;  ///< malformed suppressions (SUPP)
+  /// Project-relative #include targets, as written (e.g. "util/rng.hpp").
+  std::vector<std::string> includes;
+  /// Names declared in THIS file with an unordered container type.
+  std::set<std::string> unordered_names;
+};
+
+/// Load and pre-process one file (blank comments/strings, parse suppression
+/// annotations, record includes and unordered-container declarations).
+/// `rel_path` is the root-relative path used in findings.
+[[nodiscard]] SourceFile load_source(const std::filesystem::path& abs_path,
+                                     const std::string& rel_path);
+
+/// Pre-processing on an in-memory buffer (tests and fixtures).
+[[nodiscard]] SourceFile load_source_from_string(const std::string& contents,
+                                                 const std::string& rel_path);
+
+/// Run every rule over `file`. `tu_unordered_names` is the union of the
+/// unordered container names visible in the translation unit (the file's own
+/// plus everything reachable through its project includes).
+[[nodiscard]] std::vector<Finding> lint_file(const SourceFile& file,
+                                             const std::set<std::string>& tu_unordered_names,
+                                             const LintOptions& options);
+
+/// Scan a whole tree: collect files under root/<subdir> for each subdir,
+/// resolve per-TU unordered-name tables across includes, and lint each file.
+/// Paths under `exclude_prefixes` (root-relative) are skipped.
+[[nodiscard]] std::vector<Finding> lint_tree(const LintOptions& options,
+                                             const std::vector<std::string>& subdirs,
+                                             const std::vector<std::string>& exclude_prefixes);
+
+/// Fixture self-test: every fixture named d<K>_*.cpp must produce at least
+/// one rule-D<K> finding, every fixture named ok_*.cpp must produce none.
+/// Returns true when all expectations hold; diagnostics go to stderr.
+[[nodiscard]] bool run_self_test(const std::filesystem::path& fixture_dir);
+
+}  // namespace psched::lint
