@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
 namespace psched::bench {
 
 BenchEnv parse_env(int argc, const char* const* argv) {
@@ -14,6 +17,7 @@ BenchEnv parse_env(int argc, const char* const* argv) {
   }
   env.seed = static_cast<std::uint64_t>(args.get_int("seed", static_cast<std::int64_t>(env.seed)));
   env.csv_path = args.get("csv", "");
+  env.report_path = args.get("report", "");
   env.threads = static_cast<std::size_t>(args.get_int("threads", 0));
   return env;
 }
@@ -110,6 +114,40 @@ std::vector<engine::ScenarioResult> figure4_style(const BenchEnv& env,
   return portfolio_results;
 }
 
+std::string bench_report_json(const util::Table& table, const std::string& title) {
+  std::string out = "{\"schema\":\"psched-bench-report/v1\",\"title\":\"";
+  out += obs::json_escape(title);
+  out += "\",\"headers\":[";
+  const std::vector<std::string>& headers = table.headers();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += obs::json_escape(headers[i]);
+    out += '"';
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    if (r != 0) out += ',';
+    out += '[';
+    const std::vector<util::Cell>& cells = table.row(r);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out += ',';
+      // Numeric cells render as JSON numbers (Cell::str() already formats
+      // int64/fixed-precision doubles in JSON-compatible syntax).
+      if (cells[c].numeric()) {
+        out += cells[c].str();
+      } else {
+        out += '"';
+        out += obs::json_escape(cells[c].str());
+        out += '"';
+      }
+    }
+    out += ']';
+  }
+  out += "]}\n";
+  return out;
+}
+
 void emit(const BenchEnv& env, const util::Table& table, const std::string& title) {
   std::fputs(table.render(title).c_str(), stdout);
   std::fputc('\n', stdout);
@@ -118,6 +156,13 @@ void emit(const BenchEnv& env, const util::Table& table, const std::string& titl
       std::printf("[csv] wrote %s\n", env.csv_path.c_str());
     } else {
       std::fprintf(stderr, "[csv] FAILED to write %s\n", env.csv_path.c_str());
+    }
+  }
+  if (!env.report_path.empty()) {
+    if (obs::write_text_file(env.report_path, bench_report_json(table, title))) {
+      std::printf("[report] wrote %s\n", env.report_path.c_str());
+    } else {
+      std::fprintf(stderr, "[report] FAILED to write %s\n", env.report_path.c_str());
     }
   }
 }

@@ -9,6 +9,9 @@
 //   --seed S    trace-generation seed (default 20130717)
 //   --csv PATH  mirror the main table to a CSV file
 //   --threads N worker threads for scenario sweeps (default: hardware)
+//   --report PATH  mirror the main table to a machine-readable
+//               "psched-bench-report/v1" JSON file (the feed for the
+//               BENCH_*.json trajectory; see DESIGN.md §9)
 
 #include <functional>
 #include <string>
@@ -27,6 +30,7 @@ struct BenchEnv {
   double weeks = 2.0;
   std::uint64_t seed = 20130717;  // SC'13 vintage
   std::string csv_path;
+  std::string report_path;  ///< --report: bench-report JSON (empty = off)
   std::size_t threads = 0;
 
   [[nodiscard]] double days() const noexcept { return weeks * 7.0; }
@@ -76,8 +80,16 @@ std::vector<engine::ScenarioResult> figure4_style(const BenchEnv& env,
                                                   engine::PredictorKind predictor,
                                                   const std::string& title);
 
-/// Emit the table to stdout (with title) and, if env.csv_path is set, to CSV.
+/// Emit the table to stdout (with title) and, if env.csv_path is set, to
+/// CSV; if env.report_path is set, also as "psched-bench-report/v1" JSON
+/// (numeric cells as JSON numbers, text as strings). A bench that emits
+/// several tables overwrites the report with the latest one — point
+/// --report at one file per table of interest.
 void emit(const BenchEnv& env, const util::Table& table, const std::string& title);
+
+/// Serialize one table as the "psched-bench-report/v1" document.
+[[nodiscard]] std::string bench_report_json(const util::Table& table,
+                                            const std::string& title);
 
 /// Print the standard bench banner (scale, seed, configuration).
 void banner(const std::string& name, const BenchEnv& env);

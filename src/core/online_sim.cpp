@@ -195,10 +195,21 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
     now = next;
   }
 
-  // Release everything still leased.
+  // Release everything still leased. A VM that is still booting and was
+  // never used settles at the engine's release instant: the outer loop can
+  // only release it at the first scheduling tick at or after boot
+  // completion, so the charge runs through `available_at` rounded up to the
+  // tick grid — not bare `available_at`, which under-bills whenever the
+  // boot delay is not a multiple of the schedule period. (On the
+  // differential oracle's ground rules the two coincide; see DESIGN.md §7.)
   for (const InnerVm& vm : vms) {
-    out.rv_charged_seconds += charge_seconds(vm, std::max(vm.available_at, now), t0,
-                                             config_.cost_model, profile.billing_quantum);
+    SimTime release = std::max(vm.available_at, now);
+    if (!vm.busy && vm.available_at > now) {
+      release = std::ceil(vm.available_at / config_.schedule_period) *
+                config_.schedule_period;
+    }
+    out.rv_charged_seconds += charge_seconds(vm, release, t0, config_.cost_model,
+                                             profile.billing_quantum);
   }
 
   out.avg_bounded_slowdown = finished ? bsd_sum / static_cast<double>(finished) : 1.0;

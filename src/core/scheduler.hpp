@@ -28,6 +28,11 @@ class Scheduler {
       const cloud::CloudProfile& profile) = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attach an observability recorder (borrowed; null = unobserved). The
+  /// base implementation ignores it; the portfolio scheduler forwards it to
+  /// its selector for round telemetry and candidate trace spans.
+  virtual void set_recorder(obs::Recorder* /*recorder*/) {}
 };
 
 /// Applies one fixed policy forever.
@@ -93,6 +98,10 @@ class PortfolioScheduler final : public Scheduler {
     return selector_;
   }
   [[nodiscard]] const policy::Portfolio& portfolio() const noexcept { return portfolio_; }
+
+  void set_recorder(obs::Recorder* recorder) override {
+    selector_.set_recorder(recorder);
+  }
 
  private:
   const policy::Portfolio& portfolio_;

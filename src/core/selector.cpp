@@ -11,6 +11,15 @@
 
 namespace psched::core {
 
+namespace {
+
+/// Trace-args payload for one candidate simulation.
+std::string candidate_args(std::size_t index) {
+  return "{\"policy\":" + std::to_string(index) + '}';
+}
+
+}  // namespace
+
 TimeConstrainedSelector::TimeConstrainedSelector(const policy::Portfolio& portfolio,
                                                  OnlineSimulator simulator,
                                                  SelectorConfig config,
@@ -51,11 +60,21 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
                                              std::span<const policy::QueuedJob> queue,
                                              const cloud::CloudProfile& profile,
                                              std::vector<PolicyScore>& scores) const {
+  // Candidate trace spans use the recorder's clock (obs.cpp), independent of
+  // the budget clock below, so tracing can never perturb budget accounting.
+  const bool tracing = recorder_ != nullptr && recorder_->tracing_on();
+  if (tracing)
+    recorder_->append_event(obs::TraceEvent{"selector.candidate", 'B',
+                                            recorder_->now_us(), 0,
+                                            candidate_args(index)});
   if (config_.budget_mode == BudgetMode::kFixedCount) {
     // Deterministic accounting: one unit per candidate, no clock read.
     const SimOutcome outcome =
         simulator_.simulate(queue, profile, portfolio_.policies()[index]);
     scores.push_back(PolicyScore{index, outcome.utility, 1.0});
+    if (tracing)
+      recorder_->append_event(
+          obs::TraceEvent{"selector.candidate", 'E', recorder_->now_us(), 0, {}});
     return 1.0;
   }
   const auto start = std::chrono::steady_clock::now();
@@ -67,6 +86,9 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
   double cost = config_.synthetic_overhead_ms;
   if (config_.use_measured_cost) cost += measured_ms;
   scores.push_back(PolicyScore{index, outcome.utility, cost});
+  if (tracing)
+    recorder_->append_event(
+        obs::TraceEvent{"selector.candidate", 'E', recorder_->now_us(), 0, {}});
   return cost;
 }
 
@@ -81,16 +103,39 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
   if (wave.size() == 1) return simulate_one(wave.front(), queue, profile, scores);
 
   PSCHED_ASSERT(pool_ != nullptr);
+  // Wave candidate tracing writes into per-slot buffers (lane 1 + slot),
+  // merged in slot order after the batch barrier: workers never touch the
+  // shared sink directly, so the trace stream is deterministic for a fixed
+  // eval_threads even though workers finish in any order.
+  const bool tracing = recorder_ != nullptr && recorder_->tracing_on();
+  std::vector<std::vector<obs::TraceEvent>> slot_events(tracing ? wave.size() : 0);
+  const auto trace_slot = [&](std::size_t k, std::int64_t b_us, std::int64_t e_us) {
+    slot_events[k].push_back(obs::TraceEvent{"selector.candidate", 'B', b_us,
+                                             static_cast<std::uint32_t>(1 + k),
+                                             candidate_args(wave[k])});
+    slot_events[k].push_back(obs::TraceEvent{
+        "selector.candidate", 'E', e_us, static_cast<std::uint32_t>(1 + k), {}});
+  };
+  const auto merge_slots = [&] {
+    if (!tracing) return;
+    for (std::vector<obs::TraceEvent>& buffer : slot_events)
+      recorder_->merge_events(std::move(buffer));
+  };
+
   if (config_.budget_mode == BudgetMode::kFixedCount) {
     // Deterministic accounting: workers fill disjoint outcome slots without
-    // touching a clock; each candidate charges one unit, so a wave costs
-    // its size and the budget drains exactly as in the sequential run —
+    // touching a budget clock; each candidate charges one unit, so a wave
+    // costs its size and the budget drains exactly as in the sequential run —
     // that (plus the quota-capped wave fill in select()) is what makes the
-    // candidate set identical across eval_threads widths.
+    // candidate set identical across eval_threads widths. (Trace timestamps
+    // come from the recorder's own clock and feed reporting only.)
     std::vector<SimOutcome> outcomes(wave.size());
     pool_->run_batch(wave.size(), [&](std::size_t k) {
+      const std::int64_t b_us = tracing ? recorder_->now_us() : 0;
       outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+      if (tracing) trace_slot(k, b_us, recorder_->now_us());
     });
+    merge_slots();
     for (std::size_t k = 0; k < wave.size(); ++k)
       scores.push_back(PolicyScore{wave[k], outcomes[k].utility, 1.0});
     return static_cast<double>(wave.size());
@@ -98,11 +143,14 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
   std::vector<SimOutcome> outcomes(wave.size());
   std::vector<double> measured_ms(wave.size());
   pool_->run_batch(wave.size(), [&](std::size_t k) {
+    const std::int64_t b_us = tracing ? recorder_->now_us() : 0;
     const auto start = std::chrono::steady_clock::now();
     outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     measured_ms[k] = std::chrono::duration<double, std::milli>(elapsed).count();
+    if (tracing) trace_slot(k, b_us, recorder_->now_us());
   });
+  merge_slots();
 
   // Scores append in wave (= submission) order, so the ranking input is
   // independent of which worker finished first. The wave's budget charge is
@@ -124,6 +172,9 @@ SelectionResult TimeConstrainedSelector::select(
     std::size_t preferred_index, std::span<const std::size_t> hints) {
   PSCHED_ASSERT_MSG(!queue.empty(), "selection on an empty queue is undefined");
 
+  const obs::Recorder::Scope round_scope(recorder_, "selector.round", 0);
+  const bool obs_on = recorder_ != nullptr && recorder_->counters_on();
+
   // Reflection hints: pull the suggested policies out of whichever set they
   // sit in and queue them at the head of Smart (first hint simulated first).
   for (std::size_t h = hints.size(); h-- > 0;) {
@@ -137,6 +188,15 @@ SelectionResult TimeConstrainedSelector::select(
     };
     if (drop(smart_) || drop(stale_) || drop(poor_)) smart_.push_front(hint);
   }
+
+  // Entry snapshot for the round record (after hint promotion, so the sizes
+  // describe the sets Algorithm 1 actually drains). Taken only when
+  // observed: the unobserved path must not copy the Smart set.
+  const std::size_t smart_in = smart_.size();
+  const std::size_t stale_in = stale_.size();
+  const std::size_t poor_in = poor_.size();
+  std::vector<std::size_t> smart_before;
+  if (obs_on) smart_before.assign(smart_.begin(), smart_.end());
 
   const bool fixed = config_.budget_mode == BudgetMode::kFixedCount;
   const bool bounded =
@@ -260,6 +320,42 @@ SelectionResult TimeConstrainedSelector::select(
   result.best_utility = scores.front().utility;
   result.total_cost_ms = charged_ms;
   result.scores = std::move(scores);
+
+  if (obs_on) {
+    obs::SelectionRoundRecord record;
+    record.sim_now = profile.now;
+    record.simulated = result.scores.size();
+    record.budget_delta = bounded ? delta : 0.0;
+    record.budget_charged = charged_ms;
+    record.smart_in = smart_in;
+    record.stale_in = stale_in;
+    record.poor_in = poor_in;
+    record.smart_out = smart_.size();
+    record.stale_out = stale_.size();
+    record.poor_out = poor_.size();
+    for (const std::size_t index : smart_) {
+      if (std::find(smart_before.begin(), smart_before.end(), index) ==
+          smart_before.end())
+        ++record.smart_churn;
+    }
+    record.chosen = result.best_index;
+    record.chosen_utility = result.best_utility;
+    record.tie_set = tied;
+    if (tied <= 1) {
+      record.tie_path = "unique";
+    } else {
+      switch (config_.tie_break) {
+        case TieBreak::kRandom: record.tie_path = "random"; break;
+        case TieBreak::kSticky: record.tie_path = "sticky"; break;
+        case TieBreak::kFirstIndex: record.tie_path = "first-index"; break;
+      }
+    }
+    recorder_->record_round(record);
+    recorder_->counter_add("selector.rounds", 1.0);
+    recorder_->counter_add("selector.candidates",
+                           static_cast<double>(result.scores.size()));
+    recorder_->counter_add("selector.budget_charged", charged_ms);
+  }
   return result;
 }
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "core/online_sim.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -167,6 +168,13 @@ class TimeConstrainedSelector {
   /// hardware concurrency).
   [[nodiscard]] std::size_t wave_width() const noexcept { return wave_width_; }
 
+  /// Attach (or detach, with nullptr) an observability recorder (borrowed;
+  /// must outlive the selector or be detached first). Recording is strictly
+  /// passive: no RNG draw, wave composition, score order, or budget charge
+  /// depends on the recorder, so selection output is bit-identical with it
+  /// attached, detached, or at any ObsLevel.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+
  private:
   /// Simulate policy `index` and append its score to `scores`; returns the
   /// budget cost charged.
@@ -185,6 +193,7 @@ class TimeConstrainedSelector {
   const policy::Portfolio& portfolio_;
   OnlineSimulator simulator_;
   SelectorConfig config_;
+  obs::Recorder* recorder_ = nullptr;  ///< null = unobserved (default)
   // All sequencing state below is touched only by the coordinating thread
   // that called select(): wave workers receive disjoint score slots and
   // never see the RNG or the sets. PSCHED_CONFINED_TO documents (but cannot

@@ -20,13 +20,15 @@ EngineConfig with_fault_applied(EngineConfig config) {
 
 ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace& trace,
                                      core::Scheduler& scheduler,
-                                     predict::RuntimePredictor& predictor)
+                                     predict::RuntimePredictor& predictor,
+                                     obs::Recorder* recorder)
     : config_(with_fault_applied(std::move(config))),
       trace_(trace),
       scheduler_(scheduler),
       predictor_(predictor),
       provider_(config_.provider),
-      collector_(config_.slowdown_bound) {
+      collector_(config_.slowdown_bound),
+      recorder_(recorder != nullptr && recorder->counters_on() ? recorder : nullptr) {
   PSCHED_ASSERT(config_.schedule_period > 0.0);
   collector_.keep_records(config_.keep_job_records);
   if (config_.validation.check_invariants) {
@@ -35,6 +37,14 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
     checker_ = std::make_unique<validate::InvariantChecker>(config_.validation, intended);
     sim_.set_observer(checker_.get());
     provider_.set_observer(checker_.get());
+  }
+  if (recorder_ != nullptr) {
+    // The provider has one observer slot and the invariant checker may
+    // already hold it; the tracer chains in front and forwards every
+    // callback, so validation still sees the same transition stream.
+    provider_tracer_ = std::make_unique<obs::ProviderTracer>(recorder_, checker_.get());
+    provider_.set_observer(provider_tracer_.get());
+    scheduler_.set_recorder(recorder_);
   }
   std::unordered_map<JobId, const workload::Job*> by_id;
   by_id.reserve(trace_.size());
@@ -133,6 +143,7 @@ cloud::CloudProfile ClusterSimulation::make_profile() const {
 
 void ClusterSimulation::on_tick() {
   tick_armed_ = false;
+  const obs::Recorder::Scope tick_scope(recorder_, "engine.tick", 0);
   const SimTime now = sim_.now();
   detail::sim_context().set(now, "tick");
   const auto tick_index =
@@ -221,6 +232,8 @@ void ClusterSimulation::on_tick() {
     queue_.erase(wit);
     sim_.at(actual_finish, [this, id] { on_job_finish(id); });
   }
+  if (recorder_ != nullptr && !plan.empty())
+    recorder_->counter_add("engine.jobs_started", static_cast<double>(plan.size()));
   std::size_t head_unserved_procs = 0;  // first job left waiting, if any
   for (std::size_t i = 0; i < annotated.size(); ++i) {
     if (!served[i]) {
@@ -298,6 +311,7 @@ void ClusterSimulation::on_job_finish(JobId id) {
   collector_.record(record);
   if (checker_) checker_->on_job_finished(record, now);
 
+  if (recorder_ != nullptr) recorder_->counter_add("engine.jobs_finished", 1.0);
   predictor_.observe_completion(*running.job);
   running_.erase(it);
 
@@ -327,7 +341,10 @@ RunResult ClusterSimulation::run() {
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     sim_.at(trace_.jobs()[i].submit, [this] { on_arrival(); });
   }
-  sim_.run();
+  {
+    const obs::Recorder::Scope run_scope(recorder_, "engine.run", 0);
+    sim_.run();
+  }
   detail::sim_context().set(sim_.now(), "run-end");
 
   PSCHED_ASSERT_MSG(queue_.empty(), "simulation ended with waiting jobs");

@@ -26,6 +26,7 @@
 #include "cloud/provider.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/collector.hpp"
+#include "obs/provider_tracer.hpp"
 #include "predict/predictor.hpp"
 #include "sim/simulator.hpp"
 #include "validate/invariant_checker.hpp"
@@ -81,9 +82,15 @@ struct RunResult {
 
 class ClusterSimulation {
  public:
-  /// Borrows trace/scheduler/predictor; all must outlive run().
+  /// Borrows trace/scheduler/predictor; all must outlive run(). `recorder`
+  /// (optional, borrowed) observes the run: tick/run phase timers, provider
+  /// lease/release trace events (chained in front of the validation
+  /// checker's observer slot), and — forwarded to the scheduler — selection
+  /// round telemetry. Null or ObsLevel::kOff leaves every output
+  /// bit-identical to an unobserved run.
   ClusterSimulation(EngineConfig config, const workload::Trace& trace,
-                    core::Scheduler& scheduler, predict::RuntimePredictor& predictor);
+                    core::Scheduler& scheduler, predict::RuntimePredictor& predictor,
+                    obs::Recorder* recorder = nullptr);
 
   /// Execute the whole trace to completion and return the metrics.
   /// Single-shot: constructing a fresh ClusterSimulation per run keeps
@@ -115,6 +122,8 @@ class ClusterSimulation {
   cloud::CloudProvider provider_;
   metrics::MetricsCollector collector_;
   std::unique_ptr<validate::InvariantChecker> checker_;  // when check_invariants
+  obs::Recorder* recorder_;                              // null = unobserved
+  std::unique_ptr<obs::ProviderTracer> provider_tracer_;  // when recorder on
   policy::PolicyTriple context_policy_{};  // last policy published to SimContext
 
   std::vector<Waiting> queue_;                 // submit order

@@ -32,10 +32,11 @@ std::unique_ptr<predict::RuntimePredictor> make_predictor(PredictorKind kind) {
 }
 
 ScenarioResult run_single_policy(const EngineConfig& config, const workload::Trace& trace,
-                                 policy::PolicyTriple triple, PredictorKind predictor) {
+                                 policy::PolicyTriple triple, PredictorKind predictor,
+                                 obs::Recorder* recorder) {
   core::SinglePolicyScheduler scheduler(triple);
   const auto pred = make_predictor(predictor);
-  ClusterSimulation sim(config, trace, scheduler, *pred);
+  ClusterSimulation sim(config, trace, scheduler, *pred, recorder);
   ScenarioResult result;
   result.run = sim.run();
   return result;
@@ -44,10 +45,11 @@ ScenarioResult run_single_policy(const EngineConfig& config, const workload::Tra
 ScenarioResult run_portfolio(const EngineConfig& config, const workload::Trace& trace,
                              const policy::Portfolio& portfolio,
                              const core::PortfolioSchedulerConfig& pconfig,
-                             PredictorKind predictor, util::ThreadPool* eval_pool) {
+                             PredictorKind predictor, util::ThreadPool* eval_pool,
+                             obs::Recorder* recorder) {
   core::PortfolioScheduler scheduler(portfolio, pconfig, eval_pool);
   const auto pred = make_predictor(predictor);
-  ClusterSimulation sim(config, trace, scheduler, *pred);
+  ClusterSimulation sim(config, trace, scheduler, *pred, recorder);
   ScenarioResult result;
   result.run = sim.run();
   result.is_portfolio = true;
@@ -75,6 +77,46 @@ std::vector<ScenarioResult> run_parallel(
   util::ThreadPool pool(threads);
   pool.parallel_for(tasks.size(), [&](std::size_t i) { results[i] = tasks[i](pool); });
   return results;
+}
+
+obs::RunReportInputs report_inputs(const ScenarioResult& result,
+                                   const EngineConfig& config) {
+  obs::RunReportInputs inputs;
+  inputs.trace_name = result.run.trace_name;
+  inputs.scheduler_name = result.run.scheduler_name;
+  inputs.metrics = result.run.metrics;
+  inputs.utility = config.utility;
+  inputs.ticks = result.run.ticks;
+  inputs.events = result.run.events;
+  inputs.total_leases = result.run.total_leases;
+  inputs.invariant_checks = result.run.invariant_checks;
+  inputs.invariant_violations = result.run.invariant_violations.size();
+  if (result.is_portfolio) {
+    inputs.portfolio.present = true;
+    inputs.portfolio.invocations = result.portfolio.invocations;
+    inputs.portfolio.total_selection_cost_ms = result.portfolio.total_selection_cost_ms;
+    inputs.portfolio.mean_simulated_per_invocation =
+        result.portfolio.mean_simulated_per_invocation;
+    inputs.portfolio.chosen_counts = result.portfolio.chosen_counts;
+  }
+  return inputs;
+}
+
+bool write_observability_outputs(const ScenarioResult& result,
+                                 const EngineConfig& config,
+                                 const obs::Recorder* recorder,
+                                 const std::string& report_path,
+                                 const std::string& trace_path) {
+  bool ok = true;
+  if (!report_path.empty()) {
+    const std::string report =
+        obs::run_report_json(report_inputs(result, config), recorder);
+    ok = obs::write_text_file(report_path, report) && ok;
+  }
+  if (!trace_path.empty() && recorder != nullptr) {
+    ok = obs::write_text_file(trace_path, obs::chrome_trace_json(*recorder)) && ok;
+  }
+  return ok;
 }
 
 EngineConfig paper_engine_config() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/cluster_sim.hpp"
+#include "obs/report.hpp"
 #include "predict/suite.hpp"
 #include "predict/tsafrir.hpp"
 #include "util/thread_pool.hpp"
@@ -44,23 +45,44 @@ struct ScenarioResult {
   PortfolioStats portfolio;  ///< valid iff is_portfolio
 };
 
-/// Run one fixed constituent policy over a trace.
+/// Run one fixed constituent policy over a trace. `recorder` (optional,
+/// borrowed) observes the run; see ClusterSimulation.
 [[nodiscard]] ScenarioResult run_single_policy(const EngineConfig& config,
                                                const workload::Trace& trace,
                                                policy::PolicyTriple triple,
-                                               PredictorKind predictor);
+                                               PredictorKind predictor,
+                                               obs::Recorder* recorder = nullptr);
 
 /// Run the portfolio scheduler over a trace. `eval_pool` (optional,
 /// borrowed) hosts the selector's wave-parallel candidate evaluation when
 /// `pconfig.selector.eval_threads > 1`; pass the scenario sweep's own pool
 /// (see the pool-aware run_parallel overload) so outer and inner
 /// parallelism share one set of workers instead of oversubscribing.
+/// `recorder` (optional, borrowed) additionally captures per-round
+/// selection telemetry through the scheduler's selector.
 [[nodiscard]] ScenarioResult run_portfolio(const EngineConfig& config,
                                            const workload::Trace& trace,
                                            const policy::Portfolio& portfolio,
                                            const core::PortfolioSchedulerConfig& pconfig,
                                            PredictorKind predictor,
-                                           util::ThreadPool* eval_pool = nullptr);
+                                           util::ThreadPool* eval_pool = nullptr,
+                                           obs::Recorder* recorder = nullptr);
+
+/// Assemble obs::RunReportInputs from a finished scenario (the glue between
+/// engine results and the report writer in obs/report.hpp).
+[[nodiscard]] obs::RunReportInputs report_inputs(const ScenarioResult& result,
+                                                 const EngineConfig& config);
+
+/// Write the end-of-run artifacts a caller asked for: the
+/// "psched-run-report/v1" JSON to `report_path` and/or the Chrome trace to
+/// `trace_path` (empty path = skip). Returns false if any write failed.
+/// `recorder` may be null (the report then has empty obs sections; a trace
+/// request needs a recorder at ObsLevel::kTrace to contain events).
+bool write_observability_outputs(const ScenarioResult& result,
+                                 const EngineConfig& config,
+                                 const obs::Recorder* recorder,
+                                 const std::string& report_path,
+                                 const std::string& trace_path);
 
 /// Run `tasks` scenario thunks across a shared thread pool. Results keep
 /// task order. Each task owns its engine: engines are thread-compatible

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal JSON support for the observability layer: string escaping and
+// number formatting for the writers in obs/report.cpp, plus a small strict
+// recursive-descent parser used to validate emitted artifacts (run reports,
+// Chrome traces) in tests and in tools/psched_report_check. Deliberately
+// tiny: no external dependency, no streaming, documents only what the obs
+// schemas need.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace psched::obs {
+
+/// Escape `text` for inclusion inside a JSON string literal (no quotes
+/// added): ", \, control characters.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Format a double as a JSON number. JSON has no inf/nan; non-finite values
+/// serialize as `null` so emitted documents always parse.
+[[nodiscard]] std::string json_number(double value);
+
+/// Parsed JSON value (small DOM). Objects keep insertion order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] bool is(Type t) const noexcept { return type == t; }
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  std::string error;       ///< populated when !ok
+  std::size_t error_pos = 0;
+};
+
+/// Strict parse of a complete JSON document (trailing garbage is an error).
+[[nodiscard]] JsonParseResult json_parse(std::string_view text);
+
+}  // namespace psched::obs

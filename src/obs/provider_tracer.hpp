@@ -1,0 +1,82 @@
+#pragma once
+// ProviderObserver adapter that mirrors cloud fleet transitions into an
+// obs::Recorder — lease/boot/release become instant trace events on lane 0
+// plus counters — and then forwards every callback to an optional
+// downstream observer. The provider holds a single observer slot, and the
+// validation InvariantChecker already uses it; chaining keeps both the
+// checker and the tracer live in one run without widening the provider API.
+//
+// Header-only: all methods are small forwarders; the recorder does the
+// level gating, so an attached tracer with obs off costs one branch per
+// provider transition (same as the checker-only path today).
+
+#include "cloud/provider.hpp"
+#include "obs/obs.hpp"
+#include "util/types.hpp"
+
+namespace psched::obs {
+
+class ProviderTracer final : public cloud::ProviderObserver {
+ public:
+  /// Both pointers are borrowed. `downstream` (usually the run's
+  /// InvariantChecker) may be null; `recorder` may be null or disabled.
+  ProviderTracer(Recorder* recorder, cloud::ProviderObserver* downstream)
+      : recorder_(recorder), downstream_(downstream) {}
+
+  void on_lease(const cloud::VmInstance& vm, std::size_t leased_count,
+                SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.leases", 1.0);
+      recorder_->gauge_set("provider.leased_vms", static_cast<double>(leased_count));
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.lease", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_lease(vm, leased_count, now);
+  }
+
+  void on_finish_boot(const cloud::VmInstance& vm, SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.boots_completed", 1.0);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.boot_complete", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_finish_boot(vm, now);
+  }
+
+  void on_assign(const cloud::VmInstance& vm, JobId job, SimTime now) override {
+    if (recorder_ != nullptr) recorder_->counter_add("provider.assignments", 1.0);
+    if (downstream_ != nullptr) downstream_->on_assign(vm, job, now);
+  }
+
+  void on_unassign(const cloud::VmInstance& vm, SimTime now) override {
+    if (downstream_ != nullptr) downstream_->on_unassign(vm, now);
+  }
+
+  void on_release(const cloud::VmInstance& vm, double charged_hours_delta,
+                  SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.releases", 1.0);
+      recorder_->counter_add("provider.charged_hours", charged_hours_delta);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.release", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_release(vm, charged_hours_delta, now);
+  }
+
+ private:
+  /// Tiny args payload: {"vm": <id>, "sim_t": <seconds>}. Built by hand to
+  /// keep the tracer header-only and allocation-light.
+  [[nodiscard]] static std::string lease_args(VmId id, SimTime now) {
+    std::string args = "{\"vm\":";
+    args += std::to_string(id);
+    args += ",\"sim_t\":";
+    args += std::to_string(now);
+    args += '}';
+    return args;
+  }
+
+  Recorder* recorder_;
+  cloud::ProviderObserver* downstream_;
+};
+
+}  // namespace psched::obs

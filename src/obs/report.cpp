@@ -1,0 +1,390 @@
+#include "obs/report.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace psched::obs {
+
+namespace {
+
+constexpr const char* kRunReportSchema = "psched-run-report/v1";
+
+void append_kv(std::string& out, const char* key, const std::string& value_json,
+               bool& first) {
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += key;
+  out += "\":";
+  out += value_json;
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  out += json_escape(text);
+  out += '"';
+  return out;
+}
+
+std::string number_map_json(const std::map<std::string, double>& values) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values)
+    append_kv(out, name.c_str(), json_number(value), first);
+  out += '}';
+  return out;
+}
+
+std::string metrics_json(const metrics::RunMetrics& m,
+                         const metrics::UtilityParams& utility) {
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "jobs", json_number(static_cast<double>(m.jobs)), first);
+  append_kv(out, "avg_bounded_slowdown", json_number(m.avg_bounded_slowdown), first);
+  append_kv(out, "max_bounded_slowdown", json_number(m.max_bounded_slowdown), first);
+  append_kv(out, "avg_wait", json_number(m.avg_wait), first);
+  append_kv(out, "rj_proc_seconds", json_number(m.rj_proc_seconds), first);
+  append_kv(out, "rv_charged_seconds", json_number(m.rv_charged_seconds), first);
+  append_kv(out, "charged_hours", json_number(m.charged_hours()), first);
+  append_kv(out, "utilization", json_number(m.utilization()), first);
+  append_kv(out, "utility", json_number(m.utility(utility)), first);
+  append_kv(out, "makespan", json_number(m.makespan), first);
+  append_kv(out, "workflows", json_number(static_cast<double>(m.workflows)), first);
+  out += '}';
+  return out;
+}
+
+std::string portfolio_json(const ReportPortfolio& p) {
+  if (!p.present) return "null";
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "invocations", json_number(static_cast<double>(p.invocations)), first);
+  append_kv(out, "total_selection_cost_ms", json_number(p.total_selection_cost_ms), first);
+  append_kv(out, "mean_simulated_per_invocation",
+            json_number(p.mean_simulated_per_invocation), first);
+  std::string counts = "[";
+  for (std::size_t i = 0; i < p.chosen_counts.size(); ++i) {
+    if (i != 0) counts += ',';
+    counts += json_number(static_cast<double>(p.chosen_counts[i]));
+  }
+  counts += ']';
+  append_kv(out, "chosen_counts", counts, first);
+  out += '}';
+  return out;
+}
+
+/// Aggregate the per-round telemetry into a compact report section; the
+/// full round list stays in memory for tests, the report carries totals and
+/// means so long runs stay small.
+std::string selection_json(const Recorder* recorder) {
+  if (recorder == nullptr || recorder->rounds().empty()) return "null";
+  const auto& rounds = recorder->rounds();
+  double simulated = 0.0, charged = 0.0;
+  double smart = 0.0, stale = 0.0, poor = 0.0;
+  std::size_t churn = 0;
+  std::map<std::string, double> tie_paths;
+  for (const SelectionRoundRecord& r : rounds) {
+    simulated += static_cast<double>(r.simulated);
+    charged += r.budget_charged;
+    smart += static_cast<double>(r.smart_out);
+    stale += static_cast<double>(r.stale_out);
+    poor += static_cast<double>(r.poor_out);
+    churn += r.smart_churn;
+    tie_paths[r.tie_path] += 1.0;
+  }
+  const auto n = static_cast<double>(rounds.size());
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "rounds", json_number(n), first);
+  append_kv(out, "total_simulated", json_number(simulated), first);
+  append_kv(out, "total_budget_charged", json_number(charged), first);
+  append_kv(out, "mean_smart", json_number(smart / n), first);
+  append_kv(out, "mean_stale", json_number(stale / n), first);
+  append_kv(out, "mean_poor", json_number(poor / n), first);
+  append_kv(out, "total_smart_churn", json_number(static_cast<double>(churn)), first);
+  append_kv(out, "tie_paths", number_map_json(tie_paths), first);
+  out += '}';
+  return out;
+}
+
+std::string phases_json(const Recorder* recorder) {
+  if (recorder == nullptr) return "{}";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, stat] : recorder->phases()) {
+    std::string entry = "{\"calls\":";
+    entry += json_number(static_cast<double>(stat.calls));
+    entry += ",\"total_us\":";
+    entry += json_number(stat.total_us);
+    entry += '}';
+    append_kv(out, name.c_str(), entry, first);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string run_report_json(const RunReportInputs& inputs, const Recorder* recorder) {
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "schema", quoted(kRunReportSchema), first);
+  append_kv(out, "trace", quoted(inputs.trace_name), first);
+  append_kv(out, "scheduler", quoted(inputs.scheduler_name), first);
+  append_kv(out, "metrics", metrics_json(inputs.metrics, inputs.utility), first);
+
+  std::string engine = "{";
+  bool efirst = true;
+  append_kv(engine, "ticks", json_number(static_cast<double>(inputs.ticks)), efirst);
+  append_kv(engine, "events", json_number(static_cast<double>(inputs.events)), efirst);
+  append_kv(engine, "total_leases",
+            json_number(static_cast<double>(inputs.total_leases)), efirst);
+  append_kv(engine, "invariant_checks",
+            json_number(static_cast<double>(inputs.invariant_checks)), efirst);
+  append_kv(engine, "invariant_violations",
+            json_number(static_cast<double>(inputs.invariant_violations)), efirst);
+  engine += '}';
+  append_kv(out, "engine", engine, first);
+
+  append_kv(out, "portfolio", portfolio_json(inputs.portfolio), first);
+  append_kv(out, "selection", selection_json(recorder), first);
+  append_kv(out, "phases", phases_json(recorder), first);
+  append_kv(out, "counters",
+            number_map_json(recorder != nullptr ? recorder->counters()
+                                                : std::map<std::string, double>{}),
+            first);
+  append_kv(out, "gauges",
+            number_map_json(recorder != nullptr ? recorder->gauges()
+                                                : std::map<std::string, double>{}),
+            first);
+  append_kv(out, "obs_level",
+            quoted(to_string(recorder != nullptr ? recorder->level() : ObsLevel::kOff)),
+            first);
+  out += "}\n";
+  return out;
+}
+
+std::string chrome_trace_json(const Recorder& recorder) {
+  const std::vector<TraceEvent> events = recorder.events_snapshot();
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":";
+    out += quoted(e.name);
+    out += ",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    out += json_number(static_cast<double>(e.ts_us));
+    out += ",\"pid\":1,\"tid\":";
+    out += json_number(static_cast<double>(e.tid));
+    if (e.phase == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+    if (!e.args_json.empty()) {
+      out += ",\"args\":";
+      out += e.args_json;
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+namespace {
+
+ValidationResult fail(std::string detail) { return {false, std::move(detail)}; }
+
+const JsonValue* require(const JsonValue& object, const char* key,
+                         JsonValue::Type type, ValidationResult& status) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) {
+    status = fail(std::string("missing key \"") + key + '"');
+    return nullptr;
+  }
+  if (!member->is(type)) {
+    status = fail(std::string("key \"") + key + "\" has wrong JSON type");
+    return nullptr;
+  }
+  return member;
+}
+
+}  // namespace
+
+ValidationResult validate_run_report(std::string_view json) {
+  const JsonParseResult parsed = json_parse(json);
+  if (!parsed.ok)
+    return fail("report is not valid JSON: " + parsed.error + " at byte " +
+                std::to_string(parsed.error_pos));
+  const JsonValue& root = parsed.value;
+  if (!root.is(JsonValue::Type::kObject)) return fail("report root is not an object");
+
+  ValidationResult status;
+  const JsonValue* schema = require(root, "schema", JsonValue::Type::kString, status);
+  if (schema == nullptr) return status;
+  if (schema->string != kRunReportSchema)
+    return fail("unexpected schema tag \"" + schema->string + '"');
+
+  if (require(root, "trace", JsonValue::Type::kString, status) == nullptr) return status;
+  if (require(root, "scheduler", JsonValue::Type::kString, status) == nullptr)
+    return status;
+
+  const JsonValue* metrics = require(root, "metrics", JsonValue::Type::kObject, status);
+  if (metrics == nullptr) return status;
+  for (const char* key : {"jobs", "avg_bounded_slowdown", "rj_proc_seconds",
+                          "rv_charged_seconds", "charged_hours", "utilization",
+                          "utility", "makespan"}) {
+    const JsonValue* field = metrics->find(key);
+    if (field == nullptr) return fail(std::string("metrics missing \"") + key + '"');
+    if (!field->is(JsonValue::Type::kNumber) && !field->is(JsonValue::Type::kNull))
+      return fail(std::string("metrics.") + key + " is not a number");
+  }
+
+  const JsonValue* engine = require(root, "engine", JsonValue::Type::kObject, status);
+  if (engine == nullptr) return status;
+  for (const char* key : {"ticks", "events", "total_leases"}) {
+    const JsonValue* field = engine->find(key);
+    if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+      return fail(std::string("engine.") + key + " missing or not a number");
+  }
+
+  const JsonValue* portfolio = root.find("portfolio");
+  if (portfolio == nullptr) return fail("missing key \"portfolio\"");
+  if (!portfolio->is(JsonValue::Type::kNull) &&
+      !portfolio->is(JsonValue::Type::kObject))
+    return fail("portfolio is neither null nor an object");
+
+  const JsonValue* selection = root.find("selection");
+  if (selection == nullptr) return fail("missing key \"selection\"");
+  if (selection->is(JsonValue::Type::kObject)) {
+    for (const char* key : {"rounds", "total_simulated", "total_budget_charged"}) {
+      const JsonValue* field = selection->find(key);
+      if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+        return fail(std::string("selection.") + key + " missing or not a number");
+    }
+  } else if (!selection->is(JsonValue::Type::kNull)) {
+    return fail("selection is neither null nor an object");
+  }
+
+  if (require(root, "phases", JsonValue::Type::kObject, status) == nullptr)
+    return status;
+  const JsonValue* counters = require(root, "counters", JsonValue::Type::kObject, status);
+  if (counters == nullptr) return status;
+  for (const auto& [name, value] : counters->object)
+    if (!value.is(JsonValue::Type::kNumber))
+      return fail("counter \"" + name + "\" is not a number");
+
+  if (require(root, "obs_level", JsonValue::Type::kString, status) == nullptr)
+    return status;
+  return {};
+}
+
+ValidationResult validate_chrome_trace(std::string_view json) {
+  const JsonParseResult parsed = json_parse(json);
+  if (!parsed.ok)
+    return fail("trace is not valid JSON: " + parsed.error + " at byte " +
+                std::to_string(parsed.error_pos));
+  const JsonValue& root = parsed.value;
+  if (!root.is(JsonValue::Type::kObject)) return fail("trace root is not an object");
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is(JsonValue::Type::kArray))
+    return fail("traceEvents missing or not an array");
+
+  // Per-lane monotonicity + LIFO B/E matching. Lanes are (pid, tid) pairs.
+  std::map<std::pair<double, double>, double> last_ts;
+  std::map<std::pair<double, double>, std::vector<std::string>> open;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = " (event " + std::to_string(i) + ")";
+    if (!e.is(JsonValue::Type::kObject)) return fail("event is not an object" + at);
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (name == nullptr || !name->is(JsonValue::Type::kString))
+      return fail("event name missing or not a string" + at);
+    if (ph == nullptr || !ph->is(JsonValue::Type::kString) || ph->string.size() != 1)
+      return fail("event ph missing or malformed" + at);
+    if (ts == nullptr || !ts->is(JsonValue::Type::kNumber))
+      return fail("event ts missing or not a number" + at);
+    if (pid == nullptr || !pid->is(JsonValue::Type::kNumber) || tid == nullptr ||
+        !tid->is(JsonValue::Type::kNumber))
+      return fail("event pid/tid missing or not numbers" + at);
+
+    const char phase = ph->string[0];
+    if (phase != 'B' && phase != 'E' && phase != 'i')
+      return fail(std::string("unsupported phase '") + phase + '\'' + at);
+
+    const std::pair<double, double> lane{pid->number, tid->number};
+    const auto seen = last_ts.find(lane);
+    if (seen != last_ts.end() && ts->number < seen->second)
+      return fail("non-monotone ts on lane tid=" +
+                  std::to_string(static_cast<std::int64_t>(tid->number)) + at);
+    last_ts[lane] = ts->number;
+
+    if (phase == 'B') {
+      open[lane].push_back(name->string);
+    } else if (phase == 'E') {
+      auto& stack = open[lane];
+      if (stack.empty()) return fail("'E' without matching 'B'" + at);
+      if (stack.back() != name->string)
+        return fail("'E' name \"" + name->string + "\" does not match open 'B' \"" +
+                    stack.back() + '"' + at);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [lane, stack] : open)
+    if (!stack.empty())
+      return fail("unclosed 'B' \"" + stack.back() + "\" on lane tid=" +
+                  std::to_string(static_cast<std::int64_t>(lane.second)));
+  return {};
+}
+
+ValidationResult validate_bench_report(std::string_view json) {
+  const JsonParseResult parsed = json_parse(json);
+  if (!parsed.ok)
+    return fail("bench report is not valid JSON: " + parsed.error + " at byte " +
+                std::to_string(parsed.error_pos));
+  const JsonValue& root = parsed.value;
+  if (!root.is(JsonValue::Type::kObject))
+    return fail("bench report root is not an object");
+
+  ValidationResult status;
+  const JsonValue* schema = require(root, "schema", JsonValue::Type::kString, status);
+  if (schema == nullptr) return status;
+  if (schema->string != "psched-bench-report/v1")
+    return fail("unexpected schema tag \"" + schema->string + '"');
+  if (require(root, "title", JsonValue::Type::kString, status) == nullptr) return status;
+
+  const JsonValue* headers = require(root, "headers", JsonValue::Type::kArray, status);
+  if (headers == nullptr) return status;
+  for (const JsonValue& h : headers->array)
+    if (!h.is(JsonValue::Type::kString)) return fail("header is not a string");
+
+  const JsonValue* rows = require(root, "rows", JsonValue::Type::kArray, status);
+  if (rows == nullptr) return status;
+  for (std::size_t i = 0; i < rows->array.size(); ++i) {
+    const JsonValue& row = rows->array[i];
+    const std::string at = " (row " + std::to_string(i) + ")";
+    if (!row.is(JsonValue::Type::kArray)) return fail("row is not an array" + at);
+    if (row.array.size() != headers->array.size())
+      return fail("row width does not match header count" + at);
+    for (const JsonValue& cell : row.array)
+      if (!cell.is(JsonValue::Type::kNumber) && !cell.is(JsonValue::Type::kString))
+        return fail("cell is neither number nor string" + at);
+  }
+  return {};
+}
+
+bool write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace psched::obs

@@ -6,10 +6,16 @@
 
 namespace psched::predict {
 
-TsafrirPredictor::TsafrirPredictor(std::size_t k) : k_(k) { PSCHED_ASSERT(k >= 1); }
+TsafrirPredictor::TsafrirPredictor(std::size_t k, double default_estimate)
+    : k_(k), default_estimate_(default_estimate) {
+  PSCHED_ASSERT(k >= 1);
+  PSCHED_ASSERT(default_estimate > 0.0);
+}
 
 double TsafrirPredictor::predict(const workload::Job& job) const {
-  const double estimate = job.estimate > 0.0 ? job.estimate : job.runtime;
+  // Never job.runtime: the predictor must not see ground truth it is being
+  // scored against, even on the cold-start path.
+  const double estimate = job.estimate > 0.0 ? job.estimate : default_estimate_;
   const auto it = history_.find(job.user);
   if (it == history_.end() || it->second.size() < k_) {
     return std::max(1.0, estimate);
@@ -32,8 +38,8 @@ std::string TsafrirPredictor::name() const {
   return "tsafrir-knn(k=" + std::to_string(k_) + ")";
 }
 
-std::unique_ptr<RuntimePredictor> make_tsafrir(std::size_t k) {
-  return std::make_unique<TsafrirPredictor>(k);
+std::unique_ptr<RuntimePredictor> make_tsafrir(std::size_t k, double default_estimate) {
+  return std::make_unique<TsafrirPredictor>(k, default_estimate);
 }
 
 }  // namespace psched::predict

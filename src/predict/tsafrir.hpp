@@ -2,7 +2,11 @@
 // The Tsafrir-Etsion-Feitelson system-generated predictor (TPDS'07), as used
 // by the paper: predict a job's runtime as the average runtime of the same
 // user's k most recently *completed* jobs (k = 2, the authors' recommended
-// window). Until a user has k completions, fall back to the user estimate.
+// window). Until a user has k completions, fall back to the user estimate —
+// or, when the trace carries no estimate, to a configurable default. The
+// fallback must never be the job's actual runtime: that would quietly turn
+// the cold-start path into a perfect-information oracle and inflate the
+// predictor's measured accuracy on estimate-less traces.
 //
 // The prediction is additionally capped at the user estimate when one is
 // present — estimates are treated as kill limits, so a longer prediction is
@@ -19,7 +23,13 @@ namespace psched::predict {
 
 class TsafrirPredictor final : public RuntimePredictor {
  public:
-  explicit TsafrirPredictor(std::size_t k = 2);
+  /// Cold-start fallback when a job has neither history nor a user
+  /// estimate: one hour, a common trace-wide median scale. Deliberately
+  /// information-free.
+  static constexpr double kDefaultEstimate = 3600.0;
+
+  explicit TsafrirPredictor(std::size_t k = 2,
+                            double default_estimate = kDefaultEstimate);
 
   [[nodiscard]] double predict(const workload::Job& job) const override;
   void observe_completion(const workload::Job& job) override;
@@ -30,9 +40,11 @@ class TsafrirPredictor final : public RuntimePredictor {
 
  private:
   std::size_t k_;
+  double default_estimate_;
   std::unordered_map<UserId, std::deque<double>> history_;  // newest at back
 };
 
-[[nodiscard]] std::unique_ptr<RuntimePredictor> make_tsafrir(std::size_t k = 2);
+[[nodiscard]] std::unique_ptr<RuntimePredictor> make_tsafrir(
+    std::size_t k = 2, double default_estimate = TsafrirPredictor::kDefaultEstimate);
 
 }  // namespace psched::predict

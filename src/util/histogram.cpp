@@ -14,17 +14,26 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
 }
 
 void Histogram::add(double x) noexcept {
+  if (!std::isfinite(x)) {
+    // NaN has no bucket and +-inf would be UB in the double->size_t cast
+    // below; rejected samples are tracked but never binned or totalled.
+    ++rejected_;
+    return;
+  }
   ++total_;
   if (x < lo_) {
     ++underflow_;
     return;
   }
-  const auto bin = static_cast<std::size_t>((x - lo_) / width_);
-  if (bin >= counts_.size()) {
+  // Range-check in double space: a huge x (e.g. 1e300) overflows size_t, and
+  // casting such a value is undefined behavior before any index check could
+  // run.
+  const double pos = (x - lo_) / width_;
+  if (pos >= static_cast<double>(counts_.size())) {
     ++overflow_;
     return;
   }
-  ++counts_[bin];
+  ++counts_[static_cast<std::size_t>(pos)];
 }
 
 std::size_t Histogram::count(std::size_t bin) const {
@@ -40,17 +49,25 @@ double Histogram::bin_lo(std::size_t bin) const {
 std::string Histogram::ascii(std::size_t width) const {
   std::size_t peak = 1;
   for (std::size_t c : counts_) peak = std::max(peak, c);
+  peak = std::max({peak, underflow_, overflow_});
   std::string out;
+  const auto row = [&](const char* label, std::size_t count) {
+    out += label;
+    const auto bar = count * width / peak;
+    out.append(bar, '#');
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, " %zu\n", count);
+    out += suffix;
+  };
+  // Clipped mass renders as explicit rows (only when present) so a plot of
+  // a clipped distribution cannot pass for a complete one.
+  if (underflow_ > 0) row(" underflow | ", underflow_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     char label[64];
     std::snprintf(label, sizeof label, "%10.1f | ", bin_lo(i));
-    out += label;
-    const auto bar = counts_[i] * width / peak;
-    out.append(bar, '#');
-    char suffix[32];
-    std::snprintf(suffix, sizeof suffix, " %zu\n", counts_[i]);
-    out += suffix;
+    row(label, counts_[i]);
   }
+  if (overflow_ > 0) row("  overflow | ", overflow_);
   return out;
 }
 
@@ -59,8 +76,20 @@ TimeSeriesCounter::TimeSeriesCounter(double bucket_seconds) : bucket_(bucket_sec
 }
 
 void TimeSeriesCounter::add(double t) noexcept {
+  if (!std::isfinite(t)) {
+    ++rejected_;
+    return;
+  }
   if (t < 0.0) t = 0.0;
-  const auto bucket = static_cast<std::size_t>(t / bucket_);
+  // Cap the growable bucket range before the double->size_t cast: an
+  // un-capped t (1e300, +inf) would be UB in the cast and then resize() to
+  // an astronomical index.
+  const double pos = t / bucket_;
+  if (pos >= static_cast<double>(kMaxBuckets)) {
+    ++overflow_;
+    return;
+  }
+  const auto bucket = static_cast<std::size_t>(pos);
   if (bucket >= counts_.size()) counts_.resize(bucket + 1, 0);
   ++counts_[bucket];
 }

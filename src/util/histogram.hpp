@@ -22,6 +22,8 @@ class Histogram {
   [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
   [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Non-finite samples (NaN, +-inf); rejected, not counted in total().
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
 
   /// Lower edge of a bucket.
   [[nodiscard]] double bin_lo(std::size_t bin) const;
@@ -36,12 +38,18 @@ class Histogram {
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
   std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 /// Counts events into consecutive fixed-duration time buckets starting at 0.
 /// Grows on demand; bucket index = floor(t / bucket_seconds).
 class TimeSeriesCounter {
  public:
+  /// Hard cap on the growable bucket range: one sample must not be able to
+  /// resize the series to an arbitrary index (a year of 10-minute buckets is
+  /// ~53k; 2^20 leaves ample headroom while bounding memory at a few MiB).
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+
   explicit TimeSeriesCounter(double bucket_seconds);
 
   void add(double t) noexcept;
@@ -50,6 +58,10 @@ class TimeSeriesCounter {
   [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bucket) const;
   [[nodiscard]] const std::vector<std::size_t>& counts() const noexcept { return counts_; }
+  /// Samples beyond kMaxBuckets * bucket_seconds.
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  /// Non-finite samples (NaN, +-inf); rejected outright.
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
 
   /// Summary helpers for characterising burstiness.
   [[nodiscard]] double mean_count() const noexcept;
@@ -60,6 +72,8 @@ class TimeSeriesCounter {
  private:
   double bucket_;
   std::vector<std::size_t> counts_;
+  std::size_t overflow_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace psched::util

@@ -39,6 +39,13 @@ class Table {
 
   void add_row(std::vector<Cell> cells);
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  /// Cells of row `i` (bounds-unchecked; used by the bench JSON reporter).
+  [[nodiscard]] const std::vector<Cell>& row(std::size_t i) const {
+    return rows_[i];
+  }
 
   /// Render with a title, header rule, and aligned columns.
   [[nodiscard]] std::string render(const std::string& title = {}) const;

@@ -97,6 +97,21 @@ TEST(Factories, ProduceCorrectTypes) {
   EXPECT_EQ(make_tsafrir(2)->name(), "tsafrir-knn(k=2)");
 }
 
+TEST(TsafrirPredictor, EstimatelessFallbackNeverLeaksRuntime) {
+  // No history AND no user estimate: the fallback must be the configured
+  // default, not job.runtime — the predictor cannot see the future.
+  TsafrirPredictor p(2);
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 123.0, 0.0)),
+                   TsafrirPredictor::kDefaultEstimate);
+}
+
+TEST(TsafrirPredictor, ConfigurableDefaultEstimate) {
+  TsafrirPredictor p(2, 900.0);
+  EXPECT_DOUBLE_EQ(p.predict(make_job(1, 123.0, 0.0)), 900.0);
+  EXPECT_DOUBLE_EQ(make_tsafrir(2, 900.0)->predict(make_job(7, 55.0, 0.0)),
+                   900.0);
+}
+
 TEST(TsafrirPredictor, NeverReturnsNonPositive) {
   TsafrirPredictor p(2);
   p.observe_completion(make_job(1, 0.0, 0.0));

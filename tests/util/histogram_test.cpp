@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 namespace psched::util {
 namespace {
 
@@ -27,6 +30,28 @@ TEST(Histogram, UnderOverflow) {
   EXPECT_EQ(h.total(), 3u);
 }
 
+TEST(Histogram, RejectsNonFiniteSamples) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, HugeFiniteSampleIsOverflowNotUb) {
+  // 1e300 overflows size_t when cast; the range check must happen in double
+  // space before any conversion.
+  Histogram h(0.0, 10.0, 4);
+  h.add(1e300);
+  h.add(-1e300);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
 TEST(Histogram, BinLowerEdges) {
   Histogram h(10.0, 20.0, 4);
   EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
@@ -41,6 +66,17 @@ TEST(Histogram, AsciiRendersOneRowPerBin) {
   const std::string art = h.ascii(20);
   EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
   EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, AsciiAppendsUnderOverflowRowsWhenNonZero) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(-1.0);
+  h.add(9.0);
+  const std::string art = h.ascii(20);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 6);  // 4 bins + 2 extras
+  EXPECT_NE(art.find("underflow"), std::string::npos);
+  EXPECT_NE(art.find("overflow"), std::string::npos);
 }
 
 TEST(TimeSeriesCounter, BucketsByTime) {
@@ -59,6 +95,18 @@ TEST(TimeSeriesCounter, BucketsByTime) {
 TEST(TimeSeriesCounter, NegativeClampsToFirstBucket) {
   TimeSeriesCounter c(10.0);
   c.add(-5.0);
+  EXPECT_EQ(c.count(0), 1u);
+}
+
+TEST(TimeSeriesCounter, RejectsNonFiniteAndCapsHugeTimes) {
+  TimeSeriesCounter c(1.0);
+  c.add(std::numeric_limits<double>::quiet_NaN());
+  c.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(c.rejected(), 2u);
+  c.add(1e300);  // would demand ~1e300 buckets; must go to overflow instead
+  EXPECT_EQ(c.overflow(), 1u);
+  c.add(0.5);
+  EXPECT_EQ(c.buckets(), 1u);
   EXPECT_EQ(c.count(0), 1u);
 }
 

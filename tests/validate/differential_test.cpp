@@ -64,6 +64,70 @@ TEST(Differential, AgreesAcrossArchetypesAndSeeds) {
   }
 }
 
+// Over-provisioning scenario (DESIGN.md §7): ODM leases a second VM for
+// queued work that the first VM absorbs before the second finishes booting.
+// The engine releases that never-used VM at the first scheduling tick at or
+// after boot completion, so the inner simulator's settlement must charge to
+// the same grid-aligned instant. Two jobs, one proc each, serial on VM1.
+std::vector<workload::Job> stranded_vm_instance(const engine::EngineConfig& config) {
+  std::vector<workload::Job> jobs;
+  for (const double runtime : {40.0, 20.0}) {
+    workload::Job j;
+    j.id = static_cast<JobId>(jobs.size());
+    j.submit = 0.0;
+    j.runtime = runtime;
+    j.estimate = runtime;
+    j.procs = 1;
+    j.user = 0;
+    jobs.push_back(j);
+  }
+  return normalize_closed_instance(jobs, config);
+}
+
+TEST(Differential, StrandedBootingVmAgreesOnClosedInstance) {
+  // Per-second billing keeps the cost comparison sharp (hourly quantum
+  // would round both sides to the same ceiling and hide a settlement slip).
+  engine::EngineConfig config = engine::paper_engine_config();
+  config.provider.billing_quantum = 1.0;
+  const std::vector<workload::Job> closed = stranded_vm_instance(config);
+  const auto* triple = portfolio().find("ODM-FCFS-FirstFit");
+  ASSERT_NE(triple, nullptr);
+
+  // The scenario really strands a VM: two leases for work one VM serves.
+  const workload::Trace trace("stranded", 64, closed);
+  const auto engine_run = engine::run_single_policy(config, trace, *triple,
+                                                    engine::PredictorKind::kPerfect);
+  EXPECT_EQ(engine_run.run.total_leases, 2u);
+
+  const DifferentialResult r = run_differential(config, closed, *triple);
+  EXPECT_TRUE(r.pass) << r.detail;
+  // Both sides billed the stranded VM's boot-and-release window on top of
+  // the ~180 s the working VM is held.
+  EXPECT_GT(r.actual.rv_charged_seconds, 200.0);
+}
+
+TEST(Differential, StrandedBootingVmSettlesOnTheTickGrid) {
+  // The regression the grid alignment fixes: with an OFF-grid boot delay
+  // (95 s against the 20 s period) the stranded VM becomes available
+  // between ticks, and the engine releases it only at the next tick.
+  // Settling the inner simulator at the raw available_at instant would
+  // under-charge by the partial period; RV must still agree exactly.
+  // (Bounded slowdown legitimately differs here — the engine starts jobs on
+  // the tick grid while the inner simulator fast-forwards to available_at —
+  // which is why off-grid boot delays are outside the closed-instance
+  // ground rules and this test pins RV alone.)
+  engine::EngineConfig config = engine::paper_engine_config();
+  config.provider.boot_delay = 95.0;
+  config.provider.billing_quantum = 1.0;
+  const std::vector<workload::Job> closed = stranded_vm_instance(config);
+  const auto* triple = portfolio().find("ODM-FCFS-FirstFit");
+  ASSERT_NE(triple, nullptr);
+
+  const DifferentialResult r = run_differential(config, closed, *triple);
+  EXPECT_NEAR(r.predicted.rv_charged_seconds, r.actual.rv_charged_seconds, 1e-6);
+  EXPECT_GT(r.actual.rv_charged_seconds, 200.0);
+}
+
 TEST(Differential, SeededBillingFaultBreaksAgreement) {
   // The oracle's sensitivity check: with the engine's provider billing one
   // quantum too few per release, the inner simulator (which bills

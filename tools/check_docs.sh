@@ -37,6 +37,7 @@ check_config_fields() {
 check_config_fields SelectorConfig src/core/selector.hpp
 check_config_fields ValidationConfig src/validate/validation.hpp
 check_config_fields FuzzConfig src/validate/fuzz.hpp
+check_config_fields ObsConfig src/obs/obs.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.

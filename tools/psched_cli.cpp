@@ -15,6 +15,8 @@
 //        [--eval-threads N] [--period TICKS] [--backfill]
 //        [--on-change] [--reflection] [--quantum SECONDS] [--csv FILE]
 //        [--check-invariants] [--inject-fault NAME] [--differential]
+//        [--obs-level off|counters|trace] [--report-out FILE.json]
+//        [--trace-out FILE.json]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
@@ -29,6 +31,12 @@
 //       and reports what the checker caught (exit 2); --differential runs
 //       the inner-vs-outer simulator oracle on the workload instead of a
 //       normal experiment (see src/validate/differential.hpp).
+//       Observability (DESIGN.md §9): --obs-level selects the recording
+//       level (default off); --report-out writes the machine-readable
+//       "psched-run-report/v1" JSON (implies at least counters);
+//       --trace-out writes a chrome://tracing-loadable event trace
+//       (implies trace). Recording never changes scheduling decisions:
+//       metrics are bit-identical at every level.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstdio>
@@ -207,6 +215,22 @@ int cmd_run(const util::ArgParser& args) {
 
   if (args.get_bool("differential")) return cmd_differential(config, trace);
 
+  // Observability: the requested outputs raise the level to what they need
+  // (--trace-out needs the event tracer, --report-out at least counters).
+  const std::string report_out = args.get("report-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  obs::ObsConfig obs_config;
+  obs_config.level = obs::obs_level_from_string(args.get("obs-level", "off"), ok);
+  if (!ok) {
+    std::fputs("error: --obs-level must be off, counters, or trace\n", stderr);
+    return 1;
+  }
+  if (!trace_out.empty()) obs_config.level = obs::ObsLevel::kTrace;
+  else if (!report_out.empty() && obs_config.level == obs::ObsLevel::kOff)
+    obs_config.level = obs::ObsLevel::kCounters;
+  obs::Recorder recorder(obs_config);
+  obs::Recorder* rec = obs_config.level != obs::ObsLevel::kOff ? &recorder : nullptr;
+
   const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
   const std::string scheduler = args.get("scheduler", "portfolio");
 
@@ -230,7 +254,8 @@ int cmd_run(const util::ArgParser& args) {
         static_cast<std::uint64_t>(args.get_int("period", 1));
     if (args.get_bool("on-change")) pconfig.trigger = core::SelectionTrigger::kOnChange;
     pconfig.use_reflection_hints = args.get_bool("reflection");
-    result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor);
+    result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor,
+                                   /*eval_pool=*/nullptr, rec);
   } else {
     const policy::PolicyTriple* triple = portfolio.find(scheduler);
     if (triple == nullptr) {
@@ -238,7 +263,7 @@ int cmd_run(const util::ArgParser& args) {
                    scheduler.c_str());
       return 1;
     }
-    result = engine::run_single_policy(config, trace, *triple, predictor);
+    result = engine::run_single_policy(config, trace, *triple, predictor, rec);
   }
 
   const auto& m = result.run.metrics;
@@ -275,6 +300,11 @@ int cmd_run(const util::ArgParser& args) {
   const std::string csv = args.get("csv", "");
   if (!csv.empty() && !table.save_csv(csv)) {
     std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
+    return 2;
+  }
+  if (!engine::write_observability_outputs(result, config, rec, report_out,
+                                           trace_out)) {
+    std::fputs("error: cannot write --report-out/--trace-out file\n", stderr);
     return 2;
   }
   return result.run.invariant_violations.empty() ? 0 : 2;

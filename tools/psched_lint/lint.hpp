@@ -11,7 +11,10 @@
 //       time(nullptr), rand(), srand, std::random_device, gettimeofday,
 //       localtime, clock()) outside the explicit allowlist — the selector's
 //       Delta-budget timing (src/core/selector.cpp), the fuzz harness's
-//       wall-time cap (src/validate/fuzz.cpp), and bench/ timing harnesses.
+//       wall-time cap (src/validate/fuzz.cpp), the observability layer's
+//       single clock site (src/obs/obs.cpp, reporting-only timestamps that
+//       never feed a scheduling decision — DESIGN.md §9), and bench/ timing
+//       harnesses.
 //   D2  range-for or .begin() traversal of a std::unordered_map /
 //       std::unordered_set — iteration order is hash-state dependent, so any
 //       policy, metric, or engine decision fed from it is nondeterministic.
@@ -60,6 +63,7 @@ struct LintOptions {
   /// Root-relative files allowed to read monotonic/wall clocks (D1).
   std::set<std::string> clock_allowlist = {
       "src/core/selector.cpp",   // Delta-budget wall-clock charging
+      "src/obs/obs.cpp",         // Recorder::now_us — reporting-only timestamps
       "src/validate/fuzz.cpp",   // fuzz smoke wall-time cap
   };
   /// Root-relative directory prefixes allowed to read clocks (D1): bench
