@@ -1,0 +1,84 @@
+#include "cloud/failure.hpp"
+
+#include "util/assert.hpp"
+
+namespace psched::cloud {
+
+const char* to_string(FailureOp op) noexcept {
+  switch (op) {
+    case FailureOp::kLease: return "lease";
+    case FailureOp::kRelease: return "release";
+  }
+  return "?";
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t root,
+                                 std::string_view name) noexcept {
+  // FNV-1a 64-bit over the stream name, then a SplitMix-style mix with the
+  // root so nearby roots still yield uncorrelated streams.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  std::uint64_t mixed = root ^ hash;
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ULL;
+  mixed ^= mixed >> 27;
+  mixed *= 0x94d049bb133111ebULL;
+  mixed ^= mixed >> 31;
+  return mixed;
+}
+
+FailureModel::FailureModel(const FailureConfig& config)
+    : config_(config),
+      boot_rng_(derive_stream_seed(config.seed, "boot")),
+      crash_rng_(derive_stream_seed(config.seed, "crash")),
+      outage_rng_(derive_stream_seed(config.seed, "outage")) {
+  PSCHED_ASSERT_MSG(config_.p_boot_fail >= 0.0 && config_.p_boot_fail <= 1.0,
+                    "p_boot_fail must be a probability");
+  PSCHED_ASSERT_MSG(config_.vm_mtbf_seconds >= 0.0, "vm_mtbf_seconds < 0");
+  PSCHED_ASSERT_MSG(config_.api_outage_gap_seconds >= 0.0,
+                    "api_outage_gap_seconds < 0");
+  if (config_.api_outage_gap_seconds > 0.0) {
+    PSCHED_ASSERT_MSG(config_.api_outage_duration_seconds > 0.0,
+                      "outage windows need a positive duration");
+    // First window starts one exponential gap after t = 0.
+    outage_start_ =
+        outage_rng_.exponential(1.0 / config_.api_outage_gap_seconds);
+    outage_end_ = outage_start_ + config_.api_outage_duration_seconds;
+  }
+}
+
+bool FailureModel::boot_fails() {
+  if (config_.p_boot_fail <= 0.0) return false;
+  return boot_rng_.bernoulli(config_.p_boot_fail);
+}
+
+SimDuration FailureModel::crash_delay() {
+  if (config_.vm_mtbf_seconds <= 0.0) return kTimeNever;
+  return crash_rng_.exponential(1.0 / config_.vm_mtbf_seconds);
+}
+
+bool FailureModel::api_blocked(SimTime now) {
+  if (config_.api_outage_gap_seconds <= 0.0) return false;
+  // Materialize windows up to `now`. Gaps are measured from window end to
+  // the next window start, so windows never overlap.
+  while (now >= outage_end_) {
+    outage_start_ =
+        outage_end_ + outage_rng_.exponential(1.0 / config_.api_outage_gap_seconds);
+    outage_end_ = outage_start_ + config_.api_outage_duration_seconds;
+  }
+  return now >= outage_start_;
+}
+
+SimDuration BackoffSchedule::next() {
+  SimDuration delay = base_;
+  for (std::size_t i = 0; i < attempts_ && delay < cap_; ++i) delay *= 2.0;
+  if (delay > cap_) delay = cap_;
+  if (jitter_ > 0.0) delay *= 1.0 + jitter_ * rng_.uniform();
+  ++attempts_;
+  return delay;
+}
+
+}  // namespace psched::cloud

@@ -12,6 +12,7 @@ CloudProvider::CloudProvider(ProviderConfig config) : config_(config) {
 }
 
 std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
+  if (api_rejects(FailureOp::kLease, count, now)) return {};
   std::size_t headroom = lease_headroom();
   // Seeded fault (validation self-test): overshoot the concurrency cap by
   // one — the InvariantChecker must catch the extra grant.
@@ -32,6 +33,13 @@ std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
     // advertised boot_complete stays truthful so the checker can tell.
     if (config_.inject_fault == validate::FaultInjection::kSkipBootDelay)
       vm.state = VmState::kIdle;
+    if (failure_ != nullptr) {
+      // One draw per grant from each named stream, boot then crash, so the
+      // grant order alone determines the failure pattern.
+      vm.boot_failed = failure_->boot_fails();
+      const SimDuration crash_delay = failure_->crash_delay();
+      if (crash_delay != kTimeNever) vm.crash_at = now + crash_delay;
+    }
     ids.push_back(vm.id);
     vms_.push_back(vm);
     ++total_leases_;
@@ -106,8 +114,52 @@ std::size_t CloudProvider::release_expiring_idle(SimTime now, SimDuration window
     if (remaining_paid(vm, now, config_.billing_quantum) <= window)
       expiring.push_back(vm.id);
   }
+  // Only a non-empty request is an API call (and can hit an outage window).
+  if (api_rejects(FailureOp::kRelease, expiring.size(), now)) return 0;
   for (const VmId id : expiring) release(id, now);
   return expiring.size();
+}
+
+double CloudProvider::terminate(VmInstance* vm, SimTime now, bool crashed) {
+  // Same started-hour settlement as a voluntary release: the provider
+  // charges the lease to `now` whether the customer or the cloud ended it.
+  const double charge = charged_hours(*vm, now, config_.billing_quantum);
+  charged_hours_ += charge;
+  if (observer_ != nullptr) {
+    if (crashed)
+      observer_->on_crash(*vm, charge, now);
+    else
+      observer_->on_boot_fail(*vm, charge, now);
+  }
+  vms_.erase(vms_.begin() + (vm - vms_.data()));
+  return charge;
+}
+
+double CloudProvider::fail_boot(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "fail_boot of unknown VM");
+  PSCHED_ASSERT_MSG(vm->state == VmState::kBooting,
+                    "fail_boot of a VM that is not booting");
+  ++boot_failures_;
+  return terminate(vm, now, /*crashed=*/false);
+}
+
+double CloudProvider::crash(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "crash of unknown VM");
+  ++crashes_;
+  return terminate(vm, now, /*crashed=*/true);
+}
+
+bool CloudProvider::api_rejects(FailureOp op, std::size_t ops, SimTime now) {
+  if (failure_ == nullptr || ops == 0) return false;
+  if (!failure_->api_blocked(now)) return false;
+  if (op == FailureOp::kLease)
+    ++api_rejected_leases_;
+  else
+    ++api_rejected_releases_;
+  if (observer_ != nullptr) observer_->on_api_reject(op, ops, now);
+  return true;
 }
 
 void CloudProvider::release_all(SimTime now) {

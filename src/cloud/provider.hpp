@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "cloud/failure.hpp"
 #include "cloud/profile.hpp"
 #include "cloud/vm.hpp"
 #include "util/types.hpp"
@@ -42,6 +43,23 @@ class ProviderObserver {
   /// `charged_hours_delta` is what this release added to the charged total.
   virtual void on_release(const VmInstance& vm, double charged_hours_delta,
                           SimTime now) = 0;
+
+  // Failure-model events (cloud/failure.hpp). Default no-ops so observers
+  // written before the failure layer keep compiling; failure-aware
+  // observers (ProviderTracer, InvariantChecker) override them. Like
+  // on_release, the termination callbacks fire after the charge was applied
+  // but before the instance is erased.
+  /// A booting VM's boot failed; the lease is charged and terminated.
+  virtual void on_boot_fail(const VmInstance& /*vm*/,
+                            double /*charged_hours_delta*/, SimTime /*now*/) {}
+  /// A VM crashed mid-lease (any state); the lease is charged and
+  /// terminated. The engine kills/requeues the running job first, so for a
+  /// busy VM the snapshot still names the victim in `running_job`.
+  virtual void on_crash(const VmInstance& /*vm*/, double /*charged_hours_delta*/,
+                        SimTime /*now*/) {}
+  /// A lease/release API call for `ops` VMs was rejected (outage window).
+  virtual void on_api_reject(FailureOp /*op*/, std::size_t /*ops*/,
+                             SimTime /*now*/) {}
 };
 
 class CloudProvider {
@@ -54,9 +72,16 @@ class CloudProvider {
   /// outlive the provider or be detached first.
   void set_observer(ProviderObserver* observer) noexcept { observer_ = observer; }
 
+  /// Attach (or detach, with nullptr) the failure model. Borrowed. Null —
+  /// the default — is exactly the pre-failure-layer provider: no draws, no
+  /// rejections, no extra branches taken.
+  void set_failure_model(FailureModel* model) noexcept { failure_ = model; }
+
   /// Lease up to `count` VMs at `now`; returns the ids actually leased
-  /// (shorter than `count` when the cap binds). New VMs boot until
-  /// now + boot_delay.
+  /// (shorter than `count` when the cap binds, empty when the request hits
+  /// an API outage window). New VMs boot until now + boot_delay; with a
+  /// failure model attached each grant draws its boot and crash outcomes
+  /// (in grant order: boot stream first, then crash stream).
   std::vector<VmId> lease(std::size_t count, SimTime now);
 
   /// Release an idle VM; charges ceil(lease duration) hours. It is a
@@ -81,7 +106,25 @@ class CloudProvider {
                                     std::size_t keep_reserve = 0);
 
   /// Release all VMs (end of experiment) so their cost is accounted.
+  /// Never outage-gated: end-of-run settlement must always succeed.
   void release_all(SimTime now);
+
+  /// Terminate a booting VM whose boot failed (engine calls this at
+  /// boot-complete time when `boot_failed` was drawn). Charges ceil-hour
+  /// like a release and erases the instance; returns the charged hours.
+  double fail_boot(VmId id, SimTime now);
+
+  /// Terminate a VM at its drawn crash time, whatever its state. Charges
+  /// ceil-hour like a release and erases the instance; returns the charged
+  /// hours. The engine must already have killed/requeued the running job —
+  /// the provider only settles the lease.
+  double crash(VmId id, SimTime now);
+
+  /// Whether an API call of `ops` operations would be rejected at `now`
+  /// (failure model attached and inside an outage window). When it is,
+  /// counts the rejection and notifies the observer. `ops == 0` never
+  /// rejects (an empty request is not an API call).
+  [[nodiscard]] bool api_rejects(FailureOp op, std::size_t ops, SimTime now);
 
   // --- introspection -------------------------------------------------------
   [[nodiscard]] std::size_t leased_count() const noexcept { return vms_.size(); }
@@ -100,6 +143,16 @@ class CloudProvider {
   /// Lifetime count of lease() grants (for diagnostics).
   [[nodiscard]] std::size_t total_leases() const noexcept { return total_leases_; }
 
+  // Failure accounting (all zero with the model detached).
+  [[nodiscard]] std::size_t boot_failures() const noexcept { return boot_failures_; }
+  [[nodiscard]] std::size_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::size_t api_rejected_leases() const noexcept {
+    return api_rejected_leases_;
+  }
+  [[nodiscard]] std::size_t api_rejected_releases() const noexcept {
+    return api_rejected_releases_;
+  }
+
   /// Access a live VM by id. Returns nullptr if unknown/released.
   [[nodiscard]] const VmInstance* find(VmId id) const noexcept;
 
@@ -114,6 +167,10 @@ class CloudProvider {
 
  private:
   [[nodiscard]] VmInstance* find_mut(VmId id) noexcept;
+  /// Charge a live VM's lease to `now`, notify the observer (crash or
+  /// boot-fail flavor), and erase it (shared terminal path of fail_boot and
+  /// crash). Returns the charged hours.
+  double terminate(VmInstance* vm, SimTime now, bool crashed);
 
   ProviderConfig config_;
   std::vector<VmInstance> vms_;  // live VMs, sorted by id (append + erase)
@@ -121,6 +178,11 @@ class CloudProvider {
   double charged_hours_ = 0.0;
   std::size_t total_leases_ = 0;
   ProviderObserver* observer_ = nullptr;
+  FailureModel* failure_ = nullptr;
+  std::size_t boot_failures_ = 0;
+  std::size_t crashes_ = 0;
+  std::size_t api_rejected_leases_ = 0;
+  std::size_t api_rejected_releases_ = 0;
 };
 
 }  // namespace psched::cloud

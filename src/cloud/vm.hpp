@@ -23,6 +23,11 @@ struct VmInstance {
   VmState state = VmState::kBooting;
   JobId running_job = kInvalidJob;  ///< valid iff state == kBusy
   SimTime busy_until = 0.0;         ///< actual completion time of running_job
+
+  // Failure-model outcomes, drawn at lease time (cloud/failure.hpp). With
+  // the model off both keep their defaults and nothing reads them.
+  bool boot_failed = false;     ///< boot will fail at boot_complete
+  SimTime crash_at = kTimeNever;  ///< absolute crash time (never by default)
 };
 
 /// Charged seconds for a lease interval [lease, release] under a billing

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "cloud/vm.hpp"
 #include "util/assert.hpp"
@@ -49,6 +50,8 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
   // Const-thread-safe (see header): all mutable state below is stack-local;
   // config_, the profile snapshot, and the policy objects are only read.
   PSCHED_ASSERT(policy.provisioning && policy.job_selection && policy.vm_selection);
+  if (config_.inject_fault == validate::FaultInjection::kCandidateThrow)
+    throw std::runtime_error("injected fault: candidate simulation throw");
   const SimTime t0 = profile.now;
 
   std::vector<InnerVm> vms;

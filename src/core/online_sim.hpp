@@ -23,6 +23,7 @@
 #include "metrics/utility.hpp"
 #include "policy/allocation.hpp"
 #include "policy/portfolio.hpp"
+#include "validate/fault.hpp"
 
 namespace psched::core {
 
@@ -69,6 +70,12 @@ struct OnlineSimConfig {
   AllocationMode allocation = AllocationMode::kHeadOfLine;
   InnerCostModel cost_model = InnerCostModel::kChargedHours;
   std::size_t max_iterations = 2'000'000;  ///< hard safety valve
+  /// Validation self-test switch: kCandidateThrow makes every simulate()
+  /// call throw, so the selector's graceful-degradation path (quarantine +
+  /// last-known-good policy) is itself testable. Always kNone outside
+  /// validation tests; the other fault flavors are provider-level and
+  /// ignored here.
+  validate::FaultInjection inject_fault = validate::FaultInjection::kNone;
 };
 
 /// Result of simulating one policy on one problem instance.

@@ -59,7 +59,8 @@ void TimeConstrainedSelector::reset() {
 double TimeConstrainedSelector::simulate_one(std::size_t index,
                                              std::span<const policy::QueuedJob> queue,
                                              const cloud::CloudProfile& profile,
-                                             std::vector<PolicyScore>& scores) const {
+                                             std::vector<PolicyScore>& scores,
+                                             std::vector<std::size_t>& quarantined) const {
   // Candidate trace spans use the recorder's clock (obs.cpp), independent of
   // the budget clock below, so tracing can never perturb budget accounting.
   const bool tracing = recorder_ != nullptr && recorder_->tracing_on();
@@ -68,24 +69,47 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
                                             recorder_->now_us(), 0,
                                             candidate_args(index)});
   if (config_.budget_mode == BudgetMode::kFixedCount) {
-    // Deterministic accounting: one unit per candidate, no clock read.
-    const SimOutcome outcome =
-        simulator_.simulate(queue, profile, portfolio_.policies()[index]);
-    scores.push_back(PolicyScore{index, outcome.utility, 1.0});
+    // Deterministic accounting: one unit per candidate, no clock read. A
+    // throwing candidate still consumed its budget slot, so the unit is
+    // charged either way.
+    SimOutcome outcome;
+    bool failed = false;
+    try {
+      outcome = simulator_.simulate(queue, profile, portfolio_.policies()[index]);
+    } catch (const std::exception&) {
+      failed = true;
+    }
+    if (failed)
+      quarantined.push_back(index);
+    else
+      scores.push_back(PolicyScore{index, outcome.utility, 1.0});
     if (tracing)
       recorder_->append_event(
           obs::TraceEvent{"selector.candidate", 'E', recorder_->now_us(), 0, {}});
     return 1.0;
   }
   const auto start = std::chrono::steady_clock::now();
-  const SimOutcome outcome =
-      simulator_.simulate(queue, profile, portfolio_.policies()[index]);
+  SimOutcome outcome;
+  bool failed = false;
+  try {
+    outcome = simulator_.simulate(queue, profile, portfolio_.policies()[index]);
+  } catch (const std::exception&) {
+    failed = true;
+  }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   const double measured_ms =
       std::chrono::duration<double, std::milli>(elapsed).count();
   double cost = config_.synthetic_overhead_ms;
   if (config_.use_measured_cost) cost += measured_ms;
-  scores.push_back(PolicyScore{index, outcome.utility, cost});
+  // Per-candidate budget blow-out: the time was spent (cost is charged),
+  // but the result is not trusted into the ranking.
+  if (!failed && config_.candidate_timeout_ms > 0.0 &&
+      cost > config_.candidate_timeout_ms)
+    failed = true;
+  if (failed)
+    quarantined.push_back(index);
+  else
+    scores.push_back(PolicyScore{index, outcome.utility, cost});
   if (tracing)
     recorder_->append_event(
         obs::TraceEvent{"selector.candidate", 'E', recorder_->now_us(), 0, {}});
@@ -95,12 +119,14 @@ double TimeConstrainedSelector::simulate_one(std::size_t index,
 double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
                                          std::span<const policy::QueuedJob> queue,
                                          const cloud::CloudProfile& profile,
-                                         std::vector<PolicyScore>& scores) const {
+                                         std::vector<PolicyScore>& scores,
+                                         std::vector<std::size_t>& quarantined) const {
   PSCHED_ASSERT(!wave.empty());
   // A singleton wave runs inline on the coordinating thread — this is the
   // whole story when eval_threads = 1, which keeps that path bit-identical
   // to the sequential algorithm (no pool, no extra timing scopes).
-  if (wave.size() == 1) return simulate_one(wave.front(), queue, profile, scores);
+  if (wave.size() == 1)
+    return simulate_one(wave.front(), queue, profile, scores, quarantined);
 
   PSCHED_ASSERT(pool_ != nullptr);
   // Wave candidate tracing writes into per-slot buffers (lane 1 + slot),
@@ -129,23 +155,41 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
     // that (plus the quota-capped wave fill in select()) is what makes the
     // candidate set identical across eval_threads widths. (Trace timestamps
     // come from the recorder's own clock and feed reporting only.)
+    // Worker exceptions must not escape run_batch (it rethrows the first
+    // onto the coordinating thread): each slot traps its own failure into a
+    // disjoint flag byte (unsigned char, not vector<bool> — slots must be
+    // independently writable).
     std::vector<SimOutcome> outcomes(wave.size());
+    std::vector<unsigned char> wave_failed(wave.size(), 0);
     pool_->run_batch(wave.size(), [&](std::size_t k) {
       const std::int64_t b_us = tracing ? recorder_->now_us() : 0;
-      outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+      try {
+        outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+      } catch (const std::exception&) {
+        wave_failed[k] = 1;
+      }
       if (tracing) trace_slot(k, b_us, recorder_->now_us());
     });
     merge_slots();
-    for (std::size_t k = 0; k < wave.size(); ++k)
-      scores.push_back(PolicyScore{wave[k], outcomes[k].utility, 1.0});
+    for (std::size_t k = 0; k < wave.size(); ++k) {
+      if (wave_failed[k] != 0)
+        quarantined.push_back(wave[k]);
+      else
+        scores.push_back(PolicyScore{wave[k], outcomes[k].utility, 1.0});
+    }
     return static_cast<double>(wave.size());
   }
   std::vector<SimOutcome> outcomes(wave.size());
   std::vector<double> measured_ms(wave.size());
+  std::vector<unsigned char> wave_failed(wave.size(), 0);
   pool_->run_batch(wave.size(), [&](std::size_t k) {
     const std::int64_t b_us = tracing ? recorder_->now_us() : 0;
     const auto start = std::chrono::steady_clock::now();
-    outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+    try {
+      outcomes[k] = simulator_.simulate(queue, profile, portfolio_.policies()[wave[k]]);
+    } catch (const std::exception&) {
+      wave_failed[k] = 1;
+    }
     const auto elapsed = std::chrono::steady_clock::now() - start;
     measured_ms[k] = std::chrono::duration<double, std::milli>(elapsed).count();
     if (tracing) trace_slot(k, b_us, recorder_->now_us());
@@ -154,7 +198,8 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
 
   // Scores append in wave (= submission) order, so the ranking input is
   // independent of which worker finished first. The wave's budget charge is
-  // the slowest member (they ran concurrently) plus one synthetic overhead.
+  // the slowest member (they ran concurrently) plus one synthetic overhead;
+  // failed members spent that wall time too, so they count toward it.
   double slowest_ms = 0.0;
   for (std::size_t k = 0; k < wave.size(); ++k) {
     double cost = config_.synthetic_overhead_ms;
@@ -162,7 +207,13 @@ double TimeConstrainedSelector::run_wave(std::span<const std::size_t> wave,
       cost += measured_ms[k];
       slowest_ms = std::max(slowest_ms, measured_ms[k]);
     }
-    scores.push_back(PolicyScore{wave[k], outcomes[k].utility, cost});
+    if (wave_failed[k] == 0 && config_.candidate_timeout_ms > 0.0 &&
+        cost > config_.candidate_timeout_ms)
+      wave_failed[k] = 1;
+    if (wave_failed[k] != 0)
+      quarantined.push_back(wave[k]);
+    else
+      scores.push_back(PolicyScore{wave[k], outcomes[k].utility, cost});
   }
   return config_.synthetic_overhead_ms + slowest_ms;
 }
@@ -220,6 +271,7 @@ SelectionResult TimeConstrainedSelector::select(
 
   std::vector<PolicyScore> scores;
   scores.reserve(portfolio_.size());
+  std::vector<std::size_t> quarantined;  // threw / blew per-candidate budget
   double charged_ms = 0.0;       // budget actually charged (sum of wave costs)
   std::vector<std::size_t> wave;
   wave.reserve(wave_width_);
@@ -245,7 +297,7 @@ SelectionResult TimeConstrainedSelector::select(
         wave.push_back(set.front());
         set.pop_front();
       }
-      const double cost = run_wave(wave, queue, profile, scores);
+      const double cost = run_wave(wave, queue, profile, scores, quarantined);
       quota -= cost;
       charged_ms += cost;
     }
@@ -266,7 +318,7 @@ SelectionResult TimeConstrainedSelector::select(
       poor_[pick] = poor_.back();
       poor_.pop_back();
     }
-    const double cost = run_wave(wave, queue, profile, scores);
+    const double cost = run_wave(wave, queue, profile, scores, quarantined);
     quota -= cost;
     charged_ms += cost;
   }
@@ -275,8 +327,48 @@ SelectionResult TimeConstrainedSelector::select(
   // Stale; the simulated policies re-rank into Smart (top lambda) and Poor.
   for (const std::size_t index : smart_) stale_.push_back(index);
   smart_.clear();
+  // Quarantined candidates demote straight to Poor: they re-enter the
+  // random sampling pool next round but never the ranking.
+  for (const std::size_t index : quarantined) poor_.push_back(index);
 
-  PSCHED_ASSERT_MSG(!scores.empty(), "budget did not allow a single simulation");
+  PSCHED_ASSERT_MSG(!scores.empty() || !quarantined.empty(),
+                    "budget did not allow a single simulation");
+  if (scores.empty()) {
+    // Graceful degradation: every attempted candidate threw or blew its
+    // per-candidate budget. Apply the last-known-good policy instead of
+    // aborting the run; next round re-samples the quarantined set.
+    SelectionResult result;
+    result.degraded = true;
+    result.quarantined = quarantined.size();
+    result.best_index =
+        preferred_index < portfolio_.size() ? preferred_index : 0;
+    result.best_utility = 0.0;
+    result.total_cost_ms = charged_ms;
+    if (obs_on) {
+      obs::SelectionRoundRecord record;
+      record.sim_now = profile.now;
+      record.simulated = 0;
+      record.budget_delta = bounded ? delta : 0.0;
+      record.budget_charged = charged_ms;
+      record.smart_in = smart_in;
+      record.stale_in = stale_in;
+      record.poor_in = poor_in;
+      record.smart_out = smart_.size();
+      record.stale_out = stale_.size();
+      record.poor_out = poor_.size();
+      record.quarantined = quarantined.size();
+      record.chosen = result.best_index;
+      record.chosen_utility = 0.0;
+      record.tie_set = 0;
+      record.tie_path = "degraded";
+      recorder_->record_round(record);
+      recorder_->counter_add("selector.rounds", 1.0);
+      recorder_->counter_add("selector.quarantined",
+                             static_cast<double>(quarantined.size()));
+      recorder_->counter_add("selector.degraded_rounds", 1.0);
+    }
+    return result;
+  }
   std::stable_sort(scores.begin(), scores.end(),
                    [](const PolicyScore& a, const PolicyScore& b) {
                      if (a.utility != b.utility) return a.utility > b.utility;
@@ -319,6 +411,7 @@ SelectionResult TimeConstrainedSelector::select(
   result.best_index = scores.front().index;
   result.best_utility = scores.front().utility;
   result.total_cost_ms = charged_ms;
+  result.quarantined = quarantined.size();
   result.scores = std::move(scores);
 
   if (obs_on) {
@@ -338,6 +431,7 @@ SelectionResult TimeConstrainedSelector::select(
           smart_before.end())
         ++record.smart_churn;
     }
+    record.quarantined = result.quarantined;
     record.chosen = result.best_index;
     record.chosen_utility = result.best_utility;
     record.tie_set = tied;
@@ -355,6 +449,9 @@ SelectionResult TimeConstrainedSelector::select(
     recorder_->counter_add("selector.candidates",
                            static_cast<double>(result.scores.size()));
     recorder_->counter_add("selector.budget_charged", charged_ms);
+    if (result.quarantined > 0)
+      recorder_->counter_add("selector.quarantined",
+                             static_cast<double>(result.quarantined));
   }
   return result;
 }

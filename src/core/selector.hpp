@@ -28,6 +28,12 @@
 // draws, score order) happen on the coordinating thread, so results are
 // deterministic for a fixed eval_threads, and eval_threads = 1 is
 // bit-identical to the original sequential algorithm.
+//
+// Graceful degradation (DESIGN.md §10): a candidate whose online simulation
+// throws — or, under a candidate_timeout_ms bound, blows its per-candidate
+// budget — is quarantined to the Poor set instead of aborting the run. If a
+// whole round yields no usable score, select() returns a degraded result
+// that carries the last-known-good (preferred) policy forward.
 
 #include <cstddef>
 #include <cstdint>
@@ -106,6 +112,14 @@ struct SelectorConfig {
   /// budget Delta simulates up to k× more policies. 0 means hardware
   /// concurrency.
   std::size_t eval_threads = 1;
+  /// Per-candidate budget blow-out bound (kWallclock mode only): a
+  /// candidate whose charged cost exceeds this many milliseconds is
+  /// quarantined to Poor instead of entering the ranking. <= 0 (default)
+  /// disables the bound. With use_measured_cost the comparison involves
+  /// measured wall time and is machine-dependent, like the mode itself;
+  /// with synthetic-only accounting it is deterministic. Ignored in
+  /// kFixedCount mode (every candidate charges exactly one unit there).
+  double candidate_timeout_ms = 0.0;
 };
 
 /// Utility score of one simulated policy.
@@ -123,6 +137,16 @@ struct SelectionResult {
   /// of the scores' cost_ms when eval_threads = 1; smaller with parallel
   /// waves (concurrent members overlap in wall time).
   double total_cost_ms = 0.0;
+  /// Candidates quarantined this round: their online simulation threw, or
+  /// (kWallclock + candidate_timeout_ms) blew the per-candidate budget.
+  /// Quarantined candidates charge the budget they consumed, contribute no
+  /// score, and are demoted to the Poor set.
+  std::size_t quarantined = 0;
+  /// True when every attempted candidate was quarantined: no ranking was
+  /// possible and best_index is the last-known-good (preferred) policy
+  /// carried over with best_utility = 0 — graceful degradation instead of
+  /// aborting the run.
+  bool degraded = false;
 
   [[nodiscard]] std::size_t simulated() const noexcept { return scores.size(); }
 };
@@ -177,18 +201,22 @@ class TimeConstrainedSelector {
 
  private:
   /// Simulate policy `index` and append its score to `scores`; returns the
-  /// budget cost charged.
+  /// budget cost charged. A candidate that throws or blows the
+  /// per-candidate budget lands in `quarantined` instead of `scores`.
   double simulate_one(std::size_t index, std::span<const policy::QueuedJob> queue,
                       const cloud::CloudProfile& profile,
-                      std::vector<PolicyScore>& scores) const;
+                      std::vector<PolicyScore>& scores,
+                      std::vector<std::size_t>& quarantined) const;
 
   /// Simulate one wave of candidates (concurrently when the wave has more
   /// than one member), append their scores in wave order, and return the
-  /// budget cost charged for the whole wave.
+  /// budget cost charged for the whole wave. Failed members land in
+  /// `quarantined` (wave order).
   double run_wave(std::span<const std::size_t> wave,
                   std::span<const policy::QueuedJob> queue,
                   const cloud::CloudProfile& profile,
-                  std::vector<PolicyScore>& scores) const;
+                  std::vector<PolicyScore>& scores,
+                  std::vector<std::size_t>& quarantined) const;
 
   const policy::Portfolio& portfolio_;
   OnlineSimulator simulator_;

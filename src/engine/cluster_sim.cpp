@@ -46,6 +46,13 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
     provider_.set_observer(provider_tracer_.get());
     scheduler_.set_recorder(recorder_);
   }
+  if (config_.failure.enabled()) {
+    failure_model_ = std::make_unique<cloud::FailureModel>(config_.failure);
+    provider_.set_failure_model(failure_model_.get());
+    lease_backoff_ = cloud::BackoffSchedule(
+        config_.resilience,
+        cloud::derive_stream_seed(config_.failure.seed, "backoff"));
+  }
   std::unordered_map<JobId, const workload::Job*> by_id;
   by_id.reserve(trace_.size());
   for (const workload::Job& j : trace_.jobs()) {
@@ -84,6 +91,12 @@ void ClusterSimulation::on_arrival() {
   detail::sim_context().set(sim_.now(), "arrival");
   const workload::Job& job = trace_.jobs()[next_arrival_];
   ++next_arrival_;
+  if (failure_model_ != nullptr && dead_jobs_.find(job.id) != dead_jobs_.end()) {
+    // Dead on arrival: a dependency was killed for good before this job
+    // even submitted, so it can never become eligible.
+    ++fstats_.jobs_killed_final;
+    return;
+  }
   const auto open = open_deps_.find(job.id);
   if (open == open_deps_.end() || open->second == 0) {
     // Dependencies (if any) already completed: eligible at submission.
@@ -168,13 +181,35 @@ void ClusterSimulation::on_tick() {
   ctx.booting_vms = provider_.booting_count();
   ctx.total_vms = provider_.leased_count();
   ctx.max_vms = provider_.config().max_vms;
-  const std::size_t want = policy.provisioning->vms_to_lease(ctx);
+  std::size_t want = policy.provisioning->vms_to_lease(ctx);
+  if (failure_model_ != nullptr && want > 0) {
+    // Lease retry with capped exponential backoff (in sim time): after an
+    // API-outage rejection, hold further lease attempts until the backoff
+    // deadline passes; the first successful attempt resets the schedule.
+    if (now < next_lease_attempt_) {
+      want = 0;
+    } else if (lease_backoff_.attempts() > 0) {
+      ++fstats_.lease_retries;
+      if (recorder_ != nullptr) recorder_->counter_add("engine.lease_retries", 1.0);
+    }
+  }
+  const std::size_t rejected_before = provider_.api_rejected_leases();
   for (const VmId id : provider_.lease(want, now)) {
-    // Only VMs actually booting await a finish_boot event: with a zero boot
+    const cloud::VmInstance* vm = provider_.find(id);
+    if (failure_model_ != nullptr && vm->crash_at < kTimeNever)
+      sim_.at(vm->crash_at, [this, id] { on_vm_crash(id); });
+    // Only VMs actually booting await a boot-complete event: with a zero boot
     // delay (or the skip-boot-delay validation fault) the lease is born idle.
-    if (provider_.find(id)->state != cloud::VmState::kBooting) continue;
-    sim_.after(provider_.config().boot_delay,
-               [this, id] { provider_.finish_boot(id, sim_.now()); });
+    if (vm->state != cloud::VmState::kBooting) continue;
+    sim_.after(provider_.config().boot_delay, [this, id] { on_boot_complete(id); });
+  }
+  if (failure_model_ != nullptr && want > 0) {
+    if (provider_.api_rejected_leases() != rejected_before) {
+      next_lease_attempt_ = now + lease_backoff_.next();
+    } else {
+      lease_backoff_.reset();
+      next_lease_attempt_ = 0.0;
+    }
   }
 
   // --- 2. allocation (shared planner; head-of-line or EASY backfill) ---------
@@ -228,9 +263,10 @@ void ClusterSimulation::on_tick() {
     if (checker_)
       checker_->on_job_started(id, job.procs, start.vms.size(), running.eligible,
                                job.submit, now);
+    // Keep the finish event's id so a VM crash can cancel it.
+    running.finish_event = sim_.at(actual_finish, [this, id] { on_job_finish(id); });
     running_.emplace(id, std::move(running));
     queue_.erase(wit);
-    sim_.at(actual_finish, [this, id] { on_job_finish(id); });
   }
   if (recorder_ != nullptr && !plan.empty())
     recorder_->counter_add("engine.jobs_started", static_cast<double>(plan.size()));
@@ -247,8 +283,14 @@ void ClusterSimulation::on_tick() {
     // Keep only what the first still-waiting job needs as a reserve;
     // everything else goes back to the provider (full hours charged).
     const std::vector<VmId> idle = provider_.idle_vms();
-    for (std::size_t i = head_unserved_procs; i < idle.size(); ++i)
-      provider_.release(idle[i], now);
+    const std::size_t surplus =
+        idle.size() > head_unserved_procs ? idle.size() - head_unserved_procs : 0;
+    // One API call releases the whole surplus; an outage rejects it wholesale
+    // (api_rejects is a no-op for zero ops or without a failure model).
+    if (!provider_.api_rejects(cloud::FailureOp::kRelease, surplus, now)) {
+      for (std::size_t i = head_unserved_procs; i < idle.size(); ++i)
+        provider_.release(idle[i], now);
+    }
   } else {
     provider_.release_expiring_idle(now, config_.schedule_period,
                                     head_unserved_procs);
@@ -276,6 +318,7 @@ void ClusterSimulation::on_tick() {
     census.running = running_.size();
     census.finished = collector_.jobs();
     census.blocked = arrived_blocked_.size();
+    census.killed = fstats_.jobs_killed_final;
     checker_->on_tick_end(census, provider_.leased_count(), now);
   }
 
@@ -285,6 +328,91 @@ void ClusterSimulation::on_tick() {
     sim_.at(now + config_.schedule_period, [this] { on_tick(); });
   }
   // Otherwise the next arrival re-arms the tick.
+}
+
+void ClusterSimulation::on_boot_complete(VmId id) {
+  const cloud::VmInstance* vm = provider_.find(id);
+  // The VM may have crashed (and been reaped) while booting; the stale
+  // boot-complete event then fires as a no-op.
+  if (vm == nullptr || vm->state != cloud::VmState::kBooting) return;
+  if (vm->boot_failed) {
+    detail::sim_context().set(sim_.now(), "boot-fail");
+    fstats_.failed_vm_charged_seconds +=
+        provider_.fail_boot(id, sim_.now()) * kSecondsPerHour;
+    if (recorder_ != nullptr) recorder_->counter_add("engine.boot_failures", 1.0);
+    return;
+  }
+  provider_.finish_boot(id, sim_.now());
+}
+
+void ClusterSimulation::on_vm_crash(VmId id) {
+  const cloud::VmInstance* vm = provider_.find(id);
+  // Stale event: the VM was already released (or boot-failed). Nothing to do.
+  if (vm == nullptr) return;
+  const SimTime now = sim_.now();
+  detail::sim_context().set(now, "vm-crash");
+  if (vm->state == cloud::VmState::kBusy) kill_running_job(vm->running_job, id, now);
+  fstats_.failed_vm_charged_seconds += provider_.crash(id, now) * kSecondsPerHour;
+  predicted_free_.erase(id);
+  if (recorder_ != nullptr) recorder_->counter_add("engine.vm_crashes", 1.0);
+  // No arm_tick: whenever a live VM exists a tick is already armed, and the
+  // resubmission path re-arms through enqueue().
+}
+
+void ClusterSimulation::kill_running_job(JobId id, VmId crashed_vm, SimTime now) {
+  const auto it = running_.find(id);
+  PSCHED_ASSERT_MSG(it != running_.end(), "crash kill for a job not running");
+  const Running& running = it->second;
+  sim_.cancel(running.finish_event);
+  for (const VmId vm : running.vms) {
+    predicted_free_.erase(vm);
+    if (vm == crashed_vm) continue;  // the caller settles the crashed lease
+    provider_.unassign(vm, now);
+  }
+  ++fstats_.job_kills;
+  fstats_.wasted_proc_seconds += running.job->procs * (now - running.start);
+  if (recorder_ != nullptr) recorder_->counter_add("engine.job_kills", 1.0);
+  if (checker_) checker_->on_job_killed(id, now);
+  const workload::Job* job = running.job;
+  running_.erase(it);
+
+  const std::size_t resubmits = ++resubmits_[id];
+  if (resubmits <= config_.resilience.max_resubmits) {
+    ++fstats_.job_resubmissions;
+    if (recorder_ != nullptr) recorder_->counter_add("engine.job_resubmissions", 1.0);
+    // Re-queued with eligibility at the kill instant: its wait clock restarts.
+    enqueue(*job, now);
+  } else {
+    kill_final(*job, now);
+  }
+}
+
+void ClusterSimulation::kill_final(const workload::Job& job, SimTime now) {
+  detail::sim_context().set(now, "job-kill-final");
+  dead_jobs_.insert(job.id);
+  ++fstats_.jobs_killed_final;
+  if (recorder_ != nullptr) recorder_->counter_add("engine.jobs_killed_final", 1.0);
+  // Cascade: every transitive dependent can never become eligible. A dead
+  // dependent can only be blocked (counted now) or unarrived (counted when
+  // its arrival fires) — never queued or running.
+  std::vector<const workload::Job*> frontier{&job};
+  while (!frontier.empty()) {
+    const workload::Job* dead = frontier.back();
+    frontier.pop_back();
+    const auto deps = dependents_.find(dead->id);
+    if (deps == dependents_.end()) continue;
+    for (const workload::Job* dependent : deps->second) {
+      if (!dead_jobs_.insert(dependent->id).second) continue;
+      const auto blocked = arrived_blocked_.find(dependent->id);
+      if (blocked != arrived_blocked_.end()) {
+        arrived_blocked_.erase(blocked);
+        ++fstats_.jobs_killed_final;
+        if (recorder_ != nullptr)
+          recorder_->counter_add("engine.jobs_killed_final", 1.0);
+      }
+      frontier.push_back(dependent);
+    }
+  }
 }
 
 void ClusterSimulation::on_job_finish(JobId id) {
@@ -355,6 +483,13 @@ RunResult ClusterSimulation::run() {
   PSCHED_ASSERT_MSG(provider_.leased_count() == 0,
                     "simulation ended with leased VMs");
   collector_.set_charged_seconds(provider_.charged_hours_released() * kSecondsPerHour);
+  if (failure_model_ != nullptr) {
+    fstats_.boot_failures = provider_.boot_failures();
+    fstats_.vm_crashes = provider_.crashes();
+    fstats_.api_rejected_leases = provider_.api_rejected_leases();
+    fstats_.api_rejected_releases = provider_.api_rejected_releases();
+    collector_.set_failure_stats(fstats_);
+  }
 
   RunResult result;
   result.trace_name = trace_.name();

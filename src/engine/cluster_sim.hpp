@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cloud/provider.hpp"
@@ -51,6 +52,14 @@ struct EngineConfig {
   /// Runtime validation: per-event invariant checking and fault self-test
   /// mutations (src/validate). Off by default; zero-cost when off.
   validate::ValidationConfig validation;
+  /// Deterministic failure injection (cloud/failure.hpp, DESIGN.md §10).
+  /// All-zero rates (the default) disable the layer entirely: no model is
+  /// constructed, no stream is drawn, and the run is bit-identical to a
+  /// failure-free build.
+  cloud::FailureConfig failure;
+  /// Scheduler resilience (lease retry/backoff, bounded job resubmission);
+  /// read only when `failure` is enabled.
+  cloud::ResilienceConfig resilience;
 };
 
 /// One fleet/queue snapshot (see EngineConfig::telemetry_every_ticks).
@@ -109,6 +118,22 @@ class ClusterSimulation {
   void arm_tick(SimTime not_before);
   void enqueue(const workload::Job& job, SimTime eligible);
 
+  // Failure/resilience paths (no-ops unless config_.failure.enabled()).
+  /// Boot-complete event: finish the boot, or reap the lease if its boot
+  /// failed. Tolerates the VM being gone (crashed while booting).
+  void on_boot_complete(VmId id);
+  /// Crash event at the VM's drawn crash time. Kills the running job slice
+  /// (if busy), settles the lease, and tolerates stale events for VMs that
+  /// were already released.
+  void on_vm_crash(VmId id);
+  /// Kill the job slice running on `crashed_vm`: cancel its finish event,
+  /// free sibling VMs, and either re-queue the job (bounded resubmission)
+  /// or drop it for good.
+  void kill_running_job(JobId id, VmId crashed_vm, SimTime now);
+  /// Drop a job for good and cascade to every transitive workflow
+  /// dependent (they can never become eligible).
+  void kill_final(const workload::Job& job, SimTime now);
+
   /// Cloud profile with *predicted* completion times for busy VMs.
   [[nodiscard]] cloud::CloudProfile make_profile() const;
   [[nodiscard]] std::vector<policy::QueuedJob> annotate_queue() const;
@@ -137,6 +162,7 @@ class ClusterSimulation {
     SimTime start;
     SimTime eligible;
     std::vector<VmId> vms;
+    sim::EventId finish_event = sim::kInvalidEvent;  // cancelled on a crash kill
   };
   std::unordered_map<JobId, Running> running_;
   std::unordered_map<VmId, SimTime> predicted_free_;  // busy VMs only
@@ -146,6 +172,15 @@ class ClusterSimulation {
   std::unordered_map<JobId, std::size_t> open_deps_;          // remaining deps
   std::unordered_map<JobId, std::vector<const workload::Job*>> dependents_;
   std::unordered_map<JobId, const workload::Job*> arrived_blocked_;
+
+  // Failure/resilience state (inert — and mostly empty — when
+  // config_.failure.enabled() is false).
+  std::unique_ptr<cloud::FailureModel> failure_model_;  // only when enabled
+  cloud::BackoffSchedule lease_backoff_;
+  SimTime next_lease_attempt_ = 0.0;  // lease calls held back until here
+  std::unordered_map<JobId, std::size_t> resubmits_;  // kills per job
+  std::unordered_set<JobId> dead_jobs_;  // killed-final + dead dependents
+  metrics::FailureStats fstats_;
 };
 
 }  // namespace psched::engine

@@ -91,6 +91,7 @@ obs::RunReportInputs report_inputs(const ScenarioResult& result,
   inputs.total_leases = result.run.total_leases;
   inputs.invariant_checks = result.run.invariant_checks;
   inputs.invariant_violations = result.run.invariant_violations.size();
+  inputs.failures_enabled = config.failure.enabled();
   if (result.is_portfolio) {
     inputs.portfolio.present = true;
     inputs.portfolio.invocations = result.portfolio.invocations;

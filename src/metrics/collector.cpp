@@ -42,6 +42,7 @@ RunMetrics MetricsCollector::finalize() const {
   m.rj_proc_seconds = rj_;
   m.rv_charged_seconds = rv_seconds_;
   m.makespan = makespan_;
+  m.failures = failures_;
   m.workflows = workflows_.size();
   // Aggregate through an id-sorted snapshot: the average is a floating-point
   // sum, so folding in hash-table order would make the reported metric

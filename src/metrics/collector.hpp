@@ -33,6 +33,29 @@ struct JobRecord {
   [[nodiscard]] double response() const noexcept { return finish - submit; }
 };
 
+/// Failure/resilience aggregates (engine-filled; every field stays zero
+/// when the failure model is off, see cloud/failure.hpp).
+struct FailureStats {
+  std::size_t boot_failures = 0;        ///< leases terminated at boot
+  std::size_t vm_crashes = 0;           ///< leases terminated mid-lease
+  std::size_t api_rejected_leases = 0;  ///< lease calls lost to outages
+  std::size_t api_rejected_releases = 0;///< release calls lost to outages
+  std::size_t lease_retries = 0;        ///< lease attempts re-issued after backoff
+  std::size_t job_kills = 0;            ///< job slices killed by crashes
+  std::size_t job_resubmissions = 0;    ///< kills that were re-queued
+  std::size_t jobs_killed_final = 0;    ///< jobs dropped after max resubmits
+                                        ///< (plus their dead workflow deps)
+  double wasted_proc_seconds = 0.0;     ///< work lost to kills (not in RJ)
+  double failed_vm_charged_seconds = 0.0;  ///< paid-but-wasted compute:
+                                           ///< charges of crashed/boot-failed leases
+
+  [[nodiscard]] bool any() const noexcept {
+    return boot_failures > 0 || vm_crashes > 0 || api_rejected_leases > 0 ||
+           api_rejected_releases > 0 || lease_retries > 0 || job_kills > 0 ||
+           jobs_killed_final > 0;
+  }
+};
+
 /// Aggregated result of a (real or simulated) run.
 struct RunMetrics {
   std::size_t jobs = 0;
@@ -48,8 +71,22 @@ struct RunMetrics {
   double avg_workflow_makespan = 0.0;  ///< mean(last finish - first submit)
   double max_workflow_makespan = 0.0;
 
+  // Failure/resilience aggregates (all zero for failure-off runs).
+  FailureStats failures;
+
   [[nodiscard]] double charged_hours() const noexcept {
     return rv_charged_seconds / kSecondsPerHour;
+  }
+  /// Goodput: proc-seconds of completed useful work. RJ only counts
+  /// finished jobs, so work a crash destroyed (failures.wasted_proc_seconds)
+  /// is already excluded.
+  [[nodiscard]] double goodput_proc_seconds() const noexcept {
+    return rj_proc_seconds;
+  }
+  /// Paid-but-wasted compute: charged seconds on leases the cloud
+  /// terminated (boot failures + crashes).
+  [[nodiscard]] double paid_wasted_seconds() const noexcept {
+    return failures.failed_vm_charged_seconds;
   }
   [[nodiscard]] double utilization() const noexcept {
     return rv_charged_seconds > 0.0 ? rj_proc_seconds / rv_charged_seconds : 0.0;
@@ -70,6 +107,10 @@ class MetricsCollector {
   /// Charged VM time is reported by the cloud provider at the end of a run.
   void set_charged_seconds(double rv_seconds) noexcept { rv_seconds_ = rv_seconds; }
 
+  /// Failure/resilience aggregates, reported by the engine at the end of a
+  /// run (defaults to all-zero for failure-off runs).
+  void set_failure_stats(const FailureStats& stats) noexcept { failures_ = stats; }
+
   [[nodiscard]] std::size_t jobs() const noexcept { return slowdowns_.count(); }
   [[nodiscard]] RunMetrics finalize() const;
 
@@ -86,6 +127,7 @@ class MetricsCollector {
 
   double bound_;
   bool keep_records_ = false;
+  FailureStats failures_;
   util::RunningStats slowdowns_;
   util::RunningStats waits_;
   double rj_ = 0.0;

@@ -96,8 +96,12 @@ class Parser {
   bool parse_value(JsonValue& out) {
     if (eof()) return fail("unexpected end of input");
     switch (peek()) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
+      case '{':
+        if (depth_ >= kJsonMaxDepth) return fail("nesting depth exceeds limit");
+        return parse_object(out);
+      case '[':
+        if (depth_ >= kJsonMaxDepth) return fail("nesting depth exceeds limit");
+        return parse_array(out);
       case '"':
         out.type = JsonValue::Type::kString;
         return parse_string(out.string);
@@ -118,10 +122,12 @@ class Parser {
 
   bool parse_object(JsonValue& out) {
     out.type = JsonValue::Type::kObject;
+    ++depth_;
     ++pos_;  // '{'
     skip_ws();
     if (!eof() && peek() == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -144,6 +150,7 @@ class Parser {
       }
       if (peek() == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or '}' in object");
@@ -152,10 +159,12 @@ class Parser {
 
   bool parse_array(JsonValue& out) {
     out.type = JsonValue::Type::kArray;
+    ++depth_;
     ++pos_;  // '['
     skip_ws();
     if (!eof() && peek() == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -171,6 +180,7 @@ class Parser {
       }
       if (peek() == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or ']' in array");
@@ -254,6 +264,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  ///< open containers; bounded by kJsonMaxDepth
   std::string error_;
 };
 

@@ -44,6 +44,13 @@ struct JsonParseResult {
   std::size_t error_pos = 0;
 };
 
+/// Maximum container nesting depth json_parse accepts. Deeper documents are
+/// rejected with a parse error ("nesting depth exceeds limit") instead of
+/// recursing without bound — the parser is recursive-descent, and a
+/// hostile/corrupt artifact like "[[[[..." must not overflow the stack.
+/// Generous headroom: real obs documents nest 4-5 levels deep.
+inline constexpr std::size_t kJsonMaxDepth = 64;
+
 /// Strict parse of a complete JSON document (trailing garbage is an error).
 [[nodiscard]] JsonParseResult json_parse(std::string_view text);
 

@@ -63,6 +63,48 @@ class ProviderTracer final : public cloud::ProviderObserver {
     if (downstream_ != nullptr) downstream_->on_release(vm, charged_hours_delta, now);
   }
 
+  void on_boot_fail(const cloud::VmInstance& vm, double charged_hours_delta,
+                    SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.boot_failures", 1.0);
+      recorder_->counter_add("provider.charged_hours", charged_hours_delta);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.boot_fail", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_boot_fail(vm, charged_hours_delta, now);
+  }
+
+  void on_crash(const cloud::VmInstance& vm, double charged_hours_delta,
+                SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.crashes", 1.0);
+      recorder_->counter_add("provider.charged_hours", charged_hours_delta);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.crash", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_crash(vm, charged_hours_delta, now);
+  }
+
+  void on_api_reject(cloud::FailureOp op, std::size_t ops, SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add(op == cloud::FailureOp::kLease
+                                 ? "provider.api_rejected_leases"
+                                 : "provider.api_rejected_releases",
+                             1.0);
+      if (recorder_->tracing_on()) {
+        std::string args = "{\"op\":\"";
+        args += cloud::to_string(op);
+        args += "\",\"ops\":";
+        args += std::to_string(ops);
+        args += ",\"sim_t\":";
+        args += std::to_string(now);
+        args += '}';
+        recorder_->instant("provider.api_reject", 0, std::move(args));
+      }
+    }
+    if (downstream_ != nullptr) downstream_->on_api_reject(op, ops, now);
+  }
+
  private:
   /// Tiny args payload: {"vm": <id>, "sim_t": <seconds>}. Built by hand to
   /// keep the tracer header-only and allocation-light.

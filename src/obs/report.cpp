@@ -13,6 +13,7 @@ namespace psched::obs {
 namespace {
 
 constexpr const char* kRunReportSchema = "psched-run-report/v1";
+constexpr const char* kFailuresSchema = "psched-failures/v1";
 
 void append_kv(std::string& out, const char* key, const std::string& value_json,
                bool& first) {
@@ -55,6 +56,35 @@ std::string metrics_json(const metrics::RunMetrics& m,
   append_kv(out, "utility", json_number(m.utility(utility)), first);
   append_kv(out, "makespan", json_number(m.makespan), first);
   append_kv(out, "workflows", json_number(static_cast<double>(m.workflows)), first);
+  out += '}';
+  return out;
+}
+
+std::string failures_json(const RunReportInputs& inputs) {
+  if (!inputs.failures_enabled) return "null";
+  const metrics::FailureStats& f = inputs.metrics.failures;
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "schema", quoted(kFailuresSchema), first);
+  append_kv(out, "boot_failures",
+            json_number(static_cast<double>(f.boot_failures)), first);
+  append_kv(out, "vm_crashes", json_number(static_cast<double>(f.vm_crashes)), first);
+  append_kv(out, "api_rejected_leases",
+            json_number(static_cast<double>(f.api_rejected_leases)), first);
+  append_kv(out, "api_rejected_releases",
+            json_number(static_cast<double>(f.api_rejected_releases)), first);
+  append_kv(out, "lease_retries",
+            json_number(static_cast<double>(f.lease_retries)), first);
+  append_kv(out, "job_kills", json_number(static_cast<double>(f.job_kills)), first);
+  append_kv(out, "job_resubmissions",
+            json_number(static_cast<double>(f.job_resubmissions)), first);
+  append_kv(out, "jobs_killed_final",
+            json_number(static_cast<double>(f.jobs_killed_final)), first);
+  append_kv(out, "wasted_proc_seconds", json_number(f.wasted_proc_seconds), first);
+  append_kv(out, "paid_wasted_seconds",
+            json_number(f.failed_vm_charged_seconds), first);
+  append_kv(out, "goodput_proc_seconds",
+            json_number(inputs.metrics.goodput_proc_seconds()), first);
   out += '}';
   return out;
 }
@@ -151,6 +181,7 @@ std::string run_report_json(const RunReportInputs& inputs, const Recorder* recor
   engine += '}';
   append_kv(out, "engine", engine, first);
 
+  append_kv(out, "failures", failures_json(inputs), first);
   append_kv(out, "portfolio", portfolio_json(inputs.portfolio), first);
   append_kv(out, "selection", selection_json(recorder), first);
   append_kv(out, "phases", phases_json(recorder), first);
@@ -249,6 +280,27 @@ ValidationResult validate_run_report(std::string_view json) {
     const JsonValue* field = engine->find(key);
     if (field == nullptr || !field->is(JsonValue::Type::kNumber))
       return fail(std::string("engine.") + key + " missing or not a number");
+  }
+
+  const JsonValue* failures = root.find("failures");
+  if (failures == nullptr) return fail("missing key \"failures\"");
+  if (failures->is(JsonValue::Type::kObject)) {
+    const JsonValue* fschema = failures->find("schema");
+    if (fschema == nullptr || !fschema->is(JsonValue::Type::kString))
+      return fail("failures.schema missing or not a string");
+    if (fschema->string != kFailuresSchema)
+      return fail("unexpected failures schema tag \"" + fschema->string + '"');
+    for (const char* key :
+         {"boot_failures", "vm_crashes", "api_rejected_leases",
+          "api_rejected_releases", "lease_retries", "job_kills",
+          "job_resubmissions", "jobs_killed_final", "wasted_proc_seconds",
+          "paid_wasted_seconds", "goodput_proc_seconds"}) {
+      const JsonValue* field = failures->find(key);
+      if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+        return fail(std::string("failures.") + key + " missing or not a number");
+    }
+  } else if (!failures->is(JsonValue::Type::kNull)) {
+    return fail("failures is neither null nor an object");
   }
 
   const JsonValue* portfolio = root.find("portfolio");

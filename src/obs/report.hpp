@@ -48,6 +48,11 @@ struct RunReportInputs {
   std::uint64_t invariant_checks = 0;
   std::size_t invariant_violations = 0;
   ReportPortfolio portfolio;
+  /// True when the run had a failure model attached (EngineConfig::failure
+  /// enabled). The report's "failures" section serializes as null when
+  /// false, and as a schema-versioned ("psched-failures/v1") object built
+  /// from metrics.failures when true — even if every count happens to be 0.
+  bool failures_enabled = false;
 };
 
 /// Serialize the "psched-run-report/v1" document. `recorder` may be null or

@@ -8,6 +8,7 @@ const char* to_string(FaultInjection fault) noexcept {
     case FaultInjection::kBillingOffByOne: return "billing-off-by-one";
     case FaultInjection::kSkipBootDelay: return "skip-boot-delay";
     case FaultInjection::kCapOvershoot: return "cap-overshoot";
+    case FaultInjection::kCandidateThrow: return "candidate-throw";
   }
   return "unknown";
 }
@@ -18,6 +19,7 @@ FaultInjection fault_from_string(const std::string& name, bool& ok) {
   if (name == "billing-off-by-one") return FaultInjection::kBillingOffByOne;
   if (name == "skip-boot-delay") return FaultInjection::kSkipBootDelay;
   if (name == "cap-overshoot") return FaultInjection::kCapOvershoot;
+  if (name == "candidate-throw") return FaultInjection::kCandidateThrow;
   ok = false;
   return FaultInjection::kNone;
 }

@@ -20,12 +20,16 @@ enum class FaultInjection {
   kBillingOffByOne,  ///< charge one billing quantum too few on VM release
   kSkipBootDelay,    ///< leased VMs are usable immediately (boot not awaited)
   kCapOvershoot,     ///< the provider grants one VM beyond max_vms
+  kCandidateThrow,   ///< every online candidate simulation throws — the
+                     ///< selector's graceful-degradation path must absorb
+                     ///< it (quarantine + last-known-good), not abort
 };
 
 [[nodiscard]] const char* to_string(FaultInjection fault) noexcept;
 
 /// Parse a CLI spelling ("none", "billing-off-by-one", "skip-boot-delay",
-/// "cap-overshoot"). Sets ok=false and returns kNone on unknown input.
+/// "cap-overshoot", "candidate-throw"). Sets ok=false and returns kNone on
+/// unknown input.
 [[nodiscard]] FaultInjection fault_from_string(const std::string& name, bool& ok);
 
 }  // namespace psched::validate

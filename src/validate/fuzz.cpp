@@ -80,6 +80,21 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
     s.selector_eval_threads = static_cast<std::size_t>(rng.uniform_int(1, 4));
   }
 
+  if (fuzz.fuzz_failures && seed % 3 == 0) {
+    // Drawn after every scenario-shape draw (see FuzzConfig::fuzz_failures).
+    // Small rates: enough events to exercise the resilience paths without
+    // starving the scenario of progress.
+    s.config.failure.p_boot_fail = rng.uniform(0.0, 0.15);
+    s.config.failure.vm_mtbf_seconds = rng.uniform(2.0, 48.0) * kSecondsPerHour;
+    if (rng.bernoulli(0.5)) {
+      s.config.failure.api_outage_gap_seconds = rng.uniform(1.0, 8.0) * kSecondsPerHour;
+      s.config.failure.api_outage_duration_seconds = rng.uniform(60.0, 900.0);
+    }
+    s.config.failure.seed = seed ^ 0xfa11u;
+    s.config.resilience.max_resubmits =
+        static_cast<std::size_t>(rng.uniform_int(0, 4));
+  }
+
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "%s, %zu jobs, cap=%zu, boot=%.0fs, quantum=%.0fs, %s, %s, "
@@ -93,6 +108,14 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
                 engine::to_string(s.predictor).c_str(),
                 s.portfolio ? "portfolio" : s.triple.name().c_str());
   s.description = buf;
+  if (s.config.failure.enabled()) {
+    char fbuf[96];
+    std::snprintf(fbuf, sizeof(fbuf),
+                  ", failures(p_boot=%.2f, mtbf=%.0fs, outage_gap=%.0fs)",
+                  s.config.failure.p_boot_fail, s.config.failure.vm_mtbf_seconds,
+                  s.config.failure.api_outage_gap_seconds);
+    s.description += fbuf;
+  }
   return s;
 }
 

@@ -37,6 +37,13 @@ struct FuzzConfig {
   FaultInjection inject_fault = FaultInjection::kNone;
   bool shrink = true;              ///< shrink the first failing trace
   std::size_t max_jobs = 160;      ///< per-scenario job cap (keeps seeds fast)
+  /// Also fuzz the failure model: every third seed draws a small
+  /// FailureConfig (boot-fail probability, VM MTBF, API outage cadence) so
+  /// the resilience paths — retry/backoff, resubmission, crash billing —
+  /// run under the invariant checker too. The draws happen after every
+  /// scenario-shape draw, so disabling this reproduces the exact pre-failure
+  /// scenarios.
+  bool fuzz_failures = true;
 };
 
 /// The first violating seed, with its (possibly shrunk) instance size and

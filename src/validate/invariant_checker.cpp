@@ -70,6 +70,7 @@ void InvariantChecker::on_lease(const cloud::VmInstance& vm, std::size_t leased_
          format("VM advertises boot_complete=%.3f before lease_time=%.3f",
                 vm.boot_complete, vm.lease_time));
   }
+  ++observed_leases_;
 }
 
 void InvariantChecker::on_finish_boot(const cloud::VmInstance& vm, SimTime now) {
@@ -117,6 +118,40 @@ void InvariantChecker::on_release(const cloud::VmInstance& vm,
                 charged_hours_delta, -charged_hours_delta));
   }
   charged_total_hours_ += charged_hours_delta;
+  ++observed_releases_;
+}
+
+void InvariantChecker::on_boot_fail(const cloud::VmInstance& vm,
+                                    double charged_hours_delta, SimTime now) {
+  // A boot failure settles the lease like a release: started quanta are paid.
+  const double expected =
+      cloud::charged_hours_for(vm.lease_time, now, provider_.billing_quantum);
+  if (!check(std::abs(charged_hours_delta - expected) <= kEps)) {
+    fail("billing.ceil", now,
+         "boot-failed VM " + std::to_string(vm.id) +
+             format(" charged %.6f h; ceil(lease/quantum) requires %.6f h",
+                    charged_hours_delta, expected));
+  }
+  charged_total_hours_ += charged_hours_delta;
+  failed_charged_hours_ += charged_hours_delta;
+  ++observed_boot_fails_;
+}
+
+void InvariantChecker::on_crash(const cloud::VmInstance& vm,
+                                double charged_hours_delta, SimTime now) {
+  // A crash terminates the lease mid-flight; the started quantum is still
+  // paid (ceil billing), exactly as if the VM had been released here.
+  const double expected =
+      cloud::charged_hours_for(vm.lease_time, now, provider_.billing_quantum);
+  if (!check(std::abs(charged_hours_delta - expected) <= kEps)) {
+    fail("billing.ceil", now,
+         "crashed VM " + std::to_string(vm.id) +
+             format(" charged %.6f h; ceil(lease/quantum) requires %.6f h",
+                    charged_hours_delta, expected));
+  }
+  charged_total_hours_ += charged_hours_delta;
+  failed_charged_hours_ += charged_hours_delta;
+  ++observed_crashes_;
 }
 
 // --- engine ------------------------------------------------------------------
@@ -149,13 +184,17 @@ void InvariantChecker::on_job_finished(const metrics::JobRecord& record, SimTime
   ++finished_jobs_;
 }
 
+void InvariantChecker::on_job_killed(JobId /*job*/, SimTime /*now*/) {
+  ++observed_kills_;
+}
+
 void InvariantChecker::on_tick_end(const JobCensus& census, std::size_t leased_vms,
                                    SimTime now) {
-  const std::size_t accounted =
-      census.queued + census.running + census.finished + census.blocked;
+  const std::size_t accounted = census.queued + census.running + census.finished +
+                                census.blocked + census.killed;
   if (!check(census.submitted == accounted)) {
     fail("job.conservation", now,
-         format("submitted=%.0f but queued+running+finished+blocked=%.0f",
+         format("submitted=%.0f but queued+running+finished+blocked+killed=%.0f",
                 static_cast<double>(census.submitted),
                 static_cast<double>(accounted)));
   }
@@ -214,6 +253,47 @@ void InvariantChecker::on_run_end(const metrics::RunMetrics& metrics,
     fail("metrics.consistent", sim.now(),
          format("RV=%.6f h vs provider=%.6f h vs checker total=%.6f h", rv_hours,
                 provider_charged_hours, charged_total_hours_));
+  }
+
+  // Failure accounting. Silent (zero checks) for failure-free runs so their
+  // check count stays exactly what it was before the failure layer existed.
+  const metrics::FailureStats& fs = metrics.failures;
+  const bool failure_activity = fs.any() || observed_boot_fails_ > 0 ||
+                                observed_crashes_ > 0 || observed_kills_ > 0;
+  if (failure_activity) {
+    if (!check(fs.boot_failures == observed_boot_fails_ &&
+               fs.vm_crashes == observed_crashes_ &&
+               fs.job_kills == observed_kills_)) {
+      fail("failure.consistent", sim.now(),
+           format("metrics report %.0f boot-fails / %.0f crashes / %.0f kills; "
+                  "checker observed %.0f / %.0f / %.0f",
+                  static_cast<double>(fs.boot_failures),
+                  static_cast<double>(fs.vm_crashes),
+                  static_cast<double>(fs.job_kills),
+                  static_cast<double>(observed_boot_fails_),
+                  static_cast<double>(observed_crashes_),
+                  static_cast<double>(observed_kills_)));
+    }
+    // Wasted spend: the engine's per-termination accumulation must equal the
+    // checker's own sum over crash/boot-fail charges.
+    if (!check(std::abs(fs.failed_vm_charged_seconds -
+                        failed_charged_hours_ * kSecondsPerHour) <=
+               kEps * std::max(1.0, failed_charged_hours_ * kSecondsPerHour))) {
+      fail("failure.consistent", sim.now(),
+           format("paid-but-wasted %.6f s disagrees with the checker's %.6f s",
+                  fs.failed_vm_charged_seconds,
+                  failed_charged_hours_ * kSecondsPerHour));
+    }
+    // Lease accounting: every lease settled by exactly one release, crash,
+    // or boot failure (the engine asserts zero leased VMs at run end).
+    const std::size_t settled =
+        observed_releases_ + observed_crashes_ + observed_boot_fails_;
+    if (!check(observed_leases_ == settled)) {
+      fail("failure.consistent", sim.now(),
+           format("%.0f leases but %.0f settlements (releases+crashes+boot-fails)",
+                  static_cast<double>(observed_leases_),
+                  static_cast<double>(settled)));
+    }
   }
 }
 

@@ -16,13 +16,20 @@
 //   vm.boot-before-run     no job is assigned to a VM before boot_complete
 //   vm.idle-before-assign  jobs start only on idle VMs
 //   billing.ceil           each release charges ceil(lease/quantum) quanta
+//                          (crash/boot-fail terminations included)
 //   billing.monotone       the charged total never decreases
-//   job.conservation       submitted == queued + running + finished + blocked
+//   job.conservation       submitted == queued + running + finished +
+//                          blocked + killed-final (resubmitted jobs count
+//                          as queued/running again, never twice)
 //   job.width              a started job occupies exactly `procs` VMs
 //   job.start-after-eligible  start >= eligibility >= submission
 //   metrics.consistent     RJ/RV/BSD non-negative, BSD >= 1, RJ matches the
 //                          sum of finished jobs' work, RV matches the
 //                          provider's released charges
+//   failure.consistent     failure-aware metrics match the observed event
+//                          stream (boot-fails, crashes, kills), and every
+//                          lease is settled by exactly one release, crash,
+//                          or boot failure
 //
 // Violations either abort through util/assert.hpp::invariant_fail (with the
 // simulated clock / event / policy context) or, in record mode, accumulate
@@ -57,6 +64,10 @@ struct JobCensus {
   std::size_t running = 0;    ///< currently executing
   std::size_t finished = 0;   ///< completed (recorded by the collector)
   std::size_t blocked = 0;    ///< arrived but dependency-blocked
+  /// Arrived jobs dropped for good by the failure layer: resubmission
+  /// budget exhausted, or a workflow dependent of such a job. 0 without a
+  /// failure model.
+  std::size_t killed = 0;
 };
 
 /// All observer hooks run on the engine's event-loop thread: the engine is
@@ -83,6 +94,10 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
   void on_unassign(const cloud::VmInstance& vm, SimTime now) override;
   void on_release(const cloud::VmInstance& vm, double charged_hours_delta,
                   SimTime now) override;
+  void on_boot_fail(const cloud::VmInstance& vm, double charged_hours_delta,
+                    SimTime now) override;
+  void on_crash(const cloud::VmInstance& vm, double charged_hours_delta,
+                SimTime now) override;
 
   // --- engine hooks ---------------------------------------------------------
   /// A job left the queue and started on `vm_count` VMs.
@@ -90,6 +105,9 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
                       SimTime submit, SimTime now);
   /// A job finished; `record` is what the engine handed the collector.
   void on_job_finished(const metrics::JobRecord& record, SimTime now);
+  /// A running job's slice was killed by a VM crash (it may be resubmitted
+  /// or dropped for good; on_tick_end's census tells the two apart).
+  void on_job_killed(JobId job, SimTime now);
   /// End of a scheduling tick: job conservation + cap re-check.
   void on_tick_end(const JobCensus& census, std::size_t leased_vms, SimTime now);
   /// End of run: event conservation, metric consistency, utility inputs.
@@ -124,6 +142,15 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
   /// Sum of finished jobs' procs * runtime.
   double expected_rj_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
   std::size_t finished_jobs_ PSCHED_CONFINED_TO("engine event loop") = 0;
+
+  // Failure-event stream tallies (failure.consistent). All stay zero — and
+  // the run-end cross-check stays silent — without a failure model.
+  std::size_t observed_leases_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t observed_releases_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t observed_boot_fails_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t observed_crashes_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t observed_kills_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  double failed_charged_hours_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
 };
 
 }  // namespace psched::validate

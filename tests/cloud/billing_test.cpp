@@ -60,5 +60,57 @@ TEST(BillingQuantum, SnapshotCarriesQuantum) {
   EXPECT_DOUBLE_EQ(provider.snapshot(0.0).billing_quantum, 1.0);
 }
 
+// Regression pins: a VM released exactly on an hour boundary pays exactly
+// the elapsed hours — no phantom extra hour from ceil() landing on an
+// integral quotient. Crash-terminated leases follow the same rule.
+
+TEST(BillingBoundary, ReleaseOnExactHourBoundaryChargesNoPhantomHour) {
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(0.0, 7200.0), 2.0);
+  EXPECT_DOUBLE_EQ(charged_hours_for(500.0, 500.0 + 3600.0), 1.0);
+
+  ProviderConfig config;
+  config.max_vms = 2;
+  config.boot_delay = 0.0;
+  CloudProvider provider(config);
+  const auto ids = provider.lease(1, 0.0);
+  provider.release(ids[0], 3600.0);  // exactly one paid hour
+  EXPECT_DOUBLE_EQ(provider.charged_hours_released(), 1.0);
+}
+
+TEST(BillingBoundary, CrashOnExactHourBoundaryChargesNoPhantomHour) {
+  ProviderConfig config;
+  config.max_vms = 2;
+  config.boot_delay = 0.0;
+  CloudProvider provider(config);
+  const auto ids = provider.lease(1, 0.0);
+  const double charged = provider.crash(ids[0], 3600.0);
+  EXPECT_DOUBLE_EQ(charged, 1.0);
+  EXPECT_DOUBLE_EQ(provider.charged_hours_released(), 1.0);
+  EXPECT_EQ(provider.crashes(), 1u);
+  EXPECT_EQ(provider.leased_count(), 0u);
+}
+
+TEST(BillingBoundary, MidHourCrashStillPaysTheStartedHour) {
+  ProviderConfig config;
+  config.max_vms = 2;
+  config.boot_delay = 0.0;
+  CloudProvider provider(config);
+  const auto ids = provider.lease(1, 0.0);
+  EXPECT_DOUBLE_EQ(provider.crash(ids[0], 3601.0), 2.0);  // second hour started
+}
+
+TEST(BillingBoundary, BootFailChargesTheStartedQuantum) {
+  ProviderConfig config;
+  config.max_vms = 2;
+  config.boot_delay = 120.0;
+  CloudProvider provider(config);
+  const auto ids = provider.lease(1, 0.0);
+  // Boot fails at boot-complete time: the lease still pays its first hour.
+  EXPECT_DOUBLE_EQ(provider.fail_boot(ids[0], 120.0), 1.0);
+  EXPECT_EQ(provider.boot_failures(), 1u);
+  EXPECT_EQ(provider.leased_count(), 0u);
+}
+
 }  // namespace
 }  // namespace psched::cloud

@@ -1,0 +1,209 @@
+// Deterministic failure model (cloud/failure.hpp): named-seed stream
+// independence, boot/crash/outage draw semantics, and the resilience
+// backoff schedule (cap, jitter determinism, reset).
+#include "cloud/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace psched::cloud {
+namespace {
+
+TEST(FailureConfig, DisabledByDefault) {
+  const FailureConfig config;
+  EXPECT_FALSE(config.enabled());
+}
+
+TEST(FailureConfig, AnyNonzeroRateEnables) {
+  FailureConfig config;
+  config.p_boot_fail = 0.01;
+  EXPECT_TRUE(config.enabled());
+  config = FailureConfig{};
+  config.vm_mtbf_seconds = 3600.0;
+  EXPECT_TRUE(config.enabled());
+  config = FailureConfig{};
+  config.api_outage_gap_seconds = 7200.0;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(DeriveStreamSeed, DistinctNamesDistinctSeeds) {
+  const std::uint64_t root = 0xfa1fa1;
+  const std::uint64_t boot = derive_stream_seed(root, "boot");
+  const std::uint64_t crash = derive_stream_seed(root, "crash");
+  const std::uint64_t outage = derive_stream_seed(root, "outage");
+  EXPECT_NE(boot, crash);
+  EXPECT_NE(boot, outage);
+  EXPECT_NE(crash, outage);
+  // Deterministic: same (root, name) always yields the same seed.
+  EXPECT_EQ(boot, derive_stream_seed(root, "boot"));
+  // Root-sensitive.
+  EXPECT_NE(boot, derive_stream_seed(root + 1, "boot"));
+}
+
+TEST(FailureModel, BootDrawsAreDeterministic) {
+  FailureConfig config;
+  config.p_boot_fail = 0.3;
+  FailureModel a(config);
+  FailureModel b(config);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.boot_fails(), b.boot_fails());
+}
+
+TEST(FailureModel, BootProbabilityExtremes) {
+  FailureConfig config;
+  config.p_boot_fail = 1.0;
+  FailureModel always(config);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(always.boot_fails());
+
+  config.p_boot_fail = 0.0;
+  config.vm_mtbf_seconds = 3600.0;  // keep the model enabled
+  FailureModel never(config);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(never.boot_fails());
+}
+
+TEST(FailureModel, CrashDelayNeverWhenMtbfOff) {
+  FailureConfig config;
+  config.p_boot_fail = 0.5;  // enabled, but no MTBF
+  FailureModel model(config);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(model.crash_delay(), kTimeNever);
+}
+
+TEST(FailureModel, CrashDelaysArePositiveFiniteAndMeanRoughlyMtbf) {
+  FailureConfig config;
+  config.vm_mtbf_seconds = 1000.0;
+  FailureModel model(config);
+  double sum = 0.0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const SimDuration d = model.crash_delay();
+    ASSERT_GT(d, 0.0);
+    ASSERT_LT(d, kTimeNever);
+    sum += d;
+  }
+  // Exponential with mean 1000: the sample mean of 4000 draws lands within
+  // a few percent with overwhelming probability for a fixed seed.
+  EXPECT_NEAR(sum / kDraws, 1000.0, 100.0);
+}
+
+TEST(FailureModel, StreamsAreIndependent) {
+  // Enabling the crash stream must not perturb the boot draws: each stream
+  // has its own named seed.
+  FailureConfig boot_only;
+  boot_only.p_boot_fail = 0.3;
+  FailureConfig both = boot_only;
+  both.vm_mtbf_seconds = 3600.0;
+
+  FailureModel a(boot_only);
+  FailureModel b(both);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.boot_fails(), b.boot_fails());
+    (void)b.crash_delay();  // interleave crash draws; boot stream unaffected
+  }
+}
+
+TEST(FailureModel, ApiOutageWindowsBlockAndClear) {
+  FailureConfig config;
+  config.api_outage_gap_seconds = 1000.0;
+  config.api_outage_duration_seconds = 50.0;
+  FailureModel model(config);
+
+  // Scan forward; the blocked instants must form [start, end) windows of
+  // exactly the configured duration, separated by clear gaps.
+  bool saw_blocked = false;
+  bool saw_clear = false;
+  bool last = model.api_blocked(0.0);
+  SimTime block_started = 0.0;
+  for (SimTime t = 1.0; t < 20000.0; t += 1.0) {
+    const bool blocked = model.api_blocked(t);
+    if (blocked && !last) block_started = t;
+    if (!blocked && last) {
+      // Window length within the 1-second scan resolution.
+      EXPECT_NEAR(t - block_started, 50.0, 2.0);
+    }
+    saw_blocked = saw_blocked || blocked;
+    saw_clear = saw_clear || !blocked;
+    last = blocked;
+  }
+  EXPECT_TRUE(saw_blocked);
+  EXPECT_TRUE(saw_clear);
+}
+
+TEST(FailureModel, ApiOutageNeverBlocksWhenOff) {
+  FailureConfig config;
+  config.p_boot_fail = 0.5;  // enabled, but no outage stream
+  FailureModel model(config);
+  for (SimTime t = 0.0; t < 1e7; t += 1e5) EXPECT_FALSE(model.api_blocked(t));
+}
+
+TEST(FailureModel, ApiOutageDeterministicForFixedSeed) {
+  FailureConfig config;
+  config.api_outage_gap_seconds = 500.0;
+  config.api_outage_duration_seconds = 30.0;
+  FailureModel a(config);
+  FailureModel b(config);
+  for (SimTime t = 0.0; t < 50000.0; t += 7.0)
+    EXPECT_EQ(a.api_blocked(t), b.api_blocked(t)) << "at t=" << t;
+}
+
+TEST(BackoffSchedule, DoublesFromBaseAndCaps) {
+  ResilienceConfig config;
+  config.retry_backoff_base = 40.0;
+  config.retry_backoff_cap = 640.0;
+  config.retry_jitter = 0.0;  // exact doubling, no jitter
+  BackoffSchedule backoff(config, 7);
+  EXPECT_DOUBLE_EQ(backoff.next(), 40.0);
+  EXPECT_DOUBLE_EQ(backoff.next(), 80.0);
+  EXPECT_DOUBLE_EQ(backoff.next(), 160.0);
+  EXPECT_DOUBLE_EQ(backoff.next(), 320.0);
+  EXPECT_DOUBLE_EQ(backoff.next(), 640.0);
+  EXPECT_DOUBLE_EQ(backoff.next(), 640.0);  // capped from here on
+  EXPECT_DOUBLE_EQ(backoff.next(), 640.0);
+  EXPECT_EQ(backoff.attempts(), 7u);
+}
+
+TEST(BackoffSchedule, JitterBoundedAndDeterministicUnderFixedSeed) {
+  ResilienceConfig config;
+  config.retry_backoff_base = 40.0;
+  config.retry_backoff_cap = 640.0;
+  config.retry_jitter = 0.25;
+  BackoffSchedule a(config, 42);
+  BackoffSchedule b(config, 42);
+  double expected_base = 40.0;
+  for (int i = 0; i < 10; ++i) {
+    const SimDuration da = a.next();
+    const SimDuration db = b.next();
+    EXPECT_DOUBLE_EQ(da, db) << "attempt " << i;  // same seed, same jitter
+    // delay = min(base * 2^n, cap) * (1 + jitter * U[0,1))
+    const double lo = std::min(expected_base, 640.0);
+    EXPECT_GE(da, lo);
+    EXPECT_LT(da, lo * 1.25);
+    expected_base *= 2.0;
+  }
+  // A different seed draws different jitter.
+  BackoffSchedule c(config, 43);
+  bool any_differs = false;
+  BackoffSchedule a2(config, 42);
+  for (int i = 0; i < 10; ++i)
+    if (a2.next() != c.next()) any_differs = true;
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(BackoffSchedule, ResetRestartsTheSchedule) {
+  ResilienceConfig config;
+  config.retry_backoff_base = 40.0;
+  config.retry_backoff_cap = 640.0;
+  config.retry_jitter = 0.0;
+  BackoffSchedule backoff(config, 1);
+  (void)backoff.next();
+  (void)backoff.next();
+  EXPECT_EQ(backoff.attempts(), 2u);
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_DOUBLE_EQ(backoff.next(), 40.0);  // back to the base delay
+}
+
+}  // namespace
+}  // namespace psched::cloud

@@ -286,5 +286,98 @@ TEST(Selector, ScoresCarryPositiveCost) {
   for (const PolicyScore& p : result.scores) EXPECT_DOUBLE_EQ(p.cost_ms, 5.0);
 }
 
+// ---------------------------------------------------------------------------
+// Graceful degradation: throwing or budget-blowing candidates are quarantined
+// to Poor, and a round with no usable score carries the last-known-good
+// policy forward instead of aborting the run.
+
+OnlineSimConfig throwing_sim_config() {
+  OnlineSimConfig c = sim_config();
+  c.inject_fault = validate::FaultInjection::kCandidateThrow;
+  return c;
+}
+
+TEST(SelectorDegradation, ThrowingCandidatesAreQuarantinedToPoor) {
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(throwing_sim_config()),
+                            unbounded());
+  const auto queue = small_queue();
+  const SelectionResult result = s.select(queue, empty_cloud(), 3);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.quarantined, 60u);
+  EXPECT_TRUE(result.scores.empty());
+  EXPECT_EQ(result.best_index, 3u);  // last-known-good carried forward
+  EXPECT_DOUBLE_EQ(result.best_utility, 0.0);
+  expect_partition(s, 60);
+  EXPECT_EQ(s.poor().size(), 60u);  // everything demoted
+}
+
+TEST(SelectorDegradation, NoPreferredFallsBackToIndexZero) {
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(throwing_sim_config()),
+                            unbounded());
+  const auto queue = small_queue();
+  const SelectionResult result = s.select(queue, empty_cloud());
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.best_index, 0u);
+}
+
+TEST(SelectorDegradation, SecondRoundAfterTotalQuarantineStaysDegraded) {
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(throwing_sim_config()),
+                            unbounded());
+  const auto queue = small_queue();
+  (void)s.select(queue, empty_cloud(), 5);
+  // The Poor set resimulates a sample each round; those candidates throw
+  // again, and the selector must keep degrading gracefully, not crash.
+  const SelectionResult again = s.select(queue, empty_cloud(), 5);
+  EXPECT_TRUE(again.degraded);
+  EXPECT_EQ(again.best_index, 5u);
+  expect_partition(s, 60);
+}
+
+TEST(SelectorDegradation, CandidateTimeoutQuarantinesBudgetBlowers) {
+  // Synthetic-only accounting: every candidate charges exactly 10 ms, so a
+  // 5 ms per-candidate bound quarantines every one of them —
+  // deterministically, with no wall-clock dependence.
+  SelectorConfig config = budgeted(1000.0, 10.0);
+  config.candidate_timeout_ms = 5.0;
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+  const auto queue = small_queue();
+  const SelectionResult result = s.select(queue, empty_cloud(), 2);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GE(result.quarantined, 1u);
+  EXPECT_TRUE(result.scores.empty());
+  EXPECT_EQ(result.best_index, 2u);
+  EXPECT_GT(result.total_cost_ms, 0.0);  // quarantined work still charges
+}
+
+TEST(SelectorDegradation, GenerousTimeoutQuarantinesNothing) {
+  SelectorConfig config = budgeted(1000.0, 10.0);
+  config.candidate_timeout_ms = 15.0;
+  TimeConstrainedSelector s(portfolio(), OnlineSimulator(sim_config()), config);
+  const auto queue = small_queue();
+  const SelectionResult result = s.select(queue, empty_cloud());
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.quarantined, 0u);
+  EXPECT_FALSE(result.scores.empty());
+}
+
+TEST(SelectorDegradation, ParallelWavesQuarantineDeterministically) {
+  // The throwing fault and the sequential/parallel equivalence contract:
+  // eval_threads > 1 must quarantine the same set and degrade identically.
+  SelectorConfig sequential = unbounded();
+  SelectorConfig parallel = unbounded();
+  parallel.eval_threads = 4;
+  TimeConstrainedSelector a(portfolio(), OnlineSimulator(throwing_sim_config()),
+                            sequential);
+  TimeConstrainedSelector b(portfolio(), OnlineSimulator(throwing_sim_config()),
+                            parallel);
+  const auto queue = small_queue();
+  const SelectionResult ra = a.select(queue, empty_cloud(), 4);
+  const SelectionResult rb = b.select(queue, empty_cloud(), 4);
+  EXPECT_EQ(ra.degraded, rb.degraded);
+  EXPECT_EQ(ra.quarantined, rb.quarantined);
+  EXPECT_EQ(ra.best_index, rb.best_index);
+  EXPECT_EQ(a.poor().size(), b.poor().size());
+}
+
 }  // namespace
 }  // namespace psched::core

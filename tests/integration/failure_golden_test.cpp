@@ -1,0 +1,138 @@
+// Failure-enabled golden-trace regression: one fixed portfolio scenario with
+// boot failures, VM crashes, and API outages all active, pinned against a
+// committed metric snapshot in tests/integration/golden/. Any change to the
+// failure model's draws, the resilience paths (backoff, resubmission), or
+// their interaction with the engine moves these numbers and fails here first.
+//
+// After an INTENTIONAL behavior change, regenerate the snapshot:
+//   PSCHED_UPDATE_GOLDEN=1 ./tests/failure_tests && git diff tests/integration/golden
+// and commit the diff together with the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "engine/experiment.hpp"
+#include "workload/generator.hpp"
+
+namespace psched {
+namespace {
+
+/// Relative tolerance for golden comparisons; absorbs only the 12-digit
+/// formatting round-trip, not behavior drift (the run is deterministic).
+constexpr double kRelTol = 1e-9;
+
+using Golden = std::map<std::string, double>;
+
+std::string golden_path(const std::string& name) {
+  return std::string(PSCHED_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+Golden collect(const engine::ScenarioResult& result) {
+  const metrics::RunMetrics& m = result.run.metrics;
+  const metrics::FailureStats& f = m.failures;
+  Golden g;
+  g["jobs"] = static_cast<double>(m.jobs);
+  g["avg_bounded_slowdown"] = m.avg_bounded_slowdown;
+  g["avg_wait"] = m.avg_wait;
+  g["rj_proc_seconds"] = m.rj_proc_seconds;
+  g["rv_charged_seconds"] = m.rv_charged_seconds;
+  g["makespan"] = m.makespan;
+  g["ticks"] = static_cast<double>(result.run.ticks);
+  g["total_leases"] = static_cast<double>(result.run.total_leases);
+  g["boot_failures"] = static_cast<double>(f.boot_failures);
+  g["vm_crashes"] = static_cast<double>(f.vm_crashes);
+  g["api_rejected_leases"] = static_cast<double>(f.api_rejected_leases);
+  g["lease_retries"] = static_cast<double>(f.lease_retries);
+  g["job_kills"] = static_cast<double>(f.job_kills);
+  g["job_resubmissions"] = static_cast<double>(f.job_resubmissions);
+  g["jobs_killed_final"] = static_cast<double>(f.jobs_killed_final);
+  g["wasted_proc_seconds"] = f.wasted_proc_seconds;
+  g["paid_wasted_seconds"] = f.failed_vm_charged_seconds;
+  return g;
+}
+
+void write_golden(const std::string& name, const Golden& golden) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "# golden metrics: " << name << " (regenerate: PSCHED_UPDATE_GOLDEN=1)\n";
+  for (const auto& [key, value] : golden) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out << key << " = " << buf << "\n";
+  }
+}
+
+Golden read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " — run once with PSCHED_UPDATE_GOLDEN=1";
+  Golden g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key, equals;
+    double value = 0.0;
+    if (fields >> key >> equals >> value && equals == "=") g[key] = value;
+  }
+  return g;
+}
+
+void expect_matches_golden(const std::string& name,
+                           const engine::ScenarioResult& result) {
+  const Golden actual = collect(result);
+  if (std::getenv("PSCHED_UPDATE_GOLDEN") != nullptr) {
+    write_golden(name, actual);
+    GTEST_SKIP() << "golden file " << name << " regenerated";
+  }
+  const Golden golden = read_golden(name);
+  ASSERT_FALSE(golden.empty());
+  for (const auto& [key, expected] : golden) {
+    const auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << name << ": metric '" << key << "' disappeared";
+    EXPECT_NEAR(it->second, expected,
+                kRelTol * std::max(1.0, std::abs(expected)))
+        << name << ": metric '" << key << "' drifted";
+  }
+  EXPECT_EQ(golden.size(), actual.size()) << name << ": metric set changed";
+}
+
+TEST(FailureGoldenTrace, FailureEnabledPortfolioOnKthSp2) {
+  // The Figure-5 trace under an unreliable cloud: 5% boot failures, a 12 h
+  // MTBF, and short hourly-ish API outages, with the selector in fixed-count
+  // budget mode so the run is machine-independent. Invariants on, abort
+  // mode: the golden run itself re-proves the failure invariants every time.
+  const workload::Trace trace =
+      workload::TraceGenerator(workload::kth_sp2_like(0.3)).generate(7).cleaned(64);
+  ASSERT_FALSE(trace.empty());
+  engine::EngineConfig config = engine::paper_engine_config();
+  config.failure.p_boot_fail = 0.05;
+  config.failure.vm_mtbf_seconds = 12.0 * kSecondsPerHour;
+  config.failure.api_outage_gap_seconds = 1.0 * kSecondsPerHour;
+  config.failure.api_outage_duration_seconds = 240.0;
+  config.failure.seed = 17;
+  config.validation.check_invariants = true;
+  config.validation.abort_on_violation = true;
+  auto pconfig = engine::paper_portfolio_config(config);
+  pconfig.selection_period_ticks = 8;
+  pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
+  pconfig.selector.fixed_count = 12;
+  const engine::ScenarioResult result = engine::run_portfolio(
+      config, trace, policy::Portfolio::paper_portfolio(), pconfig,
+      engine::PredictorKind::kPerfect);
+  // A golden snapshot of a failure-free run would be vacuous: insist the
+  // scenario actually exercises every failure class before pinning it.
+  EXPECT_GT(result.run.metrics.failures.boot_failures, 0u);
+  EXPECT_GT(result.run.metrics.failures.vm_crashes, 0u);
+  EXPECT_GT(result.run.metrics.failures.api_rejected_leases, 0u);
+  expect_matches_golden("failure_kth_sp2", result);
+}
+
+}  // namespace
+}  // namespace psched

@@ -148,6 +148,35 @@ TEST(Json, ParserRejectsMalformedDocuments) {
   EXPECT_FALSE(json_parse("").ok);
 }
 
+TEST(Json, ParserEnforcesNestingDepthLimit) {
+  // Up to kJsonMaxDepth nested containers parse; one more is rejected. The
+  // limit guards the recursive-descent parser against stack exhaustion on
+  // adversarial input (deeply nested "[[[[...").
+  const auto nested = [](std::size_t depth) {
+    std::string doc(depth, '[');
+    doc.append(depth, ']');
+    return doc;
+  };
+  const auto too_deep = json_parse(nested(kJsonMaxDepth + 1));
+  EXPECT_FALSE(too_deep.ok);
+  EXPECT_NE(too_deep.error.find("depth"), std::string::npos) << too_deep.error;
+  EXPECT_TRUE(json_parse(nested(kJsonMaxDepth)).ok);
+
+  // Objects count against the same limit.
+  std::string objects;
+  for (std::size_t i = 0; i < kJsonMaxDepth + 1; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(kJsonMaxDepth + 1, '}');
+  EXPECT_FALSE(json_parse(objects).ok);
+
+  // Depth is about nesting, not size: a wide, shallow document with many
+  // sibling containers is fine (the counter must decrement on close).
+  std::string wide = "[";
+  for (int i = 0; i < 200; ++i) wide += "[1],";
+  wide += "[1]]";
+  EXPECT_TRUE(json_parse(wide).ok);
+}
+
 // --- trace validation --------------------------------------------------------
 
 TEST(TraceValidation, RejectsNonMonotoneAndUnmatchedEvents) {
@@ -188,6 +217,46 @@ TEST(RunReport, ValidatorRejectsWrongSchemaAndMissingSections) {
   EXPECT_FALSE(validate_run_report("{}").ok);
   EXPECT_FALSE(validate_run_report(R"({"schema":"something-else/v1"})").ok);
   EXPECT_FALSE(validate_run_report("not json").ok);
+}
+
+/// Replace the first occurrence of `from` in `doc` (asserting it exists);
+/// used to mutate generated reports into near-valid documents.
+std::string mutated(std::string doc, const std::string& from, const std::string& to) {
+  const std::size_t at = doc.find(from);
+  EXPECT_NE(at, std::string::npos) << from;
+  if (at != std::string::npos) doc.replace(at, from.size(), to);
+  return doc;
+}
+
+TEST(RunReport, ValidatorChecksFailuresSection) {
+  // Build a real report (the only practical way to satisfy every other
+  // required section) and mutate just the failures key.
+  const engine::EngineConfig config = engine::paper_engine_config();
+  const workload::Trace trace =
+      workload::TraceGenerator(workload::kth_sp2_like(0.1)).generate(3).cleaned(64);
+  const auto result = engine::run_single_policy(
+      config, trace, policy::Portfolio::paper_portfolio().policies()[0],
+      engine::PredictorKind::kPerfect);
+  const std::string doc =
+      run_report_json(engine::report_inputs(result, config), nullptr);
+  ASSERT_TRUE(validate_run_report(doc).ok);
+  ASSERT_NE(doc.find("\"failures\":null"), std::string::npos);
+
+  // Missing key entirely.
+  EXPECT_FALSE(validate_run_report(
+                   mutated(doc, "\"failures\":null", "\"failurez\":null")).ok);
+  // Wrong inner schema tag.
+  EXPECT_FALSE(validate_run_report(
+                   mutated(doc, "\"failures\":null",
+                           "\"failures\":{\"schema\":\"wrong/v1\"}")).ok);
+  // An object missing the counter fields.
+  EXPECT_FALSE(
+      validate_run_report(
+          mutated(doc, "\"failures\":null",
+                  "\"failures\":{\"schema\":\"psched-failures/v1\"}")).ok);
+  // Neither null nor object.
+  EXPECT_FALSE(validate_run_report(
+                   mutated(doc, "\"failures\":null", "\"failures\":7")).ok);
 }
 
 TEST(BenchReport, ValidatorAcceptsRectangularTablesOnly) {
@@ -243,6 +312,49 @@ TEST(ObsEndToEnd, SinglePolicyReportValidates) {
   const JsonValue* portfolio = parsed.value.find("portfolio");
   ASSERT_NE(portfolio, nullptr);
   EXPECT_TRUE(portfolio->is(JsonValue::Type::kNull));
+}
+
+TEST(ObsEndToEnd, FailureEnabledReportEmitsFailuresObject) {
+  engine::EngineConfig config = engine::paper_engine_config();
+  config.failure.p_boot_fail = 0.2;
+  config.failure.vm_mtbf_seconds = 2.0 * kSecondsPerHour;
+  config.failure.seed = 9;
+  const workload::Trace trace = small_trace();
+  Recorder rec(ObsConfig{ObsLevel::kCounters});
+  const auto result = engine::run_single_policy(
+      config, trace, test_portfolio().policies()[0], engine::PredictorKind::kPerfect,
+      &rec);
+  const metrics::FailureStats& f = result.run.metrics.failures;
+  ASSERT_TRUE(f.any());  // the run actually exercised the failure paths
+
+  // Obs counters cover the failure events the engine saw.
+  if (f.boot_failures > 0) {
+    EXPECT_DOUBLE_EQ(rec.counters().at("engine.boot_failures"),
+                     static_cast<double>(f.boot_failures));
+  }
+  if (f.vm_crashes > 0) {
+    EXPECT_DOUBLE_EQ(rec.counters().at("engine.vm_crashes"),
+                     static_cast<double>(f.vm_crashes));
+  }
+  if (f.job_kills > 0) {
+    EXPECT_DOUBLE_EQ(rec.counters().at("engine.job_kills"),
+                     static_cast<double>(f.job_kills));
+  }
+
+  const std::string doc = run_report_json(engine::report_inputs(result, config), &rec);
+  const ValidationResult v = validate_run_report(doc);
+  EXPECT_TRUE(v.ok) << v.detail;
+  const auto parsed = json_parse(doc);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const JsonValue* failures = parsed.value.find("failures");
+  ASSERT_NE(failures, nullptr);
+  ASSERT_TRUE(failures->is(JsonValue::Type::kObject));
+  const JsonValue* crashes = failures->find("vm_crashes");
+  ASSERT_NE(crashes, nullptr);
+  EXPECT_DOUBLE_EQ(crashes->number, static_cast<double>(f.vm_crashes));
+  const JsonValue* goodput = failures->find("goodput_proc_seconds");
+  ASSERT_NE(goodput, nullptr);
+  EXPECT_DOUBLE_EQ(goodput->number, result.run.metrics.goodput_proc_seconds());
 }
 
 TEST(ObsEndToEnd, PortfolioTraceAndReportValidate) {

@@ -75,6 +75,10 @@ INSTANTIATE_TEST_SUITE_P(
         case FaultInjection::kBillingOffByOne: return "BillingOffByOne";
         case FaultInjection::kSkipBootDelay: return "SkipBootDelay";
         case FaultInjection::kCapOvershoot: return "CapOvershoot";
+        // candidate-throw is a selector-level fault: the engine/provider
+        // checkers never see it, so it has no place in this provider-fault
+        // suite (the selector degradation tests cover it).
+        case FaultInjection::kCandidateThrow: break;
         case FaultInjection::kNone: break;
       }
       return "None";

@@ -133,5 +133,42 @@ TEST(InvariantChecker, RecordModeCapsStoredViolations) {
   EXPECT_GE(result.run.invariant_violations.front().when, 0.0);
 }
 
+// --- failure-model invariants ------------------------------------------------
+
+TEST(InvariantChecker, FailureRunIsViolationFree) {
+  // Crashes, boot failures, and outages all active: the failure-aware
+  // invariants (job conservation with killed jobs, lease accounting across
+  // crash/boot-fail terminations, billing.ceil on terminated leases,
+  // failure.consistent at run end) must all hold on a clean engine.
+  engine::EngineConfig config = checked_config(8, FaultInjection::kNone, false);
+  config.failure.p_boot_fail = 0.15;
+  config.failure.vm_mtbf_seconds = 2.0 * kSecondsPerHour;
+  config.failure.api_outage_gap_seconds = 0.5 * kSecondsPerHour;
+  config.failure.api_outage_duration_seconds = 240.0;
+  config.failure.seed = 13;
+  const auto result = run_burst(config);
+  EXPECT_GT(result.run.invariant_checks, 0u);
+  EXPECT_TRUE(result.run.invariant_violations.empty())
+      << result.run.invariant_violations.front().invariant << ": "
+      << result.run.invariant_violations.front().detail;
+  EXPECT_TRUE(result.run.metrics.failures.any());
+}
+
+TEST(InvariantChecker, KilledFinalJobsStayConserved) {
+  // Resubmission exhaustion drops jobs for good; the job-conservation
+  // invariant (finished + killed-final = arrived) must absorb them instead
+  // of flagging lost jobs.
+  engine::EngineConfig config = checked_config(8, FaultInjection::kNone, false);
+  config.failure.vm_mtbf_seconds = 600.0;  // well under the 3600 s runtime
+  config.failure.seed = 4;
+  config.resilience.max_resubmits = 0;
+  const auto result = run_burst(config);
+  EXPECT_TRUE(result.run.invariant_violations.empty())
+      << result.run.invariant_violations.front().invariant;
+  EXPECT_GT(result.run.metrics.failures.jobs_killed_final, 0u);
+  EXPECT_EQ(result.run.metrics.jobs + result.run.metrics.failures.jobs_killed_final,
+            12u);
+}
+
 }  // namespace
 }  // namespace psched::validate

@@ -38,6 +38,8 @@ check_config_fields SelectorConfig src/core/selector.hpp
 check_config_fields ValidationConfig src/validate/validation.hpp
 check_config_fields FuzzConfig src/validate/fuzz.hpp
 check_config_fields ObsConfig src/obs/obs.hpp
+check_config_fields FailureConfig src/cloud/failure.hpp
+check_config_fields ResilienceConfig src/cloud/failure.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.

@@ -17,6 +17,9 @@
 //        [--check-invariants] [--inject-fault NAME] [--differential]
 //        [--obs-level off|counters|trace] [--report-out FILE.json]
 //        [--trace-out FILE.json]
+//        [--failures] [--boot-fail-rate P] [--vm-mtbf SECONDS]
+//        [--api-outage SECONDS] [--api-outage-duration SECONDS]
+//        [--failure-seed S] [--max-resubmits N]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
@@ -37,6 +40,14 @@
 //       --trace-out writes a chrome://tracing-loadable event trace
 //       (implies trace). Recording never changes scheduling decisions:
 //       metrics are bit-identical at every level.
+//       Failure model (DESIGN.md §10): --failures enables a demo failure
+//       mix (2% boot failures, 7-day VM MTBF, 6-hourly 300-second API
+//       outages); --boot-fail-rate, --vm-mtbf, and --api-outage set the
+//       individual rates (any nonzero rate enables the model),
+//       --api-outage-duration the outage length, --failure-seed the named
+//       seed streams, and --max-resubmits the per-job resubmission budget.
+//       All-zero rates (the default) are a provable no-op: output is
+//       bit-identical to a failure-free build.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstdio>
@@ -194,6 +205,35 @@ int cmd_run(const util::ArgParser& args) {
     config.allocation = policy::AllocationMode::kEasyBackfill;
   config.provider.billing_quantum = args.get_double("quantum", 3600.0);
 
+  // Failure model: --failures picks a demo mix; the individual rate flags
+  // override it (and any nonzero rate enables the model by itself).
+  if (args.get_bool("failures")) {
+    config.failure.p_boot_fail = 0.02;
+    config.failure.vm_mtbf_seconds = 7.0 * 24.0 * kSecondsPerHour;
+    config.failure.api_outage_gap_seconds = 6.0 * kSecondsPerHour;
+    config.failure.api_outage_duration_seconds = 300.0;
+  }
+  config.failure.p_boot_fail =
+      args.get_double("boot-fail-rate", config.failure.p_boot_fail);
+  config.failure.vm_mtbf_seconds =
+      args.get_double("vm-mtbf", config.failure.vm_mtbf_seconds);
+  config.failure.api_outage_gap_seconds =
+      args.get_double("api-outage", config.failure.api_outage_gap_seconds);
+  config.failure.api_outage_duration_seconds = args.get_double(
+      "api-outage-duration", config.failure.api_outage_duration_seconds);
+  config.failure.seed = static_cast<std::uint64_t>(
+      args.get_int("failure-seed", static_cast<std::int64_t>(config.failure.seed)));
+  config.resilience.max_resubmits = static_cast<std::size_t>(args.get_int(
+      "max-resubmits", static_cast<std::int64_t>(config.resilience.max_resubmits)));
+  if (config.failure.p_boot_fail < 0.0 || config.failure.p_boot_fail > 1.0 ||
+      config.failure.vm_mtbf_seconds < 0.0 ||
+      config.failure.api_outage_gap_seconds < 0.0) {
+    std::fputs("error: --boot-fail-rate must be in [0,1]; --vm-mtbf and "
+               "--api-outage must be >= 0\n",
+               stderr);
+    return 1;
+  }
+
   // Enable-only: a PSCHED_VALIDATE build turns checking on in the default
   // config, and the absence of the flag must not turn it back off.
   if (args.get_bool("check-invariants")) config.validation.check_invariants = true;
@@ -202,7 +242,7 @@ int cmd_run(const util::ArgParser& args) {
   if (!ok) {
     std::fputs(
         "error: unknown --inject-fault (none, billing-off-by-one, "
-        "skip-boot-delay, cap-overshoot)\n",
+        "skip-boot-delay, cap-overshoot, candidate-throw)\n",
         stderr);
     return 1;
   }
@@ -254,6 +294,11 @@ int cmd_run(const util::ArgParser& args) {
         static_cast<std::uint64_t>(args.get_int("period", 1));
     if (args.get_bool("on-change")) pconfig.trigger = core::SelectionTrigger::kOnChange;
     pconfig.use_reflection_hints = args.get_bool("reflection");
+    // candidate-throw lives in the selector, not the provider: every online
+    // candidate simulation throws and the run must still complete (graceful
+    // degradation), exiting 0 with zero invariant violations.
+    if (config.validation.inject_fault == validate::FaultInjection::kCandidateThrow)
+      pconfig.online_sim.inject_fault = validate::FaultInjection::kCandidateThrow;
     result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor,
                                    /*eval_pool=*/nullptr, rec);
   } else {
@@ -286,6 +331,22 @@ int cmd_run(const util::ArgParser& args) {
     table.add_row({"selection invocations", result.portfolio.invocations});
     table.add_row({"policies simulated/selection",
                    util::Cell(result.portfolio.mean_simulated_per_invocation, 1)});
+  }
+  if (config.failure.enabled()) {
+    const metrics::FailureStats& f = m.failures;
+    table.add_row({"boot failures", f.boot_failures});
+    table.add_row({"vm crashes", f.vm_crashes});
+    table.add_row({"api rejections (lease/release)",
+                   std::to_string(f.api_rejected_leases) + "/" +
+                       std::to_string(f.api_rejected_releases)});
+    table.add_row({"lease retries", f.lease_retries});
+    table.add_row({"job kills / resubmits / killed for good",
+                   std::to_string(f.job_kills) + "/" +
+                       std::to_string(f.job_resubmissions) + "/" +
+                       std::to_string(f.jobs_killed_final)});
+    table.add_row({"goodput [proc-h]", util::Cell(m.goodput_proc_seconds() / 3600.0, 1)});
+    table.add_row(
+        {"paid-but-wasted [VM-h]", util::Cell(m.paid_wasted_seconds() / 3600.0, 1)});
   }
   if (config.validation.check_invariants) {
     table.add_row({"invariant checks", result.run.invariant_checks});
