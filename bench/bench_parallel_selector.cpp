@@ -10,8 +10,16 @@
 //  2. Unbounded selection (Delta = 0, whole portfolio every time) with
 //     wall-clock timing: the real speedup of draining all 60 candidates
 //     through the shared thread pool.
+//  3. Hot-path table (gated, DESIGN.md §11): fresh vs memoized-repeat
+//     candidate throughput at eval_threads = 1/2/4. Each event is selected
+//     twice — the first pass exercises the snapshot + arena fast path cold,
+//     the second hits the fingerprint memo for all 60 candidates. The
+//     deterministic columns (candidates per selection, memo hits) are gated
+//     exactly against bench/baselines/BENCH_selector.json; the throughput
+//     columns are gated with a generous timing tolerance. Emitted last so
+//     --report captures this table.
 //
-// Both replay the same deterministic sequence of selection events
+// All tables replay the same deterministic sequence of selection events
 // (synthetic queue snapshots of varying size/width/runtimes).
 #include <chrono>
 #include <cstdio>
@@ -75,6 +83,47 @@ Sample replay(const std::vector<SelectionEvent>& events, core::SelectorConfig co
   return sample;
 }
 
+struct MemoSample {
+  double fresh_per_selection = 0.0;   ///< candidates scored, first pass
+  double hits_per_selection = 0.0;    ///< memo hits, second pass
+  double fresh_candidates_per_s = 0.0;
+  double repeat_candidates_per_s = 0.0;
+};
+
+/// Select every event twice: the first pass is all misses (profile.now
+/// differs per event, so the round fingerprint is fresh), the second pass
+/// replays the identical round and must hit the memo for every candidate.
+MemoSample replay_memo(const std::vector<SelectionEvent>& events,
+                       core::SelectorConfig config) {
+  core::TimeConstrainedSelector selector(
+      bench::paper_portfolio(), core::OnlineSimulator(core::OnlineSimConfig{}), config);
+  std::size_t fresh = 0;
+  std::size_t repeat = 0;
+  std::size_t hits = 0;
+  double fresh_ms = 0.0;
+  double repeat_ms = 0.0;
+  for (const SelectionEvent& event : events) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fresh += selector.select(event.queue, event.profile).simulated();
+    const auto t1 = std::chrono::steady_clock::now();
+    const core::SelectionResult again = selector.select(event.queue, event.profile);
+    const auto t2 = std::chrono::steady_clock::now();
+    repeat += again.simulated();
+    hits += again.memo_hits;
+    fresh_ms += std::chrono::duration<double, std::milli>(t1 - t0).count();
+    repeat_ms += std::chrono::duration<double, std::milli>(t2 - t1).count();
+  }
+  const auto count = static_cast<double>(events.size());
+  MemoSample sample;
+  sample.fresh_per_selection = static_cast<double>(fresh) / count;
+  sample.hits_per_selection = static_cast<double>(hits) / count;
+  sample.fresh_candidates_per_s =
+      fresh_ms > 0.0 ? 1000.0 * static_cast<double>(fresh) / fresh_ms : 0.0;
+  sample.repeat_candidates_per_s =
+      repeat_ms > 0.0 ? 1000.0 * static_cast<double>(repeat) / repeat_ms : 0.0;
+  return sample;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,5 +174,30 @@ int main(int argc, char** argv) {
       "note: wall-clock speedup is bounded by the %u hardware thread(s) of this "
       "machine; the budget table above is machine-independent.\n",
       std::thread::hardware_concurrency());
+
+  // Table 3 (gated, emitted last so --report carries it): fresh vs memoized
+  // repeat throughput of the snapshot + arena hot path.
+  util::Table memo_table({"eval_threads", "Fresh simulated/selection",
+                          "Memo hits/repeat", "Fresh candidates/s",
+                          "Repeat candidates/s"});
+  static constexpr obs::ColumnKind kMemoGate[] = {
+      obs::ColumnKind::kExact,        obs::ColumnKind::kExact,
+      obs::ColumnKind::kExact,        obs::ColumnKind::kHigherBetter,
+      obs::ColumnKind::kHigherBetter};
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    core::SelectorConfig config;
+    config.time_constraint_ms = 0.0;  // unbounded: all 60 policies per event
+    config.eval_threads = width;
+    const MemoSample sample = replay_memo(events, config);
+    memo_table.add_row({util::Cell(static_cast<double>(width), 0),
+                        util::Cell(sample.fresh_per_selection, 0),
+                        util::Cell(sample.hits_per_selection, 0),
+                        util::Cell(sample.fresh_candidates_per_s, 0),
+                        util::Cell(sample.repeat_candidates_per_s, 0)});
+  }
+  bench::emit(env, memo_table,
+              "Selector hot path: fresh vs memoized repeat (unbounded Delta, "
+              "60-policy portfolio)",
+              kMemoGate);
   return 0;
 }

@@ -114,7 +114,8 @@ std::vector<engine::ScenarioResult> figure4_style(const BenchEnv& env,
   return portfolio_results;
 }
 
-std::string bench_report_json(const util::Table& table, const std::string& title) {
+std::string bench_report_json(const util::Table& table, const std::string& title,
+                              std::span<const obs::ColumnKind> gate) {
   std::string out = "{\"schema\":\"psched-bench-report/v1\",\"title\":\"";
   out += obs::json_escape(title);
   out += "\",\"headers\":[";
@@ -125,7 +126,20 @@ std::string bench_report_json(const util::Table& table, const std::string& title
     out += obs::json_escape(headers[i]);
     out += '"';
   }
-  out += "],\"rows\":[";
+  out += ']';
+  if (!gate.empty()) {
+    // One comparison kind per column (see obs/bench_gate.hpp); the size must
+    // line up or the document would fail its own validator.
+    out += ",\"gate\":[";
+    for (std::size_t i = 0; i < gate.size(); ++i) {
+      if (i != 0) out += ',';
+      out += '"';
+      out += obs::to_string(gate[i]);
+      out += '"';
+    }
+    out += ']';
+  }
+  out += ",\"rows\":[";
   for (std::size_t r = 0; r < table.rows(); ++r) {
     if (r != 0) out += ',';
     out += '[';
@@ -148,7 +162,8 @@ std::string bench_report_json(const util::Table& table, const std::string& title
   return out;
 }
 
-void emit(const BenchEnv& env, const util::Table& table, const std::string& title) {
+void emit(const BenchEnv& env, const util::Table& table, const std::string& title,
+          std::span<const obs::ColumnKind> gate) {
   std::fputs(table.render(title).c_str(), stdout);
   std::fputc('\n', stdout);
   if (!env.csv_path.empty()) {
@@ -159,7 +174,7 @@ void emit(const BenchEnv& env, const util::Table& table, const std::string& titl
     }
   }
   if (!env.report_path.empty()) {
-    if (obs::write_text_file(env.report_path, bench_report_json(table, title))) {
+    if (obs::write_text_file(env.report_path, bench_report_json(table, title, gate))) {
       std::printf("[report] wrote %s\n", env.report_path.c_str());
     } else {
       std::fprintf(stderr, "[report] FAILED to write %s\n", env.report_path.c_str());

@@ -14,10 +14,12 @@
 //               BENCH_*.json trajectory; see DESIGN.md §9)
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "engine/experiment.hpp"
+#include "obs/bench_gate.hpp"
 #include "policy/portfolio.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
@@ -84,12 +86,17 @@ std::vector<engine::ScenarioResult> figure4_style(const BenchEnv& env,
 /// CSV; if env.report_path is set, also as "psched-bench-report/v1" JSON
 /// (numeric cells as JSON numbers, text as strings). A bench that emits
 /// several tables overwrites the report with the latest one — point
-/// --report at one file per table of interest.
-void emit(const BenchEnv& env, const util::Table& table, const std::string& title);
+/// --report at one file per table of interest. When `gate` is non-empty
+/// (one obs::ColumnKind per column) the report carries the regression-gate
+/// annotation consumed by tools/psched_bench_gate (DESIGN.md §11).
+void emit(const BenchEnv& env, const util::Table& table, const std::string& title,
+          std::span<const obs::ColumnKind> gate = {});
 
-/// Serialize one table as the "psched-bench-report/v1" document.
+/// Serialize one table as the "psched-bench-report/v1" document, optionally
+/// with a per-column "gate" annotation (empty = none).
 [[nodiscard]] std::string bench_report_json(const util::Table& table,
-                                            const std::string& title);
+                                            const std::string& title,
+                                            std::span<const obs::ColumnKind> gate = {});
 
 /// Print the standard bench banner (scale, seed, configuration).
 void banner(const std::string& name, const BenchEnv& env);

@@ -12,28 +12,19 @@ namespace psched::core {
 
 namespace {
 
-/// Inner-simulation view of one VM.
-struct InnerVm {
-  VmId id;
-  SimTime lease_time;
-  SimTime available_at;
-  bool fresh;  ///< leased during this simulation (charged from lease_time)
-  bool busy;   ///< has (ever) run a job; unavailable + !busy == booting
-};
-
 /// Charge for a VM released at `release` (see InnerCostModel).
 /// kChargedHours: fresh VMs pay rounded-up hours from their lease;
 /// pre-existing VMs pay only the hours added after the snapshot `t0`.
 /// kElapsedMarginal: every VM pays exactly the time it was held within the
 /// drain window [t0, release] (fresh VMs from their lease instant).
-double charge_seconds(const InnerVm& vm, SimTime release, SimTime t0,
+double charge_seconds(SimTime lease_time, bool fresh, SimTime release, SimTime t0,
                       InnerCostModel model, SimDuration quantum) {
   if (model == InnerCostModel::kElapsedMarginal) {
-    return std::max(0.0, release - std::max(vm.lease_time, t0));
+    return std::max(0.0, release - std::max(lease_time, t0));
   }
-  const double total = cloud::charged_seconds_for(vm.lease_time, release, quantum);
-  if (vm.fresh) return total;
-  const double sunk = cloud::charged_seconds_for(vm.lease_time, t0, quantum);
+  const double total = cloud::charged_seconds_for(lease_time, release, quantum);
+  if (fresh) return total;
+  const double sunk = cloud::charged_seconds_for(lease_time, t0, quantum);
   return std::max(0.0, total - sunk);
 }
 
@@ -47,23 +38,32 @@ OnlineSimulator::OnlineSimulator(OnlineSimConfig config) : config_(config) {
 SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
                                      const cloud::CloudProfile& profile,
                                      const policy::PolicyTriple& policy) const {
-  // Const-thread-safe (see header): all mutable state below is stack-local;
-  // config_, the profile snapshot, and the policy objects are only read.
+  RoundSnapshot snapshot;
+  snapshot.build(queue, profile);
+  SimArena arena;
+  return simulate(snapshot, policy, arena);
+}
+
+SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
+                                     const policy::PolicyTriple& policy,
+                                     SimArena& arena) const {
+  // Const-thread-safe for distinct arenas (see header): all mutable state
+  // lives in `arena`; config_, the snapshot, and the policies are only read.
   PSCHED_ASSERT(policy.provisioning && policy.job_selection && policy.vm_selection);
   if (config_.inject_fault == validate::FaultInjection::kCandidateThrow)
     throw std::runtime_error("injected fault: candidate simulation throw");
-  const SimTime t0 = profile.now;
+  const SimTime t0 = snapshot.t0;
 
-  std::vector<InnerVm> vms;
-  vms.reserve(profile.vms.size() + 16);
+  arena.reset();
   VmId next_vm_id = 0;
-  for (const cloud::VmView& view : profile.vms) {
-    vms.push_back(InnerVm{next_vm_id++, view.lease_time,
-                          std::max(view.available_at, t0), /*fresh=*/false,
-                          view.busy});
+  for (std::size_t i = 0; i < snapshot.vm_count(); ++i) {
+    // Snapshot availability is already clamped to t0.
+    arena.push_vm(next_vm_id++, snapshot.vm_lease[i], snapshot.vm_available[i],
+                  /*fresh=*/false, snapshot.vm_busy[i] != 0);
   }
 
-  std::vector<policy::QueuedJob> pending(queue.begin(), queue.end());
+  snapshot.fill_pending(arena.pending);
+  std::vector<policy::QueuedJob>& pending = arena.pending;
 
   SimOutcome out;
   SimTime now = t0;
@@ -72,8 +72,6 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
   const std::size_t total_jobs = pending.size();
   SimTime last_completion = t0;
 
-  std::vector<policy::VmAvail> avail;  // reused across iterations
-
   while (!pending.empty()) {
     if (++out.decisions > config_.max_iterations) {
       PSCHED_ASSERT_MSG(false, "online simulation exceeded the iteration cap");
@@ -81,49 +79,47 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
 
     // --- scheduling context -------------------------------------------------
     std::size_t idle = 0, booting = 0;
-    for (const InnerVm& vm : vms) {
-      if (vm.available_at <= now) ++idle;
-      else if (!vm.busy) ++booting;
+    for (std::size_t i = 0; i < arena.vm_count(); ++i) {
+      if (arena.vm_avail[i] <= now) ++idle;
+      else if (!arena.vm_busy[i]) ++booting;
     }
     policy::SchedContext ctx;
     ctx.now = now;
     ctx.queue = pending;
     ctx.idle_vms = idle;
     ctx.booting_vms = booting;
-    ctx.total_vms = vms.size();
-    ctx.max_vms = profile.max_vms;
+    ctx.total_vms = arena.vm_count();
+    ctx.max_vms = snapshot.max_vms;
 
     // --- 1. provisioning -----------------------------------------------------
     const std::size_t headroom =
-        vms.size() >= profile.max_vms ? 0 : profile.max_vms - vms.size();
+        arena.vm_count() >= snapshot.max_vms ? 0 : snapshot.max_vms - arena.vm_count();
     const std::size_t to_lease =
         std::min(policy.provisioning->vms_to_lease(ctx), headroom);
     for (std::size_t i = 0; i < to_lease; ++i) {
-      vms.push_back(InnerVm{next_vm_id++, now, now + profile.boot_delay,
-                            /*fresh=*/true, /*busy=*/false});
+      arena.push_vm(next_vm_id++, now, now + snapshot.boot_delay,
+                    /*fresh=*/true, /*busy=*/false);
     }
 
     // --- 2. allocation (shared planner; head-of-line or EASY backfill) -------
-    policy::order_queue(pending, *policy.job_selection, now);
-    avail.clear();
-    for (const InnerVm& vm : vms)
-      avail.push_back(policy::VmAvail{vm.id, vm.lease_time, vm.available_at});
-    const std::vector<policy::PlannedStart> plan = policy::plan_allocation(
-        now, pending, avail, *policy.vm_selection, config_.allocation,
-        profile.billing_quantum);
-    if (!plan.empty()) {
-      std::vector<bool> served(pending.size(), false);
-      for (const policy::PlannedStart& start : plan) {
-        served[start.queue_index] = true;
+    policy::order_queue(pending, *policy.job_selection, now, arena.order);
+    arena.avail.clear();
+    for (std::size_t i = 0; i < arena.vm_count(); ++i)
+      arena.avail.push_back(
+          policy::VmAvail{arena.vm_id[i], arena.vm_lease[i], arena.vm_avail[i]});
+    policy::plan_allocation_into(now, pending, arena.avail, *policy.vm_selection,
+                                 config_.allocation, snapshot.billing_quantum,
+                                 arena.plan, arena.alloc);
+    if (!arena.plan.empty()) {
+      arena.served.assign(pending.size(), 0);
+      for (const policy::AllocationPlan::Start& start : arena.plan.starts) {
+        arena.served[start.queue_index] = 1;
         const policy::QueuedJob& job = pending[start.queue_index];
         const SimTime completion = now + job.predicted_runtime;
-        for (const VmId chosen : start.vms) {
-          const auto it =
-              std::find_if(vms.begin(), vms.end(),
-                           [chosen](const InnerVm& vm) { return vm.id == chosen; });
-          PSCHED_ASSERT(it != vms.end());
-          it->available_at = completion;
-          it->busy = true;
+        for (const VmId chosen : arena.plan.vms_of(start)) {
+          const std::size_t row = arena.vm_row[static_cast<std::size_t>(chosen)];
+          arena.vm_avail[row] = completion;
+          arena.vm_busy[row] = 1;
         }
         bsd_sum += workload::bounded_slowdown(job.wait(now), job.predicted_runtime,
                                               config_.slowdown_bound);
@@ -133,7 +129,7 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
       }
       std::size_t kept = 0;
       for (std::size_t i = 0; i < pending.size(); ++i)
-        if (!served[i]) pending[kept++] = pending[i];
+        if (!arena.served[i]) pending[kept++] = pending[i];
       pending.resize(kept);
     }
 
@@ -147,20 +143,20 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
       // thrash-avoidance as the engine's release rule).
       std::size_t reserve =
           pending.empty() ? 0 : static_cast<std::size_t>(pending.front().procs);
-      for (std::size_t i = 0; i < vms.size();) {
-        const InnerVm& vm = vms[i];
-        if (vm.available_at <= now && reserve > 0) {
+      for (std::size_t i = 0; i < arena.vm_count();) {
+        if (arena.vm_avail[i] <= now && reserve > 0) {
           --reserve;
           ++i;
           continue;
         }
-        if (vm.available_at <= now &&
-            cloud::remaining_paid_at(vm.lease_time, now, profile.billing_quantum) <=
+        if (arena.vm_avail[i] <= now &&
+            cloud::remaining_paid_at(arena.vm_lease[i], now,
+                                     snapshot.billing_quantum) <=
                 config_.release_window) {
           out.rv_charged_seconds +=
-              charge_seconds(vm, now, t0, config_.cost_model, profile.billing_quantum);
-          vms[i] = vms.back();
-          vms.pop_back();
+              charge_seconds(arena.vm_lease[i], arena.vm_fresh[i] != 0, now, t0,
+                             config_.cost_model, snapshot.billing_quantum);
+          arena.remove_vm(i);
         } else {
           ++i;
         }
@@ -176,20 +172,20 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
     // again at the very next scheduling tick — engine fidelity requires
     // considering it. Quiet stretches still fast-forward directly to the
     // next event. Guaranteed to move forward (see DESIGN.md).
-    const bool changed = to_lease > 0 || !plan.empty();
+    const bool changed = to_lease > 0 || !arena.plan.empty();
     SimTime next_avail = kTimeNever;
-    for (const InnerVm& vm : vms)
-      if (vm.available_at > now) next_avail = std::min(next_avail, vm.available_at);
+    for (std::size_t i = 0; i < arena.vm_count(); ++i)
+      if (arena.vm_avail[i] > now) next_avail = std::min(next_avail, arena.vm_avail[i]);
     // Rebuild the context: provisioning/allocation above changed the state.
     std::size_t idle2 = 0, booting2 = 0;
-    for (const InnerVm& vm : vms) {
-      if (vm.available_at <= now) ++idle2;
-      else if (!vm.busy) ++booting2;
+    for (std::size_t i = 0; i < arena.vm_count(); ++i) {
+      if (arena.vm_avail[i] <= now) ++idle2;
+      else if (!arena.vm_busy[i]) ++booting2;
     }
     ctx.queue = pending;
     ctx.idle_vms = idle2;
     ctx.booting_vms = booting2;
-    ctx.total_vms = vms.size();
+    ctx.total_vms = arena.vm_count();
     const SimTime next_policy = policy.provisioning->next_change(ctx);
     SimTime next = std::min(next_avail, next_policy);
     if (changed) next = std::min(next, now + config_.schedule_period);
@@ -205,14 +201,15 @@ SimOutcome OnlineSimulator::simulate(std::span<const policy::QueuedJob> queue,
   // tick grid — not bare `available_at`, which under-bills whenever the
   // boot delay is not a multiple of the schedule period. (On the
   // differential oracle's ground rules the two coincide; see DESIGN.md §7.)
-  for (const InnerVm& vm : vms) {
-    SimTime release = std::max(vm.available_at, now);
-    if (!vm.busy && vm.available_at > now) {
-      release = std::ceil(vm.available_at / config_.schedule_period) *
+  for (std::size_t i = 0; i < arena.vm_count(); ++i) {
+    SimTime release = std::max(arena.vm_avail[i], now);
+    if (!arena.vm_busy[i] && arena.vm_avail[i] > now) {
+      release = std::ceil(arena.vm_avail[i] / config_.schedule_period) *
                 config_.schedule_period;
     }
-    out.rv_charged_seconds += charge_seconds(vm, release, t0, config_.cost_model,
-                                             profile.billing_quantum);
+    out.rv_charged_seconds +=
+        charge_seconds(arena.vm_lease[i], arena.vm_fresh[i] != 0, release, t0,
+                       config_.cost_model, snapshot.billing_quantum);
   }
 
   out.avg_bounded_slowdown = finished ? bsd_sum / static_cast<double>(finished) : 1.0;

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "cloud/profile.hpp"
+#include "core/round_snapshot.hpp"
+#include "core/sim_arena.hpp"
 #include "metrics/utility.hpp"
 #include "policy/allocation.hpp"
 #include "policy/portfolio.hpp"
@@ -90,13 +92,15 @@ struct SimOutcome {
 
 /// Thread-safety: `simulate` is const-thread-safe — any number of threads
 /// may call it concurrently on one OnlineSimulator instance (with the same
-/// or different arguments). This is a stated contract, not an accident: the
-/// simulator holds only the immutable config, every piece of scratch state
-/// (VM views, the pending queue, allocation plans) lives on the calling
-/// thread's stack, and the policies it drives are stateless (`const`
-/// interfaces throughout policy/*.hpp). The wave-parallel selector and the
-/// concurrency stress test in tests/core/selector_parallel_test.cpp rely on
-/// this; keep new scratch state per-call (or thread_local) when extending.
+/// or different arguments), provided each concurrent call uses its own
+/// SimArena (the span/profile overload allocates one internally). This is a
+/// stated contract, not an accident: the simulator holds only the immutable
+/// config, every piece of mutable scratch lives in the caller-supplied
+/// arena, the RoundSnapshot is read-only during simulation, and the
+/// policies it drives are stateless (`const` interfaces throughout
+/// policy/*.hpp). The wave-parallel selector keeps one arena per wave slot;
+/// the concurrency stress test in tests/core/selector_parallel_test.cpp
+/// relies on this. Keep new scratch state inside SimArena when extending.
 class OnlineSimulator {
  public:
   explicit OnlineSimulator(OnlineSimConfig config);
@@ -105,10 +109,21 @@ class OnlineSimulator {
 
   /// Simulate `policy` scheduling `queue` starting from `profile`.
   /// Deterministic: same inputs -> same outcome on every platform.
-  /// Safe to call concurrently from multiple threads (see class comment).
+  /// Convenience wrapper over the snapshot/arena fast path below: builds a
+  /// fresh RoundSnapshot and SimArena per call, so it is allocation-heavy
+  /// but needs no caller-side state. Safe to call concurrently.
   [[nodiscard]] SimOutcome simulate(std::span<const policy::QueuedJob> queue,
                                     const cloud::CloudProfile& profile,
                                     const policy::PolicyTriple& policy) const;
+
+  /// Fast path (DESIGN.md §11): simulate `policy` against a prebuilt round
+  /// snapshot, using `arena` for every piece of mutable state. Bit-identical
+  /// outcome to the wrapper above for the same (queue, profile) inputs. The
+  /// snapshot may be shared across concurrent calls; the arena may not —
+  /// one arena per concurrent caller.
+  [[nodiscard]] SimOutcome simulate(const RoundSnapshot& snapshot,
+                                    const policy::PolicyTriple& policy,
+                                    SimArena& arena) const;
 
  private:
   OnlineSimConfig config_;  ///< immutable after construction

@@ -1,0 +1,80 @@
+#include "core/round_snapshot.hpp"
+
+#include <algorithm>
+
+namespace psched::core {
+
+void RoundSnapshot::build(std::span<const policy::QueuedJob> queue,
+                          const cloud::CloudProfile& profile) {
+  t0 = profile.now;
+  max_vms = profile.max_vms;
+  boot_delay = profile.boot_delay;
+  billing_quantum = profile.billing_quantum;
+
+  job_id.clear();
+  job_submit.clear();
+  job_procs.clear();
+  job_predicted.clear();
+  job_id.reserve(queue.size());
+  job_submit.reserve(queue.size());
+  job_procs.reserve(queue.size());
+  job_predicted.reserve(queue.size());
+  for (const policy::QueuedJob& job : queue) {
+    job_id.push_back(job.id);
+    job_submit.push_back(job.submit);
+    job_procs.push_back(job.procs);
+    job_predicted.push_back(job.predicted_runtime);
+  }
+
+  vm_lease.clear();
+  vm_available.clear();
+  vm_busy.clear();
+  vm_lease.reserve(profile.vms.size());
+  vm_available.reserve(profile.vms.size());
+  vm_busy.reserve(profile.vms.size());
+  for (const cloud::VmView& view : profile.vms) {
+    vm_lease.push_back(view.lease_time);
+    vm_available.push_back(std::max(view.available_at, t0));
+    vm_busy.push_back(view.busy ? 1 : 0);
+  }
+
+  // The fingerprint covers every input the inner simulation reads, in a
+  // fixed canonical order, with length prefixes so (say) moving a value
+  // from the queue to the VM table cannot alias. The simulator config is
+  // NOT part of the hash: a memo cache lives inside one selector, whose
+  // OnlineSimConfig is immutable, so config identity is structural.
+  util::Fingerprint fp;
+  fp.mix(t0);
+  fp.mix(max_vms);
+  fp.mix(boot_delay);
+  fp.mix(billing_quantum);
+  fp.mix(job_id.size());
+  for (std::size_t i = 0; i < job_id.size(); ++i) {
+    fp.mix(static_cast<std::size_t>(job_id[i]));
+    fp.mix(job_submit[i]);
+    fp.mix(job_procs[i]);
+    fp.mix(job_predicted[i]);
+  }
+  fp.mix(vm_lease.size());
+  for (std::size_t i = 0; i < vm_lease.size(); ++i) {
+    fp.mix(vm_lease[i]);
+    fp.mix(vm_available[i]);
+    fp.mix(vm_busy[i] != 0);
+  }
+  fingerprint = fp;
+}
+
+void RoundSnapshot::fill_pending(std::vector<policy::QueuedJob>& out) const {
+  out.clear();
+  out.reserve(job_id.size());
+  for (std::size_t i = 0; i < job_id.size(); ++i) {
+    policy::QueuedJob job;
+    job.id = job_id[i];
+    job.submit = job_submit[i];
+    job.procs = job_procs[i];
+    job.predicted_runtime = job_predicted[i];
+    out.push_back(job);
+  }
+}
+
+}  // namespace psched::core

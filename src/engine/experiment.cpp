@@ -139,6 +139,9 @@ core::PortfolioSchedulerConfig paper_portfolio_config(const EngineConfig& engine
   core::PortfolioSchedulerConfig pc;
   pc.selector.time_constraint_ms = 0.0;  // unbounded
   pc.selector.lambda = 0.6;
+  // Invariant-checked runs also cross-check every memo hit against a fresh
+  // simulation (the fingerprint-collision tripwire; DESIGN.md §11).
+  pc.selector.verify_memo = engine.validation.check_invariants;
   pc.online_sim.utility = engine.utility;
   pc.online_sim.slowdown_bound = engine.slowdown_bound;
   pc.online_sim.schedule_period = engine.schedule_period;

@@ -1,0 +1,187 @@
+#include "obs/bench_gate.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace psched::obs {
+
+namespace {
+
+/// Format a cell for a failure message.
+std::string cell_str(const JsonValue& cell) {
+  if (cell.is(JsonValue::Type::kString)) return '"' + cell.string + '"';
+  if (cell.is(JsonValue::Type::kNumber)) return json_number(cell.number);
+  return "<non-scalar>";
+}
+
+/// Exact cell equality: type, then string bytes or numeric value. Numbers in
+/// a bench report are decimal renderings of deterministic outputs, so value
+/// equality (not epsilon) is the correct notion — if a deterministic column
+/// drifts by any amount, that is the regression being hunted.
+bool cells_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.type != b.type) return false;
+  if (a.is(JsonValue::Type::kString)) return a.string == b.string;
+  if (a.is(JsonValue::Type::kNumber)) return a.number == b.number;  // NOLINT
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(ColumnKind kind) noexcept {
+  switch (kind) {
+    case ColumnKind::kExact: return "exact";
+    case ColumnKind::kLowerBetter: return "lower-better";
+    case ColumnKind::kHigherBetter: return "higher-better";
+    case ColumnKind::kInformational: return "informational";
+  }
+  return "informational";
+}
+
+bool column_kind_from(std::string_view name, ColumnKind& out) noexcept {
+  if (name == "exact") out = ColumnKind::kExact;
+  else if (name == "lower-better") out = ColumnKind::kLowerBetter;
+  else if (name == "higher-better") out = ColumnKind::kHigherBetter;
+  else if (name == "informational") out = ColumnKind::kInformational;
+  else return false;
+  return true;
+}
+
+GateResult gate_bench_reports(std::string_view baseline_json,
+                              std::string_view candidate_json,
+                              const BenchGateConfig& config) {
+  GateResult result;
+  const auto fail = [&result](std::string message) {
+    result.failures.push_back(std::move(message));
+  };
+  if (!(config.timing_tolerance >= 1.0)) {
+    fail("timing_tolerance must be >= 1");
+    return result;
+  }
+
+  // Both sides must be valid v1 bench reports before any comparison.
+  for (const auto& [json, what] :
+       {std::pair{baseline_json, "baseline"}, std::pair{candidate_json, "candidate"}}) {
+    const ValidationResult valid = validate_bench_report(json);
+    if (!valid.ok) fail(std::string(what) + ": " + valid.detail);
+  }
+  if (!result.pass()) return result;
+
+  const JsonValue base = json_parse(baseline_json).value;
+  const JsonValue cand = json_parse(candidate_json).value;
+
+  const JsonValue& base_title = *base.find("title");
+  const JsonValue& cand_title = *cand.find("title");
+  if (base_title.string != cand_title.string) {
+    fail("title differs (different experiment?): baseline \"" + base_title.string +
+         "\" vs candidate \"" + cand_title.string + '"');
+    return result;
+  }
+
+  const JsonValue& base_headers = *base.find("headers");
+  const JsonValue& cand_headers = *cand.find("headers");
+  if (base_headers.array.size() != cand_headers.array.size()) {
+    fail("header count differs: baseline " + std::to_string(base_headers.array.size()) +
+         " vs candidate " + std::to_string(cand_headers.array.size()));
+    return result;
+  }
+  for (std::size_t c = 0; c < base_headers.array.size(); ++c) {
+    if (base_headers.array[c].string != cand_headers.array[c].string)
+      fail("header " + std::to_string(c) + " differs: baseline \"" +
+           base_headers.array[c].string + "\" vs candidate \"" +
+           cand_headers.array[c].string + '"');
+  }
+  if (!result.pass()) return result;
+
+  // Column kinds: baseline's "gate" array wins (the committed contract),
+  // candidate's as fallback, all-exact otherwise. If both carry one, they
+  // must agree — a silent kind change could relax the gate.
+  std::vector<ColumnKind> kinds(base_headers.array.size(), ColumnKind::kExact);
+  const auto read_kinds = [&](const JsonValue& root, const char* what) {
+    const JsonValue* gate = root.find("gate");
+    if (gate == nullptr) return true;
+    if (!gate->is(JsonValue::Type::kArray) ||
+        gate->array.size() != base_headers.array.size()) {
+      fail(std::string(what) + ": \"gate\" is not an array of one kind per column");
+      return false;
+    }
+    for (std::size_t c = 0; c < gate->array.size(); ++c) {
+      if (!gate->array[c].is(JsonValue::Type::kString) ||
+          !column_kind_from(gate->array[c].string, kinds[c])) {
+        fail(std::string(what) + ": unknown gate kind in column " + std::to_string(c));
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool base_has_gate = base.find("gate") != nullptr;
+  if (!read_kinds(base_has_gate ? base : cand, base_has_gate ? "baseline" : "candidate"))
+    return result;
+  if (base_has_gate && cand.find("gate") != nullptr) {
+    std::vector<ColumnKind> cand_kinds(kinds.size(), ColumnKind::kExact);
+    std::swap(kinds, cand_kinds);
+    if (!read_kinds(cand, "candidate")) return result;
+    std::swap(kinds, cand_kinds);
+    if (kinds != cand_kinds) {
+      fail("baseline and candidate disagree on column gate kinds");
+      return result;
+    }
+  }
+
+  const JsonValue& base_rows = *base.find("rows");
+  const JsonValue& cand_rows = *cand.find("rows");
+  if (base_rows.array.size() != cand_rows.array.size()) {
+    fail("row count differs: baseline " + std::to_string(base_rows.array.size()) +
+         " vs candidate " + std::to_string(cand_rows.array.size()));
+    return result;
+  }
+
+  for (std::size_t r = 0; r < base_rows.array.size(); ++r) {
+    const JsonValue& brow = base_rows.array[r];
+    const JsonValue& crow = cand_rows.array[r];
+    for (std::size_t c = 0; c < kinds.size(); ++c) {
+      const JsonValue& bcell = brow.array[c];
+      const JsonValue& ccell = crow.array[c];
+      const std::string at = "row " + std::to_string(r) + ", column \"" +
+                             base_headers.array[c].string + '"';
+      switch (kinds[c]) {
+        case ColumnKind::kInformational:
+          continue;
+        case ColumnKind::kExact:
+          ++result.cells_checked;
+          if (!cells_equal(bcell, ccell))
+            fail(at + ": expected " + cell_str(bcell) + ", got " + cell_str(ccell));
+          break;
+        case ColumnKind::kLowerBetter:
+        case ColumnKind::kHigherBetter: {
+          ++result.cells_checked;
+          if (!bcell.is(JsonValue::Type::kNumber) ||
+              !ccell.is(JsonValue::Type::kNumber)) {
+            fail(at + ": timing-gated cell is not a number");
+            break;
+          }
+          const double baseline = bcell.number;
+          const double candidate = ccell.number;
+          if (!(std::isfinite(baseline) && std::isfinite(candidate)) ||
+              baseline < 0.0 || candidate < 0.0) {
+            fail(at + ": timing-gated cell is not a finite non-negative number");
+            break;
+          }
+          const bool worse =
+              kinds[c] == ColumnKind::kLowerBetter
+                  ? candidate > baseline * config.timing_tolerance
+                  : candidate * config.timing_tolerance < baseline;
+          if (worse)
+            fail(at + ": " + cell_str(ccell) + " regressed beyond " +
+                 json_number(config.timing_tolerance) + "x of baseline " +
+                 cell_str(bcell));
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace psched::obs

@@ -116,7 +116,7 @@ std::string selection_json(const Recorder* recorder) {
   const auto& rounds = recorder->rounds();
   double simulated = 0.0, charged = 0.0;
   double smart = 0.0, stale = 0.0, poor = 0.0;
-  std::size_t churn = 0;
+  std::size_t churn = 0, memo_hits = 0;
   std::map<std::string, double> tie_paths;
   for (const SelectionRoundRecord& r : rounds) {
     simulated += static_cast<double>(r.simulated);
@@ -125,6 +125,7 @@ std::string selection_json(const Recorder* recorder) {
     stale += static_cast<double>(r.stale_out);
     poor += static_cast<double>(r.poor_out);
     churn += r.smart_churn;
+    memo_hits += r.memo_hits;
     tie_paths[r.tie_path] += 1.0;
   }
   const auto n = static_cast<double>(rounds.size());
@@ -133,6 +134,7 @@ std::string selection_json(const Recorder* recorder) {
   append_kv(out, "rounds", json_number(n), first);
   append_kv(out, "total_simulated", json_number(simulated), first);
   append_kv(out, "total_budget_charged", json_number(charged), first);
+  append_kv(out, "total_memo_hits", json_number(static_cast<double>(memo_hits)), first);
   append_kv(out, "mean_smart", json_number(smart / n), first);
   append_kv(out, "mean_stale", json_number(stale / n), first);
   append_kv(out, "mean_poor", json_number(poor / n), first);
@@ -312,7 +314,8 @@ ValidationResult validate_run_report(std::string_view json) {
   const JsonValue* selection = root.find("selection");
   if (selection == nullptr) return fail("missing key \"selection\"");
   if (selection->is(JsonValue::Type::kObject)) {
-    for (const char* key : {"rounds", "total_simulated", "total_budget_charged"}) {
+    for (const char* key : {"rounds", "total_simulated", "total_budget_charged",
+                            "total_memo_hits"}) {
       const JsonValue* field = selection->find(key);
       if (field == nullptr || !field->is(JsonValue::Type::kNumber))
         return fail(std::string("selection.") + key + " missing or not a number");
@@ -416,6 +419,21 @@ ValidationResult validate_bench_report(std::string_view json) {
   if (headers == nullptr) return status;
   for (const JsonValue& h : headers->array)
     if (!h.is(JsonValue::Type::kString)) return fail("header is not a string");
+
+  // Optional regression-gate annotation (see obs/bench_gate.hpp): when
+  // present it must be one known kind name per column.
+  if (const JsonValue* gate = root.find("gate"); gate != nullptr) {
+    if (!gate->is(JsonValue::Type::kArray))
+      return fail("\"gate\" is not an array");
+    if (gate->array.size() != headers->array.size())
+      return fail("\"gate\" length does not match header count");
+    for (const JsonValue& kind : gate->array) {
+      if (!kind.is(JsonValue::Type::kString) ||
+          (kind.string != "exact" && kind.string != "lower-better" &&
+           kind.string != "higher-better" && kind.string != "informational"))
+        return fail("\"gate\" entry is not a known column kind");
+    }
+  }
 
   const JsonValue* rows = require(root, "rows", JsonValue::Type::kArray, status);
   if (rows == nullptr) return status;

@@ -15,6 +15,7 @@
 // Everything here sees *predicted* completion times only, preserving the
 // scheduler's information constraints.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,43 @@ struct PlannedStart {
   std::vector<VmId> vms;
 };
 
+/// Allocation decisions in flat struct-of-arrays form: each start's chosen
+/// VM ids occupy the contiguous range [vm_begin, vm_end) of `vm_ids`. The
+/// hot caller (the online simulator) reuses one AllocationPlan across every
+/// decision of every candidate simulation — two vectors that only grow, no
+/// per-start allocations (PlannedStart's per-start vector is what made the
+/// boxed form expensive; see DESIGN.md §11).
+struct AllocationPlan {
+  struct Start {
+    std::size_t queue_index = 0;
+    std::uint32_t vm_begin = 0;
+    std::uint32_t vm_end = 0;
+  };
+  std::vector<Start> starts;
+  std::vector<VmId> vm_ids;
+
+  void clear() noexcept {
+    starts.clear();
+    vm_ids.clear();
+  }
+  [[nodiscard]] bool empty() const noexcept { return starts.empty(); }
+  [[nodiscard]] std::span<const VmId> vms_of(const Start& start) const noexcept {
+    return {vm_ids.data() + start.vm_begin, start.vm_end - start.vm_begin};
+  }
+};
+
+/// Reusable working state for plan_allocation_into: the idle-candidate
+/// pool, the EASY shadow-time scratch, the mutable VM working copy, and a
+/// VmId -> working-copy-row map (replaces the per-chosen-VM linear search).
+/// Plain scratch — contents are meaningless between calls; reuse across
+/// calls only to keep vector capacity warm.
+struct AllocationScratch {
+  std::vector<VmCandidate> idle;
+  std::vector<SimTime> times;
+  std::vector<VmAvail> vms;            ///< working copy (mutated while planning)
+  std::vector<std::uint32_t> vm_row;   ///< VmId -> row in `vms` (dense by id)
+};
+
 /// Compute the starts for this scheduling decision. `ordered_queue` must
 /// already be in service order (see order_queue). Pure function: does not
 /// mutate external state; `vms` is taken by value as scratch.
@@ -47,5 +85,16 @@ struct PlannedStart {
     SimTime now, std::span<const QueuedJob> ordered_queue, std::vector<VmAvail> vms,
     const VmSelectionPolicy& vm_selection, AllocationMode mode,
     SimDuration billing_quantum = kSecondsPerHour);
+
+/// Allocation-free variant of plan_allocation for the online simulator's
+/// inner loop: identical decisions (same starts, same VMs, same order), but
+/// the result lands in `out` and all working state lives in `scratch`, both
+/// reused across calls. `vms` is read-only here (the mutable working copy
+/// is scratch.vms).
+void plan_allocation_into(SimTime now, std::span<const QueuedJob> ordered_queue,
+                          std::span<const VmAvail> vms,
+                          const VmSelectionPolicy& vm_selection, AllocationMode mode,
+                          SimDuration billing_quantum, AllocationPlan& out,
+                          AllocationScratch& scratch);
 
 }  // namespace psched::policy

@@ -34,9 +34,10 @@ double UnicefSelection::priority(const QueuedJob& job, SimTime now) const {
 }
 
 void order_queue(std::vector<QueuedJob>& queue, const JobSelectionPolicy& policy,
-                 SimTime now) {
+                 SimTime now, OrderScratch& scratch) {
   // Compute priorities once (they are pure in the job), then sort on them.
-  std::vector<std::pair<double, std::size_t>> keyed(queue.size());
+  std::vector<std::pair<double, std::size_t>>& keyed = scratch.keyed;
+  keyed.resize(queue.size());
   for (std::size_t i = 0; i < queue.size(); ++i)
     keyed[i] = {policy.priority(queue[i], now), i};
   std::stable_sort(keyed.begin(), keyed.end(), [&](const auto& a, const auto& b) {
@@ -46,10 +47,17 @@ void order_queue(std::vector<QueuedJob>& queue, const JobSelectionPolicy& policy
     if (ja.submit != jb.submit) return ja.submit < jb.submit;
     return ja.id < jb.id;
   });
-  std::vector<QueuedJob> ordered;
+  std::vector<QueuedJob>& ordered = scratch.reordered;
+  ordered.clear();
   ordered.reserve(queue.size());
   for (const auto& [priority, index] : keyed) ordered.push_back(queue[index]);
-  queue = std::move(ordered);
+  queue.swap(ordered);
+}
+
+void order_queue(std::vector<QueuedJob>& queue, const JobSelectionPolicy& policy,
+                 SimTime now) {
+  OrderScratch scratch;
+  order_queue(queue, policy, now, scratch);
 }
 
 std::unique_ptr<JobSelectionPolicy> make_job_selection(const std::string& name) {

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "policy/context.hpp"
@@ -58,6 +59,19 @@ class UnicefSelection final : public JobSelectionPolicy {
 /// ties by (submit, id). In-place, stable with respect to identical jobs.
 void order_queue(std::vector<QueuedJob>& queue, const JobSelectionPolicy& policy,
                  SimTime now);
+
+/// Reusable working state for the scratch-taking order_queue overload: the
+/// priority-keyed index array and the reorder buffer. Contents are
+/// meaningless between calls; reuse only keeps vector capacity warm.
+struct OrderScratch {
+  std::vector<std::pair<double, std::size_t>> keyed;
+  std::vector<QueuedJob> reordered;
+};
+
+/// Allocation-free order_queue for the online simulator's decision loop
+/// (identical resulting order; see DESIGN.md §11).
+void order_queue(std::vector<QueuedJob>& queue, const JobSelectionPolicy& policy,
+                 SimTime now, OrderScratch& scratch);
 
 /// Factory by name ("FCFS", "LXF", "WFP3", "UNICEF"); throws on unknown.
 [[nodiscard]] std::unique_ptr<JobSelectionPolicy> make_job_selection(const std::string& name);

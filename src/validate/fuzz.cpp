@@ -24,6 +24,8 @@ struct Scenario {
   /// regardless of machine load; both knobs are fuzzed per seed.
   std::size_t selector_fixed_count = 0;
   std::size_t selector_eval_threads = 1;
+  bool selector_memoize = true;
+  bool selector_verify_memo = false;
   std::string description;
 };
 
@@ -78,6 +80,12 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
     // Drawn last so the earlier scenario-shape draws keep their streams.
     s.selector_fixed_count = static_cast<std::size_t>(rng.uniform_int(1, 24));
     s.selector_eval_threads = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    // Seed-derived (not RNG-drawn) so the failure-knob draws below keep
+    // their streams: half the portfolio seeds run with the memo cache off,
+    // and the cached half cross-checks every hit against a fresh simulation
+    // (verify_memo) — the fuzzer doubles as a fingerprint-collision hunt.
+    s.selector_memoize = seed % 2 == 0;
+    s.selector_verify_memo = true;
   }
 
   if (fuzz.fuzz_failures && seed % 3 == 0) {
@@ -140,6 +148,8 @@ RunOutcome run_scenario(const Scenario& s, std::size_t job_count,
     pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
     pconfig.selector.fixed_count = s.selector_fixed_count;
     pconfig.selector.eval_threads = s.selector_eval_threads;
+    pconfig.selector.memoize = s.selector_memoize;
+    pconfig.selector.verify_memo = s.selector_verify_memo;
     result = engine::run_portfolio(s.config, trace, portfolio, pconfig, s.predictor);
   } else {
     result = engine::run_single_policy(s.config, trace, s.triple, s.predictor);

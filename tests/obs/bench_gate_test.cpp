@@ -1,0 +1,149 @@
+// The bench regression gate (DESIGN.md §11): exact columns to the bit,
+// timing columns within tolerance (improvements always pass), shape and
+// kind-annotation mismatches rejected with actionable messages.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_gate.hpp"
+
+namespace psched::obs {
+namespace {
+
+/// A minimal three-column report; `gate` is a JSON array string or empty
+/// (no annotation), `rows` is the JSON rows array.
+std::string report(const std::string& gate, const std::string& rows,
+                   const std::string& title = "t") {
+  std::string out = "{\"schema\":\"psched-bench-report/v1\",\"title\":\"" + title +
+                    "\",\"headers\":[\"name\",\"val\",\"ms\"]";
+  if (!gate.empty()) out += ",\"gate\":" + gate;
+  out += ",\"rows\":" + rows + "}";
+  return out;
+}
+
+const std::string kKinds = R"(["exact","exact","lower-better"])";
+
+TEST(ColumnKind, NameRoundTrip) {
+  for (const ColumnKind kind : {ColumnKind::kExact, ColumnKind::kLowerBetter,
+                                ColumnKind::kHigherBetter, ColumnKind::kInformational}) {
+    ColumnKind parsed = ColumnKind::kExact;
+    ASSERT_TRUE(column_kind_from(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  ColumnKind parsed = ColumnKind::kExact;
+  EXPECT_FALSE(column_kind_from("faster-is-nicer", parsed));
+  EXPECT_FALSE(column_kind_from("", parsed));
+}
+
+TEST(BenchGate, IdenticalReportsPass) {
+  const std::string doc = report(kKinds, R"([["a",60,100],["b",60,200]])");
+  const GateResult result = gate_bench_reports(doc, doc, BenchGateConfig{});
+  EXPECT_TRUE(result.pass()) << (result.failures.empty() ? "" : result.failures[0]);
+  EXPECT_EQ(result.cells_checked, 6u);  // 2 rows x 3 gated columns
+}
+
+TEST(BenchGate, ExactColumnDriftFails) {
+  const std::string base = report(kKinds, R"([["a",60,100]])");
+  const std::string cand = report(kKinds, R"([["a",59,100]])");
+  const GateResult result = gate_bench_reports(base, cand, BenchGateConfig{});
+  ASSERT_FALSE(result.pass());
+  EXPECT_NE(result.failures[0].find("val"), std::string::npos);
+}
+
+TEST(BenchGate, TimingWithinToleranceAndImprovementsPass) {
+  const std::string base = report(kKinds, R"([["a",60,100]])");
+  // 2.9x slower: inside the default 3x guardrail.
+  EXPECT_TRUE(gate_bench_reports(base, report(kKinds, R"([["a",60,290]])"),
+                                 BenchGateConfig{})
+                  .pass());
+  // 10x faster: improvements never fail a lower-better column.
+  EXPECT_TRUE(gate_bench_reports(base, report(kKinds, R"([["a",60,10]])"),
+                                 BenchGateConfig{})
+                  .pass());
+}
+
+TEST(BenchGate, TimingBeyondToleranceFails) {
+  const std::string base = report(kKinds, R"([["a",60,100]])");
+  const std::string cand = report(kKinds, R"([["a",60,301]])");
+  EXPECT_FALSE(gate_bench_reports(base, cand, BenchGateConfig{}).pass());
+  // A looser tolerance (CI runners) admits the same candidate.
+  BenchGateConfig loose;
+  loose.timing_tolerance = 9.0;
+  EXPECT_TRUE(gate_bench_reports(base, cand, loose).pass());
+}
+
+TEST(BenchGate, HigherBetterGatesThroughputDrops) {
+  const std::string kinds = R"(["exact","higher-better","informational"])";
+  const std::string base = report(kinds, R"([["a",90000,1]])");
+  // Dropped to less than 1/3 of baseline throughput: fails.
+  EXPECT_FALSE(gate_bench_reports(base, report(kinds, R"([["a",29000,1]])"),
+                                  BenchGateConfig{})
+                   .pass());
+  // A 10x throughput gain passes, and the informational column is free to
+  // change arbitrarily.
+  EXPECT_TRUE(gate_bench_reports(base, report(kinds, R"([["a",900000,777]])"),
+                                 BenchGateConfig{})
+                  .pass());
+}
+
+TEST(BenchGate, ShapeMismatchesFail) {
+  const std::string base = report(kKinds, R"([["a",60,100]])");
+  // Different experiment title.
+  EXPECT_FALSE(gate_bench_reports(base, report(kKinds, R"([["a",60,100]])", "other"),
+                                  BenchGateConfig{})
+                   .pass());
+  // Row count drift (a benchmark case disappeared).
+  EXPECT_FALSE(
+      gate_bench_reports(base, report(kKinds, R"([["a",60,100],["b",60,100]])"),
+                         BenchGateConfig{})
+          .pass());
+  // Gate annotation of the wrong length.
+  EXPECT_FALSE(gate_bench_reports(report(R"(["exact","exact"])", R"([["a",60,100]])"),
+                                  base, BenchGateConfig{})
+                   .pass());
+  // Unknown kind name.
+  EXPECT_FALSE(gate_bench_reports(
+                   report(R"(["exact","exact","sideways"])", R"([["a",60,100]])"),
+                   base, BenchGateConfig{})
+                   .pass());
+  // Baseline and candidate disagreeing on kinds (a silent gate relaxation).
+  EXPECT_FALSE(gate_bench_reports(
+                   base,
+                   report(R"(["exact","informational","lower-better"])",
+                          R"([["a",60,100]])"),
+                   BenchGateConfig{})
+                   .pass());
+}
+
+TEST(BenchGate, KindFallbackWhenAnnotationAbsent) {
+  // No gate array anywhere: every column is exact, so a timing wobble fails.
+  const std::string base = report("", R"([["a",60,100]])");
+  EXPECT_FALSE(
+      gate_bench_reports(base, report("", R"([["a",60,101]])"), BenchGateConfig{})
+          .pass());
+  // Candidate-side annotation is used when the baseline lacks one.
+  EXPECT_TRUE(gate_bench_reports(base, report(kKinds, R"([["a",60,150]])"),
+                                 BenchGateConfig{})
+                  .pass());
+}
+
+TEST(BenchGate, RejectsInvalidInputs) {
+  const std::string good = report(kKinds, R"([["a",60,100]])");
+  EXPECT_FALSE(gate_bench_reports("{\"schema\":\"nope\"}", good, BenchGateConfig{})
+                   .pass());
+  EXPECT_FALSE(gate_bench_reports(good, "not json", BenchGateConfig{}).pass());
+  // Timing cells must be finite non-negative numbers.
+  EXPECT_FALSE(gate_bench_reports(good, report(kKinds, R"([["a",60,-5]])"),
+                                  BenchGateConfig{})
+                   .pass());
+  EXPECT_FALSE(gate_bench_reports(good, report(kKinds, R"([["a",60,"fast"]])"),
+                                  BenchGateConfig{})
+                   .pass());
+  // A tolerance below 1 would reject identical timings; refuse it.
+  BenchGateConfig bad;
+  bad.timing_tolerance = 0.5;
+  EXPECT_FALSE(gate_bench_reports(good, good, bad).pass());
+}
+
+}  // namespace
+}  // namespace psched::obs

@@ -40,10 +40,13 @@ check_config_fields FuzzConfig src/validate/fuzz.hpp
 check_config_fields ObsConfig src/obs/obs.hpp
 check_config_fields FailureConfig src/cloud/failure.hpp
 check_config_fields ResilienceConfig src/cloud/failure.hpp
+check_config_fields BenchGateConfig src/obs/bench_gate.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.
-allow="output-on-failure test-dir build preset gtest"
+# ("benchmark" covers google-benchmark's --benchmark_* family: the scanner
+# stops at the underscore.)
+allow="output-on-failure test-dir build preset gtest benchmark"
 for flag in $(grep -ohE -- '--[a-z][a-z0-9-]+' $docs | sort -u); do
   name=${flag#--}
   if printf '%s\n' $allow | grep -qx "$name"; then continue; fi
@@ -72,6 +75,27 @@ for rule in $rules; do
   esac
   if ! grep -qE "$pattern" DESIGN.md; then
     echo "docs-lint: psched-lint rule $rule is implemented but not documented in DESIGN.md §8" >&2
+    fail=1
+  fi
+done
+
+# --- 4. "DESIGN.md §N" references must resolve to a real section -----------
+# Sections are "## N. Title" headings; references appear in the docs and in
+# source comments across the tree (e.g. "DESIGN.md §11").
+for n in $(grep -rohE 'DESIGN\.md §[0-9]+' $docs src tools bench tests examples \
+             2>/dev/null | grep -oE '[0-9]+' | sort -un); do
+  if ! grep -qE "^## $n\. " DESIGN.md; then
+    echo "docs-lint: DESIGN.md §$n is referenced but DESIGN.md has no '## $n.' section" >&2
+    fail=1
+  fi
+done
+
+# --- 5. Bench baselines named in docs must be committed ---------------------
+# The gate (DESIGN.md §11) compares against bench/baselines/BENCH_*.json; a
+# doc naming a baseline that does not exist points contributors at nothing.
+for f in $(grep -ohE 'BENCH_[A-Za-z0-9_]+\.json' $docs | sort -u); do
+  if [ ! -f "bench/baselines/$f" ]; then
+    echo "docs-lint: $f is referenced in docs but bench/baselines/$f does not exist" >&2
     fail=1
   fi
 done

@@ -1,0 +1,108 @@
+// psched-bench-gate — regression gate over bench-report artifacts
+// (DESIGN.md §11).
+//
+// usage: psched-bench-gate --baseline FILE.json --candidate FILE.json
+//                          [--timing-tolerance X] [--update]
+//
+// Compares a freshly produced "psched-bench-report/v1" document against the
+// committed baseline under bench/baselines/. The baseline's per-column
+// "gate" annotation is the contract: "exact" columns must match to the bit
+// (they are deterministic simulation outputs), "lower-better"/"higher-better"
+// columns are timing and may drift up to --timing-tolerance x (default 3 —
+// a guardrail against algorithmic blowups, not a precision instrument;
+// improvements always pass), "informational" columns are ignored.
+//
+// --update rewrites the baseline with the candidate's bytes instead of
+// comparing — the explicit, reviewed way to move the contract after an
+// intentional perf or output change.
+//
+// Exit codes: 0 gate passed (or baseline updated), 1 usage error,
+// 2 gate failure.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_gate.hpp"
+#include "obs/report.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const psched::util::ArgParser args(argc, argv);
+  const std::string baseline_path = args.get("baseline", "");
+  const std::string candidate_path = args.get("candidate", "");
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fputs(
+        "usage: psched-bench-gate --baseline FILE.json --candidate FILE.json"
+        " [--timing-tolerance X] [--update]\n",
+        stderr);
+    return 1;
+  }
+
+  std::string candidate;
+  if (!read_file(candidate_path, candidate)) {
+    std::fprintf(stderr, "psched-bench-gate: cannot read candidate %s\n",
+                 candidate_path.c_str());
+    return 1;
+  }
+
+  if (args.get_bool("update")) {
+    const psched::obs::ValidationResult valid =
+        psched::obs::validate_bench_report(candidate);
+    if (!valid.ok) {
+      std::fprintf(stderr, "psched-bench-gate: candidate %s invalid: %s\n",
+                   candidate_path.c_str(), valid.detail.c_str());
+      return 2;
+    }
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << candidate)) {
+      std::fprintf(stderr, "psched-bench-gate: cannot write baseline %s\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    std::printf("psched-bench-gate: baseline %s updated from %s\n",
+                baseline_path.c_str(), candidate_path.c_str());
+    return 0;
+  }
+
+  std::string baseline;
+  if (!read_file(baseline_path, baseline)) {
+    std::fprintf(stderr,
+                 "psched-bench-gate: cannot read baseline %s "
+                 "(generate one with --update)\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+
+  psched::obs::BenchGateConfig config;
+  config.timing_tolerance =
+      args.get_double("timing-tolerance", config.timing_tolerance);
+
+  const psched::obs::GateResult result =
+      psched::obs::gate_bench_reports(baseline, candidate, config);
+  for (const std::string& failure : result.failures)
+    std::fprintf(stderr, "psched-bench-gate: FAIL %s\n", failure.c_str());
+  if (!result.pass()) {
+    std::fprintf(stderr,
+                 "psched-bench-gate: %zu failure(s) vs %s "
+                 "(intentional change? re-baseline with --update)\n",
+                 result.failures.size(), baseline_path.c_str());
+    return 2;
+  }
+  std::printf("psched-bench-gate: ok — %zu gated cell(s) within contract vs %s\n",
+              result.cells_checked, baseline_path.c_str());
+  return 0;
+}

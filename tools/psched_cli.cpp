@@ -12,7 +12,7 @@
 //        [--scheduler portfolio|POLICY-NAME] [--predictor accurate|predicted|
 //         user-estimate|last-runtime|running-mean|ewma]
 //        [--delta MS] [--budget-mode wallclock|fixed-count] [--fixed-count N]
-//        [--eval-threads N] [--period TICKS] [--backfill]
+//        [--eval-threads N] [--period TICKS] [--backfill] [--no-memo]
 //        [--on-change] [--reflection] [--quantum SECONDS] [--csv FILE]
 //        [--check-invariants] [--inject-fault NAME] [--differential]
 //        [--obs-level off|counters|trace] [--report-out FILE.json]
@@ -294,6 +294,9 @@ int cmd_run(const util::ArgParser& args) {
         static_cast<std::uint64_t>(args.get_int("period", 1));
     if (args.get_bool("on-change")) pconfig.trigger = core::SelectionTrigger::kOnChange;
     pconfig.use_reflection_hints = args.get_bool("reflection");
+    // --no-memo disables the cross-round memo cache (identical results in
+    // the deterministic budget modes; use for A/B perf comparisons).
+    if (args.get_bool("no-memo")) pconfig.selector.memoize = false;
     // candidate-throw lives in the selector, not the provider: every online
     // candidate simulation throws and the run must still complete (graceful
     // degradation), exiting 0 with zero invariant violations.
