@@ -1,0 +1,176 @@
+#include "cloud/pricing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cloud/failure.hpp"
+#include "cloud/vm.hpp"
+#include "util/assert.hpp"
+
+namespace psched::cloud {
+
+const char* to_string(PurchaseTier tier) noexcept {
+  switch (tier) {
+    case PurchaseTier::kOnDemand: return "on-demand";
+    case PurchaseTier::kSpot: return "spot";
+    case PurchaseTier::kReserved: return "reserved";
+  }
+  return "?";
+}
+
+std::size_t PricingView::cheapest_family() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < families.size(); ++i)
+    if (families[i].price < families[best].price) best = i;
+  return best;
+}
+
+std::size_t PricingView::family_free(std::size_t i) const noexcept {
+  if (i >= families.size()) return 0;
+  const Family& f = families[i];
+  if (f.cap == 0) return static_cast<std::size_t>(-1);  // provider cap only
+  return f.in_use < f.cap ? f.cap - f.in_use : 0;
+}
+
+PricingModel::PricingModel(const PricingConfig& config)
+    : config_(config),
+      families_(config.families),
+      spot_rng_(derive_stream_seed(config.seed, "spot")),
+      walk_rng_(derive_stream_seed(config.seed, "walk")) {
+  // Normalize: a pricing-on config with no families still offers the
+  // single default family (the paper's homogeneous cloud, now priced).
+  if (families_.empty()) families_.emplace_back();
+  for (const VmFamily& f : families_)
+    PSCHED_ASSERT_MSG(f.price > 0.0 && f.boot_delay >= 0.0,
+                      "VM family needs a positive price");
+  PSCHED_ASSERT_MSG(
+      config_.spot_price_fraction >= 0.0 && config_.spot_price_fraction <= 1.0,
+      "spot_price_fraction must be in [0, 1]");
+  PSCHED_ASSERT_MSG(config_.reserved_price_fraction >= 0.0 &&
+                        config_.reserved_price_fraction <= 1.0,
+                    "reserved_price_fraction must be in [0, 1]");
+  PSCHED_ASSERT_MSG(config_.walk_step >= 0.0 && config_.walk_epoch_seconds > 0.0,
+                    "walk needs a non-negative step and a positive epoch");
+  PSCHED_ASSERT_MSG(config_.walk_min > 0.0 && config_.walk_max >= config_.walk_min,
+                    "walk clamp band must be positive and ordered");
+  // The schedule must be sorted so step lookup is a simple upper_bound.
+  std::stable_sort(config_.schedule.begin(), config_.schedule.end(),
+                   [](const PricePoint& a, const PricePoint& b) {
+                     return a.at < b.at;
+                   });
+  for (const PricePoint& p : config_.schedule)
+    PSCHED_ASSERT_MSG(p.multiplier > 0.0 && p.at >= 0.0,
+                      "schedule steps need t >= 0 and multiplier > 0");
+}
+
+std::uint64_t PricingModel::epoch_of(SimTime t) const noexcept {
+  if (t <= 0.0) return 0;
+  return static_cast<std::uint64_t>(t / config_.walk_epoch_seconds);
+}
+
+double PricingModel::schedule_multiplier(SimTime t) const noexcept {
+  // Last step with at <= t; 1.0 before the first step.
+  double m = 1.0;
+  for (const PricePoint& p : config_.schedule) {
+    if (p.at > t) break;
+    m = p.multiplier;
+  }
+  return m;
+}
+
+double PricingModel::walk_factor(std::uint64_t epoch) {
+  if (config_.walk_step <= 0.0) return 1.0;
+  // Epoch 0 starts at factor 1; each later epoch multiplies by a step in
+  // [1 - walk_step, 1 + walk_step), clamped to [walk_min, walk_max]. The
+  // "walk" stream is consumed once per epoch in order, so the factor of a
+  // given epoch depends only on the seed — not on query pattern.
+  if (walk_.empty()) walk_.push_back(1.0);
+  while (walk_.size() <= epoch) {
+    double next = walk_.back() *
+                  (1.0 + config_.walk_step * (2.0 * walk_rng_.uniform() - 1.0));
+    next = std::clamp(next, config_.walk_min, config_.walk_max);
+    walk_.push_back(next);
+  }
+  return walk_[static_cast<std::size_t>(epoch)];
+}
+
+double PricingModel::multiplier_at(SimTime t) {
+  return schedule_multiplier(t) * walk_factor(epoch_of(t));
+}
+
+SimDuration PricingModel::spot_revocation_delay() {
+  if (config_.spot_mtbf_seconds <= 0.0) return kTimeNever;
+  return spot_rng_.exponential(1.0 / config_.spot_mtbf_seconds);
+}
+
+double PricingModel::tier_fraction(PurchaseTier tier) const noexcept {
+  switch (tier) {
+    case PurchaseTier::kOnDemand: return 1.0;
+    case PurchaseTier::kSpot: return config_.spot_price_fraction;
+    case PurchaseTier::kReserved: return 0.0;  // commitment pre-paid
+  }
+  return 1.0;
+}
+
+double PricingModel::quantum_price(std::size_t family, PurchaseTier tier,
+                                   SimTime t) {
+  PSCHED_ASSERT(family < families_.size());
+  return families_[family].price * tier_fraction(tier) * multiplier_at(t);
+}
+
+double PricingModel::lease_cost(std::size_t family, PurchaseTier tier,
+                                SimTime lease_time, SimTime release,
+                                SimDuration quantum) {
+  PSCHED_ASSERT(family < families_.size());
+  const double fraction = tier_fraction(tier);
+  if (fraction <= 0.0) return 0.0;
+  // Same rounding as charged_seconds_for: started quanta, minimum one.
+  const double charged = charged_seconds_for(lease_time, release, quantum);
+  const auto quanta = static_cast<std::uint64_t>(std::lround(charged / quantum));
+  const double base = families_[family].price * fraction;
+  double cost = 0.0;
+  for (std::uint64_t q = 0; q < quanta; ++q)
+    cost += base * multiplier_at(lease_time + static_cast<double>(q) * quantum);
+  return cost;
+}
+
+double PricingModel::commitment_cost(SimDuration quantum) const noexcept {
+  if (config_.reserved_count == 0) return 0.0;
+  const double term_quanta =
+      std::ceil(config_.reserved_term_seconds / quantum);
+  return static_cast<double>(config_.reserved_count) * families_[0].price *
+         config_.reserved_price_fraction * term_quanta;
+}
+
+std::size_t PricingModel::max_schedulable_vms(
+    std::size_t provider_cap) const noexcept {
+  std::size_t capped_sum = 0;
+  for (const VmFamily& fam : families_) {
+    if (fam.max_vms == 0) return provider_cap;
+    capped_sum += fam.max_vms;
+  }
+  return std::min(provider_cap, capped_sum);
+}
+
+void PricingModel::fill_view(PricingView& view, SimTime now,
+                             std::size_t provider_cap,
+                             const std::vector<std::size_t>& family_in_use,
+                             std::size_t reserved_in_use) {
+  view.enabled = true;
+  view.epoch = epoch_of(now);
+  view.multiplier = multiplier_at(now);
+  view.spot_price_fraction = config_.spot_price_fraction;
+  view.reserved_total = config_.reserved_count;
+  view.reserved_in_use = reserved_in_use;
+  view.families.resize(families_.size());
+  for (std::size_t i = 0; i < families_.size(); ++i) {
+    PricingView::Family& out = view.families[i];
+    const VmFamily& f = families_[i];
+    out.price = f.price * view.multiplier;
+    out.boot_delay = f.boot_delay;
+    out.cap = f.max_vms == 0 ? provider_cap : std::min(f.max_vms, provider_cap);
+    out.in_use = i < family_in_use.size() ? family_in_use[i] : 0;
+  }
+}
+
+}  // namespace psched::cloud

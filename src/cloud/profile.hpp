@@ -4,8 +4,10 @@
 // without touching (or copying) the live provider.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "cloud/pricing.hpp"
 #include "util/types.hpp"
 
 namespace psched::cloud {
@@ -20,6 +22,10 @@ struct VmView {
   bool busy = false;           ///< running a job at snapshot time (disambiguates
                                ///< busy from booting when completion falls
                                ///< inside the boot window)
+
+  // Pricing attributes (cloud/pricing.hpp); defaults with pricing off.
+  std::uint32_t family = 0;
+  PurchaseTier tier = PurchaseTier::kOnDemand;
 };
 
 /// Immutable cloud snapshot.
@@ -29,6 +35,9 @@ struct CloudProfile {
   SimDuration boot_delay = 120;  ///< seconds from lease to usable
   SimDuration billing_quantum = kSecondsPerHour;  ///< billing granularity
   std::vector<VmView> vms;       ///< all currently leased instances
+  /// Pricing snapshot; `pricing.enabled == false` (the default) means the
+  /// provider has no pricing model and every VM is plain on-demand.
+  PricingView pricing;
 
   /// VMs usable right now (available_at <= now).
   [[nodiscard]] std::size_t idle_count() const noexcept;

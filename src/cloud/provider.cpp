@@ -11,7 +11,37 @@ CloudProvider::CloudProvider(ProviderConfig config) : config_(config) {
   PSCHED_ASSERT(config_.boot_delay >= 0.0);
 }
 
+void CloudProvider::set_pricing_model(PricingModel* model) {
+  pricing_ = model;
+  family_live_.assign(model != nullptr ? model->family_count() : 0, 0);
+}
+
 std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
+  return lease(LeaseRequest{count, 0, PurchaseTier::kOnDemand}, now);
+}
+
+std::vector<VmId> CloudProvider::lease(const LeaseRequest& request, SimTime now) {
+  std::size_t count = request.count;
+  SimDuration boot_delay = config_.boot_delay;
+  if (pricing_ != nullptr) {
+    PSCHED_ASSERT_MSG(request.family < pricing_->family_count(),
+                      "lease of unknown VM family");
+    const VmFamily& fam = pricing_->family(request.family);
+    boot_delay = fam.boot_delay;
+    if (fam.max_vms > 0) {
+      const std::size_t live = family_live_[request.family];
+      count = std::min(count, fam.max_vms > live ? fam.max_vms - live : 0);
+    }
+    if (request.tier == PurchaseTier::kReserved) {
+      const std::size_t total = pricing_->config().reserved_count;
+      count = std::min(count,
+                       total > reserved_live_ ? total - reserved_live_ : 0);
+    }
+  } else {
+    PSCHED_ASSERT_MSG(
+        request.family == 0 && request.tier == PurchaseTier::kOnDemand,
+        "tiered lease needs a pricing model");
+  }
   if (api_rejects(FailureOp::kLease, count, now)) return {};
   std::size_t headroom = lease_headroom();
   // Seeded fault (validation self-test): overshoot the concurrency cap by
@@ -27,8 +57,8 @@ std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
     VmInstance vm;
     vm.id = next_id_++;
     vm.lease_time = now;
-    vm.boot_complete = now + config_.boot_delay;
-    vm.state = config_.boot_delay > 0.0 ? VmState::kBooting : VmState::kIdle;
+    vm.boot_complete = now + boot_delay;
+    vm.state = boot_delay > 0.0 ? VmState::kBooting : VmState::kIdle;
     // Seeded fault: the VM is usable immediately, boot never awaited. The
     // advertised boot_complete stays truthful so the checker can tell.
     if (config_.inject_fault == validate::FaultInjection::kSkipBootDelay)
@@ -39,6 +69,23 @@ std::vector<VmId> CloudProvider::lease(std::size_t count, SimTime now) {
       vm.boot_failed = failure_->boot_fails();
       const SimDuration crash_delay = failure_->crash_delay();
       if (crash_delay != kTimeNever) vm.crash_at = now + crash_delay;
+    }
+    if (pricing_ != nullptr) {
+      vm.family = request.family;
+      vm.tier = request.tier;
+      // Spot draw after the failure draws: pricing never perturbs the
+      // "boot"/"crash" streams (and vice versa — independent roots).
+      if (request.tier == PurchaseTier::kSpot) {
+        const SimDuration delay = pricing_->spot_revocation_delay();
+        if (delay != kTimeNever) {
+          vm.revoke_at = now + delay;
+          vm.revoke_warning_at = std::max(
+              now, vm.revoke_at - pricing_->config().spot_warning_seconds);
+        }
+      }
+      ++family_live_[request.family];
+      if (request.tier == PurchaseTier::kReserved) ++reserved_live_;
+      ++leases_by_tier_[static_cast<std::size_t>(request.tier)];
     }
     ids.push_back(vm.id);
     vms_.push_back(vm);
@@ -71,6 +118,7 @@ void CloudProvider::release(VmId id, SimTime now) {
     charge = std::max(0.0, charge - config_.billing_quantum / kSecondsPerHour);
   charged_hours_ += charge;
   if (observer_ != nullptr) observer_->on_release(*vm, charge, now);
+  settle_price(*vm, now);
   vms_.erase(vms_.begin() + (vm - vms_.data()));
 }
 
@@ -120,19 +168,53 @@ std::size_t CloudProvider::release_expiring_idle(SimTime now, SimDuration window
   return expiring.size();
 }
 
-double CloudProvider::terminate(VmInstance* vm, SimTime now, bool crashed) {
+double CloudProvider::terminate(VmInstance* vm, SimTime now, Settlement kind) {
   // Same started-hour settlement as a voluntary release: the provider
   // charges the lease to `now` whether the customer or the cloud ended it.
   const double charge = charged_hours(*vm, now, config_.billing_quantum);
   charged_hours_ += charge;
+  if (kind == Settlement::kRevoke)
+    revoked_charged_seconds_ +=
+        charged_seconds_for(vm->lease_time, now, config_.billing_quantum);
   if (observer_ != nullptr) {
-    if (crashed)
-      observer_->on_crash(*vm, charge, now);
-    else
-      observer_->on_boot_fail(*vm, charge, now);
+    switch (kind) {
+      case Settlement::kBootFail: observer_->on_boot_fail(*vm, charge, now); break;
+      case Settlement::kCrash: observer_->on_crash(*vm, charge, now); break;
+      case Settlement::kRevoke: observer_->on_spot_revoke(*vm, charge, now); break;
+    }
   }
+  settle_price(*vm, now);
   vms_.erase(vms_.begin() + (vm - vms_.data()));
   return charge;
+}
+
+void CloudProvider::settle_price(const VmInstance& vm, SimTime now) {
+  if (pricing_ == nullptr) return;
+  const double cost = pricing_->lease_cost(vm.family, vm.tier, vm.lease_time,
+                                           now, config_.billing_quantum);
+  switch (vm.tier) {
+    case PurchaseTier::kOnDemand:
+      spend_on_demand_ += cost;
+      break;
+    case PurchaseTier::kSpot: {
+      spend_spot_ += cost;
+      const double on_demand_cost =
+          pricing_->lease_cost(vm.family, PurchaseTier::kOnDemand,
+                               vm.lease_time, now, config_.billing_quantum);
+      spot_savings_ += on_demand_cost - cost;
+      break;
+    }
+    case PurchaseTier::kReserved:
+      // Zero marginal cost; the commitment was billed up front.
+      break;
+  }
+  PSCHED_ASSERT(vm.family < family_live_.size() && family_live_[vm.family] > 0);
+  --family_live_[vm.family];
+  if (vm.tier == PurchaseTier::kReserved) {
+    PSCHED_ASSERT(reserved_live_ > 0);
+    --reserved_live_;
+  }
+  if (observer_ != nullptr) observer_->on_price_settle(vm, cost, now);
 }
 
 double CloudProvider::fail_boot(VmId id, SimTime now) {
@@ -141,14 +223,32 @@ double CloudProvider::fail_boot(VmId id, SimTime now) {
   PSCHED_ASSERT_MSG(vm->state == VmState::kBooting,
                     "fail_boot of a VM that is not booting");
   ++boot_failures_;
-  return terminate(vm, now, /*crashed=*/false);
+  return terminate(vm, now, Settlement::kBootFail);
 }
 
 double CloudProvider::crash(VmId id, SimTime now) {
   VmInstance* vm = find_mut(id);
   PSCHED_ASSERT_MSG(vm != nullptr, "crash of unknown VM");
   ++crashes_;
-  return terminate(vm, now, /*crashed=*/true);
+  return terminate(vm, now, Settlement::kCrash);
+}
+
+void CloudProvider::mark_doomed(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "mark_doomed of unknown VM");
+  PSCHED_ASSERT_MSG(vm->tier == PurchaseTier::kSpot,
+                    "mark_doomed of a non-spot VM");
+  vm->doomed = true;
+  ++spot_warnings_;
+  if (observer_ != nullptr) observer_->on_spot_warning(*vm, now);
+}
+
+double CloudProvider::revoke(VmId id, SimTime now) {
+  VmInstance* vm = find_mut(id);
+  PSCHED_ASSERT_MSG(vm != nullptr, "revoke of unknown VM");
+  PSCHED_ASSERT_MSG(vm->tier == PurchaseTier::kSpot, "revoke of a non-spot VM");
+  ++spot_revocations_;
+  return terminate(vm, now, Settlement::kRevoke);
 }
 
 bool CloudProvider::api_rejects(FailureOp op, std::size_t ops, SimTime now) {
@@ -225,9 +325,17 @@ CloudProfile CloudProvider::snapshot(SimTime now) const {
         view.available_at = now;
         break;
     }
+    view.family = vm.family;
+    view.tier = vm.tier;
     profile.vms.push_back(view);
   }
+  fill_pricing_view(profile.pricing, now);
   return profile;
+}
+
+void CloudProvider::fill_pricing_view(PricingView& view, SimTime now) const {
+  if (pricing_ == nullptr) return;
+  pricing_->fill_view(view, now, config_.max_vms, family_live_, reserved_live_);
 }
 
 }  // namespace psched::cloud

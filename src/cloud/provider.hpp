@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cloud/failure.hpp"
+#include "cloud/pricing.hpp"
 #include "cloud/profile.hpp"
 #include "cloud/vm.hpp"
 #include "util/types.hpp"
@@ -60,6 +61,21 @@ class ProviderObserver {
   /// A lease/release API call for `ops` VMs was rejected (outage window).
   virtual void on_api_reject(FailureOp /*op*/, std::size_t /*ops*/,
                              SimTime /*now*/) {}
+
+  // Pricing-model events (cloud/pricing.hpp). Default no-ops for the same
+  // reason as the failure callbacks; with pricing off none of them fire.
+  /// A spot VM received its revocation warning (`doomed` was just set).
+  virtual void on_spot_warning(const VmInstance& /*vm*/, SimTime /*now*/) {}
+  /// A spot VM was revoked; like on_crash, fires after the charge was
+  /// applied but before the instance is erased (the engine has already
+  /// killed/requeued the running job).
+  virtual void on_spot_revoke(const VmInstance& /*vm*/,
+                              double /*charged_hours_delta*/, SimTime /*now*/) {}
+  /// A lease was settled in dollars (release, crash, boot-fail, or
+  /// revocation; pricing model attached). Fires alongside the hour-flavored
+  /// callback with the same pre-erase snapshot.
+  virtual void on_price_settle(const VmInstance& /*vm*/,
+                               double /*cost_dollars*/, SimTime /*now*/) {}
 };
 
 class CloudProvider {
@@ -77,12 +93,25 @@ class CloudProvider {
   /// rejections, no extra branches taken.
   void set_failure_model(FailureModel* model) noexcept { failure_ = model; }
 
+  /// Attach (or detach, with nullptr) the pricing model. Borrowed. Null —
+  /// the default — is the pre-pricing provider: one family, one tier, no
+  /// dollar accounting, no extra branches taken.
+  void set_pricing_model(PricingModel* model);
+
   /// Lease up to `count` VMs at `now`; returns the ids actually leased
   /// (shorter than `count` when the cap binds, empty when the request hits
   /// an API outage window). New VMs boot until now + boot_delay; with a
   /// failure model attached each grant draws its boot and crash outcomes
-  /// (in grant order: boot stream first, then crash stream).
+  /// (in grant order: boot stream first, then crash stream). Equivalent to
+  /// lease({count, 0, kOnDemand}, now).
   std::vector<VmId> lease(std::size_t count, SimTime now);
+
+  /// Tier-aware lease: additionally bounded by the requested family's cap
+  /// and, for reserved requests, the unfilled commitment. With a pricing
+  /// model attached the granted VMs boot with their family's boot delay,
+  /// and spot grants draw a revocation time from the "spot" stream (after
+  /// the failure draws, so failure streams are never perturbed).
+  std::vector<VmId> lease(const LeaseRequest& request, SimTime now);
 
   /// Release an idle VM; charges ceil(lease duration) hours. It is a
   /// contract violation to release a busy or booting VM.
@@ -120,6 +149,16 @@ class CloudProvider {
   /// the provider only settles the lease.
   double crash(VmId id, SimTime now);
 
+  /// Mark a spot VM doomed at its warning time: it keeps running whatever
+  /// it has but the engine stops giving it new work. Idempotent-free by
+  /// contract (the engine schedules exactly one warning per spot lease).
+  void mark_doomed(VmId id, SimTime now);
+
+  /// Revoke a spot VM at its drawn revocation time — mechanically a crash
+  /// (charged ceil-hour, erased, job already killed by the engine) counted
+  /// as a revocation, not a crash.
+  double revoke(VmId id, SimTime now);
+
   /// Whether an API call of `ops` operations would be rejected at `now`
   /// (failure model attached and inside an outage window). When it is,
   /// counts the rejection and notifies the observer. `ops == 0` never
@@ -153,6 +192,32 @@ class CloudProvider {
     return api_rejected_releases_;
   }
 
+  // Pricing accounting (all zero with the model detached). Dollar figures
+  // cover settled (released/terminated) leases; the reserved commitment is
+  // billed separately via PricingModel::commitment_cost.
+  [[nodiscard]] std::size_t leases_of_tier(PurchaseTier tier) const noexcept {
+    return leases_by_tier_[static_cast<std::size_t>(tier)];
+  }
+  [[nodiscard]] std::size_t spot_warnings() const noexcept { return spot_warnings_; }
+  [[nodiscard]] std::size_t spot_revocations() const noexcept {
+    return spot_revocations_;
+  }
+  [[nodiscard]] double spend_on_demand_dollars() const noexcept {
+    return spend_on_demand_;
+  }
+  [[nodiscard]] double spend_spot_dollars() const noexcept { return spend_spot_; }
+  /// What the settled spot leases would have cost on-demand, minus what
+  /// they actually cost.
+  [[nodiscard]] double spot_savings_dollars() const noexcept {
+    return spot_savings_;
+  }
+  /// Charged seconds sunk into revoked leases (revocation waste).
+  [[nodiscard]] double revoked_charged_seconds() const noexcept {
+    return revoked_charged_seconds_;
+  }
+  /// Live reserved leases (never exceeds the commitment).
+  [[nodiscard]] std::size_t reserved_live() const noexcept { return reserved_live_; }
+
   /// Access a live VM by id. Returns nullptr if unknown/released.
   [[nodiscard]] const VmInstance* find(VmId id) const noexcept;
 
@@ -165,12 +230,26 @@ class CloudProvider {
   /// Snapshot for the online simulator.
   [[nodiscard]] CloudProfile snapshot(SimTime now) const;
 
+  /// Populate `view` with the live market state at `now` (family table with
+  /// occupancy, frozen multiplier/epoch, commitment headroom). No-op with
+  /// the model detached, leaving the view disabled. For callers that build
+  /// their own CloudProfile (the engine's predicted-completion profile)
+  /// instead of using snapshot().
+  void fill_pricing_view(PricingView& view, SimTime now) const;
+
  private:
+  /// Terminal-settlement flavor, for the observer dispatch.
+  enum class Settlement { kBootFail, kCrash, kRevoke };
+
   [[nodiscard]] VmInstance* find_mut(VmId id) noexcept;
-  /// Charge a live VM's lease to `now`, notify the observer (crash or
-  /// boot-fail flavor), and erase it (shared terminal path of fail_boot and
-  /// crash). Returns the charged hours.
-  double terminate(VmInstance* vm, SimTime now, bool crashed);
+  /// Charge a live VM's lease to `now`, notify the observer (crash,
+  /// boot-fail, or revoke flavor), and erase it (shared terminal path of
+  /// fail_boot/crash/revoke). Returns the charged hours.
+  double terminate(VmInstance* vm, SimTime now, Settlement kind);
+  /// Dollar-side settlement of a lease ending at `now` (no-op with the
+  /// pricing model detached): accumulates per-tier spend and spot savings,
+  /// releases family/reserved occupancy, notifies the observer.
+  void settle_price(const VmInstance& vm, SimTime now);
 
   ProviderConfig config_;
   std::vector<VmInstance> vms_;  // live VMs, sorted by id (append + erase)
@@ -183,6 +262,16 @@ class CloudProvider {
   std::size_t crashes_ = 0;
   std::size_t api_rejected_leases_ = 0;
   std::size_t api_rejected_releases_ = 0;
+  PricingModel* pricing_ = nullptr;
+  std::vector<std::size_t> family_live_;  // live leases per family
+  std::size_t reserved_live_ = 0;
+  std::size_t leases_by_tier_[3] = {0, 0, 0};
+  std::size_t spot_warnings_ = 0;
+  std::size_t spot_revocations_ = 0;
+  double spend_on_demand_ = 0.0;
+  double spend_spot_ = 0.0;
+  double spot_savings_ = 0.0;
+  double revoked_charged_seconds_ = 0.0;
 };
 
 }  // namespace psched::cloud

@@ -6,6 +6,7 @@
 // release the elapsed lease duration is rounded up to the next full hour,
 // with a minimum of one hour.
 
+#include "cloud/pricing.hpp"
 #include "util/types.hpp"
 
 namespace psched::cloud {
@@ -28,6 +29,14 @@ struct VmInstance {
   // the model off both keep their defaults and nothing reads them.
   bool boot_failed = false;     ///< boot will fail at boot_complete
   SimTime crash_at = kTimeNever;  ///< absolute crash time (never by default)
+
+  // Pricing-model attributes (cloud/pricing.hpp), fixed at lease time.
+  // With pricing off all keep their defaults and nothing reads them.
+  std::uint32_t family = 0;  ///< index into the pricing model's families
+  PurchaseTier tier = PurchaseTier::kOnDemand;
+  SimTime revoke_warning_at = kTimeNever;  ///< spot: warning lead time start
+  SimTime revoke_at = kTimeNever;          ///< spot: absolute revocation time
+  bool doomed = false;  ///< revocation warning received; accepts no new work
 };
 
 /// Charged seconds for a lease interval [lease, release] under a billing

@@ -55,11 +55,31 @@ SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
   const SimTime t0 = snapshot.t0;
 
   arena.reset();
+  // Pricing (DESIGN.md §12): the arena keeps a mutable copy of the round's
+  // pricing view — occupancy (family in_use, reserved_in_use) tracks the
+  // inner fleet live so tier-aware policies see real headroom, while the
+  // market itself stays frozen at the snapshot's multiplier. Spot
+  // revocations are NOT simulated inside a candidate (like crashes: the
+  // inner sim is the scheduler's optimistic plan, not the adversary).
+  const bool pricing_on = snapshot.pricing.enabled;
+  if (pricing_on) arena.pricing = snapshot.pricing;
+  /// Price weight of one VM row: effective $/quantum at the frozen market,
+  /// as a multiplier on charged seconds (1.0 everywhere with pricing off).
+  const auto price_weight = [&arena](std::size_t row) -> double {
+    const cloud::PricingView& pv = arena.pricing;
+    double fraction = 1.0;
+    const auto tier = static_cast<cloud::PurchaseTier>(arena.vm_tier[row]);
+    if (tier == cloud::PurchaseTier::kSpot) fraction = pv.spot_price_fraction;
+    else if (tier == cloud::PurchaseTier::kReserved) fraction = 0.0;
+    return pv.families[arena.vm_family[row]].price * fraction;
+  };
   VmId next_vm_id = 0;
   for (std::size_t i = 0; i < snapshot.vm_count(); ++i) {
     // Snapshot availability is already clamped to t0.
     arena.push_vm(next_vm_id++, snapshot.vm_lease[i], snapshot.vm_available[i],
-                  /*fresh=*/false, snapshot.vm_busy[i] != 0);
+                  /*fresh=*/false, snapshot.vm_busy[i] != 0,
+                  pricing_on ? snapshot.vm_family[i] : 0,
+                  pricing_on ? snapshot.vm_tier[i] : 0);
   }
 
   snapshot.fill_pending(arena.pending);
@@ -90,15 +110,43 @@ SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
     ctx.booting_vms = booting;
     ctx.total_vms = arena.vm_count();
     ctx.max_vms = snapshot.max_vms;
+    if (pricing_on) ctx.pricing = &arena.pricing;
 
     // --- 1. provisioning -----------------------------------------------------
-    const std::size_t headroom =
+    std::size_t headroom =
         arena.vm_count() >= snapshot.max_vms ? 0 : snapshot.max_vms - arena.vm_count();
-    const std::size_t to_lease =
-        std::min(policy.provisioning->vms_to_lease(ctx), headroom);
-    for (std::size_t i = 0; i < to_lease; ++i) {
-      arena.push_vm(next_vm_id++, now, now + snapshot.boot_delay,
-                    /*fresh=*/true, /*busy=*/false);
+    std::size_t to_lease = 0;
+    if (!pricing_on) {
+      to_lease = std::min(policy.provisioning->vms_to_lease(ctx), headroom);
+      for (std::size_t i = 0; i < to_lease; ++i) {
+        arena.push_vm(next_vm_id++, now, now + snapshot.boot_delay,
+                      /*fresh=*/true, /*busy=*/false);
+      }
+    } else {
+      // Tier-aware path: the policy's lease plan, granted request by
+      // request under the same caps the provider enforces — global
+      // headroom, per-family caps, and the reserved commitment.
+      policy.provisioning->lease_plan(ctx, arena.lease_requests);
+      for (const cloud::LeaseRequest& req : arena.lease_requests) {
+        PSCHED_ASSERT_MSG(req.family < arena.pricing.families.size(),
+                          "lease plan names an unknown VM family");
+        std::size_t grant = std::min(req.count, headroom);
+        grant = std::min(grant, arena.pricing.family_free(req.family));
+        if (req.tier == cloud::PurchaseTier::kReserved)
+          grant = std::min(grant, arena.pricing.reserved_free());
+        const SimDuration boot =
+            arena.pricing.families[req.family].boot_delay;
+        for (std::size_t i = 0; i < grant; ++i) {
+          arena.push_vm(next_vm_id++, now, now + boot, /*fresh=*/true,
+                        /*busy=*/false, req.family,
+                        static_cast<unsigned char>(req.tier));
+        }
+        arena.pricing.families[req.family].in_use += grant;
+        if (req.tier == cloud::PurchaseTier::kReserved)
+          arena.pricing.reserved_in_use += grant;
+        headroom -= grant;
+        to_lease += grant;
+      }
     }
 
     // --- 2. allocation (shared planner; head-of-line or EASY backfill) -------
@@ -153,9 +201,20 @@ SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
             cloud::remaining_paid_at(arena.vm_lease[i], now,
                                      snapshot.billing_quantum) <=
                 config_.release_window) {
-          out.rv_charged_seconds +=
+          double seconds =
               charge_seconds(arena.vm_lease[i], arena.vm_fresh[i] != 0, now, t0,
                              config_.cost_model, snapshot.billing_quantum);
+          if (pricing_on) {
+            seconds *= price_weight(i);
+            cloud::PricingView::Family& fam =
+                arena.pricing.families[arena.vm_family[i]];
+            if (fam.in_use > 0) --fam.in_use;
+            if (arena.vm_tier[i] ==
+                    static_cast<unsigned char>(cloud::PurchaseTier::kReserved) &&
+                arena.pricing.reserved_in_use > 0)
+              --arena.pricing.reserved_in_use;
+          }
+          out.rv_charged_seconds += seconds;
           arena.remove_vm(i);
         } else {
           ++i;
@@ -186,6 +245,7 @@ SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
     ctx.idle_vms = idle2;
     ctx.booting_vms = booting2;
     ctx.total_vms = arena.vm_count();
+    if (pricing_on) ctx.pricing = &arena.pricing;
     const SimTime next_policy = policy.provisioning->next_change(ctx);
     SimTime next = std::min(next_avail, next_policy);
     if (changed) next = std::min(next, now + config_.schedule_period);
@@ -207,9 +267,11 @@ SimOutcome OnlineSimulator::simulate(const RoundSnapshot& snapshot,
       release = std::ceil(arena.vm_avail[i] / config_.schedule_period) *
                 config_.schedule_period;
     }
-    out.rv_charged_seconds +=
+    double seconds =
         charge_seconds(arena.vm_lease[i], arena.vm_fresh[i] != 0, release, t0,
                        config_.cost_model, snapshot.billing_quantum);
+    if (pricing_on) seconds *= price_weight(i);
+    out.rv_charged_seconds += seconds;
   }
 
   out.avg_bounded_slowdown = finished ? bsd_sum / static_cast<double>(finished) : 1.0;

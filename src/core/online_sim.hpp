@@ -85,6 +85,12 @@ struct SimOutcome {
   double utility = 0.0;
   double avg_bounded_slowdown = 1.0;
   double rj_proc_seconds = 0.0;
+  /// Charged cost of the candidate's VM consumption. With pricing off this
+  /// is plain charged seconds (the paper's RV). With pricing on
+  /// (DESIGN.md §12) each VM's charged seconds are weighted by its
+  /// effective price — family price at the snapshot's frozen market
+  /// multiplier × tier fraction — so candidate scoring prefers cheap
+  /// capacity; dollars = this / billing_quantum.
   double rv_charged_seconds = 0.0;
   double sim_makespan = 0.0;    ///< simulated seconds until the queue drained
   std::size_t decisions = 0;    ///< decision-loop iterations executed

@@ -38,6 +38,21 @@ void RoundSnapshot::build(std::span<const policy::QueuedJob> queue,
     vm_busy.push_back(view.busy ? 1 : 0);
   }
 
+  // Pricing columns exist only when pricing is on, so pricing-off
+  // snapshots (and their fingerprints, below) stay byte-identical to the
+  // pre-pricing layout.
+  pricing = profile.pricing;
+  vm_family.clear();
+  vm_tier.clear();
+  if (pricing.enabled) {
+    vm_family.reserve(profile.vms.size());
+    vm_tier.reserve(profile.vms.size());
+    for (const cloud::VmView& view : profile.vms) {
+      vm_family.push_back(view.family);
+      vm_tier.push_back(static_cast<unsigned char>(view.tier));
+    }
+  }
+
   // The fingerprint covers every input the inner simulation reads, in a
   // fixed canonical order, with length prefixes so (say) moving a value
   // from the queue to the VM table cannot alias. The simulator config is
@@ -60,6 +75,29 @@ void RoundSnapshot::build(std::span<const policy::QueuedJob> queue,
     fp.mix(vm_lease[i]);
     fp.mix(vm_available[i]);
     fp.mix(vm_busy[i] != 0);
+  }
+  if (pricing.enabled) {
+    // The whole pricing view in canonical order: market state (epoch +
+    // multiplier — a schedule step or walk step lands in a new epoch and
+    // invalidates memo hits), tier economics, commitment occupancy, the
+    // family table, and the per-VM family/tier columns.
+    fp.mix(pricing.enabled);
+    fp.mix(pricing.epoch);
+    fp.mix(pricing.multiplier);
+    fp.mix(pricing.spot_price_fraction);
+    fp.mix(pricing.reserved_total);
+    fp.mix(pricing.reserved_in_use);
+    fp.mix(pricing.families.size());
+    for (const cloud::PricingView::Family& f : pricing.families) {
+      fp.mix(f.price);
+      fp.mix(f.boot_delay);
+      fp.mix(f.cap);
+      fp.mix(f.in_use);
+    }
+    for (std::size_t i = 0; i < vm_family.size(); ++i) {
+      fp.mix(static_cast<std::size_t>(vm_family[i]));
+      fp.mix(static_cast<std::size_t>(vm_tier[i]));
+    }
   }
   fingerprint = fp;
 }

@@ -49,6 +49,17 @@ struct RoundSnapshot {
   std::vector<SimTime> vm_available;
   std::vector<unsigned char> vm_busy;
 
+  // Pricing block (DESIGN.md §12), populated — and folded into the
+  // fingerprint — only when the profile carries an enabled pricing view.
+  // Pricing-off snapshots stay byte-identical to the pre-pricing layout,
+  // which is what makes pricing-off memo behavior provably unchanged. The
+  // view freezes the market at t0 (multiplier + epoch); candidate inner
+  // sims price everything at that frozen multiplier, and the epoch in the
+  // fingerprint guarantees a memo hit never spans a price change.
+  cloud::PricingView pricing;
+  std::vector<std::uint32_t> vm_family;
+  std::vector<unsigned char> vm_tier;
+
   /// 128-bit hash of every field above, computed during build(). Two
   /// snapshots fingerprint equal iff their inputs are bit-identical.
   util::Fingerprint fingerprint;

@@ -34,7 +34,8 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
   if (config_.validation.check_invariants) {
     cloud::ProviderConfig intended = config_.provider;
     intended.inject_fault = validate::FaultInjection::kNone;
-    checker_ = std::make_unique<validate::InvariantChecker>(config_.validation, intended);
+    checker_ = std::make_unique<validate::InvariantChecker>(config_.validation, intended,
+                                                            config_.pricing);
     sim_.set_observer(checker_.get());
     provider_.set_observer(checker_.get());
   }
@@ -52,6 +53,10 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
     lease_backoff_ = cloud::BackoffSchedule(
         config_.resilience,
         cloud::derive_stream_seed(config_.failure.seed, "backoff"));
+  }
+  if (config_.pricing.enabled()) {
+    pricing_model_ = std::make_unique<cloud::PricingModel>(config_.pricing);
+    provider_.set_pricing_model(pricing_model_.get());
   }
   std::unordered_map<JobId, const workload::Job*> by_id;
   by_id.reserve(trace_.size());
@@ -73,6 +78,16 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
 }
 
 void ClusterSimulation::enqueue(const workload::Job& job, SimTime eligible) {
+  // Family caps can bound concurrent capacity below the provider cap the
+  // trace was cleaned against. A job wider than that can never start; keep
+  // it queued and the run never terminates. Reject it as killed-final (the
+  // cascade takes its dependents) instead.
+  if (pricing_model_ != nullptr &&
+      static_cast<std::size_t>(job.procs) >
+          pricing_model_->max_schedulable_vms(config_.provider.max_vms)) {
+    kill_final(job, sim_.now());
+    return;
+  }
   queue_.push_back(Waiting{&job, eligible});
   arm_tick(sim_.now());
 }
@@ -91,7 +106,9 @@ void ClusterSimulation::on_arrival() {
   detail::sim_context().set(sim_.now(), "arrival");
   const workload::Job& job = trace_.jobs()[next_arrival_];
   ++next_arrival_;
-  if (failure_model_ != nullptr && dead_jobs_.find(job.id) != dead_jobs_.end()) {
+  // Populated by crash kills (failure model) and capacity rejections
+  // (pricing family caps); empty — and free to probe — otherwise.
+  if (dead_jobs_.find(job.id) != dead_jobs_.end()) {
     // Dead on arrival: a dependency was killed for good before this job
     // even submitted, so it can never become eligible.
     ++fstats_.jobs_killed_final;
@@ -149,8 +166,11 @@ cloud::CloudProfile ClusterSimulation::make_profile() const {
         view.available_at = now;
         break;
     }
+    view.family = vm.family;
+    view.tier = vm.tier;
     profile.vms.push_back(view);
   }
+  provider_.fill_pricing_view(profile.pricing, now);
   return profile;
 }
 
@@ -181,7 +201,29 @@ void ClusterSimulation::on_tick() {
   ctx.booting_vms = provider_.booting_count();
   ctx.total_vms = provider_.leased_count();
   ctx.max_vms = provider_.config().max_vms;
-  std::size_t want = policy.provisioning->vms_to_lease(ctx);
+  ctx.pricing = &profile.pricing;
+  if (pricing_model_ != nullptr) {
+    // Doomed spot capacity is not supply: discounting it here makes the
+    // policy lease replacements during the warning lead time instead of
+    // waiting for the revocation to land.
+    for (const cloud::VmInstance& vm : provider_.vms()) {
+      if (!vm.doomed) continue;
+      if (vm.state == cloud::VmState::kIdle)
+        --ctx.idle_vms;
+      else if (vm.state == cloud::VmState::kBooting)
+        --ctx.booting_vms;
+    }
+  }
+  std::size_t want = 0;
+  if (pricing_model_ != nullptr) {
+    // Tier-aware provisioning: the policy plans (count, family, tier)
+    // requests against the live market view; `want` is the plan's total so
+    // the backoff gate below treats the plan as one attempt.
+    policy.provisioning->lease_plan(ctx, lease_plan_scratch_);
+    for (const cloud::LeaseRequest& req : lease_plan_scratch_) want += req.count;
+  } else {
+    want = policy.provisioning->vms_to_lease(ctx);
+  }
   if (failure_model_ != nullptr && want > 0) {
     // Lease retry with capped exponential backoff (in sim time): after an
     // API-outage rejection, hold further lease attempts until the backoff
@@ -194,14 +236,38 @@ void ClusterSimulation::on_tick() {
     }
   }
   const std::size_t rejected_before = provider_.api_rejected_leases();
-  for (const VmId id : provider_.lease(want, now)) {
-    const cloud::VmInstance* vm = provider_.find(id);
-    if (failure_model_ != nullptr && vm->crash_at < kTimeNever)
-      sim_.at(vm->crash_at, [this, id] { on_vm_crash(id); });
-    // Only VMs actually booting await a boot-complete event: with a zero boot
-    // delay (or the skip-boot-delay validation fault) the lease is born idle.
-    if (vm->state != cloud::VmState::kBooting) continue;
-    sim_.after(provider_.config().boot_delay, [this, id] { on_boot_complete(id); });
+  if (pricing_model_ == nullptr) {
+    for (const VmId id : provider_.lease(want, now)) {
+      const cloud::VmInstance* vm = provider_.find(id);
+      if (failure_model_ != nullptr && vm->crash_at < kTimeNever)
+        sim_.at(vm->crash_at, [this, id] { on_vm_crash(id); });
+      // Only VMs actually booting await a boot-complete event: with a zero boot
+      // delay (or the skip-boot-delay validation fault) the lease is born idle.
+      if (vm->state != cloud::VmState::kBooting) continue;
+      sim_.after(provider_.config().boot_delay, [this, id] { on_boot_complete(id); });
+    }
+  } else if (want > 0) {
+    for (const cloud::LeaseRequest& req : lease_plan_scratch_) {
+      for (const VmId id : provider_.lease(req, now)) {
+        const cloud::VmInstance* vm = provider_.find(id);
+        if (failure_model_ != nullptr && vm->crash_at < kTimeNever)
+          sim_.at(vm->crash_at, [this, id] { on_vm_crash(id); });
+        // Spot leases carry a drawn revocation (warning first, then the
+        // revocation itself); both events tolerate the VM being gone.
+        if (vm->revoke_warning_at < kTimeNever)
+          sim_.at(vm->revoke_warning_at, [this, id] { on_spot_warning(id); });
+        if (vm->revoke_at < kTimeNever)
+          sim_.at(vm->revoke_at, [this, id] { on_spot_revoke(id); });
+        // Families boot at their own pace: fire at the lease's boot_complete
+        // rather than now + the provider-wide delay.
+        if (vm->state != cloud::VmState::kBooting) continue;
+        sim_.at(vm->boot_complete, [this, id] { on_boot_complete(id); });
+      }
+      // An API outage rejects the tick's whole provisioning pass: once one
+      // request is rejected, later requests this tick would be rejected by
+      // the same window, and issuing them would inflate the reject counter.
+      if (provider_.api_rejected_leases() != rejected_before) break;
+    }
   }
   if (failure_model_ != nullptr && want > 0) {
     if (provider_.api_rejected_leases() != rejected_before) {
@@ -217,6 +283,9 @@ void ClusterSimulation::on_tick() {
   std::vector<policy::VmAvail> avail;
   avail.reserve(provider_.vms().size());
   for (const cloud::VmInstance& vm : provider_.vms()) {
+    // A doomed spot VM (revocation warning delivered) finishes what it has
+    // but takes no new work; always false with pricing off.
+    if (vm.doomed) continue;
     SimTime available_at = now;
     switch (vm.state) {
       case cloud::VmState::kBooting:
@@ -279,6 +348,17 @@ void ClusterSimulation::on_tick() {
   }
 
   // --- 3. idle-VM release ------------------------------------------------------
+  if (pricing_model_ != nullptr) {
+    // A doomed idle VM can never serve the queue again (the allocator skips
+    // it); hand it back now instead of holding it as useless reserve.
+    std::vector<VmId> doomed_idle;
+    for (const cloud::VmInstance& vm : provider_.vms())
+      if (vm.doomed && vm.state == cloud::VmState::kIdle) doomed_idle.push_back(vm.id);
+    if (!doomed_idle.empty() &&
+        !provider_.api_rejects(cloud::FailureOp::kRelease, doomed_idle.size(), now)) {
+      for (const VmId id : doomed_idle) provider_.release(id, now);
+    }
+  }
   if (config_.release_rule == ReleaseRule::kEagerSurplus) {
     // Keep only what the first still-waiting job needs as a reserve;
     // everything else goes back to the provider (full hours charged).
@@ -357,6 +437,30 @@ void ClusterSimulation::on_vm_crash(VmId id) {
   if (recorder_ != nullptr) recorder_->counter_add("engine.vm_crashes", 1.0);
   // No arm_tick: whenever a live VM exists a tick is already armed, and the
   // resubmission path re-arms through enqueue().
+}
+
+void ClusterSimulation::on_spot_warning(VmId id) {
+  const cloud::VmInstance* vm = provider_.find(id);
+  // Stale event: the lease was already released (or revoked early). No-op.
+  if (vm == nullptr || vm->doomed) return;
+  detail::sim_context().set(sim_.now(), "spot-warning");
+  provider_.mark_doomed(id, sim_.now());
+  if (recorder_ != nullptr) recorder_->counter_add("engine.spot_warnings", 1.0);
+}
+
+void ClusterSimulation::on_spot_revoke(VmId id) {
+  const cloud::VmInstance* vm = provider_.find(id);
+  // Stale event: the lease was already released. Nothing to settle.
+  if (vm == nullptr) return;
+  const SimTime now = sim_.now();
+  detail::sim_context().set(now, "spot-revoke");
+  // A revocation is a crash carrying a price signal: the running slice dies
+  // through the same bounded-resubmission machinery, only the settlement
+  // differs (spot-priced, counted as revocation waste).
+  if (vm->state == cloud::VmState::kBusy) kill_running_job(vm->running_job, id, now);
+  provider_.revoke(id, now);
+  predicted_free_.erase(id);
+  if (recorder_ != nullptr) recorder_->counter_add("engine.spot_revocations", 1.0);
 }
 
 void ClusterSimulation::kill_running_job(JobId id, VmId crashed_vm, SimTime now) {
@@ -483,12 +587,32 @@ RunResult ClusterSimulation::run() {
   PSCHED_ASSERT_MSG(provider_.leased_count() == 0,
                     "simulation ended with leased VMs");
   collector_.set_charged_seconds(provider_.charged_hours_released() * kSecondsPerHour);
-  if (failure_model_ != nullptr) {
+  if (failure_model_ != nullptr || fstats_.any()) {
+    // Spot revocations reuse the kill/resubmit machinery, so a pricing-on
+    // run can accumulate job-level failure stats with the failure model off.
     fstats_.boot_failures = provider_.boot_failures();
     fstats_.vm_crashes = provider_.crashes();
     fstats_.api_rejected_leases = provider_.api_rejected_leases();
     fstats_.api_rejected_releases = provider_.api_rejected_releases();
     collector_.set_failure_stats(fstats_);
+  }
+  if (pricing_model_ != nullptr) {
+    metrics::PricingStats pstats;
+    pstats.families = pricing_model_->family_count();
+    pstats.on_demand_leases = provider_.leases_of_tier(cloud::PurchaseTier::kOnDemand);
+    pstats.spot_leases = provider_.leases_of_tier(cloud::PurchaseTier::kSpot);
+    pstats.reserved_leases = provider_.leases_of_tier(cloud::PurchaseTier::kReserved);
+    pstats.spot_warnings = provider_.spot_warnings();
+    pstats.spot_revocations = provider_.spot_revocations();
+    pstats.spend_on_demand_dollars = provider_.spend_on_demand_dollars();
+    pstats.spend_spot_dollars = provider_.spend_spot_dollars();
+    // The commitment is billed up front for the whole term, independent of
+    // how much of it the run actually used.
+    pstats.spend_reserved_dollars =
+        pricing_model_->commitment_cost(config_.provider.billing_quantum);
+    pstats.spot_savings_dollars = provider_.spot_savings_dollars();
+    pstats.revoked_charged_seconds = provider_.revoked_charged_seconds();
+    collector_.set_pricing_stats(pstats);
   }
 
   RunResult result;

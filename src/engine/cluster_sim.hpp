@@ -60,6 +60,11 @@ struct EngineConfig {
   /// Scheduler resilience (lease retry/backoff, bounded job resubmission);
   /// read only when `failure` is enabled.
   cloud::ResilienceConfig resilience;
+  /// Heterogeneous VM families, spot market, and time-varying pricing
+  /// (cloud/pricing.hpp, DESIGN.md §12). The all-default config disables the
+  /// layer entirely: no model is constructed, no stream is drawn, and the
+  /// run is bit-identical to a pricing-free build.
+  cloud::PricingConfig pricing;
 };
 
 /// One fleet/queue snapshot (see EngineConfig::telemetry_every_ticks).
@@ -134,6 +139,16 @@ class ClusterSimulation {
   /// dependent (they can never become eligible).
   void kill_final(const workload::Job& job, SimTime now);
 
+  // Spot-market paths (no-ops unless config_.pricing enables a spot tier).
+  /// Revocation-warning event at the lease's drawn warning instant: marks
+  /// the VM doomed so the allocator stops placing new work on it. Tolerates
+  /// stale events (the VM was already released or revoked).
+  void on_spot_warning(VmId id);
+  /// Revocation event at the lease's drawn revocation instant: kills the
+  /// running job slice (if busy, through the same bounded-resubmission
+  /// machinery as a crash) and settles the lease at the spot price.
+  void on_spot_revoke(VmId id);
+
   /// Cloud profile with *predicted* completion times for busy VMs.
   [[nodiscard]] cloud::CloudProfile make_profile() const;
   [[nodiscard]] std::vector<policy::QueuedJob> annotate_queue() const;
@@ -181,6 +196,10 @@ class ClusterSimulation {
   std::unordered_map<JobId, std::size_t> resubmits_;  // kills per job
   std::unordered_set<JobId> dead_jobs_;  // killed-final + dead dependents
   metrics::FailureStats fstats_;
+
+  // Pricing state (inert when config_.pricing.enabled() is false).
+  std::unique_ptr<cloud::PricingModel> pricing_model_;  // only when enabled
+  std::vector<cloud::LeaseRequest> lease_plan_scratch_;
 };
 
 }  // namespace psched::engine

@@ -92,6 +92,7 @@ obs::RunReportInputs report_inputs(const ScenarioResult& result,
   inputs.invariant_checks = result.run.invariant_checks;
   inputs.invariant_violations = result.run.invariant_violations.size();
   inputs.failures_enabled = config.failure.enabled();
+  inputs.pricing_enabled = config.pricing.enabled();
   if (result.is_portfolio) {
     inputs.portfolio.present = true;
     inputs.portfolio.invocations = result.portfolio.invocations;

@@ -43,6 +43,7 @@ RunMetrics MetricsCollector::finalize() const {
   m.rv_charged_seconds = rv_seconds_;
   m.makespan = makespan_;
   m.failures = failures_;
+  m.pricing = pricing_;
   m.workflows = workflows_.size();
   // Aggregate through an id-sorted snapshot: the average is a floating-point
   // sum, so folding in hash-table order would make the reported metric

@@ -56,6 +56,31 @@ struct FailureStats {
   }
 };
 
+/// Pricing/market aggregates (engine-filled; every field stays zero when
+/// the pricing layer is off, see cloud/pricing.hpp and DESIGN.md §12).
+struct PricingStats {
+  std::size_t families = 0;              ///< VM family count in the config
+  std::size_t on_demand_leases = 0;      ///< leases billed at the base price
+  std::size_t spot_leases = 0;           ///< discounted, revocable leases
+  std::size_t reserved_leases = 0;       ///< leases drawn from the commitment
+  std::size_t spot_warnings = 0;         ///< revocation warnings delivered
+  std::size_t spot_revocations = 0;      ///< spot leases revoked by the market
+  double spend_on_demand_dollars = 0.0;  ///< settled on-demand spend
+  double spend_spot_dollars = 0.0;       ///< settled spot spend
+  double spend_reserved_dollars = 0.0;   ///< up-front commitment cost
+  double spot_savings_dollars = 0.0;     ///< on-demand-equivalent minus spot
+  double revoked_charged_seconds = 0.0;  ///< paid time lost to revocations
+
+  [[nodiscard]] double total_spend_dollars() const noexcept {
+    return spend_on_demand_dollars + spend_spot_dollars + spend_reserved_dollars;
+  }
+  [[nodiscard]] bool any() const noexcept {
+    return on_demand_leases > 0 || spot_leases > 0 || reserved_leases > 0 ||
+           spot_warnings > 0 || spot_revocations > 0 ||
+           total_spend_dollars() > 0.0;
+  }
+};
+
 /// Aggregated result of a (real or simulated) run.
 struct RunMetrics {
   std::size_t jobs = 0;
@@ -73,6 +98,9 @@ struct RunMetrics {
 
   // Failure/resilience aggregates (all zero for failure-off runs).
   FailureStats failures;
+
+  // Pricing/market aggregates (all zero for pricing-off runs).
+  PricingStats pricing;
 
   [[nodiscard]] double charged_hours() const noexcept {
     return rv_charged_seconds / kSecondsPerHour;
@@ -111,6 +139,10 @@ class MetricsCollector {
   /// run (defaults to all-zero for failure-off runs).
   void set_failure_stats(const FailureStats& stats) noexcept { failures_ = stats; }
 
+  /// Pricing/market aggregates, reported by the engine at the end of a run
+  /// (defaults to all-zero for pricing-off runs).
+  void set_pricing_stats(const PricingStats& stats) noexcept { pricing_ = stats; }
+
   [[nodiscard]] std::size_t jobs() const noexcept { return slowdowns_.count(); }
   [[nodiscard]] RunMetrics finalize() const;
 
@@ -128,6 +160,7 @@ class MetricsCollector {
   double bound_;
   bool keep_records_ = false;
   FailureStats failures_;
+  PricingStats pricing_;
   util::RunningStats slowdowns_;
   util::RunningStats waits_;
   double rj_ = 0.0;

@@ -85,6 +85,33 @@ class ProviderTracer final : public cloud::ProviderObserver {
     if (downstream_ != nullptr) downstream_->on_crash(vm, charged_hours_delta, now);
   }
 
+  void on_spot_warning(const cloud::VmInstance& vm, SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.spot_warnings", 1.0);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.spot_warning", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr) downstream_->on_spot_warning(vm, now);
+  }
+
+  void on_spot_revoke(const cloud::VmInstance& vm, double charged_hours_delta,
+                      SimTime now) override {
+    if (recorder_ != nullptr) {
+      recorder_->counter_add("provider.spot_revocations", 1.0);
+      recorder_->counter_add("provider.charged_hours", charged_hours_delta);
+      if (recorder_->tracing_on())
+        recorder_->instant("vm.spot_revoke", 0, lease_args(vm.id, now));
+    }
+    if (downstream_ != nullptr)
+      downstream_->on_spot_revoke(vm, charged_hours_delta, now);
+  }
+
+  void on_price_settle(const cloud::VmInstance& vm, double cost_dollars,
+                       SimTime now) override {
+    if (recorder_ != nullptr) recorder_->counter_add("provider.spend_dollars", cost_dollars);
+    if (downstream_ != nullptr) downstream_->on_price_settle(vm, cost_dollars, now);
+  }
+
   void on_api_reject(cloud::FailureOp op, std::size_t ops, SimTime now) override {
     if (recorder_ != nullptr) {
       recorder_->counter_add(op == cloud::FailureOp::kLease

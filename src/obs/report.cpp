@@ -14,6 +14,7 @@ namespace {
 
 constexpr const char* kRunReportSchema = "psched-run-report/v1";
 constexpr const char* kFailuresSchema = "psched-failures/v1";
+constexpr const char* kPricingSchema = "psched-pricing/v1";
 
 void append_kv(std::string& out, const char* key, const std::string& value_json,
                bool& first) {
@@ -85,6 +86,35 @@ std::string failures_json(const RunReportInputs& inputs) {
             json_number(f.failed_vm_charged_seconds), first);
   append_kv(out, "goodput_proc_seconds",
             json_number(inputs.metrics.goodput_proc_seconds()), first);
+  out += '}';
+  return out;
+}
+
+std::string pricing_json(const RunReportInputs& inputs) {
+  if (!inputs.pricing_enabled) return "null";
+  const metrics::PricingStats& p = inputs.metrics.pricing;
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "schema", quoted(kPricingSchema), first);
+  append_kv(out, "families", json_number(static_cast<double>(p.families)), first);
+  append_kv(out, "on_demand_leases",
+            json_number(static_cast<double>(p.on_demand_leases)), first);
+  append_kv(out, "spot_leases", json_number(static_cast<double>(p.spot_leases)), first);
+  append_kv(out, "reserved_leases",
+            json_number(static_cast<double>(p.reserved_leases)), first);
+  append_kv(out, "spot_warnings",
+            json_number(static_cast<double>(p.spot_warnings)), first);
+  append_kv(out, "spot_revocations",
+            json_number(static_cast<double>(p.spot_revocations)), first);
+  append_kv(out, "spend_on_demand_dollars",
+            json_number(p.spend_on_demand_dollars), first);
+  append_kv(out, "spend_spot_dollars", json_number(p.spend_spot_dollars), first);
+  append_kv(out, "spend_reserved_dollars",
+            json_number(p.spend_reserved_dollars), first);
+  append_kv(out, "total_spend_dollars", json_number(p.total_spend_dollars()), first);
+  append_kv(out, "spot_savings_dollars", json_number(p.spot_savings_dollars), first);
+  append_kv(out, "revoked_charged_seconds",
+            json_number(p.revoked_charged_seconds), first);
   out += '}';
   return out;
 }
@@ -184,6 +214,7 @@ std::string run_report_json(const RunReportInputs& inputs, const Recorder* recor
   append_kv(out, "engine", engine, first);
 
   append_kv(out, "failures", failures_json(inputs), first);
+  append_kv(out, "pricing", pricing_json(inputs), first);
   append_kv(out, "portfolio", portfolio_json(inputs.portfolio), first);
   append_kv(out, "selection", selection_json(recorder), first);
   append_kv(out, "phases", phases_json(recorder), first);
@@ -303,6 +334,27 @@ ValidationResult validate_run_report(std::string_view json) {
     }
   } else if (!failures->is(JsonValue::Type::kNull)) {
     return fail("failures is neither null nor an object");
+  }
+
+  const JsonValue* pricing = root.find("pricing");
+  if (pricing == nullptr) return fail("missing key \"pricing\"");
+  if (pricing->is(JsonValue::Type::kObject)) {
+    const JsonValue* pschema = pricing->find("schema");
+    if (pschema == nullptr || !pschema->is(JsonValue::Type::kString))
+      return fail("pricing.schema missing or not a string");
+    if (pschema->string != kPricingSchema)
+      return fail("unexpected pricing schema tag \"" + pschema->string + '"');
+    for (const char* key :
+         {"families", "on_demand_leases", "spot_leases", "reserved_leases",
+          "spot_warnings", "spot_revocations", "spend_on_demand_dollars",
+          "spend_spot_dollars", "spend_reserved_dollars", "total_spend_dollars",
+          "spot_savings_dollars", "revoked_charged_seconds"}) {
+      const JsonValue* field = pricing->find(key);
+      if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+        return fail(std::string("pricing.") + key + " missing or not a number");
+    }
+  } else if (!pricing->is(JsonValue::Type::kNull)) {
+    return fail("pricing is neither null nor an object");
   }
 
   const JsonValue* portfolio = root.find("portfolio");

@@ -53,6 +53,11 @@ struct RunReportInputs {
   /// false, and as a schema-versioned ("psched-failures/v1") object built
   /// from metrics.failures when true — even if every count happens to be 0.
   bool failures_enabled = false;
+  /// True when the run had a pricing model attached (EngineConfig::pricing
+  /// enabled). The report's "pricing" section serializes as null when false,
+  /// and as a schema-versioned ("psched-pricing/v1") object built from
+  /// metrics.pricing when true.
+  bool pricing_enabled = false;
 };
 
 /// Serialize the "psched-run-report/v1" document. `recorder` may be null or

@@ -12,6 +12,10 @@
 #include "util/types.hpp"
 #include "workload/job.hpp"
 
+namespace psched::cloud {
+struct PricingView;
+}  // namespace psched::cloud
+
 namespace psched::policy {
 
 /// A job waiting in the queue, as a policy sees it.
@@ -32,6 +36,10 @@ struct SchedContext {
   std::size_t booting_vms = 0;  ///< leased, usable soon
   std::size_t total_vms = 0;    ///< leased = idle + booting + busy
   std::size_t max_vms = 256;    ///< provider cap
+  /// Pricing snapshot (cloud/pricing.hpp); nullptr when pricing is off.
+  /// Tier-aware policies consult it in lease_plan(); with it null every
+  /// policy behaves exactly as in the single-price paper model.
+  const cloud::PricingView* pricing = nullptr;
 
   /// Total processors requested by the queue.
   [[nodiscard]] std::size_t queued_procs() const noexcept;

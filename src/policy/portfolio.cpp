@@ -21,6 +21,17 @@ Portfolio Portfolio::paper_portfolio() {
   return p;
 }
 
+Portfolio Portfolio::pricing_portfolio() {
+  Portfolio p;
+  for (auto& policy : all_provisioning()) p.add_provisioning(std::move(policy));
+  for (auto& policy : pricing_provisioning()) p.add_provisioning(std::move(policy));
+  for (auto& policy : all_job_selection()) p.add_job_selection(std::move(policy));
+  for (auto& policy : all_vm_selection()) p.add_vm_selection(std::move(policy));
+  p.build_combinations();
+  PSCHED_ASSERT(p.size() == 108);
+  return p;
+}
+
 void Portfolio::add_provisioning(std::unique_ptr<ProvisioningPolicy> p) {
   PSCHED_ASSERT(p != nullptr);
   provisioning_.push_back(std::move(p));

@@ -35,6 +35,13 @@ class Portfolio {
   /// combination order matching the paper's Figure 5 caption.
   [[nodiscard]] static Portfolio paper_portfolio();
 
+  /// The pricing-extended portfolio (DESIGN.md §12): the paper's five
+  /// provisioning policies plus the four tier-aware ones (CPF, SPT, RSB,
+  /// PRT) crossed with the same selection pools — 9 x 4 x 3 = 108
+  /// policies. Only meaningful when the engine runs with pricing enabled;
+  /// with pricing off the four extras all degrade to ODA duplicates.
+  [[nodiscard]] static Portfolio pricing_portfolio();
+
   /// Register additional constituent policies (takes ownership). Call
   /// build_combinations() afterwards to refresh the triples.
   void add_provisioning(std::unique_ptr<ProvisioningPolicy> p);

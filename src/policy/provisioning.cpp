@@ -18,7 +18,48 @@ std::size_t deficit(std::size_t want, std::size_t have) noexcept {
 /// crossing instants returned by next_change() do trigger the policy
 /// (the online simulator fast-forwards to precisely those instants).
 constexpr double kCrossEps = 1e-6;
+
+/// ODA's deficit — the fleet sizing every tier-aware policy shares.
+std::size_t oda_deficit(const SchedContext& ctx) noexcept {
+  return deficit(ctx.queued_procs(), ctx.idle_vms + ctx.booting_vms);
+}
+
+/// The paper-model plan: everything on-demand in family 0.
+void default_plan(std::size_t count, std::vector<cloud::LeaseRequest>& out) {
+  out.clear();
+  if (count > 0)
+    out.push_back(cloud::LeaseRequest{count, 0, cloud::PurchaseTier::kOnDemand});
+}
+
+/// Whether the spot market is open and actually discounted (a fraction of
+/// 1.0 would make spot pure downside: same price, revocable).
+bool spot_worth_it(const cloud::PricingView& pv) noexcept {
+  return pv.spot_enabled() && pv.spot_price_fraction < 1.0;
+}
 }  // namespace
+
+void ProvisioningPolicy::lease_plan(const SchedContext& ctx,
+                                    std::vector<cloud::LeaseRequest>& out) const {
+  const std::size_t count = vms_to_lease(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled || pv->families.size() <= 1) {
+    default_plan(count, out);
+    return;
+  }
+  // Tier-unaware policies in a multi-family market: on-demand from family 0
+  // ("the" paper VM type), spilling across the remaining families in index
+  // order only where a cap binds. Without the spill a capped family 0
+  // permanently starves any job wider than its cap — the run never ends.
+  out.clear();
+  std::size_t need = count;
+  for (std::size_t f = 0; f < pv->families.size() && need > 0; ++f) {
+    const std::size_t take = std::min(need, pv->family_free(f));
+    if (take == 0) continue;
+    out.push_back(cloud::LeaseRequest{take, static_cast<std::uint32_t>(f),
+                                      cloud::PurchaseTier::kOnDemand});
+    need -= take;
+  }
+}
 
 std::size_t OnDemandAll::vms_to_lease(const SchedContext& ctx) const {
   return deficit(ctx.queued_procs(), ctx.idle_vms + ctx.booting_vms);
@@ -82,18 +123,164 @@ SimTime OnDemandXFactor::next_change(const SchedContext& ctx) const {
   return next;
 }
 
+std::size_t CheapestFeasible::vms_to_lease(const SchedContext& ctx) const {
+  return oda_deficit(ctx);
+}
+
+void CheapestFeasible::lease_plan(const SchedContext& ctx,
+                                  std::vector<cloud::LeaseRequest>& out) const {
+  std::size_t need = vms_to_lease(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled) {
+    default_plan(need, out);
+    return;
+  }
+  out.clear();
+  if (need == 0) return;
+  // Reserved commitment headroom is free at the margin: always drain it
+  // first, whatever the market does.
+  const std::size_t reserved = std::min(need, pv->reserved_free());
+  if (reserved > 0) {
+    out.push_back(
+        cloud::LeaseRequest{reserved, 0, cloud::PurchaseTier::kReserved});
+    need -= reserved;
+  }
+  if (need == 0) return;
+  const cloud::PurchaseTier tier = spot_worth_it(*pv)
+                                       ? cloud::PurchaseTier::kSpot
+                                       : cloud::PurchaseTier::kOnDemand;
+  // Spill across families from cheapest to priciest as family caps bind.
+  std::vector<std::size_t> order(pv->families.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pv->families[a].price < pv->families[b].price;
+  });
+  for (const std::size_t f : order) {
+    const std::size_t take = std::min(need, pv->family_free(f));
+    if (take == 0) continue;
+    out.push_back(cloud::LeaseRequest{take, static_cast<std::uint32_t>(f), tier});
+    need -= take;
+    if (need == 0) break;
+  }
+  // A remainder here means every family cap binds; nothing feasible left.
+}
+
+std::size_t SpotFirst::vms_to_lease(const SchedContext& ctx) const {
+  return oda_deficit(ctx);
+}
+
+void SpotFirst::lease_plan(const SchedContext& ctx,
+                           std::vector<cloud::LeaseRequest>& out) const {
+  const std::size_t need = vms_to_lease(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled) {
+    default_plan(need, out);
+    return;
+  }
+  out.clear();
+  if (need == 0) return;
+  const auto family = static_cast<std::uint32_t>(pv->cheapest_family());
+  const cloud::PurchaseTier tier = pv->spot_enabled()
+                                       ? cloud::PurchaseTier::kSpot
+                                       : cloud::PurchaseTier::kOnDemand;
+  out.push_back(cloud::LeaseRequest{need, family, tier});
+}
+
+std::size_t ReservedBaseline::vms_to_lease(const SchedContext& ctx) const {
+  return oda_deficit(ctx);
+}
+
+void ReservedBaseline::lease_plan(const SchedContext& ctx,
+                                  std::vector<cloud::LeaseRequest>& out) const {
+  std::size_t need = vms_to_lease(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled) {
+    default_plan(need, out);
+    return;
+  }
+  out.clear();
+  if (need == 0) return;
+  const std::size_t reserved = std::min(need, pv->reserved_free());
+  if (reserved > 0) {
+    out.push_back(
+        cloud::LeaseRequest{reserved, 0, cloud::PurchaseTier::kReserved});
+    need -= reserved;
+  }
+  if (need == 0) return;
+  const auto family = static_cast<std::uint32_t>(pv->cheapest_family());
+  const cloud::PurchaseTier tier = pv->spot_enabled()
+                                       ? cloud::PurchaseTier::kSpot
+                                       : cloud::PurchaseTier::kOnDemand;
+  out.push_back(cloud::LeaseRequest{need, family, tier});
+}
+
+std::size_t PriceThreshold::vms_to_lease(const SchedContext& ctx) const {
+  const std::size_t need = oda_deficit(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (need == 0 || pv == nullptr || !pv->enabled) return need;
+  if (pv->multiplier <= kMultiplierThreshold + kCrossEps) return need;
+  // Expensive market: defer — unless some queued job has starved past the
+  // guard, which makes waiting longer worse than paying the surge.
+  for (const QueuedJob& j : ctx.queue)
+    if (j.wait(ctx.now) + kCrossEps >= kStarvationWait) return need;
+  return 0;
+}
+
+SimTime PriceThreshold::next_change(const SchedContext& ctx) const {
+  // Only the starvation guard is wait-dependent, and it only matters while
+  // the policy is deferring (expensive market, nothing starved yet). The
+  // market itself re-prices on the epoch grid, which the outer engine sees
+  // every tick and the online simulator freezes at its snapshot (§12).
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled ||
+      pv->multiplier <= kMultiplierThreshold + kCrossEps)
+    return kTimeNever;
+  SimTime next = kTimeNever;
+  for (const QueuedJob& j : ctx.queue) {
+    const SimTime crossing = j.submit + kStarvationWait;
+    if (crossing > ctx.now && crossing < next) next = crossing;
+  }
+  return next;
+}
+
+void PriceThreshold::lease_plan(const SchedContext& ctx,
+                                std::vector<cloud::LeaseRequest>& out) const {
+  const std::size_t need = vms_to_lease(ctx);
+  const cloud::PricingView* pv = ctx.pricing;
+  if (pv == nullptr || !pv->enabled) {
+    default_plan(need, out);
+    return;
+  }
+  out.clear();
+  if (need == 0) return;
+  out.push_back(cloud::LeaseRequest{
+      need, static_cast<std::uint32_t>(pv->cheapest_family()),
+      cloud::PurchaseTier::kOnDemand});
+}
+
 std::unique_ptr<ProvisioningPolicy> make_provisioning(const std::string& name) {
   if (name == "ODA") return std::make_unique<OnDemandAll>();
   if (name == "ODB") return std::make_unique<OnDemandBalance>();
   if (name == "ODE") return std::make_unique<OnDemandExecTime>();
   if (name == "ODM") return std::make_unique<OnDemandMaximum>();
   if (name == "ODX") return std::make_unique<OnDemandXFactor>();
+  if (name == "CPF") return std::make_unique<CheapestFeasible>();
+  if (name == "SPT") return std::make_unique<SpotFirst>();
+  if (name == "RSB") return std::make_unique<ReservedBaseline>();
+  if (name == "PRT") return std::make_unique<PriceThreshold>();
   throw std::invalid_argument("unknown provisioning policy: " + name);
 }
 
 std::vector<std::unique_ptr<ProvisioningPolicy>> all_provisioning() {
   std::vector<std::unique_ptr<ProvisioningPolicy>> out;
   for (const char* name : {"ODA", "ODB", "ODE", "ODM", "ODX"})
+    out.push_back(make_provisioning(name));
+  return out;
+}
+
+std::vector<std::unique_ptr<ProvisioningPolicy>> pricing_provisioning() {
+  std::vector<std::unique_ptr<ProvisioningPolicy>> out;
+  for (const char* name : {"CPF", "SPT", "RSB", "PRT"})
     out.push_back(make_provisioning(name));
   return out;
 }

@@ -33,7 +33,8 @@ struct Scenario {
 /// boot delays are deliberate: a 4-VM cap under a burst exercises vm.cap and
 /// the release rules far harder than the paper's 256.
 Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
-                       const policy::Portfolio& portfolio) {
+                       const policy::Portfolio& portfolio,
+                       const policy::Portfolio& pricing_portfolio) {
   util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
   Scenario s;
 
@@ -103,6 +104,54 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
         static_cast<std::size_t>(rng.uniform_int(0, 4));
   }
 
+  if (fuzz.fuzz_pricing && seed % 3 == 2) {
+    // Drawn after every scenario-shape and failure draw (see
+    // FuzzConfig::fuzz_pricing). Small family mixes and short spot MTBFs:
+    // enough tier churn and revocations to exercise the pricing invariants
+    // on every seed without starving the scenario of progress.
+    cloud::PricingConfig& pricing = s.config.pricing;
+    static constexpr double kFamilyPrices[] = {0.5, 1.0, 2.5};
+    static constexpr double kFamilyBoots[] = {30.0, 120.0, 300.0};
+    const std::int64_t family_count = rng.uniform_int(1, 3);
+    for (std::int64_t f = 0; f < family_count; ++f) {
+      cloud::VmFamily family;
+      family.name = 'f' + std::to_string(f);
+      family.price = kFamilyPrices[f] * rng.uniform(0.8, 1.2);
+      family.boot_delay = kFamilyBoots[f];
+      family.max_vms =
+          rng.bernoulli(0.5) ? std::max<std::size_t>(1, s.config.provider.max_vms / 2)
+                             : 0;
+      pricing.families.push_back(std::move(family));
+    }
+    if (rng.bernoulli(0.6)) {
+      pricing.spot_price_fraction = rng.uniform(0.2, 0.6);
+      pricing.spot_mtbf_seconds = rng.uniform(0.5, 12.0) * kSecondsPerHour;
+      pricing.spot_warning_seconds = rng.uniform(0.0, 180.0);
+    }
+    if (rng.bernoulli(0.5)) {
+      pricing.schedule = {{0.0, rng.uniform(0.5, 1.5)},
+                          {rng.uniform(600.0, 7200.0), rng.uniform(0.5, 2.0)}};
+    }
+    if (rng.bernoulli(0.5)) {
+      pricing.walk_step = rng.uniform(0.02, 0.2);
+      pricing.walk_epoch_seconds = rng.uniform(300.0, 3600.0);
+    }
+    if (rng.bernoulli(0.3)) {
+      pricing.reserved_count = static_cast<std::size_t>(rng.uniform_int(1, 4));
+      pricing.reserved_term_seconds = rng.uniform(1.0, 48.0) * kSecondsPerHour;
+    }
+    pricing.seed = seed ^ 0x951ceu;
+    if (!s.portfolio) {
+      // Re-draw the triple from the tier-aware portfolio so spot-first /
+      // reserved-baseline / price-threshold provisioning runs under the
+      // checker too (draw happens after all pre-pricing draws, so
+      // fuzz_pricing=false seeds keep their exact policies).
+      const auto& policies = pricing_portfolio.policies();
+      s.triple = policies[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(policies.size()) - 1))];
+    }
+  }
+
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "%s, %zu jobs, cap=%zu, boot=%.0fs, quantum=%.0fs, %s, %s, "
@@ -123,6 +172,15 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
                   s.config.failure.p_boot_fail, s.config.failure.vm_mtbf_seconds,
                   s.config.failure.api_outage_gap_seconds);
     s.description += fbuf;
+  }
+  if (s.config.pricing.enabled()) {
+    char pbuf[96];
+    std::snprintf(pbuf, sizeof(pbuf),
+                  ", pricing(families=%zu, spot=%.2f, reserved=%zu)",
+                  s.config.pricing.families.size(),
+                  s.config.pricing.spot_price_fraction,
+                  s.config.pricing.reserved_count);
+    s.description += pbuf;
   }
   return s;
 }
@@ -162,6 +220,7 @@ RunOutcome run_scenario(const Scenario& s, std::size_t job_count,
 
 FuzzReport run_fuzz(const FuzzConfig& config) {
   const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  const policy::Portfolio pricing_portfolio = policy::Portfolio::pricing_portfolio();
   FuzzReport report;
   report.seeds_requested = config.num_seeds;
 
@@ -177,12 +236,16 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
       break;
     }
     const std::uint64_t seed = config.base_seed + i;
-    const Scenario scenario = make_scenario(seed, config, portfolio);
+    const Scenario scenario = make_scenario(seed, config, portfolio, pricing_portfolio);
     if (scenario.jobs.empty()) {  // degenerate horizon: nothing to run
       ++report.seeds_run;
       continue;
     }
-    RunOutcome outcome = run_scenario(scenario, scenario.jobs.size(), portfolio);
+    // Pricing-enabled portfolio seeds run the tier-aware portfolio so the
+    // new provisioning policies actually appear in selector rounds.
+    const policy::Portfolio& run_portfolio =
+        scenario.config.pricing.enabled() ? pricing_portfolio : portfolio;
+    RunOutcome outcome = run_scenario(scenario, scenario.jobs.size(), run_portfolio);
     report.total_checks += outcome.checks;
     ++report.seeds_run;
     if (outcome.violations.empty()) continue;
@@ -198,7 +261,7 @@ FuzzReport run_fuzz(const FuzzConfig& config) {
       // Greedy and simple — the goal is a smaller repro, not a minimal one.
       while (jobs > 1) {
         const std::size_t half = jobs / 2;
-        RunOutcome shrunk = run_scenario(scenario, half, portfolio);
+        RunOutcome shrunk = run_scenario(scenario, half, run_portfolio);
         if (shrunk.violations.empty()) break;
         jobs = half;
         outcome = std::move(shrunk);

@@ -44,6 +44,14 @@ struct FuzzConfig {
   /// scenario-shape draw, so disabling this reproduces the exact pre-failure
   /// scenarios.
   bool fuzz_failures = true;
+  /// Also fuzz the pricing model: every third seed (offset from the failure
+  /// seeds) draws a small PricingConfig — VM-family mixes, a spot market
+  /// with revocations, price schedules/walks, reserved commitments — so the
+  /// tier-aware provisioning paths and pricing invariants (pricing.cost,
+  /// pricing.commitment, pricing.revocation) run under the checker too.
+  /// Draws happen after every scenario-shape and failure draw, so disabling
+  /// this reproduces the exact pre-pricing scenarios.
+  bool fuzz_pricing = true;
 };
 
 /// The first violating seed, with its (possibly shrunk) instance size and

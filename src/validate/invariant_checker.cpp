@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -25,8 +26,12 @@ std::string format(const char* fmt, Args... args) {
 }  // namespace
 
 InvariantChecker::InvariantChecker(ValidationConfig config,
-                                   cloud::ProviderConfig provider)
-    : config_(config), provider_(provider) {}
+                                   cloud::ProviderConfig provider,
+                                   cloud::PricingConfig pricing)
+    : config_(config), provider_(provider), pricing_config_(std::move(pricing)) {
+  if (pricing_config_.enabled())
+    pricing_model_ = std::make_unique<cloud::PricingModel>(pricing_config_);
+}
 
 void InvariantChecker::fail(const char* invariant, SimTime when, std::string detail) {
   ++violation_count_;
@@ -69,6 +74,15 @@ void InvariantChecker::on_lease(const cloud::VmInstance& vm, std::size_t leased_
     fail("vm.boot-before-run", now,
          format("VM advertises boot_complete=%.3f before lease_time=%.3f",
                 vm.boot_complete, vm.lease_time));
+  }
+  if (pricing_model_ != nullptr && vm.tier == cloud::PurchaseTier::kReserved) {
+    ++reserved_live_vms_;
+    if (!check(reserved_live_vms_ <= pricing_config_.reserved_count)) {
+      fail("pricing.commitment", now,
+           format("%.0f reserved leases live, commitment is %.0f",
+                  static_cast<double>(reserved_live_vms_),
+                  static_cast<double>(pricing_config_.reserved_count)));
+    }
   }
   ++observed_leases_;
 }
@@ -152,6 +166,69 @@ void InvariantChecker::on_crash(const cloud::VmInstance& vm,
   charged_total_hours_ += charged_hours_delta;
   failed_charged_hours_ += charged_hours_delta;
   ++observed_crashes_;
+}
+
+void InvariantChecker::on_spot_warning(const cloud::VmInstance& vm, SimTime now) {
+  if (!check(vm.tier == cloud::PurchaseTier::kSpot && vm.doomed)) {
+    fail("pricing.revocation", now,
+         "revocation warning for VM " + std::to_string(vm.id) +
+             " which is not a doomed spot lease");
+  }
+  ++observed_spot_warnings_;
+}
+
+void InvariantChecker::on_spot_revoke(const cloud::VmInstance& vm,
+                                      double charged_hours_delta, SimTime now) {
+  // Only spot leases can be revoked, and the warning must already have
+  // landed (the engine schedules warning before revocation, never after).
+  if (!check(vm.tier == cloud::PurchaseTier::kSpot && vm.doomed)) {
+    fail("pricing.revocation", now,
+         "VM " + std::to_string(vm.id) + " revoked without being a doomed spot lease");
+  }
+  // A revocation settles the lease like a crash: started quanta are paid.
+  const double expected =
+      cloud::charged_hours_for(vm.lease_time, now, provider_.billing_quantum);
+  if (!check(std::abs(charged_hours_delta - expected) <= kEps)) {
+    fail("billing.ceil", now,
+         "revoked VM " + std::to_string(vm.id) +
+             format(" charged %.6f h; ceil(lease/quantum) requires %.6f h",
+                    charged_hours_delta, expected));
+  }
+  charged_total_hours_ += charged_hours_delta;
+  revoked_charged_hours_ += charged_hours_delta;
+  ++observed_revokes_;
+}
+
+void InvariantChecker::on_price_settle(const cloud::VmInstance& vm,
+                                       double cost_dollars, SimTime now) {
+  if (pricing_model_ == nullptr) return;
+  // Recompute the settlement from the checker's own model: same family,
+  // tier, lease window, and billing quantum must price identically.
+  const double expected = pricing_model_->lease_cost(
+      vm.family, vm.tier, vm.lease_time, now, provider_.billing_quantum);
+  if (!check(std::abs(cost_dollars - expected) <= kEps * std::max(1.0, expected))) {
+    fail("pricing.cost", now,
+         "VM " + std::to_string(vm.id) +
+             format(" settled at $%.6f; independent recomputation gives $%.6f",
+                    cost_dollars, expected));
+  }
+  switch (vm.tier) {
+    case cloud::PurchaseTier::kOnDemand:
+      observed_spend_on_demand_ += cost_dollars;
+      break;
+    case cloud::PurchaseTier::kSpot:
+      observed_spend_spot_ += cost_dollars;
+      break;
+    case cloud::PurchaseTier::kReserved:
+      if (check(reserved_live_vms_ > 0)) {
+        --reserved_live_vms_;
+      } else {
+        fail("pricing.commitment", now,
+             "reserved VM " + std::to_string(vm.id) +
+                 " settled with no reserved lease outstanding");
+      }
+      break;
+  }
 }
 
 // --- engine ------------------------------------------------------------------
@@ -285,14 +362,73 @@ void InvariantChecker::on_run_end(const metrics::RunMetrics& metrics,
                   failed_charged_hours_ * kSecondsPerHour));
     }
     // Lease accounting: every lease settled by exactly one release, crash,
-    // or boot failure (the engine asserts zero leased VMs at run end).
-    const std::size_t settled =
-        observed_releases_ + observed_crashes_ + observed_boot_fails_;
+    // boot failure, or spot revocation (the engine asserts zero leased VMs
+    // at run end). Revocations are zero with pricing off.
+    const std::size_t settled = observed_releases_ + observed_crashes_ +
+                                observed_boot_fails_ + observed_revokes_;
     if (!check(observed_leases_ == settled)) {
       fail("failure.consistent", sim.now(),
-           format("%.0f leases but %.0f settlements (releases+crashes+boot-fails)",
+           format("%.0f leases but %.0f settlements "
+                  "(releases+crashes+boot-fails+revocations)",
                   static_cast<double>(observed_leases_),
                   static_cast<double>(settled)));
+    }
+  }
+
+  // Pricing accounting. Silent (zero checks) for pricing-free runs so their
+  // check count stays exactly what it was before the pricing layer existed.
+  const metrics::PricingStats& ps = metrics.pricing;
+  const bool pricing_activity = ps.any() || observed_spot_warnings_ > 0 ||
+                                observed_revokes_ > 0 ||
+                                observed_spend_on_demand_ > 0.0 ||
+                                observed_spend_spot_ > 0.0;
+  if (pricing_activity) {
+    if (!check(ps.spot_warnings == observed_spot_warnings_ &&
+               ps.spot_revocations == observed_revokes_)) {
+      fail("pricing.consistent", sim.now(),
+           format("metrics report %.0f warnings / %.0f revocations; checker "
+                  "observed %.0f / %.0f",
+                  static_cast<double>(ps.spot_warnings),
+                  static_cast<double>(ps.spot_revocations),
+                  static_cast<double>(observed_spot_warnings_),
+                  static_cast<double>(observed_revokes_)));
+    }
+    const double spend_eps = kEps * std::max(1.0, ps.total_spend_dollars());
+    if (!check(std::abs(ps.spend_on_demand_dollars - observed_spend_on_demand_) <=
+                   spend_eps &&
+               std::abs(ps.spend_spot_dollars - observed_spend_spot_) <= spend_eps)) {
+      fail("pricing.consistent", sim.now(),
+           format("metrics report $%.6f on-demand / $%.6f spot; checker "
+                  "settlements sum to $%.6f / $%.6f",
+                  ps.spend_on_demand_dollars, ps.spend_spot_dollars,
+                  observed_spend_on_demand_, observed_spend_spot_));
+    }
+    if (!check(std::abs(ps.revoked_charged_seconds -
+                        revoked_charged_hours_ * kSecondsPerHour) <=
+               kEps * std::max(1.0, revoked_charged_hours_ * kSecondsPerHour))) {
+      fail("pricing.consistent", sim.now(),
+           format("revocation waste %.6f s disagrees with the checker's %.6f s",
+                  ps.revoked_charged_seconds,
+                  revoked_charged_hours_ * kSecondsPerHour));
+    }
+    // Settlement conservation again, under the pricing gate: a pricing-on
+    // failure-off run (revocations on idle leases only) would otherwise
+    // skip it entirely.
+    const std::size_t settled_with_revokes =
+        observed_releases_ + observed_crashes_ + observed_boot_fails_ +
+        observed_revokes_;
+    if (!check(observed_leases_ == settled_with_revokes)) {
+      fail("pricing.consistent", sim.now(),
+           format("%.0f leases but %.0f settlements "
+                  "(releases+crashes+boot-fails+revocations)",
+                  static_cast<double>(observed_leases_),
+                  static_cast<double>(settled_with_revokes)));
+    }
+    // Every reserved lease must have been settled back to the commitment.
+    if (!check(reserved_live_vms_ == 0)) {
+      fail("pricing.consistent", sim.now(),
+           format("%.0f reserved leases never settled",
+                  static_cast<double>(reserved_live_vms_)));
     }
   }
 }

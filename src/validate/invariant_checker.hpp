@@ -29,7 +29,14 @@
 //   failure.consistent     failure-aware metrics match the observed event
 //                          stream (boot-fails, crashes, kills), and every
 //                          lease is settled by exactly one release, crash,
-//                          or boot failure
+//                          boot failure, or spot revocation
+//   pricing.cost           each dollar settlement equals the checker's own
+//                          independent lease_cost recomputation
+//   pricing.commitment     live reserved leases never exceed the commitment
+//   pricing.revocation     only doomed spot leases are revoked (warning
+//                          precedes the kill), billed ceil like a crash
+//   pricing.consistent     pricing metrics match the observed event stream
+//                          (warnings, revocations, per-tier spend, waste)
 //
 // Violations either abort through util/assert.hpp::invariant_fail (with the
 // simulated clock / event / policy context) or, in record mode, accumulate
@@ -37,6 +44,7 @@
 // abort_on_violation).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,8 +87,13 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
  public:
   /// `provider` carries the *intended* semantics (cap, boot delay, billing
   /// quantum); the checker judges observed behavior against it, so injected
-  /// faults (ProviderConfig::inject_fault) surface as violations.
-  InvariantChecker(ValidationConfig config, cloud::ProviderConfig provider);
+  /// faults (ProviderConfig::inject_fault) surface as violations. When
+  /// `pricing` is enabled the checker builds its *own* PricingModel from it
+  /// (the walk materialization is deterministic and the checker never draws
+  /// from the spot stream, so recomputed prices match the provider's
+  /// independently).
+  InvariantChecker(ValidationConfig config, cloud::ProviderConfig provider,
+                   cloud::PricingConfig pricing = {});
 
   // --- sim::SimObserver -----------------------------------------------------
   void on_schedule(SimTime when, SimTime now, sim::EventId id) override;
@@ -98,6 +111,11 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
                     SimTime now) override;
   void on_crash(const cloud::VmInstance& vm, double charged_hours_delta,
                 SimTime now) override;
+  void on_spot_warning(const cloud::VmInstance& vm, SimTime now) override;
+  void on_spot_revoke(const cloud::VmInstance& vm, double charged_hours_delta,
+                      SimTime now) override;
+  void on_price_settle(const cloud::VmInstance& vm, double cost_dollars,
+                       SimTime now) override;
 
   // --- engine hooks ---------------------------------------------------------
   /// A job left the queue and started on `vm_count` VMs.
@@ -151,6 +169,18 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
   std::size_t observed_crashes_ PSCHED_CONFINED_TO("engine event loop") = 0;
   std::size_t observed_kills_ PSCHED_CONFINED_TO("engine event loop") = 0;
   double failed_charged_hours_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+
+  // Pricing-event stream tallies (pricing.*). All stay zero — and the
+  // run-end cross-check stays silent — without an enabled pricing config,
+  // so pricing-off check counts are exactly the pre-pricing ones.
+  cloud::PricingConfig pricing_config_;
+  std::unique_ptr<cloud::PricingModel> pricing_model_;  // when pricing enabled
+  std::size_t observed_spot_warnings_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t observed_revokes_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  std::size_t reserved_live_vms_ PSCHED_CONFINED_TO("engine event loop") = 0;
+  double observed_spend_on_demand_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+  double observed_spend_spot_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
+  double revoked_charged_hours_ PSCHED_CONFINED_TO("engine event loop") = 0.0;
 };
 
 }  // namespace psched::validate

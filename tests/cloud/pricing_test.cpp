@@ -1,0 +1,367 @@
+// Pricing-model unit coverage (DESIGN.md §12): the deterministic price
+// process (schedule boundaries, seeded walk), spot revocation warning/kill
+// timing through the provider, reserved-commitment accounting, and lease
+// pricing across tiers and market moves.
+#include "cloud/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "cloud/vm.hpp"
+
+namespace psched::cloud {
+namespace {
+
+PricingConfig walk_config(std::uint64_t seed, double step = 0.1) {
+  PricingConfig config;
+  config.walk_step = step;
+  config.walk_epoch_seconds = 3600.0;
+  config.seed = seed;
+  return config;
+}
+
+// --- enabled() gate ----------------------------------------------------------
+
+TEST(PricingConfig, DefaultIsDisabled) {
+  EXPECT_FALSE(PricingConfig{}.enabled());
+}
+
+TEST(PricingConfig, AnySingleKnobEnables) {
+  PricingConfig families;
+  families.families.push_back(VmFamily{});
+  EXPECT_TRUE(families.enabled());
+  PricingConfig spot;
+  spot.spot_price_fraction = 0.3;
+  EXPECT_TRUE(spot.enabled());
+  PricingConfig schedule;
+  schedule.schedule.push_back(PricePoint{0.0, 2.0});
+  EXPECT_TRUE(schedule.enabled());
+  PricingConfig walk;
+  walk.walk_step = 0.1;
+  EXPECT_TRUE(walk.enabled());
+  PricingConfig reserved;
+  reserved.reserved_count = 1;
+  EXPECT_TRUE(reserved.enabled());
+}
+
+TEST(PricingConfig, SeedAloneDoesNotEnable) {
+  PricingConfig config;
+  config.seed = 0xdeadbeef;  // seed is inert without a feature knob
+  EXPECT_FALSE(config.enabled());
+}
+
+// --- piecewise-constant schedule --------------------------------------------
+
+TEST(PriceProcess, MultiplierIsOneWithoutSchedule) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{});
+  PricingModel model(config);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(1e9), 1.0);
+}
+
+TEST(PriceProcess, ScheduleStepsAtInclusiveBoundaries) {
+  PricingConfig config;
+  config.schedule = {{100.0, 2.0}, {200.0, 0.5}};
+  PricingModel model(config);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(0.0), 1.0);     // before the first step
+  EXPECT_DOUBLE_EQ(model.multiplier_at(99.999), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(100.0), 2.0);   // at == inclusive
+  EXPECT_DOUBLE_EQ(model.multiplier_at(150.0), 2.0);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(200.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.multiplier_at(1e9), 0.5);     // last step persists
+}
+
+TEST(PriceProcess, EpochGridMatchesWalkEpochSeconds) {
+  PricingModel model(walk_config(7));
+  EXPECT_EQ(model.epoch_of(0.0), 0u);
+  EXPECT_EQ(model.epoch_of(3599.999), 0u);
+  EXPECT_EQ(model.epoch_of(3600.0), 1u);
+  EXPECT_EQ(model.epoch_of(10.0 * 3600.0), 10u);
+}
+
+// --- seeded random walk ------------------------------------------------------
+
+TEST(PriceProcess, WalkIsDeterministicPerSeed) {
+  PricingModel a(walk_config(42));
+  PricingModel b(walk_config(42));
+  for (int e = 0; e < 48; ++e) {
+    const SimTime t = e * 3600.0 + 10.0;
+    EXPECT_EQ(a.multiplier_at(t), b.multiplier_at(t)) << "epoch " << e;
+  }
+}
+
+TEST(PriceProcess, WalkSeedChangesThePath) {
+  PricingModel a(walk_config(42));
+  PricingModel b(walk_config(43));
+  bool differs = false;
+  for (int e = 0; e < 48 && !differs; ++e) {
+    const SimTime t = e * 3600.0 + 10.0;
+    differs = a.multiplier_at(t) != b.multiplier_at(t);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PriceProcess, WalkStaysInsideClampBand) {
+  PricingConfig config = walk_config(3, /*step=*/0.5);  // violent walk
+  config.walk_min = 0.5;
+  config.walk_max = 2.0;
+  PricingModel model(config);
+  for (int e = 0; e < 200; ++e) {
+    const double m = model.multiplier_at(e * 3600.0);
+    EXPECT_GE(m, config.walk_min);
+    EXPECT_LE(m, config.walk_max);
+  }
+}
+
+TEST(PriceProcess, PastQueriesStayValidAfterAdvancing) {
+  // Lease settlement prices past quanta after the market has moved on: a
+  // query at an already-materialized epoch must return the same value.
+  PricingModel model(walk_config(11));
+  const double early = model.multiplier_at(2.0 * 3600.0);
+  (void)model.multiplier_at(40.0 * 3600.0);  // advance the walk
+  EXPECT_EQ(model.multiplier_at(2.0 * 3600.0), early);
+}
+
+TEST(PriceProcess, WalkComposesMultiplicativelyWithSchedule) {
+  PricingConfig plain = walk_config(9);
+  PricingConfig scheduled = walk_config(9);
+  scheduled.schedule = {{0.0, 2.0}};
+  PricingModel a(plain);
+  PricingModel b(scheduled);
+  for (int e = 0; e < 16; ++e) {
+    const SimTime t = e * 3600.0;
+    EXPECT_DOUBLE_EQ(b.multiplier_at(t), 2.0 * a.multiplier_at(t));
+  }
+}
+
+// --- lease pricing -----------------------------------------------------------
+
+TEST(LeaseCost, ChargesStartedQuantaMinimumOne) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"std", 2.0, 120.0, 0});
+  PricingModel model(config);
+  // 5000 s on a 3600 s quantum -> 2 started quanta.
+  EXPECT_DOUBLE_EQ(model.lease_cost(0, PurchaseTier::kOnDemand, 0.0, 5000.0, 3600.0),
+                   4.0);
+  // Zero-length lease still pays one quantum.
+  EXPECT_DOUBLE_EQ(model.lease_cost(0, PurchaseTier::kOnDemand, 0.0, 0.0, 3600.0),
+                   2.0);
+}
+
+TEST(LeaseCost, TierFractionsScaleTheBill) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"std", 2.0, 120.0, 0});
+  config.spot_price_fraction = 0.25;
+  config.reserved_count = 1;
+  PricingModel model(config);
+  EXPECT_DOUBLE_EQ(model.tier_fraction(PurchaseTier::kOnDemand), 1.0);
+  EXPECT_DOUBLE_EQ(model.tier_fraction(PurchaseTier::kSpot), 0.25);
+  EXPECT_DOUBLE_EQ(model.tier_fraction(PurchaseTier::kReserved), 0.0);
+  EXPECT_DOUBLE_EQ(model.lease_cost(0, PurchaseTier::kSpot, 0.0, 3600.0, 3600.0),
+                   0.5);
+  // Reserved leases are pre-paid: zero marginal settlement.
+  EXPECT_DOUBLE_EQ(model.lease_cost(0, PurchaseTier::kReserved, 0.0, 7200.0, 3600.0),
+                   0.0);
+}
+
+TEST(LeaseCost, EachStartedQuantumPricedAtItsStart) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"std", 1.0, 120.0, 0});
+  config.schedule = {{3600.0, 2.0}};  // market doubles after the first hour
+  PricingModel model(config);
+  // [0, 7200): first quantum at x1.0, second at x2.0.
+  EXPECT_DOUBLE_EQ(model.lease_cost(0, PurchaseTier::kOnDemand, 0.0, 7200.0, 3600.0),
+                   3.0);
+}
+
+TEST(LeaseCost, CommitmentBilledUpFrontByTermQuanta) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"std", 2.0, 120.0, 0});
+  config.reserved_count = 3;
+  config.reserved_price_fraction = 0.5;
+  config.reserved_term_seconds = 2.5 * 3600.0;  // ceil -> 3 quanta
+  PricingModel model(config);
+  EXPECT_DOUBLE_EQ(model.commitment_cost(3600.0), 3.0 * 2.0 * 0.5 * 3.0);
+  PricingConfig uncommitted;
+  uncommitted.families.push_back(VmFamily{});
+  EXPECT_DOUBLE_EQ(PricingModel(uncommitted).commitment_cost(3600.0), 0.0);
+}
+
+// --- spot revocation timing through the provider -----------------------------
+
+PricingConfig spot_config(double mtbf = 6.0 * 3600.0, double warning = 120.0) {
+  PricingConfig config;
+  config.spot_price_fraction = 0.3;
+  config.spot_mtbf_seconds = mtbf;
+  config.spot_warning_seconds = warning;
+  return config;
+}
+
+TEST(SpotRevocation, DrawIsDeterministicAcrossIdenticalProviders) {
+  auto revoke_times = [] {
+    PricingModel model(spot_config());
+    CloudProvider provider({.max_vms = 8, .boot_delay = 60.0});
+    provider.set_pricing_model(&model);
+    const auto ids =
+        provider.lease(LeaseRequest{4, 0, PurchaseTier::kSpot}, 0.0);
+    std::vector<SimTime> times;
+    for (const VmId id : ids) times.push_back(provider.find(id)->revoke_at);
+    return times;
+  };
+  EXPECT_EQ(revoke_times(), revoke_times());
+}
+
+TEST(SpotRevocation, WarningLeadsKillByConfiguredLeadTime) {
+  PricingModel model(spot_config(/*mtbf=*/10.0 * 3600.0, /*warning=*/300.0));
+  CloudProvider provider({.max_vms = 8, .boot_delay = 60.0});
+  provider.set_pricing_model(&model);
+  const auto ids = provider.lease(LeaseRequest{1, 0, PurchaseTier::kSpot}, 50.0);
+  ASSERT_EQ(ids.size(), 1u);
+  const VmInstance* vm = provider.find(ids[0]);
+  ASSERT_NE(vm, nullptr);
+  ASSERT_NE(vm->revoke_at, kTimeNever);
+  // Warning exactly lead-time before the kill, never before the lease.
+  EXPECT_GE(vm->revoke_warning_at, 50.0);
+  if (vm->revoke_at - 300.0 >= 50.0) {
+    EXPECT_DOUBLE_EQ(vm->revoke_warning_at, vm->revoke_at - 300.0);
+  }
+}
+
+TEST(SpotRevocation, NoDrawWhenMtbfZero) {
+  PricingModel model(spot_config(/*mtbf=*/0.0));
+  CloudProvider provider({.max_vms = 8, .boot_delay = 60.0});
+  provider.set_pricing_model(&model);
+  const auto ids = provider.lease(LeaseRequest{1, 0, PurchaseTier::kSpot}, 0.0);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(provider.find(ids[0])->revoke_at, kTimeNever);
+  EXPECT_EQ(provider.find(ids[0])->revoke_warning_at, kTimeNever);
+}
+
+TEST(SpotRevocation, WarningThenKillCountsAndCharges) {
+  PricingModel model(spot_config());
+  CloudProvider provider(
+      {.max_vms = 8, .boot_delay = 60.0, .billing_quantum = 3600.0});
+  provider.set_pricing_model(&model);
+  const auto ids = provider.lease(LeaseRequest{1, 0, PurchaseTier::kSpot}, 0.0);
+  ASSERT_EQ(ids.size(), 1u);
+  provider.mark_doomed(ids[0], 900.0);
+  EXPECT_TRUE(provider.find(ids[0])->doomed);
+  EXPECT_EQ(provider.spot_warnings(), 1u);
+  const double hours = provider.revoke(ids[0], 1000.0);
+  EXPECT_DOUBLE_EQ(hours, 1.0);  // 1000 s on an hour quantum -> 1 started hour
+  EXPECT_EQ(provider.spot_revocations(), 1u);
+  EXPECT_DOUBLE_EQ(provider.revoked_charged_seconds(), 3600.0);
+  EXPECT_EQ(provider.find(ids[0]), nullptr);
+  // The settled spot hour cost 30% of on-demand; the savings are the rest.
+  EXPECT_DOUBLE_EQ(provider.spend_spot_dollars(), 0.3);
+  EXPECT_DOUBLE_EQ(provider.spot_savings_dollars(), 0.7);
+}
+
+// --- reserved-commitment accounting ------------------------------------------
+
+TEST(ReservedCommitment, GrantsAreCappedAtTheCommitment) {
+  PricingConfig config;
+  config.reserved_count = 2;
+  PricingModel model(config);
+  CloudProvider provider({.max_vms = 16, .boot_delay = 60.0});
+  provider.set_pricing_model(&model);
+  const auto ids = provider.lease(LeaseRequest{5, 0, PurchaseTier::kReserved}, 0.0);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(provider.reserved_live(), 2u);
+  // The commitment is exhausted: further reserved requests grant nothing.
+  EXPECT_TRUE(provider.lease(LeaseRequest{1, 0, PurchaseTier::kReserved}, 1.0).empty());
+}
+
+TEST(ReservedCommitment, ReleaseReturnsCapacityToTheCommitment) {
+  PricingConfig config;
+  // Family boot delay overrides the provider's: zero makes leases idle at
+  // grant time so they are releasable within the test.
+  config.families.push_back(VmFamily{"std", 1.0, 0.0, 0});
+  config.reserved_count = 2;
+  PricingModel model(config);
+  CloudProvider provider({.max_vms = 16, .boot_delay = 120.0});
+  provider.set_pricing_model(&model);
+  const auto ids = provider.lease(LeaseRequest{2, 0, PurchaseTier::kReserved}, 0.0);
+  ASSERT_EQ(ids.size(), 2u);
+  provider.release(ids[0], 100.0);
+  EXPECT_EQ(provider.reserved_live(), 1u);
+  EXPECT_EQ(provider.lease(LeaseRequest{2, 0, PurchaseTier::kReserved}, 200.0).size(),
+            1u);
+  // Reserved settlements are zero-dollar (pre-paid commitment).
+  EXPECT_DOUBLE_EQ(provider.spend_on_demand_dollars(), 0.0);
+  EXPECT_DOUBLE_EQ(provider.spend_spot_dollars(), 0.0);
+}
+
+// --- family caps and the pricing view ----------------------------------------
+
+TEST(VmFamilies, PerFamilyCapAndBootDelayApply) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"small", 0.5, 30.0, 2});
+  config.families.push_back(VmFamily{"large", 2.0, 300.0, 0});
+  PricingModel model(config);
+  CloudProvider provider({.max_vms = 16, .boot_delay = 120.0});
+  provider.set_pricing_model(&model);
+  const auto small =
+      provider.lease(LeaseRequest{5, 0, PurchaseTier::kOnDemand}, 0.0);
+  EXPECT_EQ(small.size(), 2u);  // family cap binds below the provider cap
+  EXPECT_DOUBLE_EQ(provider.find(small[0])->boot_complete, 30.0);
+  const auto large =
+      provider.lease(LeaseRequest{1, 1, PurchaseTier::kOnDemand}, 0.0);
+  ASSERT_EQ(large.size(), 1u);
+  EXPECT_DOUBLE_EQ(provider.find(large[0])->boot_complete, 300.0);
+  EXPECT_EQ(provider.find(large[0])->family, 1u);
+}
+
+TEST(VmFamilies, MaxSchedulableVmsBoundsByCappedSum) {
+  PricingConfig capped;
+  capped.families.push_back(VmFamily{"a", 1.0, 30.0, 3});
+  capped.families.push_back(VmFamily{"b", 2.0, 30.0, 5});
+  EXPECT_EQ(PricingModel(capped).max_schedulable_vms(16), 8u);
+  EXPECT_EQ(PricingModel(capped).max_schedulable_vms(6), 6u);  // provider binds
+
+  PricingConfig open = capped;
+  open.families.push_back(VmFamily{"c", 3.0, 30.0, 0});  // uncapped family
+  EXPECT_EQ(PricingModel(open).max_schedulable_vms(16), 16u);
+}
+
+TEST(PricingView, SnapshotCarriesMarketAndOccupancy) {
+  PricingConfig config;
+  config.families.push_back(VmFamily{"small", 0.5, 30.0, 3});
+  config.families.push_back(VmFamily{"large", 2.0, 300.0, 0});
+  config.schedule = {{0.0, 2.0}};
+  config.spot_price_fraction = 0.4;
+  config.reserved_count = 2;
+  PricingModel model(config);
+  CloudProvider provider({.max_vms = 8, .boot_delay = 60.0});
+  provider.set_pricing_model(&model);
+  (void)provider.lease(LeaseRequest{2, 0, PurchaseTier::kOnDemand}, 0.0);
+  (void)provider.lease(LeaseRequest{1, 0, PurchaseTier::kReserved}, 0.0);
+
+  PricingView view;
+  provider.fill_pricing_view(view, 100.0);
+  ASSERT_TRUE(view.enabled);
+  EXPECT_DOUBLE_EQ(view.multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(view.spot_price_fraction, 0.4);
+  ASSERT_EQ(view.families.size(), 2u);
+  EXPECT_DOUBLE_EQ(view.families[0].price, 0.5 * 2.0);  // effective price
+  EXPECT_EQ(view.families[0].in_use, 3u);  // 2 on-demand + 1 reserved, family 0
+  EXPECT_EQ(view.families[0].cap, 3u);
+  EXPECT_EQ(view.reserved_total, 2u);
+  EXPECT_EQ(view.reserved_in_use, 1u);
+  EXPECT_EQ(view.reserved_free(), 1u);
+  EXPECT_EQ(view.cheapest_family(), 0u);
+  EXPECT_EQ(view.family_free(0), 0u);
+}
+
+TEST(PricingView, DisabledWithoutModel) {
+  CloudProvider provider({.max_vms = 8});
+  PricingView view;
+  provider.fill_pricing_view(view, 0.0);
+  EXPECT_FALSE(view.enabled);
+}
+
+}  // namespace
+}  // namespace psched::cloud

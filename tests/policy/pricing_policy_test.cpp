@@ -1,0 +1,254 @@
+// Tier-aware provisioning edge cases (DESIGN.md §12): how CPF/SPT/RSB/PRT
+// split a lease decision across purchase tiers and families, and how each
+// degrades — to the paper-model plan with pricing off, to deferral or
+// starvation override under an expensive market, to nothing when every
+// family cap binds (all tiers unaffordable).
+#include "policy/provisioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policy/portfolio.hpp"
+
+namespace psched::policy {
+namespace {
+
+QueuedJob make_queued(JobId id, double submit, int procs, double predicted) {
+  QueuedJob q;
+  q.id = id;
+  q.submit = submit;
+  q.procs = procs;
+  q.predicted_runtime = predicted;
+  return q;
+}
+
+/// Context + hand-built market view. The fixture owns both so the borrowed
+/// ctx.pricing pointer stays valid for the test's lifetime.
+struct PricingFixture {
+  std::vector<QueuedJob> jobs;
+  SchedContext ctx;
+  cloud::PricingView view;
+
+  PricingFixture() {
+    ctx.now = 100.0;
+    ctx.max_vms = 256;
+    view.enabled = true;
+    ctx.pricing = &view;
+  }
+  PricingFixture& demand(int procs) {
+    jobs.push_back(make_queued(static_cast<JobId>(jobs.size()), 0.0, procs, 600.0));
+    ctx.queue = jobs;
+    return *this;
+  }
+  PricingFixture& family(double price, std::size_t cap, std::size_t in_use = 0) {
+    view.families.push_back(cloud::PricingView::Family{price, 120.0, cap, in_use});
+    return *this;
+  }
+  PricingFixture& spot(double fraction) {
+    view.spot_price_fraction = fraction;
+    return *this;
+  }
+  PricingFixture& reserved(std::size_t total, std::size_t in_use = 0) {
+    view.reserved_total = total;
+    view.reserved_in_use = in_use;
+    return *this;
+  }
+};
+
+std::size_t plan_total(const std::vector<cloud::LeaseRequest>& plan) {
+  std::size_t total = 0;
+  for (const cloud::LeaseRequest& r : plan) total += r.count;
+  return total;
+}
+
+// --- pricing-off degradation -------------------------------------------------
+
+TEST(TierAwarePolicies, AllDegradeToPaperPlanWithPricingOff) {
+  for (const char* name : {"CPF", "SPT", "RSB", "PRT"}) {
+    const auto policy = make_provisioning(name);
+    std::vector<QueuedJob> jobs{make_queued(0, 0.0, 5, 600.0)};
+    SchedContext ctx;
+    ctx.now = 100.0;
+    ctx.queue = jobs;
+    ctx.pricing = nullptr;  // pricing off
+    std::vector<cloud::LeaseRequest> plan;
+    policy->lease_plan(ctx, plan);
+    ASSERT_EQ(plan.size(), 1u) << name;
+    EXPECT_EQ(plan[0].count, 5u) << name;
+    EXPECT_EQ(plan[0].family, 0u) << name;
+    EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kOnDemand) << name;
+  }
+}
+
+// --- CPF ---------------------------------------------------------------------
+
+TEST(CheapestFeasible, DrainsReservedHeadroomFirst) {
+  PricingFixture f;
+  f.demand(6).family(1.0, 8).reserved(4, 1).spot(0.5);
+  std::vector<cloud::LeaseRequest> plan;
+  CheapestFeasible{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan_total(plan), 6u);  // the full deficit is planned
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kReserved);
+  EXPECT_EQ(plan[0].count, 3u);  // commitment headroom 4 - 1
+  EXPECT_EQ(plan[1].tier, cloud::PurchaseTier::kSpot);
+  EXPECT_EQ(plan[1].count, 3u);  // remainder on the discounted spot market
+}
+
+TEST(CheapestFeasible, SpillsAcrossFamiliesCheapestFirst) {
+  PricingFixture f;
+  // Cheapest family is index 1; its cap leaves room for 2, the rest spills.
+  f.demand(5).family(2.0, 8).family(0.5, 3, 1);
+  std::vector<cloud::LeaseRequest> plan;
+  CheapestFeasible{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].family, 1u);
+  EXPECT_EQ(plan[0].count, 2u);
+  EXPECT_EQ(plan[1].family, 0u);
+  EXPECT_EQ(plan[1].count, 3u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kOnDemand);  // no spot market
+}
+
+TEST(CheapestFeasible, UndiscountedSpotIsNotWorthIt) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 8).spot(1.0);  // same price, still revocable
+  std::vector<cloud::LeaseRequest> plan;
+  CheapestFeasible{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kOnDemand);
+}
+
+TEST(CheapestFeasible, EveryFamilyCapBoundPlansNothing) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 2, 2).family(3.0, 1, 1);  // all tiers unaffordable
+  std::vector<cloud::LeaseRequest> plan;
+  CheapestFeasible{}.lease_plan(f.ctx, plan);
+  EXPECT_TRUE(plan.empty());
+}
+
+// --- SPT ---------------------------------------------------------------------
+
+TEST(SpotFirst, DrainsWholeQueueFromSpotMarket) {
+  PricingFixture f;
+  f.demand(3).demand(4).family(2.0, 16).family(0.5, 16).spot(0.3);
+  std::vector<cloud::LeaseRequest> plan;
+  SpotFirst{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 1u);  // spot-only: the entire deficit, one request
+  EXPECT_EQ(plan[0].count, 7u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kSpot);
+  EXPECT_EQ(plan[0].family, 1u);  // cheapest family
+}
+
+TEST(SpotFirst, FallsBackToOnDemandWhenMarketClosed) {
+  PricingFixture f;
+  f.demand(3).family(1.0, 16).spot(0.0);
+  std::vector<cloud::LeaseRequest> plan;
+  SpotFirst{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kOnDemand);
+}
+
+// --- RSB ---------------------------------------------------------------------
+
+TEST(ReservedBaseline, BaselineThenSpotBurst) {
+  PricingFixture f;
+  f.demand(8).family(1.0, 16).reserved(3).spot(0.4);
+  std::vector<cloud::LeaseRequest> plan;
+  ReservedBaseline{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kReserved);
+  EXPECT_EQ(plan[0].count, 3u);
+  EXPECT_EQ(plan[1].tier, cloud::PurchaseTier::kSpot);
+  EXPECT_EQ(plan[1].count, 5u);
+}
+
+TEST(ReservedBaseline, ExhaustedCommitmentBurstsEverything) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 16).reserved(2, 2).spot(0.4);
+  std::vector<cloud::LeaseRequest> plan;
+  ReservedBaseline{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kSpot);
+  EXPECT_EQ(plan[0].count, 4u);
+}
+
+// --- PRT ---------------------------------------------------------------------
+
+TEST(PriceThreshold, LeasesInCheapMarketDefersInExpensive) {
+  PricingFixture cheap;
+  cheap.demand(4).family(1.0, 16);
+  cheap.view.multiplier = 1.0;
+  EXPECT_EQ(PriceThreshold{}.vms_to_lease(cheap.ctx), 4u);
+
+  PricingFixture dear;
+  dear.demand(4).family(1.0, 16);
+  dear.view.multiplier = 1.5;
+  EXPECT_EQ(PriceThreshold{}.vms_to_lease(dear.ctx), 0u);
+  std::vector<cloud::LeaseRequest> plan;
+  PriceThreshold{}.lease_plan(dear.ctx, plan);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(PriceThreshold, StarvationOverridesTheDeferral) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 16);
+  f.view.multiplier = 2.0;
+  f.ctx.now = 3700.0;  // the queued job (submit 0) has starved past an hour
+  EXPECT_EQ(PriceThreshold{}.vms_to_lease(f.ctx), 4u);
+  std::vector<cloud::LeaseRequest> plan;
+  PriceThreshold{}.lease_plan(f.ctx, plan);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].tier, cloud::PurchaseTier::kOnDemand);
+}
+
+TEST(PriceThreshold, NextChangeReportsStarvationCrossing) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 16);
+  f.view.multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(PriceThreshold{}.next_change(f.ctx), 3600.0);
+  // Cheap market: nothing wait-dependent, never re-triggers on its own.
+  f.view.multiplier = 1.0;
+  EXPECT_EQ(PriceThreshold{}.next_change(f.ctx), kTimeNever);
+}
+
+TEST(PriceThreshold, TriggersExactlyAtItsReportedCrossing) {
+  PricingFixture f;
+  f.demand(4).family(1.0, 16);
+  f.view.multiplier = 2.0;
+  const SimTime crossing = PriceThreshold{}.next_change(f.ctx);
+  ASSERT_NE(crossing, kTimeNever);
+  f.ctx.now = crossing;
+  EXPECT_EQ(PriceThreshold{}.vms_to_lease(f.ctx), 4u);
+}
+
+// --- registry / portfolio ----------------------------------------------------
+
+TEST(PricingRegistry, FactoryKnowsTierAwareNames) {
+  for (const char* name : {"CPF", "SPT", "RSB", "PRT"})
+    EXPECT_EQ(make_provisioning(name)->name(), name);
+}
+
+TEST(PricingRegistry, PricingProvisioningInDocOrder) {
+  const auto all = pricing_provisioning();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0]->name(), "CPF");
+  EXPECT_EQ(all[1]->name(), "SPT");
+  EXPECT_EQ(all[2]->name(), "RSB");
+  EXPECT_EQ(all[3]->name(), "PRT");
+}
+
+TEST(PricingRegistry, PricingPortfolioExtendsThePaperSixty) {
+  const Portfolio paper = Portfolio::paper_portfolio();
+  const Portfolio pricing = Portfolio::pricing_portfolio();
+  EXPECT_EQ(paper.size(), 60u);
+  EXPECT_EQ(pricing.size(), 108u);  // (5 + 4) provisioning x 4 x 3
+  // Every paper triple survives, and the tier-aware ones are new.
+  for (const PolicyTriple& t : paper.policies())
+    EXPECT_NE(pricing.find(t.name()), nullptr) << t.name();
+  EXPECT_NE(pricing.find("SPT-FCFS-FirstFit"), nullptr);
+  EXPECT_EQ(paper.find("SPT-FCFS-FirstFit"), nullptr);
+}
+
+}  // namespace
+}  // namespace psched::policy

@@ -41,6 +41,8 @@ check_config_fields ObsConfig src/obs/obs.hpp
 check_config_fields FailureConfig src/cloud/failure.hpp
 check_config_fields ResilienceConfig src/cloud/failure.hpp
 check_config_fields BenchGateConfig src/obs/bench_gate.hpp
+check_config_fields PricingConfig src/cloud/pricing.hpp
+check_config_fields VmFamily src/cloud/pricing.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.

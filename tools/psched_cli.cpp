@@ -20,6 +20,9 @@
 //        [--failures] [--boot-fail-rate P] [--vm-mtbf SECONDS]
 //        [--api-outage SECONDS] [--api-outage-duration SECONDS]
 //        [--failure-seed S] [--max-resubmits N]
+//        [--vm-families NAME:PRICE[:BOOT[:CAP]],...] [--spot-rate F[:MTBF[:WARN]]]
+//        [--price-schedule T:MULT,...[,walk:STEP]] [--reserved N[:DISCOUNT]]
+//        [--pricing-seed S]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
@@ -48,11 +51,22 @@
 //       seed streams, and --max-resubmits the per-job resubmission budget.
 //       All-zero rates (the default) are a provable no-op: output is
 //       bit-identical to a failure-free build.
+//       Pricing model (DESIGN.md §12): --vm-families lists heterogeneous VM
+//       families (per-quantum price, optional boot delay and cap);
+//       --spot-rate F[:MTBF[:WARN]] enables the spot market at price
+//       fraction F with mean revocation interval MTBF and warning lead
+//       WARN; --price-schedule sets piecewise-constant market multipliers
+//       ("0:1.0,7200:1.5") with an optional seeded random walk
+//       (",walk:0.1"); --reserved N[:DISCOUNT] pre-pays a capacity
+//       commitment; --pricing-seed seeds the "spot"/"walk" streams. Any
+//       pricing flag switches the portfolio to the 108-policy tier-aware
+//       set; no pricing flags (the default) is a provable no-op.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "engine/experiment.hpp"
 #include "util/argparse.hpp"
@@ -146,6 +160,103 @@ int cmd_characterize(const util::ArgParser& args) {
   return 0;
 }
 
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+bool to_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  try {
+    std::size_t pos = 0;
+    out = std::stod(text, &pos);
+    return pos == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// "name:price[:boot[:cap]],..." — one VM family per comma entry.
+bool parse_vm_families(const std::string& text, std::vector<cloud::VmFamily>& out) {
+  for (const std::string& entry : split(text, ',')) {
+    const std::vector<std::string> fields = split(entry, ':');
+    if (fields.size() < 2 || fields.size() > 4 || fields[0].empty()) return false;
+    cloud::VmFamily family;
+    family.name = fields[0];
+    if (!to_double(fields[1], family.price) || family.price <= 0.0) return false;
+    if (fields.size() > 2 &&
+        (!to_double(fields[2], family.boot_delay) || family.boot_delay < 0.0))
+      return false;
+    if (fields.size() > 3) {
+      double cap = 0.0;
+      if (!to_double(fields[3], cap) || cap < 0.0) return false;
+      family.max_vms = static_cast<std::size_t>(cap);
+    }
+    out.push_back(family);
+  }
+  return !out.empty();
+}
+
+/// "fraction[:mtbf[:warning]]" — spot price fraction in (0,1], seconds.
+bool parse_spot_rate(const std::string& text, cloud::PricingConfig& pricing) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.empty() || fields.size() > 3) return false;
+  if (!to_double(fields[0], pricing.spot_price_fraction) ||
+      pricing.spot_price_fraction <= 0.0 || pricing.spot_price_fraction > 1.0)
+    return false;
+  if (fields.size() > 1 && (!to_double(fields[1], pricing.spot_mtbf_seconds) ||
+                            pricing.spot_mtbf_seconds < 0.0))
+    return false;
+  if (fields.size() > 2 && (!to_double(fields[2], pricing.spot_warning_seconds) ||
+                            pricing.spot_warning_seconds < 0.0))
+    return false;
+  return true;
+}
+
+/// "t:mult,..." steps plus an optional trailing "walk:step" entry.
+bool parse_price_schedule(const std::string& text, cloud::PricingConfig& pricing) {
+  for (const std::string& entry : split(text, ',')) {
+    const std::vector<std::string> fields = split(entry, ':');
+    if (fields.size() != 2) return false;
+    if (fields[0] == "walk") {
+      if (!to_double(fields[1], pricing.walk_step) || pricing.walk_step <= 0.0 ||
+          pricing.walk_step >= 1.0)
+        return false;
+      continue;
+    }
+    cloud::PricePoint point;
+    if (!to_double(fields[0], point.at) || point.at < 0.0) return false;
+    if (!to_double(fields[1], point.multiplier) || point.multiplier <= 0.0)
+      return false;
+    pricing.schedule.push_back(point);
+  }
+  return true;
+}
+
+/// "count[:discount]" — reserved-capacity commitment.
+bool parse_reserved(const std::string& text, cloud::PricingConfig& pricing) {
+  const std::vector<std::string> fields = split(text, ':');
+  if (fields.empty() || fields.size() > 2) return false;
+  double count = 0.0;
+  if (!to_double(fields[0], count) || count < 0.0) return false;
+  pricing.reserved_count = static_cast<std::size_t>(count);
+  if (fields.size() > 1 &&
+      (!to_double(fields[1], pricing.reserved_price_fraction) ||
+       pricing.reserved_price_fraction < 0.0 ||
+       pricing.reserved_price_fraction > 1.0))
+    return false;
+  return true;
+}
+
 engine::PredictorKind predictor_from(const std::string& name, bool& ok) {
   ok = true;
   if (name == "accurate") return engine::PredictorKind::kPerfect;
@@ -234,6 +345,40 @@ int cmd_run(const util::ArgParser& args) {
     return 1;
   }
 
+  // Pricing model: each flag enables its slice; any of them switches the
+  // run to the tier-aware portfolio.
+  const std::string families_arg = args.get("vm-families", "");
+  if (!families_arg.empty() &&
+      !parse_vm_families(families_arg, config.pricing.families)) {
+    std::fputs("error: --vm-families wants NAME:PRICE[:BOOT[:CAP]],... with "
+               "PRICE > 0, BOOT >= 0, CAP >= 0\n",
+               stderr);
+    return 1;
+  }
+  const std::string spot_arg = args.get("spot-rate", "");
+  if (!spot_arg.empty() && !parse_spot_rate(spot_arg, config.pricing)) {
+    std::fputs("error: --spot-rate wants FRACTION[:MTBF[:WARNING]] with "
+               "FRACTION in (0,1] and seconds >= 0\n",
+               stderr);
+    return 1;
+  }
+  const std::string schedule_arg = args.get("price-schedule", "");
+  if (!schedule_arg.empty() && !parse_price_schedule(schedule_arg, config.pricing)) {
+    std::fputs("error: --price-schedule wants T:MULT,... (T >= 0, MULT > 0) "
+               "with an optional walk:STEP entry, STEP in (0,1)\n",
+               stderr);
+    return 1;
+  }
+  const std::string reserved_arg = args.get("reserved", "");
+  if (!reserved_arg.empty() && !parse_reserved(reserved_arg, config.pricing)) {
+    std::fputs("error: --reserved wants COUNT[:DISCOUNT] with COUNT >= 0 and "
+               "DISCOUNT in [0,1]\n",
+               stderr);
+    return 1;
+  }
+  config.pricing.seed = static_cast<std::uint64_t>(
+      args.get_int("pricing-seed", static_cast<std::int64_t>(config.pricing.seed)));
+
   // Enable-only: a PSCHED_VALIDATE build turns checking on in the default
   // config, and the absence of the flag must not turn it back off.
   if (args.get_bool("check-invariants")) config.validation.check_invariants = true;
@@ -271,7 +416,9 @@ int cmd_run(const util::ArgParser& args) {
   obs::Recorder recorder(obs_config);
   obs::Recorder* rec = obs_config.level != obs::ObsLevel::kOff ? &recorder : nullptr;
 
-  const policy::Portfolio portfolio = policy::Portfolio::paper_portfolio();
+  const policy::Portfolio portfolio = config.pricing.enabled()
+                                          ? policy::Portfolio::pricing_portfolio()
+                                          : policy::Portfolio::paper_portfolio();
   const std::string scheduler = args.get("scheduler", "portfolio");
 
   engine::ScenarioResult result;
@@ -350,6 +497,25 @@ int cmd_run(const util::ArgParser& args) {
     table.add_row({"goodput [proc-h]", util::Cell(m.goodput_proc_seconds() / 3600.0, 1)});
     table.add_row(
         {"paid-but-wasted [VM-h]", util::Cell(m.paid_wasted_seconds() / 3600.0, 1)});
+  }
+  if (config.pricing.enabled()) {
+    const metrics::PricingStats& p = m.pricing;
+    table.add_row({"vm families", p.families});
+    table.add_row({"leases od/spot/reserved",
+                   std::to_string(p.on_demand_leases) + "/" +
+                       std::to_string(p.spot_leases) + "/" +
+                       std::to_string(p.reserved_leases)});
+    table.add_row({"spot warnings / revocations",
+                   std::to_string(p.spot_warnings) + "/" +
+                       std::to_string(p.spot_revocations)});
+    char spend[96];
+    std::snprintf(spend, sizeof spend, "%.2f/%.2f/%.2f", p.spend_on_demand_dollars,
+                  p.spend_spot_dollars, p.spend_reserved_dollars);
+    table.add_row({"spend od/spot/reserved [$]", spend});
+    table.add_row({"total spend [$]", util::Cell(p.total_spend_dollars(), 2)});
+    table.add_row({"spot savings [$]", util::Cell(p.spot_savings_dollars, 2)});
+    table.add_row({"revocation waste [VM-h]",
+                   util::Cell(p.revoked_charged_seconds / 3600.0, 1)});
   }
   if (config.validation.check_invariants) {
     table.add_row({"invariant checks", result.run.invariant_checks});
