@@ -1,6 +1,7 @@
 #include "cloud/failure.hpp"
 
 #include "util/assert.hpp"
+#include "util/seed_streams.hpp"
 
 namespace psched::cloud {
 
@@ -32,9 +33,9 @@ std::uint64_t derive_stream_seed(std::uint64_t root,
 
 FailureModel::FailureModel(const FailureConfig& config)
     : config_(config),
-      boot_rng_(derive_stream_seed(config.seed, "boot")),
-      crash_rng_(derive_stream_seed(config.seed, "crash")),
-      outage_rng_(derive_stream_seed(config.seed, "outage")) {
+      boot_rng_(derive_stream_seed(config.seed, util::kStreamBoot)),
+      crash_rng_(derive_stream_seed(config.seed, util::kStreamCrash)),
+      outage_rng_(derive_stream_seed(config.seed, util::kStreamOutage)) {
   PSCHED_ASSERT_MSG(config_.p_boot_fail >= 0.0 && config_.p_boot_fail <= 1.0,
                     "p_boot_fail must be a probability");
   PSCHED_ASSERT_MSG(config_.vm_mtbf_seconds >= 0.0, "vm_mtbf_seconds < 0");

@@ -86,7 +86,10 @@ enum class FailureOp {
 /// Derive the seed of a named stream from a root seed: FNV-1a over the
 /// stream name, mixed into the root. Stable across platforms; exposed so
 /// tests can pin stream independence and the engine can derive its
-/// "backoff" stream from the same root the model uses.
+/// "backoff" stream from the same root the model uses. Stream names are
+/// registered once in util/seed_streams.hpp; psched-lint rule D5 rejects
+/// call sites that pass an unregistered name (a silent name collision
+/// would correlate two "independent" streams without failing any test).
 [[nodiscard]] std::uint64_t derive_stream_seed(std::uint64_t root,
                                                std::string_view name) noexcept;
 

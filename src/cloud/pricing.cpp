@@ -6,6 +6,7 @@
 #include "cloud/failure.hpp"
 #include "cloud/vm.hpp"
 #include "util/assert.hpp"
+#include "util/seed_streams.hpp"
 
 namespace psched::cloud {
 
@@ -35,8 +36,8 @@ std::size_t PricingView::family_free(std::size_t i) const noexcept {
 PricingModel::PricingModel(const PricingConfig& config)
     : config_(config),
       families_(config.families),
-      spot_rng_(derive_stream_seed(config.seed, "spot")),
-      walk_rng_(derive_stream_seed(config.seed, "walk")) {
+      spot_rng_(derive_stream_seed(config.seed, util::kStreamSpot)),
+      walk_rng_(derive_stream_seed(config.seed, util::kStreamWalk)) {
   // Normalize: a pricing-on config with no families still offers the
   // single default family (the paper's homogeneous cloud, now priced).
   if (families_.empty()) families_.emplace_back();

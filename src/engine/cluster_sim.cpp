@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/assert.hpp"
+#include "util/seed_streams.hpp"
 
 namespace psched::engine {
 
@@ -52,7 +53,7 @@ ClusterSimulation::ClusterSimulation(EngineConfig config, const workload::Trace&
     provider_.set_failure_model(failure_model_.get());
     lease_backoff_ = cloud::BackoffSchedule(
         config_.resilience,
-        cloud::derive_stream_seed(config_.failure.seed, "backoff"));
+        cloud::derive_stream_seed(config_.failure.seed, util::kStreamBackoff));
   }
   if (config_.pricing.enabled()) {
     pricing_model_ = std::make_unique<cloud::PricingModel>(config_.pricing);

@@ -1,0 +1,40 @@
+#pragma once
+// Central registry of named seed streams (psched-lint rule D5).
+//
+// Every stochastic subsystem derives its own RNG stream from the run's root
+// seed via `cloud::derive_stream_seed(root, <stream name>)` — FNV-1a over
+// the name, SplitMix-mixed with the root — so enabling one hazard class
+// never perturbs another (DESIGN.md §10, §12). That isolation silently
+// breaks if two subsystems pick the same stream name: both would draw from
+// the *same* sequence, correlating e.g. spot revocations with price-walk
+// steps without failing a single test. This header is therefore the one
+// place stream names may be spelled; psched-lint's cross-TU rule D5
+// enforces that
+//
+//   * every `PSCHED_SEED_STREAM` registration lives in this file,
+//   * no two registrations share a name (or a constant identifier), and
+//   * every `derive_stream_seed` call site passes either a constant
+//     registered here or a string literal whose name is registered here.
+//
+// To add a stream: register it below with a comment naming its owner, then
+// pass the constant at the derivation site (see CONTRIBUTING.md, "Adding a
+// seed stream").
+
+#include <string_view>
+
+namespace psched::util {
+
+/// Registers a seed-stream name. psched-lint pass 1 records each expansion
+/// site as a registration; pass 2 rejects duplicates and uses of
+/// unregistered names (rule D5).
+#define PSCHED_SEED_STREAM(ident, name) \
+  inline constexpr std::string_view ident = name
+
+PSCHED_SEED_STREAM(kStreamBoot, "boot");      ///< FailureModel: Bernoulli VM boot-failure draws
+PSCHED_SEED_STREAM(kStreamCrash, "crash");    ///< FailureModel: exponential mid-lease crash times
+PSCHED_SEED_STREAM(kStreamOutage, "outage");  ///< FailureModel: provider API outage windows
+PSCHED_SEED_STREAM(kStreamBackoff, "backoff");///< ClusterSim engine: lease-retry backoff jitter
+PSCHED_SEED_STREAM(kStreamSpot, "spot");      ///< PricingModel: spot-revocation times
+PSCHED_SEED_STREAM(kStreamWalk, "walk");      ///< PricingModel: price random-walk steps
+
+}  // namespace psched::util

@@ -1,0 +1,151 @@
+// validate_sarif (obs/report.hpp): the SARIF v2.1.0 schema gate shared by
+// psched-report-check --sarif and CI's pre-upload check. One test per
+// rejection class — missing ruleId, bad region, depth bound — plus the
+// acceptance of a well-formed document, so the validator can neither rot
+// into accepting garbage nor start rejecting the emitter's real output.
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace psched::obs {
+namespace {
+
+/// A minimal well-formed SARIF document; `result` is spliced into the
+/// results array (empty = no results).
+std::string sarif_doc(const std::string& result) {
+  return std::string("{")
+      + "\"version\": \"2.1.0\","
+      + "\"runs\": [{"
+      + "  \"tool\": {\"driver\": {\"name\": \"psched-lint\","
+      + "    \"rules\": [{\"id\": \"D1\"}]}},"
+      + "  \"results\": [" + result + "]"
+      + "}]}";
+}
+
+const std::string kGoodResult =
+    "{\"ruleId\": \"D6\","
+    " \"message\": {\"text\": \"mixing units\"},"
+    " \"locations\": [{\"physicalLocation\": {"
+    "   \"artifactLocation\": {\"uri\": \"src/a.cpp\"},"
+    "   \"region\": {\"startLine\": 12}}}]}";
+
+TEST(ValidateSarif, AcceptsWellFormedDocuments) {
+  const ValidationResult empty = validate_sarif(sarif_doc(""));
+  EXPECT_TRUE(empty.ok) << empty.detail;
+  const ValidationResult with_result = validate_sarif(sarif_doc(kGoodResult));
+  EXPECT_TRUE(with_result.ok) << with_result.detail;
+}
+
+TEST(ValidateSarif, RejectsNonJsonAndWrongRoot) {
+  EXPECT_FALSE(validate_sarif("not json").ok);
+  EXPECT_FALSE(validate_sarif("[]").ok);
+  EXPECT_FALSE(validate_sarif("{}").ok);  // no version
+}
+
+TEST(ValidateSarif, RejectsWrongVersionAndEmptyRuns) {
+  EXPECT_FALSE(validate_sarif(
+                   "{\"version\": \"2.0.0\", \"runs\": [{}]}")
+                   .ok);
+  const ValidationResult no_runs =
+      validate_sarif("{\"version\": \"2.1.0\", \"runs\": []}");
+  EXPECT_FALSE(no_runs.ok);
+  EXPECT_NE(no_runs.detail.find("runs"), std::string::npos) << no_runs.detail;
+}
+
+TEST(ValidateSarif, RejectsMissingDriverName) {
+  const ValidationResult result = validate_sarif(
+      "{\"version\": \"2.1.0\","
+      " \"runs\": [{\"tool\": {\"driver\": {}}, \"results\": []}]}");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("name"), std::string::npos) << result.detail;
+}
+
+TEST(ValidateSarif, RejectsResultsWithoutRuleId) {
+  const std::string no_rule_id =
+      "{\"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"},"
+      "   \"region\": {\"startLine\": 1}}}]}";
+  const ValidationResult result = validate_sarif(sarif_doc(no_rule_id));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("ruleId"), std::string::npos) << result.detail;
+
+  const std::string empty_rule_id =
+      "{\"ruleId\": \"\", \"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"},"
+      "   \"region\": {\"startLine\": 1}}}]}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(empty_rule_id)).ok);
+}
+
+TEST(ValidateSarif, RejectsMissingMessageText) {
+  const std::string no_text =
+      "{\"ruleId\": \"D1\", \"message\": {},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"},"
+      "   \"region\": {\"startLine\": 1}}}]}";
+  const ValidationResult result = validate_sarif(sarif_doc(no_text));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("message.text"), std::string::npos) << result.detail;
+}
+
+TEST(ValidateSarif, RejectsBadRegions) {
+  // startLine 0 (SARIF regions are 1-based).
+  const std::string zero_line =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"},"
+      "   \"region\": {\"startLine\": 0}}}]}";
+  const ValidationResult result = validate_sarif(sarif_doc(zero_line));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("startLine"), std::string::npos) << result.detail;
+
+  // startLine as a string.
+  const std::string string_line =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"},"
+      "   \"region\": {\"startLine\": \"12\"}}}]}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(string_line)).ok);
+
+  // Missing region entirely.
+  const std::string no_region =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"a\"}}}]}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(no_region)).ok);
+}
+
+TEST(ValidateSarif, RejectsMissingOrEmptyLocations) {
+  const std::string no_locations =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"}}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(no_locations)).ok);
+  const std::string empty_locations =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"}, \"locations\": []}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(empty_locations)).ok);
+  const std::string empty_uri =
+      "{\"ruleId\": \"D1\", \"message\": {\"text\": \"x\"},"
+      " \"locations\": [{\"physicalLocation\": {"
+      "   \"artifactLocation\": {\"uri\": \"\"},"
+      "   \"region\": {\"startLine\": 1}}}]}";
+  EXPECT_FALSE(validate_sarif(sarif_doc(empty_uri)).ok);
+}
+
+TEST(ValidateSarif, RejectsPathologicallyDeepDocuments) {
+  // The obs/json parser bounds recursion at kJsonMaxDepth; a hostile
+  // "[[[[..." SARIF file must fail cleanly, not overflow the stack.
+  std::string deep = "{\"version\": \"2.1.0\", \"runs\": ";
+  for (std::size_t i = 0; i < kJsonMaxDepth + 8; ++i) deep += "[";
+  for (std::size_t i = 0; i < kJsonMaxDepth + 8; ++i) deep += "]";
+  deep += "}";
+  const ValidationResult result = validate_sarif(deep);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("depth"), std::string::npos) << result.detail;
+}
+
+}  // namespace
+}  // namespace psched::obs

@@ -1,6 +1,8 @@
-// psched-lint rule engine: one check per rule D1-D4 (detection, allowlist,
-// suppression honoring), the SUPP meta-rule, the fixture self-test, and the
-// gate the whole PR hangs on — the real tree lints clean.
+// psched-lint rule engine: one check per rule D1-D8 (detection, allowlist,
+// suppression honoring), the SUPP meta-rule, baseline hygiene, the SARIF
+// emitter (round-tripped through the obs/json parser), --fix idempotence,
+// the fixture self-test, and the gate the whole PR hangs on — the real tree
+// lints clean with zero unbaselined findings.
 //
 // Compile-time paths: PSCHED_SOURCE_ROOT (repo root) and
 // PSCHED_LINT_FIXTURES (tools/psched_lint/fixtures), injected by CMake.
@@ -12,20 +14,46 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace psched::lint {
 namespace {
 
-/// Lint an in-memory snippet as `rel_path`, using only the snippet's own
-/// unordered-container declarations as the TU table.
-std::vector<Finding> lint_snippet(const std::string& code,
-                                  const std::string& rel_path,
-                                  LintOptions options = {}) {
-  const SourceFile file = load_source_from_string(code, rel_path);
-  std::vector<Finding> findings = file.annotation_errors;
-  const std::vector<Finding> rule_findings =
-      lint_file(file, file.unordered_names, options);
-  findings.insert(findings.end(), rule_findings.begin(), rule_findings.end());
+/// Fixture-mode options: no file-level allowlists, registrations accepted
+/// anywhere (so snippets can exercise D5 without faking src/util/).
+LintOptions snippet_options() {
+  LintOptions options;
+  options.registry_files.clear();
+  return options;
+}
+
+/// Analyze a set of in-memory files as one program (both passes), returning
+/// all findings. This is exactly what lint_tree does per file, minus the
+/// include resolution (snippets share one unordered-name table).
+std::vector<Finding> lint_program(const std::map<std::string, std::string>& sources,
+                                  LintOptions options) {
+  std::map<std::string, SourceFile> files;
+  std::set<std::string> tu_names;
+  for (const auto& [path, code] : sources) {
+    SourceFile file = load_source_from_string(code, path);
+    tu_names.insert(file.unordered_names.begin(), file.unordered_names.end());
+    files.emplace(path, std::move(file));
+  }
+  const ProgramIndex index = build_index(files, options);
+  std::vector<Finding> findings = index.findings;
+  for (const auto& [path, file] : files) {
+    const std::vector<Finding> file_findings =
+        lint_file(file, tu_names, index, options);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
   return findings;
+}
+
+/// Lint one in-memory snippet as `rel_path` (default LintOptions unless
+/// overridden), as its own one-file program.
+std::vector<Finding> lint_snippet(const std::string& code, const std::string& rel_path,
+                                  LintOptions options = {}) {
+  return lint_program({{rel_path, code}}, options);
 }
 
 bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
@@ -40,6 +68,8 @@ std::string dump(const std::vector<Finding>& findings) {
            f.message + "\n";
   return out;
 }
+
+// --- D1-D4 (v1 rules, unchanged semantics) ---------------------------------
 
 TEST(PschedLint, D1FlagsWallClockAndEntropyReads) {
   const std::string code =
@@ -107,12 +137,13 @@ TEST(PschedLint, D2SeesContainersDeclaredInIncludedHeaders) {
       "  return n;\n"
       "}\n",
       "src/x/registry.cpp");
+  const ProgramIndex empty_index;
   // Without the header's names the iteration is invisible...
-  EXPECT_FALSE(has_rule(lint_file(impl, impl.unordered_names, {}), "D2"));
+  EXPECT_FALSE(has_rule(lint_file(impl, impl.unordered_names, empty_index, {}), "D2"));
   // ...with the TU union it is caught.
   std::set<std::string> tu = impl.unordered_names;
   tu.insert(header.unordered_names.begin(), header.unordered_names.end());
-  EXPECT_TRUE(has_rule(lint_file(impl, tu, {}), "D2"));
+  EXPECT_TRUE(has_rule(lint_file(impl, tu, empty_index, {}), "D2"));
 }
 
 TEST(PschedLint, D3FlagsUnseededEnginesButAcceptsNamedSeeds) {
@@ -141,6 +172,252 @@ TEST(PschedLint, D4FlagsFloatLiteralEqualityOutsideUtil) {
   EXPECT_FALSE(has_rule(lint_snippet(code, "src/util/float_cmp.hpp"), "D4"));
 }
 
+// --- D5: seed-stream registry (cross-TU) -----------------------------------
+
+TEST(PschedLint, D5FlagsUnregisteredStreamNamesAndConstants) {
+  const auto by_literal = lint_snippet(
+      "#include <cstdint>\n"
+      "std::uint64_t f(std::uint64_t root) {\n"
+      "  return derive_stream_seed(root, \"rogue\");\n"
+      "}\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(has_rule(by_literal, "D5")) << dump(by_literal);
+
+  const auto by_ident = lint_snippet(
+      "#include <cstdint>\n"
+      "std::uint64_t f(std::uint64_t root) {\n"
+      "  return derive_stream_seed(root, kNotAStream);\n"
+      "}\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(has_rule(by_ident, "D5")) << dump(by_ident);
+}
+
+TEST(PschedLint, D5AcceptsRegisteredStreamsAcrossFiles) {
+  // Registration in one file, derivation in another: the index carries it.
+  const auto findings = lint_program(
+      {{"src/util/streams.hpp", "PSCHED_SEED_STREAM(kStreamAb, \"ab\");\n"},
+       {"src/b.cpp",
+        "#include <cstdint>\n"
+        "std::uint64_t f(std::uint64_t root) {\n"
+        "  return derive_stream_seed(root, kStreamAb);\n"
+        "}\n"}},
+      snippet_options());
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, D5FlagsCrossTUNameCollision) {
+  // The two registrations live in DIFFERENT files — exactly the hazard a
+  // single-TU linter cannot see.
+  const auto findings = lint_program(
+      {{"src/a.hpp", "PSCHED_SEED_STREAM(kStreamOne, \"shared\");\n"},
+       {"src/b.hpp", "PSCHED_SEED_STREAM(kStreamTwo, \"shared\");\n"}},
+      snippet_options());
+  EXPECT_TRUE(has_rule(findings, "D5")) << dump(findings);
+}
+
+TEST(PschedLint, D5FlagsRegistrationOutsideTheRegistryFile) {
+  LintOptions options;  // default registry_files = {src/util/seed_streams.hpp}
+  const auto findings = lint_snippet(
+      "PSCHED_SEED_STREAM(kStreamElsewhere, \"elsewhere\");\n",
+      "src/engine/rogue.hpp", options);
+  EXPECT_TRUE(has_rule(findings, "D5")) << dump(findings);
+}
+
+TEST(PschedLint, D5FlagsComputedStreamNames) {
+  const auto findings = lint_snippet(
+      "#include <cstdint>\n"
+      "std::uint64_t f(std::uint64_t root, const char** names, int i) {\n"
+      "  return derive_stream_seed(root, names[i]);\n"
+      "}\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(has_rule(findings, "D5")) << dump(findings);
+}
+
+TEST(PschedLint, IndexSerializationIsDeterministic) {
+  const std::map<std::string, std::string> sources = {
+      {"src/a.hpp", "PSCHED_SEED_STREAM(kStreamZ, \"z\");\n"
+                    "class MyObs : public SimObserver {};\n"}};
+  std::map<std::string, SourceFile> files;
+  for (const auto& [path, code] : sources)
+    files.emplace(path, load_source_from_string(code, path));
+  const ProgramIndex index = build_index(files, snippet_options());
+  const std::string dumped = index_to_string(index);
+  EXPECT_NE(dumped.find("stream z src/a.hpp"), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("stream-const kStreamZ z"), std::string::npos) << dumped;
+  EXPECT_NE(dumped.find("observer MyObs"), std::string::npos) << dumped;
+  // Same input, same bytes: CI hashes this as a cache key.
+  EXPECT_EQ(dumped, index_to_string(build_index(files, snippet_options())));
+}
+
+// --- D6: time-unit confusion ------------------------------------------------
+
+TEST(PschedLint, D6FlagsAdditiveUnitMixing) {
+  const auto findings = lint_snippet(
+      "double f(double budget_seconds, double elapsed_ms) {\n"
+      "  return budget_seconds - elapsed_ms;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(has_rule(findings, "D6")) << dump(findings);
+}
+
+TEST(PschedLint, D6FollowsMemberChainsAndComparisons) {
+  const auto findings = lint_snippet(
+      "struct Cfg { double limit_hours; };\n"
+      "bool f(double elapsed_ms, const Cfg& cfg) {\n"
+      "  return elapsed_ms > cfg.limit_hours;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(has_rule(findings, "D6")) << dump(findings);
+}
+
+TEST(PschedLint, D6AllowsMultiplicativeConversionAndSameUnit) {
+  const auto findings = lint_snippet(
+      "double f(double timeout_ms, double wait_seconds, double grace_seconds) {\n"
+      "  double converted = timeout_ms * 0.001;\n"
+      "  return converted + wait_seconds + grace_seconds;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, D6HonorsRuleScopedSuppression) {
+  const auto findings = lint_snippet(
+      "double f(double budget_seconds, double legacy_ms) {\n"
+      "  // psched-lint: suppress(D6) legacy API hands us ms, converted below\n"
+      "  return budget_seconds - legacy_ms;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, SuppressionIsRuleScoped) {
+  // suppress(D6) must NOT silence the D4 on the same line.
+  const auto findings = lint_snippet(
+      "bool f(double budget_seconds, double legacy_ms) {\n"
+      "  // psched-lint: suppress(D6) cross-unit sentinel comparison\n"
+      "  return budget_seconds - legacy_ms == 0.0;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_FALSE(has_rule(findings, "D6")) << dump(findings);
+  EXPECT_TRUE(has_rule(findings, "D4")) << dump(findings);
+}
+
+// --- D7: observer purity ----------------------------------------------------
+
+TEST(PschedLint, D7FlagsMutatingCallsInObserverCallbacks) {
+  const auto findings = lint_snippet(
+      "struct Sim { void cancel(int id); };\n"
+      "class Bad : public SimObserver {\n"
+      " public:\n"
+      "  void on_dispatch(double now, double when, int id) {\n"
+      "    sim_->cancel(id);\n"
+      "  }\n"
+      " private:\n"
+      "  Sim* sim_;\n"
+      "};\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(has_rule(findings, "D7")) << dump(findings);
+}
+
+TEST(PschedLint, D7SeesSubclassingAcrossFiles) {
+  // Class declared (as an observer) in the header; the mutating callback is
+  // implemented out-of-line in the .cpp. Only the cross-TU index connects
+  // the two.
+  const auto findings = lint_program(
+      {{"src/x/tracer.hpp",
+        "class Tracer : public ProviderObserver {\n"
+        " public:\n"
+        "  void on_crash(int vm);\n"
+        " private:\n"
+        "  void* provider_;\n"
+        "};\n"},
+       {"src/x/tracer.cpp",
+        "#include \"x/tracer.hpp\"\n"
+        "void Tracer::on_crash(int vm) {\n"
+        "  provider_->release(vm);\n"
+        "}\n"}},
+      snippet_options());
+  EXPECT_TRUE(has_rule(findings, "D7")) << dump(findings);
+}
+
+TEST(PschedLint, D7AllowsObserversAccumulatingOwnState) {
+  const auto findings = lint_snippet(
+      "class Fine : public SimObserver {\n"
+      " public:\n"
+      "  void on_dispatch(double now, double when, int id) {\n"
+      "    ++dispatches_;\n"
+      "    last_id_ = id;\n"
+      "  }\n"
+      " private:\n"
+      "  long dispatches_ = 0;\n"
+      "  int last_id_ = 0;\n"
+      "};\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, D7IgnoresMutatingCallsOutsideObservers) {
+  // A non-observer class may call cancel() freely.
+  const auto findings = lint_snippet(
+      "struct Sim { void cancel(int id); };\n"
+      "class Driver {\n"
+      " public:\n"
+      "  void on_tick(int id) { sim_->cancel(id); }\n"
+      " private:\n"
+      "  Sim* sim_;\n"
+      "};\n",
+      "src/a.cpp", snippet_options());
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+// --- D8: non-commutative parallel folds -------------------------------------
+
+TEST(PschedLint, D8FlagsCrossWorkerFolds) {
+  const auto findings = lint_snippet(
+      "#include <cstddef>\n"
+      "#include <vector>\n"
+      "void f(ThreadPool& pool, const std::vector<double>& w) {\n"
+      "  double total = 0.0;\n"
+      "  pool.run_batch(w.size(), [&](std::size_t k) {\n"
+      "    total += w[k];\n"
+      "  });\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(has_rule(findings, "D8")) << dump(findings);
+}
+
+TEST(PschedLint, D8AllowsSlotIndexedAndLocalAccumulation) {
+  const auto findings = lint_snippet(
+      "#include <cstddef>\n"
+      "#include <vector>\n"
+      "void f(ThreadPool& pool, const std::vector<double>& w,\n"
+      "       std::vector<double>& slots) {\n"
+      "  pool.run_batch(w.size(), [&](std::size_t k) {\n"
+      "    slots[k] += w[k];\n"
+      "    double local = 0.0;\n"
+      "    local += w[k];\n"
+      "    slots[k] = local;\n"
+      "  });\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, D8HonorsOrderInsensitiveAnnotation) {
+  const auto findings = lint_snippet(
+      "void f(ThreadPool& pool, int n) {\n"
+      "  long hits = 0;\n"
+      "  pool.run_batch(n, [&](int k) {\n"
+      "    // psched-lint: order-insensitive(integer addition is commutative)\n"
+      "    hits += k;\n"
+      "  });\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+// --- SUPP meta-rule ---------------------------------------------------------
+
 TEST(PschedLint, SuppressionWithoutJustificationIsItselfAFinding) {
   const std::string code =
       "#include <unordered_map>\n"
@@ -156,6 +433,202 @@ TEST(PschedLint, SuppressionWithoutJustificationIsItselfAFinding) {
   EXPECT_TRUE(has_rule(findings, "D2")) << dump(findings);
 }
 
+TEST(PschedLint, BareRuleScopedSuppressionIsAFinding) {
+  const auto findings = lint_snippet(
+      "double f(double budget_seconds, double legacy_ms) {\n"
+      "  // psched-lint: suppress(D6)\n"
+      "  return budget_seconds - legacy_ms;\n"
+      "}\n",
+      "src/a.cpp");
+  EXPECT_TRUE(has_rule(findings, "SUPP")) << dump(findings);
+  EXPECT_TRUE(has_rule(findings, "D6")) << dump(findings);
+}
+
+TEST(PschedLint, UnknownRuleInSuppressionIsAFinding) {
+  const auto findings = lint_snippet(
+      "// psched-lint: suppress(D9) no such rule\n"
+      "int x = 0;\n",
+      "src/a.cpp");
+  EXPECT_TRUE(has_rule(findings, "SUPP")) << dump(findings);
+}
+
+// --- baseline ---------------------------------------------------------------
+
+TEST(PschedLint, BaselineSuppressesListedFindingsOnly) {
+  const Baseline baseline = parse_baseline(
+      "# known debt, tracked in the roadmap\n"
+      "src/a.cpp|D6|mixed units until the config migration lands\n",
+      "baseline.txt");
+  ASSERT_TRUE(baseline.errors.empty()) << dump(baseline.errors);
+  ASSERT_EQ(baseline.entries.size(), 1u);
+
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "D6", "mixing"},
+      {"src/b.cpp", 7, "D6", "mixing"},
+  };
+  const BaselineResult result = apply_baseline(findings, baseline);
+  EXPECT_EQ(result.suppressed, 1u);
+  ASSERT_EQ(result.unbaselined.size(), 1u);
+  EXPECT_EQ(result.unbaselined[0].file, "src/b.cpp");
+  EXPECT_TRUE(result.errors.empty()) << dump(result.errors);
+}
+
+TEST(PschedLint, BaselineEntriesRequireJustifications) {
+  const Baseline baseline = parse_baseline(
+      "src/a.cpp|D6|\n"          // empty justification
+      "src/a.cpp|D6\n"           // missing field
+      "src/a.cpp|D42|because\n"  // unknown rule
+      "\n# comments and blanks are fine\n",
+      "baseline.txt");
+  EXPECT_TRUE(baseline.entries.empty());
+  EXPECT_EQ(baseline.errors.size(), 3u) << dump(baseline.errors);
+  for (const Finding& f : baseline.errors) EXPECT_EQ(f.rule, "BASE");
+}
+
+TEST(PschedLint, StaleBaselineEntriesAreErrors) {
+  const Baseline baseline = parse_baseline(
+      "src/gone.cpp|D6|the finding this covered was fixed\n", "baseline.txt");
+  ASSERT_TRUE(baseline.errors.empty());
+  const BaselineResult result = apply_baseline({}, baseline);
+  EXPECT_TRUE(result.unbaselined.empty());
+  ASSERT_EQ(result.errors.size(), 1u) << dump(result.errors);
+  EXPECT_EQ(result.errors[0].rule, "BASE");
+}
+
+// --- SARIF ------------------------------------------------------------------
+
+TEST(PschedLint, SarifRoundTripsThroughObsJsonParser) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 12, "D6", "mixing \"ms\" with seconds\nacross a line"},
+      {"src/b.cpp", 3, "D5", "unregistered stream"},
+  };
+  const std::string sarif = sarif_json(findings);
+
+  const obs::JsonParseResult parsed = obs::json_parse(sarif);
+  ASSERT_TRUE(parsed.ok) << parsed.error << "\n" << sarif;
+  const obs::JsonValue& doc = parsed.value;
+  ASSERT_TRUE(doc.is(obs::JsonValue::Type::kObject));
+  const obs::JsonValue* version = doc.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->string, "2.1.0");
+
+  const obs::JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_TRUE(runs->is(obs::JsonValue::Type::kArray));
+  ASSERT_EQ(runs->array.size(), 1u);
+  const obs::JsonValue& run = runs->array[0];
+
+  const obs::JsonValue* tool = run.find("tool");
+  ASSERT_NE(tool, nullptr);
+  const obs::JsonValue* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  const obs::JsonValue* name = driver->find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->string, "psched-lint");
+  const obs::JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->array.size(), rule_catalog().size());
+
+  const obs::JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), 2u);
+  const obs::JsonValue& first = results->array[0];
+  const obs::JsonValue* rule_id = first.find("ruleId");
+  ASSERT_NE(rule_id, nullptr);
+  EXPECT_EQ(rule_id->string, "D6");
+  // The message survives escaping (embedded quotes and newline).
+  const obs::JsonValue* message = first.find("message");
+  ASSERT_NE(message, nullptr);
+  const obs::JsonValue* text = message->find("text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->string, findings[0].message);
+  // Location plumbing: uri + 1-based startLine.
+  const obs::JsonValue* locations = first.find("locations");
+  ASSERT_NE(locations, nullptr);
+  ASSERT_EQ(locations->array.size(), 1u);
+  const obs::JsonValue* physical = locations->array[0].find("physicalLocation");
+  ASSERT_NE(physical, nullptr);
+  const obs::JsonValue* artifact = physical->find("artifactLocation");
+  ASSERT_NE(artifact, nullptr);
+  const obs::JsonValue* uri = artifact->find("uri");
+  ASSERT_NE(uri, nullptr);
+  EXPECT_EQ(uri->string, "src/a.cpp");
+  const obs::JsonValue* region = physical->find("region");
+  ASSERT_NE(region, nullptr);
+  const obs::JsonValue* start_line = region->find("startLine");
+  ASSERT_NE(start_line, nullptr);
+  EXPECT_EQ(start_line->number, 12.0);
+}
+
+TEST(PschedLint, SarifWithNoFindingsIsStillValid) {
+  const obs::JsonParseResult parsed = obs::json_parse(sarif_json({}));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const obs::JsonValue* runs = parsed.value.find("runs");
+  ASSERT_NE(runs, nullptr);
+  const obs::JsonValue* results = runs->array[0].find("results");
+  ASSERT_NE(results, nullptr);
+  EXPECT_TRUE(results->array.empty());
+}
+
+// --- auto-fix ---------------------------------------------------------------
+
+TEST(PschedLint, FixRewritesFloatEqualityAndAddsInclude) {
+  const std::string code =
+      "#pragma once\n"
+      "#include \"util/types.hpp\"\n"
+      "bool settled(double x) { return x == 0.0; }\n"
+      "bool moved(double x) { return x != 1.0; }\n";
+  const FixResult fixed = apply_fixes(code, "src/engine/x.hpp", {});
+  EXPECT_EQ(fixed.applied, 2u);
+  EXPECT_NE(fixed.content.find("psched::util::approx_eq(x, 0.0)"),
+            std::string::npos) << fixed.content;
+  EXPECT_NE(fixed.content.find("!psched::util::approx_eq(x, 1.0)"),
+            std::string::npos) << fixed.content;
+  EXPECT_NE(fixed.content.find("#include \"util/float_cmp.hpp\""),
+            std::string::npos) << fixed.content;
+  // The rewritten file has no remaining D4 finding...
+  const auto findings = lint_snippet(fixed.content, "src/engine/x.hpp");
+  EXPECT_FALSE(has_rule(findings, "D4")) << dump(findings);
+  // ...so a second application is a no-op (idempotence).
+  const FixResult again = apply_fixes(fixed.content, "src/engine/x.hpp", {});
+  EXPECT_EQ(again.applied, 0u);
+  EXPECT_EQ(again.content, fixed.content);
+}
+
+TEST(PschedLint, FixHoistsLiteralMt19937Seeds) {
+  const std::string code =
+      "#include <random>\n"
+      "void f() {\n"
+      "  std::mt19937 gen(12345);\n"
+      "  (void)gen;\n"
+      "}\n";
+  const FixResult fixed = apply_fixes(code, "src/a.cpp", {});
+  EXPECT_EQ(fixed.applied, 2u) << fixed.content;  // hoist + reseed
+  EXPECT_NE(fixed.content.find("static constexpr auto kLintSeed3 = 12345;"),
+            std::string::npos) << fixed.content;
+  EXPECT_NE(fixed.content.find("std::mt19937 gen(kLintSeed3);"),
+            std::string::npos) << fixed.content;
+  const auto findings = lint_snippet(fixed.content, "src/a.cpp");
+  EXPECT_FALSE(has_rule(findings, "D3")) << dump(findings);
+  const FixResult again = apply_fixes(fixed.content, "src/a.cpp", {});
+  EXPECT_EQ(again.applied, 0u);
+  EXPECT_EQ(again.content, fixed.content);
+}
+
+TEST(PschedLint, FixLeavesSuppressedAndComplexSitesAlone) {
+  const std::string code =
+      "bool f(double x) {\n"
+      "  // psched-lint: allow(D4, sentinel compared verbatim)\n"
+      "  return x == -1.0;\n"
+      "}\n"
+      "bool g(double x) { return (x * 2.0) == 4.0; }\n";  // complex LHS
+  const FixResult fixed = apply_fixes(code, "src/a.cpp", {});
+  EXPECT_EQ(fixed.applied, 0u) << fixed.content;
+  EXPECT_EQ(fixed.content, code);
+}
+
+// --- self-test + the real tree ---------------------------------------------
+
 TEST(PschedLint, FixtureSelfTestPasses) {
   EXPECT_TRUE(run_self_test(PSCHED_LINT_FIXTURES));
 }
@@ -166,6 +639,16 @@ TEST(PschedLint, RealTreeLintsClean) {
   const std::vector<Finding> findings =
       lint_tree(options, {"src", "bench", "tools"}, {"tools/psched_lint/fixtures/"});
   EXPECT_TRUE(findings.empty()) << dump(findings);
+}
+
+TEST(PschedLint, RealTreeIsFixIdempotent) {
+  LintOptions options;
+  options.root = PSCHED_SOURCE_ROOT;
+  const std::size_t would_fix = fix_tree(
+      options, {"src", "bench", "tools"}, {"tools/psched_lint/fixtures/"},
+      /*dry_run=*/true);
+  EXPECT_EQ(would_fix, 0u)
+      << "psched_lint --fix would rewrite the tree; apply it and commit";
 }
 
 }  // namespace

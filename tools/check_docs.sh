@@ -79,6 +79,17 @@ for rule in $rules; do
     echo "docs-lint: psched-lint rule $rule is implemented but not documented in DESIGN.md §8" >&2
     fail=1
   fi
+  # Every D rule must also carry conformance-corpus coverage: a d<k>_*.cpp
+  # fixture that the self-test requires to trip the rule.
+  case $rule in
+    D[0-9]*)
+      k=${rule#D}
+      if ! ls tools/psched_lint/fixtures/d"${k}"_*.cpp >/dev/null 2>&1; then
+        echo "docs-lint: psched-lint rule $rule has no d${k}_*.cpp fixture in tools/psched_lint/fixtures/" >&2
+        fail=1
+      fi
+      ;;
+  esac
 done
 
 # --- 4. "DESIGN.md §N" references must resolve to a real section -----------

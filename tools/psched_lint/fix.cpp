@@ -1,0 +1,307 @@
+// psched-lint --fix: mechanical rewrites for the two rules with a unique,
+// behavior-preserving-by-construction fix (DESIGN.md §8):
+//
+//   D4  `chain == 1.0` / `chain != 1.0`  ->  psched::util::approx_eq(chain, 1.0)
+//       (negated for !=), inserting the util/float_cmp.hpp include when the
+//       file lacks it. Only plain operand chains are rewritten; anything
+//       with calls, subscripts, or arithmetic on either side is left for a
+//       human.
+//   D3  `std::mt19937 rng(12345)`  ->  the literal is hoisted into a named
+//       `static constexpr auto kLintSeed<line> = 12345;` on the line above
+//       (with a TODO to thread it through a config) and the construction
+//       seeds from the name. The seed becomes greppable and D3 passes, so
+//       re-running --fix is a no-op.
+//
+// Fixes honor suppressions (a suppressed line is not rewritten) and the
+// D4 allowlist prefixes. Edits are computed on the blanked code (offsets
+// are literal-preserving) and applied to the raw text back-to-front.
+
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace psched::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::size_t skip_space(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+  return i;
+}
+
+std::size_t match_paren(const std::string& code, std::size_t open) {
+  const char oc = code[open];
+  const char cc = oc == '(' ? ')' : '}';
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == oc) ++depth;
+    else if (code[i] == cc && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::vector<std::size_t> line_starts_of(const std::string& code) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < code.size(); ++i)
+    if (code[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+std::size_t line_of(const std::vector<std::size_t>& starts, std::size_t pos) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<std::size_t>(it - starts.begin());
+}
+
+bool line_suppressed(const SourceFile& file, std::size_t line, const std::string& key) {
+  for (const std::size_t l : {line, line > 0 ? line - 1 : 0}) {
+    const auto it = file.suppressions.find(l);
+    if (it != file.suppressions.end() && it->second.count(key) > 0) return true;
+  }
+  return false;
+}
+
+bool has_prefix(const std::string& path, const std::vector<std::string>& prefixes) {
+  return std::any_of(prefixes.begin(), prefixes.end(), [&](const std::string& p) {
+    return path.rfind(p, 0) == 0;
+  });
+}
+
+/// Is `text` (trimmed) a single floating-point literal?
+bool is_float_literal_text(std::string text) {
+  if (!text.empty() && (text[0] == '+' || text[0] == '-')) text = text.substr(1);
+  if (text.empty() || !(std::isdigit(static_cast<unsigned char>(text[0])) || text[0] == '.'))
+    return false;
+  bool has_dot = false;
+  bool has_exp = false;
+  bool f_suffix = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') continue;
+    if (c == '.') { has_dot = true; continue; }
+    if ((c == 'e' || c == 'E') && i > 0) { has_exp = true; continue; }
+    if ((c == '+' || c == '-') && i > 0 && (text[i - 1] == 'e' || text[i - 1] == 'E'))
+      continue;
+    if ((c == 'f' || c == 'F' || c == 'l' || c == 'L') && i + 1 == text.size()) {
+      f_suffix = c == 'f' || c == 'F';
+      continue;
+    }
+    return false;
+  }
+  return has_dot || has_exp || f_suffix;
+}
+
+/// Is `text` (trimmed) a single integer/float numeric literal (any base)?
+bool is_numeric_literal_text(const std::string& text) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) return false;
+  return std::all_of(text.begin(), text.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '\'' || c == '.';
+  });
+}
+
+/// Walk left from `end` over a plain operand chain (identifiers, numbers,
+/// '.', '->', '::'); returns the chain's begin offset (== end when there is
+/// no simple operand there).
+std::size_t operand_begin(const std::string& code, std::size_t end) {
+  std::size_t p = end;
+  while (p > 0) {
+    const char c = code[p - 1];
+    if (ident_char(c) || c == '.') --p;
+    else if (c == '>' && p > 1 && code[p - 2] == '-') p -= 2;
+    else if (c == ':' && p > 1 && code[p - 2] == ':') p -= 2;
+    else break;
+  }
+  return p;
+}
+
+/// Walk right from `begin` over a plain operand chain; one leading sign is
+/// allowed (for signed literals). Returns one past the chain's end.
+std::size_t operand_end(const std::string& code, std::size_t begin) {
+  std::size_t p = begin;
+  if (p < code.size() && (code[p] == '-' || code[p] == '+')) ++p;
+  while (p < code.size()) {
+    const char c = code[p];
+    if (ident_char(c) || c == '.') ++p;
+    else if (c == '-' && p + 1 < code.size() && code[p + 1] == '>') p += 2;
+    else if (c == ':' && p + 1 < code.size() && code[p + 1] == ':') p += 2;
+    else break;
+  }
+  return p;
+}
+
+struct Edit {
+  std::size_t begin = 0;  ///< offset into the raw text
+  std::size_t end = 0;    ///< replaced span [begin, end)
+  std::string text;
+};
+
+void collect_d4_fixes(const SourceFile& file, const std::vector<std::size_t>& starts,
+                      std::vector<Edit>& edits, bool& need_float_cmp_include) {
+  const std::string& code = file.code;
+  for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+    const bool eq = code[i] == '=' && code[i + 1] == '=';
+    const bool ne = code[i] == '!' && code[i + 1] == '=';
+    if (!eq && !ne) continue;
+    if (i + 2 < code.size() && code[i + 2] == '=') continue;
+    if (eq && i > 0 && std::string("=!<>+-*/%&|^").find(code[i - 1]) != std::string::npos)
+      continue;
+    // Left operand: chain ending at the last non-space before the operator.
+    std::size_t le = i;
+    while (le > 0 && std::isspace(static_cast<unsigned char>(code[le - 1]))) --le;
+    const std::size_t lb = operand_begin(code, le);
+    if (lb == le) continue;
+    // Right operand.
+    const std::size_t rb = skip_space(code, i + 2);
+    const std::size_t re = operand_end(code, rb);
+    if (re == rb) continue;
+    const std::string left = code.substr(lb, le - lb);
+    const std::string right = code.substr(rb, re - rb);
+    if (!is_float_literal_text(left) && !is_float_literal_text(right)) continue;
+    const std::size_t line = line_of(starts, i);
+    if (line_suppressed(file, line, "D4")) continue;
+    Edit edit;
+    edit.begin = lb;
+    edit.end = re;
+    edit.text = std::string(ne ? "!" : "") + "psched::util::approx_eq(" + left +
+                ", " + right + ")";
+    edits.push_back(std::move(edit));
+    need_float_cmp_include = true;
+    i = re;
+  }
+}
+
+void collect_d3_fixes(const SourceFile& file, const std::vector<std::size_t>& starts,
+                      std::vector<Edit>& edits) {
+  const std::string& code = file.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("mt19937", pos)) != std::string::npos) {
+    const std::size_t kw_begin = pos;
+    pos += 7;
+    if (kw_begin > 0 && ident_char(code[kw_begin - 1])) continue;
+    if (code.compare(pos, 3, "_64") == 0) pos += 3;
+    if (pos < code.size() && ident_char(code[pos])) continue;
+    // Optional declared variable name.
+    std::size_t i = skip_space(code, pos);
+    while (i < code.size() && ident_char(code[i])) ++i;
+    i = skip_space(code, i);
+    if (i >= code.size() || (code[i] != '(' && code[i] != '{')) continue;
+    const std::size_t open = i;
+    const std::size_t close = match_paren(code, open);
+    if (close == std::string::npos) continue;
+    std::string args = code.substr(open + 1, close - open - 1);
+    const std::size_t a = args.find_first_not_of(" \t\n");
+    const std::size_t b = args.find_last_not_of(" \t\n");
+    args = a == std::string::npos ? "" : args.substr(a, b - a + 1);
+    if (!is_numeric_literal_text(args)) continue;  // only literal seeds are fixable
+    const std::size_t line = line_of(starts, kw_begin);
+    if (line_suppressed(file, line, "D3")) continue;
+    // Hoist the literal into a named seed on the line above, reusing the
+    // statement's indentation.
+    const std::size_t stmt_start = starts[line - 1];
+    std::size_t indent_end = stmt_start;
+    while (indent_end < code.size() && (code[indent_end] == ' ' || code[indent_end] == '\t'))
+      ++indent_end;
+    const std::string indent = file.raw.substr(stmt_start, indent_end - stmt_start);
+    const std::string seed_name = "kLintSeed" + std::to_string(line);
+    Edit hoist;
+    hoist.begin = stmt_start;
+    hoist.end = stmt_start;
+    hoist.text = indent + "static constexpr auto " + seed_name + " = " + args +
+                 ";  // TODO(psched-lint --fix): thread this seed through a config\n";
+    edits.push_back(std::move(hoist));
+    Edit reseed;
+    reseed.begin = open + 1;
+    reseed.end = close;
+    reseed.text = seed_name;
+    edits.push_back(std::move(reseed));
+    pos = close;
+  }
+}
+
+}  // namespace
+
+FixResult apply_fixes(const std::string& contents, const std::string& rel_path,
+                      const LintOptions& options) {
+  const SourceFile file = load_source_from_string(contents, rel_path);
+  const std::vector<std::size_t> starts = line_starts_of(file.code);
+  std::vector<Edit> edits;
+  bool need_float_cmp_include = false;
+  if (!has_prefix(rel_path, options.float_eq_allowed_prefixes))
+    collect_d4_fixes(file, starts, edits, need_float_cmp_include);
+  collect_d3_fixes(file, starts, edits);
+
+  FixResult result;
+  result.content = contents;
+  result.applied = edits.size();
+  if (edits.empty()) return result;
+
+  std::sort(edits.begin(), edits.end(), [](const Edit& x, const Edit& y) {
+    if (x.begin != y.begin) return x.begin > y.begin;
+    return x.end > y.end;  // insertion (end == begin) after a replacement
+  });
+  for (const Edit& e : edits)
+    result.content.replace(e.begin, e.end - e.begin, e.text);
+
+  if (need_float_cmp_include &&
+      result.content.find("util/float_cmp.hpp") == std::string::npos) {
+    // After the last #include; else after #pragma once; else at the top.
+    std::size_t insert_at = 0;
+    std::size_t scan = 0;
+    std::istringstream in(result.content);
+    std::string line;
+    std::size_t offset = 0;
+    while (std::getline(in, line)) {
+      const std::size_t next = offset + line.size() + 1;
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') {
+        if (line.find("include", first) != std::string::npos ||
+            line.find("pragma", first) != std::string::npos)
+          insert_at = next;
+      }
+      offset = next;
+      ++scan;
+      if (scan > 200) break;  // includes live at the top; don't scan megabytes
+    }
+    if (insert_at > result.content.size()) insert_at = result.content.size();
+    result.content.insert(insert_at, "#include \"util/float_cmp.hpp\"\n");
+  }
+  return result;
+}
+
+std::size_t fix_tree(const LintOptions& options, const std::vector<std::string>& subdirs,
+                     const std::vector<std::string>& exclude_prefixes, bool dry_run) {
+  namespace fs = std::filesystem;
+  std::size_t total = 0;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = options.root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") continue;
+      const std::string rel =
+          fs::path(entry.path()).lexically_relative(options.root).generic_string();
+      if (has_prefix(rel, exclude_prefixes)) continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string contents = buf.str();
+      const FixResult fixed = apply_fixes(contents, rel, options);
+      if (fixed.applied == 0) continue;
+      total += fixed.applied;
+      if (!dry_run) {
+        std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+        out << fixed.content;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace psched::lint

@@ -1,0 +1,15 @@
+// Fixture: rule D5 must fire on seed-stream registry violations — a name
+// registered twice (two subsystems would silently share one sequence) and a
+// derivation from a name nobody registered.
+#include <cstdint>
+
+PSCHED_SEED_STREAM(kStreamAlpha, "alpha");
+PSCHED_SEED_STREAM(kStreamAlphaDup, "alpha");  // D5: name collision
+
+std::uint64_t use_registered(std::uint64_t root) {
+  return derive_stream_seed(root, kStreamAlpha);  // fine: registered constant
+}
+
+std::uint64_t use_unregistered(std::uint64_t root) {
+  return derive_stream_seed(root, "nobody-registered-this");  // D5
+}

@@ -1,0 +1,18 @@
+// Fixture: rule D6 must fire on additive/comparison arithmetic that mixes
+// time units. Multiplicative conversion and same-unit arithmetic stay clean.
+
+double remaining_budget(double budget_seconds, double elapsed_ms) {
+  return budget_seconds - elapsed_ms;  // D6: seconds minus milliseconds
+}
+
+bool over_deadline(double elapsed_ms, double limit_hours) {
+  return elapsed_ms > limit_hours;  // D6: comparing ms against hours
+}
+
+double fine_conversion(double timeout_ms) {
+  return timeout_ms * 0.001;  // fine: multiplication IS the conversion
+}
+
+double fine_same_unit(double wait_seconds, double grace_seconds) {
+  return wait_seconds + grace_seconds;  // fine: both sides are seconds
+}

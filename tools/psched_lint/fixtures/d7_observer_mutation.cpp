@@ -1,0 +1,27 @@
+// Fixture: rule D7 must fire when an observer implementation mutates the
+// simulation it watches — a mutating API call from an in-class callback
+// body and a const_cast in an out-of-line one. Accumulating the observer's
+// own counters stays clean.
+
+struct Simulator {
+  void cancel(int id);
+  void after(double delay, int id);
+};
+
+class MeddlingObserver : public SimObserver {
+ public:
+  void on_dispatch(double now, double when, int id) {
+    ++dispatches_;        // fine: observers may accumulate their own state
+    sim_->cancel(id);     // D7: mutating simulation API from a callback
+  }
+  void on_schedule(double now, double when, int id);
+
+ private:
+  Simulator* sim_ = nullptr;
+  long dispatches_ = 0;
+};
+
+void MeddlingObserver::on_schedule(double now, double when, int id) {
+  auto* self = const_cast<MeddlingObserver*>(this);  // D7: strips const
+  self->dispatches_ = id;
+}

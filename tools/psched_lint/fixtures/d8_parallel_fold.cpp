@@ -1,0 +1,19 @@
+// Fixture: rule D8 must fire on a cross-worker compound accumulation inside
+// a run_batch wave lambda. Slot-indexed writes and lambda-local
+// accumulators (the sanctioned idioms) stay clean.
+#include <cstddef>
+#include <vector>
+
+void fold_results(ThreadPool& pool, const std::vector<double>& weights,
+                  std::vector<double>& slots) {
+  double total = 0.0;
+  pool.run_batch(weights.size(), [&](std::size_t k) {
+    total += weights[k];  // D8: cross-worker fold, interleaving-dependent
+
+    slots[k] += weights[k];  // fine: per-slot element, merged after barrier
+
+    double local = 0.0;  // fine: each worker invocation owns its copy
+    local += weights[k];
+    slots[k] = local;
+  });
+}

@@ -1,0 +1,14 @@
+// Fixture: a well-formed seed-stream registration and both sanctioned ways
+// of deriving from it (registered constant, registered literal). Must lint
+// clean.
+#include <cstdint>
+
+PSCHED_SEED_STREAM(kStreamGood, "good");
+
+std::uint64_t by_constant(std::uint64_t root) {
+  return derive_stream_seed(root, kStreamGood);
+}
+
+std::uint64_t by_literal(std::uint64_t root) {
+  return derive_stream_seed(root, "good");
+}

@@ -1,0 +1,13 @@
+// Fixture: the SUPP diagnostic must fire on rule-scoped suppressions that
+// are malformed — a suppress(Dk) with no justification after the paren, and
+// a suppression naming a rule that does not exist.
+
+double bare_suppression(double legacy_ms, double budget_seconds) {
+  // psched-lint: suppress(D6)
+  return budget_seconds - legacy_ms;
+}
+
+double unknown_rule(double legacy_ms, double budget_seconds) {
+  // psched-lint: suppress(D9) there is no rule D9
+  return budget_seconds - legacy_ms;
+}

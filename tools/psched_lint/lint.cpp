@@ -200,6 +200,17 @@ std::vector<std::size_t> compute_line_starts(const std::string& code) {
   return starts;
 }
 
+bool is_known_rule(const std::string& rule) {
+  return rule.size() == 2 && rule[0] == 'D' && rule[1] >= '1' && rule[1] <= '8';
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return {};
+  const std::size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
 /// Parse `psched-lint:` directives out of one comment's text. Returns the
 /// suppression keys granted; malformed directives are reported via `errors`.
 std::set<std::string> parse_directives(const std::string& comment, std::size_t line,
@@ -220,9 +231,11 @@ std::set<std::string> parse_directives(const std::string& comment, std::size_t l
     const auto malformed = [&](const std::string& why) {
       errors.push_back(Finding{file, line, "SUPP",
                                "malformed psched-lint directive (" + why +
-                                   "): every suppression needs a parenthesized "
-                                   "justification, e.g. `psched-lint: "
-                                   "order-insensitive(max is commutative)`"});
+                                   "): every suppression needs a justification, "
+                                   "e.g. `psched-lint: suppress(D6) ms vs "
+                                   "seconds is converted two lines up` or "
+                                   "`psched-lint: order-insensitive(max is "
+                                   "commutative)`"});
     };
     if (word == "order-insensitive") {
       const std::size_t open = skip_space(comment, word_end);
@@ -236,6 +249,7 @@ std::set<std::string> parse_directives(const std::string& comment, std::size_t l
         keys.insert("order-insensitive");
       }
     } else if (word == "allow") {
+      // Legacy form: allow(Dk, justification). Rule-scoped, like suppress.
       const std::size_t open = skip_space(comment, word_end);
       const std::size_t close =
           open < comment.size() && comment[open] == '('
@@ -246,19 +260,37 @@ std::set<std::string> parse_directives(const std::string& comment, std::size_t l
       } else {
         const std::string args = comment.substr(open + 1, close - open - 1);
         const std::size_t comma = args.find(',');
-        const std::string rule = args.substr(0, comma == std::string::npos ? args.size() : comma);
-        const std::string trimmed_rule = rule.substr(rule.find_first_not_of(' '));
-        const bool known = trimmed_rule == "D1" || trimmed_rule == "D2" ||
-                           trimmed_rule == "D3" || trimmed_rule == "D4";
+        const std::string rule =
+            trim(args.substr(0, comma == std::string::npos ? args.size() : comma));
         const bool justified =
             comma != std::string::npos &&
             args.find_first_not_of(" \t", comma + 1) != std::string::npos;
-        if (!known) {
-          malformed("unknown rule id '" + trimmed_rule + "'");
+        if (!is_known_rule(rule)) {
+          malformed("unknown rule id '" + rule + "'");
         } else if (!justified) {
-          malformed("allow(" + trimmed_rule + ") without a justification");
+          malformed("allow(" + rule + ") without a justification");
         } else {
-          keys.insert(trimmed_rule);
+          keys.insert(rule);
+        }
+      }
+    } else if (word == "suppress") {
+      // Rule-scoped form: suppress(Dk) <justification after the paren>.
+      const std::size_t open = skip_space(comment, word_end);
+      const std::size_t close =
+          open < comment.size() && comment[open] == '('
+              ? comment.find(')', open)
+              : std::string::npos;
+      if (close == std::string::npos) {
+        malformed("suppress without a (rule)");
+      } else {
+        const std::string rule = trim(comment.substr(open + 1, close - open - 1));
+        const std::string justification = trim(comment.substr(close + 1));
+        if (!is_known_rule(rule)) {
+          malformed("unknown rule id '" + rule + "'");
+        } else if (justification.empty()) {
+          malformed("suppress(" + rule + ") without a justification");
+        } else {
+          keys.insert(rule);
         }
       }
     }
@@ -336,11 +368,7 @@ void check_wall_clock(const SourceFile& file, const std::vector<Token>& tokens,
 std::string chain_tail(const std::string& expr) {
   std::string tail;
   std::size_t i = 0;
-  const std::string trimmed = [&] {
-    const std::size_t b = expr.find_first_not_of(" \t\n");
-    const std::size_t e = expr.find_last_not_of(" \t\n");
-    return b == std::string::npos ? std::string() : expr.substr(b, e - b + 1);
-  }();
+  const std::string trimmed = trim(expr);
   while (i < trimmed.size()) {
     const char c = trimmed[i];
     if (is_ident_start(c)) {
@@ -522,7 +550,263 @@ void check_float_equality(const SourceFile& file, const std::vector<Token>& toke
   }
 }
 
-// --- declaration collection ------------------------------------------------
+// --- D5: seed-stream registry (per-file half) -------------------------------
+
+void check_seed_streams(const SourceFile& file, const ProgramIndex& index,
+                        std::vector<Finding>& out) {
+  const auto flag = [&](std::size_t line, const std::string& what) {
+    if (suppressed(file, line, "D5")) return;
+    out.push_back(Finding{file.path, line, "D5",
+                          what + " — every seed-stream name must be registered "
+                                 "once via PSCHED_SEED_STREAM in "
+                                 "src/util/seed_streams.hpp (a silent name "
+                                 "collision correlates two 'independent' "
+                                 "streams; see DESIGN.md §8)"});
+  };
+  for (const StreamUse& use : file.stream_uses) {
+    if (!use.name.empty()) {
+      if (index.stream_names.count(use.name) == 0)
+        flag(use.line, "derive_stream_seed called with unregistered stream "
+                       "literal \"" + use.name + "\"");
+    } else if (!use.ident.empty()) {
+      if (index.stream_idents.count(use.ident) == 0)
+        flag(use.line, "derive_stream_seed called with '" + use.ident +
+                       "', which is not a registered stream constant");
+    } else {
+      flag(use.line, "derive_stream_seed called with a computed stream name "
+                     "(neither a registered constant nor a literal)");
+    }
+  }
+}
+
+// --- D6: time-unit confusion ------------------------------------------------
+
+/// Unit class of an identifier by suffix convention; 0 = unclassified.
+int unit_class(const std::string& t) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::size_t n = std::string(suffix).size();
+    return t.size() > n && t.compare(t.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_ms") || ends_with("_millis")) return 1;
+  if (ends_with("_us") || ends_with("_micros")) return 2;
+  if (ends_with("_seconds") || ends_with("_secs") || ends_with("_sec")) return 3;
+  if (ends_with("_hours") || ends_with("_hrs")) return 4;
+  if (t == "kSecondsPerHour") return 3;  // a seconds-valued constant
+  return 0;
+}
+
+const char* unit_name(int cls) {
+  switch (cls) {
+    case 1: return "milliseconds";
+    case 2: return "microseconds";
+    case 3: return "seconds";
+    case 4: return "hours";
+  }
+  return "?";
+}
+
+void check_time_units(const SourceFile& file, const std::vector<Token>& tokens,
+                      std::vector<Finding>& out) {
+  static const std::set<std::string> kAdditiveOps = {
+      "+", "-", "<", ">", "<=", ">=", "==", "!=", "+=", "-="};
+  const std::string& code = file.code;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& lhs = tokens[i];
+    if (lhs.is_number) continue;
+    const int lhs_class = unit_class(lhs.text);
+    if (lhs_class == 0) continue;
+    const Token& first_rhs = tokens[i + 1];
+    const std::string between =
+        trim(code.substr(lhs.end, first_rhs.begin - lhs.end));
+    if (kAdditiveOps.count(between) == 0) continue;
+    // Follow the right operand's member chain to its tail: in
+    // `a_ms < cfg.limit_seconds` the classified name is the chain tail.
+    std::size_t j = i + 1;
+    while (j + 1 < tokens.size()) {
+      const std::string link =
+          trim(code.substr(tokens[j].end, tokens[j + 1].begin - tokens[j].end));
+      if (link == "." || link == "->" || link == "::") ++j;
+      else break;
+    }
+    const Token& rhs = tokens[j];
+    if (rhs.is_number) continue;
+    const int rhs_class = unit_class(rhs.text);
+    if (rhs_class == 0 || rhs_class == lhs_class) continue;
+    if (suppressed(file, lhs.line, "D6")) continue;
+    out.push_back(Finding{
+        file.path, lhs.line, "D6",
+        std::string("time-unit confusion: '") + lhs.text + "' (" +
+            unit_name(lhs_class) + ") " + between + " '" + rhs.text + "' (" +
+            unit_name(rhs_class) + ") mixes units in additive/comparison "
+            "arithmetic — convert explicitly (e.g. through kSecondsPerHour "
+            "or a *_to_* helper) before combining"});
+  }
+}
+
+// --- D7: observer purity ----------------------------------------------------
+
+/// Simulation API calls that mutate the observed system. An observer
+/// invoking any of these (as a member call) from an on_* callback is
+/// feeding back into the simulation it watches.
+const std::set<std::string>& mutating_sim_api() {
+  static const std::set<std::string> kApi = {
+      "after",        "cancel",          "run_until",
+      "step",         "lease",           "release",
+      "finish_boot",  "unassign",        "set_observer",
+      "set_failure_model", "set_pricing_model"};
+  return kApi;
+}
+
+void check_observer_body(const SourceFile& file, const std::vector<Token>& tokens,
+                         std::size_t body_begin, std::size_t body_end,
+                         const std::string& class_name,
+                         const std::string& method_name,
+                         std::vector<Finding>& out) {
+  const std::string& code = file.code;
+  const auto flag = [&](std::size_t line, const std::string& what) {
+    if (suppressed(file, line, "D7")) return;
+    out.push_back(Finding{
+        file.path, line, "D7",
+        "observer callback " + class_name + "::" + method_name + " " + what +
+            " — SimObserver/ProviderObserver implementations must not mutate "
+            "the simulation they observe (observers may only accumulate their "
+            "own state; see DESIGN.md §8)"});
+  };
+  for (const Token& t : tokens) {
+    if (t.begin <= body_begin || t.end >= body_end) continue;
+    if (t.is_number) continue;
+    if (t.text == "const_cast") {
+      flag(t.line, "strips const with const_cast");
+      continue;
+    }
+    if (mutating_sim_api().count(t.text) == 0) continue;
+    // Member call: `.name(` or `->name(`.
+    std::size_t p = t.begin;
+    while (p > 0 && std::isspace(static_cast<unsigned char>(code[p - 1]))) --p;
+    const bool dot = p > 0 && code[p - 1] == '.';
+    const bool arrow = p > 1 && code[p - 1] == '>' && code[p - 2] == '-';
+    if (!dot && !arrow) continue;
+    const std::size_t after = skip_space(code, t.end);
+    if (after >= code.size() || code[after] != '(') continue;
+    flag(t.line, "calls mutating simulation API '" + t.text + "()'");
+  }
+}
+
+void check_observer_purity(const SourceFile& file, const std::vector<Token>& tokens,
+                           const ProgramIndex& index, std::vector<Finding>& out) {
+  const std::string& code = file.code;
+  // From a method's parameter-list close paren, find its body '{' (skipping
+  // qualifiers like const/noexcept/override/final); npos when it is a
+  // declaration (';') or something unexpected.
+  const auto body_open_after = [&](std::size_t close) -> std::size_t {
+    std::size_t i = close + 1;
+    while (i < code.size()) {
+      i = skip_space(code, i);
+      if (i >= code.size()) return std::string::npos;
+      if (code[i] == '{') return i;
+      if (!is_ident_start(code[i])) return std::string::npos;  // ';', '=', ...
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+    }
+    return std::string::npos;
+  };
+  const auto check_method_at = [&](std::size_t token_idx, const std::string& cls) {
+    const Token& m = tokens[token_idx];
+    if (m.text.rfind("on_", 0) != 0) return;
+    const std::size_t open = skip_space(code, m.end);
+    if (open >= code.size() || code[open] != '(') return;
+    const std::size_t close = match_bracket(code, open);
+    if (close == std::string::npos) return;
+    const std::size_t body = body_open_after(close);
+    if (body == std::string::npos) return;
+    const std::size_t body_close = match_bracket(code, body);
+    if (body_close == std::string::npos) return;
+    check_observer_body(file, tokens, body, body_close, cls, m.text, out);
+  };
+  // In-class definitions: scan the body span of every observer class.
+  for (const ClassDecl& cd : file.classes) {
+    if (index.observer_classes.count(cd.name) == 0) continue;
+    for (std::size_t k = 0; k < tokens.size(); ++k) {
+      if (tokens[k].begin <= cd.body_begin || tokens[k].end >= cd.body_end) continue;
+      check_method_at(k, cd.name);
+    }
+  }
+  // Out-of-line definitions: `Class::on_xxx(...) { ... }`, where Class was
+  // possibly declared in another file (the index carries the closure).
+  for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+    const Token& t = tokens[k];
+    if (t.is_number || index.observer_classes.count(t.text) == 0) continue;
+    const std::string link =
+        trim(code.substr(t.end, tokens[k + 1].begin - t.end));
+    if (link != "::") continue;
+    check_method_at(k + 1, t.text);
+  }
+}
+
+// --- D8: non-commutative parallel folds -------------------------------------
+
+void check_parallel_folds(const SourceFile& file, const std::vector<Token>& tokens,
+                          const std::vector<std::size_t>& line_starts,
+                          const LintOptions& options, std::vector<Finding>& out) {
+  const std::string& code = file.code;
+  for (const Token& t : tokens) {
+    if (options.parallel_entry_points.count(t.text) == 0) continue;
+    const std::size_t open = skip_space(code, t.end);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_bracket(code, open);
+    if (close == std::string::npos) continue;
+    // Compound accumulations inside the wave-lambda span.
+    for (std::size_t p = open + 1; p + 1 < close; ++p) {
+      const char c = code[p];
+      if ((c != '+' && c != '-' && c != '*') || code[p + 1] != '=') continue;
+      if (p + 2 < code.size() && code[p + 2] == '=') continue;  // ==, !=...
+      if (p > 0 && (code[p - 1] == c)) continue;                // ++, --
+      // Target: the expression ending just before the operator.
+      std::size_t q = p;
+      while (q > open && std::isspace(static_cast<unsigned char>(code[q - 1]))) --q;
+      if (q == open) continue;
+      if (code[q - 1] == ']') continue;  // slot-indexed element: per-worker cell
+      if (!is_ident_char(code[q - 1])) continue;
+      // Find the target's tail token.
+      const Token* target = nullptr;
+      for (const Token& tok : tokens) {
+        if (tok.end == q) { target = &tok; break; }
+        if (tok.begin > q) break;
+      }
+      if (target == nullptr) continue;
+      // A variable first seen in this span as a declaration is
+      // lambda-local: each worker invocation owns its copy.
+      bool local = false;
+      for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+        const Token& decl_type = tokens[k];
+        const Token& decl_name = tokens[k + 1];
+        if (decl_name.begin <= open || decl_name.end >= close) continue;
+        if (decl_name.begin >= target->begin) break;
+        if (decl_name.text != target->text) continue;
+        if (decl_type.is_number || decl_type.begin <= open) continue;
+        const std::string between =
+            trim(code.substr(decl_type.end, decl_name.begin - decl_type.end));
+        bool chain_punct_only = true;
+        for (const char bc : between)
+          if (bc != '&' && bc != '*') { chain_punct_only = false; break; }
+        if (chain_punct_only) { local = true; break; }
+      }
+      if (local) continue;
+      const std::size_t line = line_of(line_starts, p);
+      if (suppressed(file, line, "D8") ||
+          suppressed(file, line, "order-insensitive"))
+        continue;
+      out.push_back(Finding{
+          file.path, line, "D8",
+          std::string("compound accumulation '") + target->text + " " + c +
+              "=' inside a " + t.text + " wave lambda — cross-worker folds "
+              "depend on thread interleaving (and race); write to a per-slot "
+              "element and merge in slot order after the barrier, or annotate "
+              "`// psched-lint: order-insensitive(<why commutative>)`"});
+    }
+  }
+}
+
+// --- pass-1 collection ------------------------------------------------------
 
 void collect_unordered_declarations(SourceFile& file, const std::vector<Token>& tokens) {
   for (const Token& t : tokens) {
@@ -560,11 +844,119 @@ void collect_includes(SourceFile& file, const std::string& raw) {
   }
 }
 
+/// First string literal in the RAW text within [begin, end); empty when
+/// none. Blanking preserves offsets, so raw and code indices agree.
+std::string raw_string_literal_in(const std::string& raw, std::size_t begin,
+                                  std::size_t end) {
+  const std::size_t open = raw.find('"', begin);
+  if (open == std::string::npos || open >= end) return {};
+  const std::size_t close = raw.find('"', open + 1);
+  if (close == std::string::npos || close >= end) return {};
+  return raw.substr(open + 1, close - open - 1);
+}
+
+/// Split an argument span by top-level commas (brackets balanced).
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    else if (c == ')' || c == ']' || c == '}') --depth;
+    else if (c == ',' && depth == 0) {
+      out.push_back(args.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(args.substr(start));
+  return out;
+}
+
+void collect_stream_facts(SourceFile& file, const std::vector<Token>& tokens) {
+  for (const Token& t : tokens) {
+    if (t.text == "PSCHED_SEED_STREAM") {
+      const std::size_t open = skip_space(file.code, t.end);
+      if (open >= file.code.size() || file.code[open] != '(') continue;
+      const std::size_t close = match_bracket(file.code, open);
+      if (close == std::string::npos) continue;
+      const std::string name = raw_string_literal_in(file.raw, open + 1, close);
+      if (name.empty()) continue;  // the macro's own #define: no literal
+      const std::vector<Token> arg_tokens =
+          tokenize(file.code.substr(open + 1, close - open - 1));
+      if (arg_tokens.empty()) continue;
+      file.stream_registrations.push_back(
+          StreamRegistration{arg_tokens.front().text, name, t.line});
+    } else if (t.text == "derive_stream_seed") {
+      const std::size_t open = skip_space(file.code, t.end);
+      if (open >= file.code.size() || file.code[open] != '(') continue;
+      const std::size_t close = match_bracket(file.code, open);
+      if (close == std::string::npos) continue;
+      const std::string args = file.code.substr(open + 1, close - open - 1);
+      const std::vector<Token> arg_tokens = tokenize(args);
+      // The function's own declaration/definition carries typed parameters;
+      // call sites never spell the parameter types.
+      const bool is_declaration =
+          std::any_of(arg_tokens.begin(), arg_tokens.end(), [](const Token& a) {
+            return a.text == "uint64_t" || a.text == "string_view";
+          });
+      if (is_declaration) continue;
+      StreamUse use;
+      use.line = t.line;
+      use.name = raw_string_literal_in(file.raw, open + 1, close);
+      if (use.name.empty()) {
+        const std::vector<std::string> pieces = split_args(args);
+        use.ident = chain_tail(pieces.back());
+      }
+      file.stream_uses.push_back(std::move(use));
+    }
+  }
+}
+
+void collect_class_declarations(SourceFile& file, const std::vector<Token>& tokens) {
+  static const std::set<std::string> kBaseNoise = {"public", "protected", "private",
+                                                   "virtual", "final"};
+  for (std::size_t k = 0; k + 1 < tokens.size(); ++k) {
+    const Token& kw = tokens[k];
+    if (kw.text != "class" && kw.text != "struct") continue;
+    const Token& name = tokens[k + 1];
+    if (name.is_number) continue;
+    // Only a real declaration head: the name is followed by ':' (base
+    // clause), '{' (body), or 'final'. Template parameters, forward
+    // declarations, and `struct X*` parameter types all fall out here.
+    std::size_t i = skip_space(file.code, name.end);
+    if (i < file.code.size() && file.code.compare(i, 5, "final") == 0)
+      i = skip_space(file.code, i + 5);
+    if (i >= file.code.size()) continue;
+    const bool has_bases = file.code[i] == ':' &&
+                           (i + 1 >= file.code.size() || file.code[i + 1] != ':');
+    if (!has_bases && file.code[i] != '{') continue;
+    ClassDecl decl;
+    decl.name = name.text;
+    std::size_t body = i;
+    if (has_bases) {
+      body = file.code.find('{', i);
+      if (body == std::string::npos) continue;
+      const std::vector<Token> base_tokens =
+          tokenize(file.code.substr(i + 1, body - i - 1));
+      for (const Token& b : base_tokens)
+        if (!b.is_number && kBaseNoise.count(b.text) == 0)
+          decl.bases.push_back(b.text);
+    }
+    const std::size_t body_close = match_bracket(file.code, body);
+    if (body_close == std::string::npos) continue;
+    decl.body_begin = body;
+    decl.body_end = body_close;
+    file.classes.push_back(std::move(decl));
+  }
+}
+
 }  // namespace
 
 SourceFile load_source_from_string(const std::string& contents, const std::string& rel_path) {
   SourceFile file;
   file.path = rel_path;
+  file.raw = contents;
   file.code = blank_noncode(contents, [&](std::size_t line, const std::string& text) {
     if (text.find("psched-lint:") == std::string::npos) return;
     const std::set<std::string> keys =
@@ -577,6 +969,8 @@ SourceFile load_source_from_string(const std::string& contents, const std::strin
   collect_includes(file, contents);
   const std::vector<Token> tokens = tokenize(file.code);
   collect_unordered_declarations(file, tokens);
+  collect_stream_facts(file, tokens);
+  collect_class_declarations(file, tokens);
   return file;
 }
 
@@ -587,8 +981,78 @@ SourceFile load_source(const std::filesystem::path& abs_path, const std::string&
   return load_source_from_string(buf.str(), rel_path);
 }
 
+ProgramIndex build_index(const std::map<std::string, SourceFile>& files,
+                         const LintOptions& options) {
+  ProgramIndex index;
+  index.observer_classes = {"SimObserver", "ProviderObserver"};
+  // D5 registry merge. Files in path order, registrations in file order, so
+  // "first registration wins" is deterministic.
+  for (const auto& [path, file] : files) {
+    for (const StreamRegistration& reg : file.stream_registrations) {
+      const auto flag = [&](const std::string& what) {
+        if (suppressed(file, reg.line, "D5")) return;
+        index.findings.push_back(Finding{path, reg.line, "D5", what});
+      };
+      if (!options.registry_files.empty() &&
+          options.registry_files.count(path) == 0) {
+        flag("seed-stream registration PSCHED_SEED_STREAM(" + reg.ident + ", \"" +
+             reg.name + "\") outside the central registry — registrations must "
+             "live in src/util/seed_streams.hpp so collisions are visible in "
+             "one place");
+        continue;
+      }
+      const auto [name_it, name_new] = index.stream_names.emplace(reg.name, path);
+      if (!name_new) {
+        flag("seed-stream name collision: \"" + reg.name + "\" is already "
+             "registered (in " + name_it->second + ") — two subsystems sharing "
+             "a stream name draw from the SAME sequence, silently correlating "
+             "their 'independent' randomness");
+        continue;
+      }
+      const auto [ident_it, ident_new] =
+          index.stream_idents.emplace(reg.ident, reg.name);
+      if (!ident_new) {
+        flag("seed-stream constant collision: '" + reg.ident + "' is already "
+             "registered for stream \"" + ident_it->second + "\"");
+      }
+    }
+  }
+  // D7 observer closure: any class whose base clause names a known observer
+  // class is itself an observer implementation, transitively and cross-TU.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [path, file] : files) {
+      for (const ClassDecl& decl : file.classes) {
+        if (index.observer_classes.count(decl.name) > 0) continue;
+        for (const std::string& base : decl.bases) {
+          if (index.observer_classes.count(base) > 0) {
+            index.observer_classes.insert(decl.name);
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return index;
+}
+
+std::string index_to_string(const ProgramIndex& index) {
+  std::ostringstream out;
+  out << "psched-lint-index/v1\n";
+  for (const auto& [name, f] : index.stream_names)
+    out << "stream " << name << " " << f << "\n";
+  for (const auto& [ident, name] : index.stream_idents)
+    out << "stream-const " << ident << " " << name << "\n";
+  for (const std::string& cls : index.observer_classes)
+    out << "observer " << cls << "\n";
+  return out.str();
+}
+
 std::vector<Finding> lint_file(const SourceFile& file,
                                const std::set<std::string>& tu_unordered_names,
+                               const ProgramIndex& index,
                                const LintOptions& options) {
   std::vector<Finding> out = file.annotation_errors;
   const std::vector<Token> tokens = tokenize(file.code);
@@ -597,6 +1061,10 @@ std::vector<Finding> lint_file(const SourceFile& file,
   check_unordered_iteration(file, tokens, tu_unordered_names, line_starts, out);
   check_mt19937(file, tokens, out);
   check_float_equality(file, tokens, line_starts, options, out);
+  check_seed_streams(file, index, out);
+  check_time_units(file, tokens, out);
+  check_observer_purity(file, tokens, index, out);
+  check_parallel_folds(file, tokens, line_starts, options, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
     if (a.line != b.line) return a.line < b.line;
@@ -627,11 +1095,9 @@ std::string resolve_include(const std::filesystem::path& root, const std::string
   return {};
 }
 
-}  // namespace
-
-std::vector<Finding> lint_tree(const LintOptions& options,
-                               const std::vector<std::string>& subdirs,
-                               const std::vector<std::string>& exclude_prefixes) {
+std::map<std::string, SourceFile> load_tree(const LintOptions& options,
+                                            const std::vector<std::string>& subdirs,
+                                            const std::vector<std::string>& exclude_prefixes) {
   namespace fs = std::filesystem;
   std::map<std::string, SourceFile> files;
   for (const std::string& sub : subdirs) {
@@ -645,8 +1111,19 @@ std::vector<Finding> lint_tree(const LintOptions& options,
       files.emplace(rel, load_source(entry.path(), rel));
     }
   }
+  return files;
+}
 
-  std::vector<Finding> findings;
+}  // namespace
+
+std::vector<Finding> lint_tree(const LintOptions& options,
+                               const std::vector<std::string>& subdirs,
+                               const std::vector<std::string>& exclude_prefixes) {
+  const std::map<std::string, SourceFile> files =
+      load_tree(options, subdirs, exclude_prefixes);
+  const ProgramIndex index = build_index(files, options);
+
+  std::vector<Finding> findings = index.findings;
   for (const auto& [rel, file] : files) {
     // The TU's unordered names: this file's plus everything reachable
     // through its project includes (headers pull in their own includes).
@@ -666,10 +1143,86 @@ std::vector<Finding> lint_tree(const LintOptions& options,
           pending.push_back(resolved);
       }
     }
-    const std::vector<Finding> file_findings = lint_file(file, tu_names, options);
+    const std::vector<Finding> file_findings = lint_file(file, tu_names, index, options);
     findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
   return findings;
+}
+
+// --- baseline ---------------------------------------------------------------
+
+Baseline parse_baseline(const std::string& contents, const std::string& baseline_path) {
+  Baseline baseline;
+  std::istringstream in(contents);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    const std::size_t p1 = text.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? std::string::npos
+                                                   : text.find('|', p1 + 1);
+    const auto malformed = [&](const std::string& why) {
+      baseline.errors.push_back(Finding{
+          baseline_path, lineno, "BASE",
+          "malformed baseline entry (" + why + ") — expected "
+          "`<file>|<rule>|<justification>`, and the justification is "
+          "mandatory"});
+    };
+    if (p2 == std::string::npos) {
+      malformed("missing '|' separators");
+      continue;
+    }
+    BaselineEntry entry;
+    entry.file = trim(text.substr(0, p1));
+    entry.rule = trim(text.substr(p1 + 1, p2 - p1 - 1));
+    entry.justification = trim(text.substr(p2 + 1));
+    entry.line = lineno;
+    if (entry.file.empty()) {
+      malformed("empty file path");
+    } else if (!is_known_rule(entry.rule) && entry.rule != "SUPP") {
+      malformed("unknown rule id '" + entry.rule + "'");
+    } else if (entry.justification.empty()) {
+      malformed("entry for " + entry.file + " lacks a justification");
+    } else {
+      baseline.entries.push_back(std::move(entry));
+    }
+  }
+  return baseline;
+}
+
+BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                              const Baseline& baseline) {
+  BaselineResult result;
+  result.errors = baseline.errors;
+  std::vector<std::size_t> hits(baseline.entries.size(), 0);
+  for (const Finding& f : findings) {
+    bool covered = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      const BaselineEntry& e = baseline.entries[i];
+      if (e.file == f.file && e.rule == f.rule) {
+        ++hits[i];
+        covered = true;
+      }
+    }
+    if (covered) ++result.suppressed;
+    else result.unbaselined.push_back(f);
+  }
+  for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+    if (hits[i] > 0) continue;
+    const BaselineEntry& e = baseline.entries[i];
+    result.errors.push_back(Finding{
+        e.file, e.line, "BASE",
+        "stale baseline entry: no " + e.rule + " finding remains in " + e.file +
+            " — delete the entry (the baseline may only shrink)"});
+  }
+  return result;
 }
 
 bool run_self_test(const std::filesystem::path& fixture_dir) {
@@ -683,18 +1236,29 @@ bool run_self_test(const std::filesystem::path& fixture_dir) {
   options.root = fixture_dir;
   // Fixtures are judged raw: no file-level allowlists apply inside the
   // fixture tree (suppression annotations still do — that is one of the
-  // behaviors under test).
+  // behaviors under test), and any fixture may register seed streams (so
+  // the registry rules are testable without a fake src/util/ layout).
   options.clock_allowlist.clear();
   options.clock_allowed_prefixes.clear();
   options.float_eq_allowed_prefixes.clear();
+  options.registry_files.clear();
 
   bool ok = true;
   std::size_t checked = 0;
   for (const auto& entry : fs::directory_iterator(fixture_dir)) {
     if (!entry.is_regular_file() || !has_source_extension(entry.path())) continue;
     const std::string name = entry.path().filename().string();
-    const SourceFile file = load_source(entry.path(), name);
-    const std::vector<Finding> findings = lint_file(file, file.unordered_names, options);
+    // Each fixture is its own one-file program: both passes run, so the
+    // cross-TU rules (D5 registry, D7 subclassing) see the fixture's own
+    // registrations and class declarations.
+    std::map<std::string, SourceFile> files;
+    files.emplace(name, load_source(entry.path(), name));
+    const SourceFile& file = files.begin()->second;
+    const ProgramIndex index = build_index(files, options);
+    std::vector<Finding> findings = index.findings;
+    const std::vector<Finding> file_findings =
+        lint_file(file, file.unordered_names, index, options);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
     ++checked;
     if (name.rfind("ok_", 0) == 0) {
       if (!findings.empty()) {

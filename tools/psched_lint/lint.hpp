@@ -1,10 +1,20 @@
 #pragma once
-// psched-lint: the project's determinism-hazard static analyzer.
+// psched-lint: the project's determinism-hazard and simulation-semantics
+// static analyzer.
 //
 // A portfolio selector is only trustworthy if repeated runs of the same
 // scenario are bit-identical (DESIGN.md §8). The runtime determinism matrix
 // tests that property after the fact; this linter rejects the known hazard
 // patterns at the source level, before they can become flaky experiments.
+//
+// v2 is a two-pass, cross-TU analyzer. Pass 1 loads every file and exports
+// a per-TU symbol table (unordered-container names, seed-stream literals
+// and registrations, observer subclassing, include edges). The tables are
+// merged into a whole-program index; pass 2 runs the rules over each file
+// with the index in hand, so a hazard whose two halves live in different
+// translation units (a stream name registered in one file and misused in
+// another, an observer class declared in a header and implemented in a
+// .cpp) is still caught.
 //
 // Rule catalog (IDs appear in reports and in suppression annotations):
 //   D1  wall-clock / ambient entropy reads (std::chrono::*_clock::now,
@@ -26,18 +36,48 @@
 //       a run is reproducible from its reported seed.
 //   D4  float/double equality (==, !=) against a floating-point literal
 //       outside src/util/ — use the util/float_cmp.hpp tolerance helpers.
+//   D5  seed-stream registry (cross-TU): every stream name reaching
+//       cloud::derive_stream_seed must be registered exactly once, via
+//       PSCHED_SEED_STREAM in src/util/seed_streams.hpp. Unregistered
+//       literals, unregistered constants, duplicate names, and
+//       registrations outside the registry file are all errors — a silent
+//       stream-name collision correlates two "independent" streams without
+//       failing a single test.
+//   D6  time-unit confusion: additive/comparison arithmetic directly mixing
+//       a *_ms / *_us quantity with a *_seconds / *_hours quantity (or with
+//       kSecondsPerHour). Multiplicative conversion is fine; adding
+//       milliseconds to seconds is a unit bug.
+//   D7  observer purity: SimObserver / ProviderObserver implementations
+//       (transitively, cross-TU) must not mutate the simulation they
+//       observe — no const_cast and no mutating simulation API call
+//       (lease/release/cancel/after/...) inside an on_* callback body.
+//   D8  non-commutative parallel folds: a compound accumulation (+=, -=,
+//       *=) onto a non-slot-indexed target inside a ThreadPool::run_batch
+//       wave lambda is a cross-worker fold whose result depends on thread
+//       interleaving (and is usually also a data race). Write to a per-slot
+//       element and merge in slot order after the barrier, or annotate a
+//       genuinely commutative fold.
 //
 // The analysis is token-level with a small amount of structure ("AST-lite"):
-// comments and string literals are blanked before matching, unordered
-// container names are collected per translation unit by resolving project
-// #include directives, and suppressions are honored from comments on the
-// flagged line or the line directly above it:
+// comments and string literals are blanked before matching (the raw text is
+// kept so string-valued facts like stream names can still be read at known
+// offsets), unordered container names are collected per translation unit by
+// resolving project #include directives, and suppressions are honored from
+// comments on the flagged line or the line directly above it:
 //
-//   // psched-lint: order-insensitive(max over values is commutative)
+//   // psched-lint: order-insensitive(<why order cannot leak>)
 //   // psched-lint: allow(D1, this file measures real wall time)
+//   // psched-lint: suppress(D6) <justification>
 //
-// A justification inside the parentheses is mandatory; a bare suppression is
-// itself reported (rule SUPP).
+// `suppress(Dk)` is the rule-scoped form: it silences exactly one rule, so
+// a justified suppression can never mask a different rule that later fires
+// on the same line. A justification is mandatory for every form; a bare
+// suppression is itself reported (rule SUPP).
+//
+// Known findings that cannot be fixed yet may instead be recorded in a
+// checked-in baseline file (one `<file>|<rule>|<justification>` per line);
+// entries without a justification and entries matching nothing are errors
+// (rule BASE), so the baseline can only shrink honestly.
 
 #include <cstddef>
 #include <filesystem>
@@ -52,7 +92,7 @@ namespace psched::lint {
 struct Finding {
   std::string file;     ///< path relative to the scan root
   std::size_t line = 0; ///< 1-based
-  std::string rule;     ///< "D1".."D4" or "SUPP"
+  std::string rule;     ///< "D1".."D8", "SUPP", or "BASE"
   std::string message;
 };
 
@@ -72,48 +112,190 @@ struct LintOptions {
   /// Root-relative directory prefixes where float equality is allowed (D4):
   /// the tolerance helpers themselves live here.
   std::vector<std::string> float_eq_allowed_prefixes = {"src/util/"};
+  /// Root-relative files that may register seed streams (D5). When empty,
+  /// registrations are accepted anywhere (fixture/self-test mode).
+  std::set<std::string> registry_files = {"src/util/seed_streams.hpp"};
+  /// Function names whose call-argument span is a parallel wave context
+  /// (D8): lambdas passed to them run on worker threads.
+  std::set<std::string> parallel_entry_points = {"run_batch"};
 };
 
-/// A source file loaded and pre-processed for scanning.
+/// A seed-stream registration site: PSCHED_SEED_STREAM(ident, "name").
+struct StreamRegistration {
+  std::string ident;  ///< the registered constant, e.g. "kStreamBoot"
+  std::string name;   ///< the stream name literal, e.g. "boot"
+  std::size_t line = 0;
+};
+
+/// A derive_stream_seed call site (pass-1 export for rule D5).
+struct StreamUse {
+  std::string name;   ///< literal stream name when passed inline, else ""
+  std::string ident;  ///< constant identifier when passed by name, else ""
+  std::size_t line = 0;
+};
+
+/// A class/struct declaration with its base-clause identifiers and body
+/// span (offsets into the blanked code). Pass-1 export for rule D7.
+struct ClassDecl {
+  std::string name;
+  std::vector<std::string> bases;      ///< base-clause identifier tokens
+  std::size_t body_begin = 0;          ///< offset of '{'
+  std::size_t body_end = 0;            ///< offset of matching '}'
+};
+
+/// A source file loaded and pre-processed for scanning, carrying its
+/// pass-1 symbol table.
 struct SourceFile {
   std::string path;          ///< root-relative, '/'-separated
+  std::string raw;           ///< original contents (offset-aligned with code)
   std::string code;          ///< comments and string/char literals blanked
   /// line (1-based) -> suppression keys active there ("order-insensitive",
-  /// "D1".."D4"). A suppression on line N covers lines N and N+1.
+  /// "D1".."D8"). A suppression on line N covers lines N and N+1.
   std::map<std::size_t, std::set<std::string>> suppressions;
   std::vector<Finding> annotation_errors;  ///< malformed suppressions (SUPP)
   /// Project-relative #include targets, as written (e.g. "util/rng.hpp").
   std::vector<std::string> includes;
   /// Names declared in THIS file with an unordered container type.
   std::set<std::string> unordered_names;
+  /// PSCHED_SEED_STREAM registrations in this file (D5).
+  std::vector<StreamRegistration> stream_registrations;
+  /// derive_stream_seed call sites in this file (D5).
+  std::vector<StreamUse> stream_uses;
+  /// Class declarations with base clauses (D7 observer subclassing).
+  std::vector<ClassDecl> classes;
 };
 
-/// Load and pre-process one file (blank comments/strings, parse suppression
-/// annotations, record includes and unordered-container declarations).
-/// `rel_path` is the root-relative path used in findings.
+/// The pass-1 merge index: whole-program facts the per-file rules consult.
+struct ProgramIndex {
+  /// Stream name -> file of its (first) registration.
+  std::map<std::string, std::string> stream_names;
+  /// Registered stream constants (identifier -> stream name).
+  std::map<std::string, std::string> stream_idents;
+  /// Classes transitively derived from SimObserver / ProviderObserver
+  /// (including those two roots themselves).
+  std::set<std::string> observer_classes;
+  /// Findings discovered while merging (D5 collisions, misplaced
+  /// registrations). Already suppression-filtered.
+  std::vector<Finding> findings;
+};
+
+/// Load and pre-process one file (pass 1: blank comments/strings, parse
+/// suppression annotations, export the symbol table). `rel_path` is the
+/// root-relative path used in findings.
 [[nodiscard]] SourceFile load_source(const std::filesystem::path& abs_path,
                                      const std::string& rel_path);
 
-/// Pre-processing on an in-memory buffer (tests and fixtures).
+/// Pass-1 pre-processing on an in-memory buffer (tests and fixtures).
 [[nodiscard]] SourceFile load_source_from_string(const std::string& contents,
                                                  const std::string& rel_path);
 
-/// Run every rule over `file`. `tu_unordered_names` is the union of the
-/// unordered container names visible in the translation unit (the file's own
-/// plus everything reachable through its project includes).
+/// Merge pass-1 symbol tables into the whole-program index and run the
+/// merge-time checks (D5 registry collisions / placement).
+[[nodiscard]] ProgramIndex build_index(const std::map<std::string, SourceFile>& files,
+                                       const LintOptions& options);
+
+/// Pass 2: run every rule over `file`. `tu_unordered_names` is the union of
+/// the unordered container names visible in the translation unit (the
+/// file's own plus everything reachable through its project includes);
+/// `index` carries the cross-TU facts.
 [[nodiscard]] std::vector<Finding> lint_file(const SourceFile& file,
                                              const std::set<std::string>& tu_unordered_names,
+                                             const ProgramIndex& index,
                                              const LintOptions& options);
 
-/// Scan a whole tree: collect files under root/<subdir> for each subdir,
-/// resolve per-TU unordered-name tables across includes, and lint each file.
-/// Paths under `exclude_prefixes` (root-relative) are skipped.
+/// Scan a whole tree: collect files under root/<subdir> for each subdir
+/// (pass 1), build the merge index, resolve per-TU unordered-name tables
+/// across includes, and lint each file (pass 2). Paths under
+/// `exclude_prefixes` (root-relative) are skipped.
 [[nodiscard]] std::vector<Finding> lint_tree(const LintOptions& options,
                                              const std::vector<std::string>& subdirs,
                                              const std::vector<std::string>& exclude_prefixes);
 
+/// Serialize the merge index deterministically (one fact per line). Used
+/// by `psched_lint --index-out` so CI can cache/diff the pass-1 state.
+[[nodiscard]] std::string index_to_string(const ProgramIndex& index);
+
+// --- baseline -------------------------------------------------------------
+
+/// One baseline entry: suppresses every finding of `rule` in `file`.
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string justification;  ///< mandatory
+  std::size_t line = 0;       ///< line in the baseline file (diagnostics)
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<Finding> errors;  ///< malformed lines (rule BASE)
+};
+
+/// Parse a baseline file (`<file>|<rule>|<justification>` per line; '#'
+/// comments and blank lines ignored). Missing fields or an empty
+/// justification produce BASE errors.
+[[nodiscard]] Baseline parse_baseline(const std::string& contents,
+                                      const std::string& baseline_path);
+
+struct BaselineResult {
+  std::vector<Finding> unbaselined;  ///< findings no entry covers
+  std::size_t suppressed = 0;        ///< findings covered by an entry
+  /// Baseline hygiene errors: malformed lines and stale entries that
+  /// matched no finding (rule BASE). Stale entries fail the run so the
+  /// baseline can only shrink honestly.
+  std::vector<Finding> errors;
+};
+
+/// Filter `findings` through the baseline.
+[[nodiscard]] BaselineResult apply_baseline(const std::vector<Finding>& findings,
+                                            const Baseline& baseline);
+
+// --- SARIF ----------------------------------------------------------------
+
+/// Static rule metadata for reports and the SARIF rule table.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The full rule catalog (D1..D8, SUPP, BASE), in id order.
+[[nodiscard]] const std::vector<RuleInfo>& rule_catalog();
+
+/// Serialize findings as a SARIF v2.1.0 document (one run, driver
+/// "psched-lint", full rule table, one result per finding). Deterministic:
+/// results keep the caller's order.
+[[nodiscard]] std::string sarif_json(const std::vector<Finding>& findings);
+
+// --- auto-fix (rules D3 and D4) -------------------------------------------
+
+/// Mechanically rewrite the fixable findings in one file's contents:
+///   D4  `expr == lit` / `expr != lit` -> util/float_cmp.hpp helpers
+///       (approx_eq, negated for !=), adding the include when missing;
+///   D3  literal-seeded mt19937 constructions -> a named constexpr seed
+///       hoisted onto the line above (with a TODO to thread it through a
+///       config), which makes the seed greppable and the rule pass.
+/// Only syntactically simple sites are rewritten (plain operand chains);
+/// suppressed lines and allowlisted paths are left alone. Applying the
+/// result a second time is a no-op (fixed code no longer matches any rule).
+struct FixResult {
+  std::string content;        ///< rewritten file contents
+  std::size_t applied = 0;    ///< number of rewrites performed
+};
+[[nodiscard]] FixResult apply_fixes(const std::string& contents,
+                                    const std::string& rel_path,
+                                    const LintOptions& options);
+
+/// Apply fixes across a tree in place. Returns total rewrites; with
+/// `dry_run` the files are not written (the count still reports what would
+/// change, for CI's idempotence diff).
+std::size_t fix_tree(const LintOptions& options,
+                     const std::vector<std::string>& subdirs,
+                     const std::vector<std::string>& exclude_prefixes,
+                     bool dry_run);
+
 /// Fixture self-test: every fixture named d<K>_*.cpp must produce at least
 /// one rule-D<K> finding, every fixture named ok_*.cpp must produce none.
+/// Each fixture is analyzed as its own one-file program (index included),
+/// with no file-level allowlists, so cross-TU rules are exercised too.
 /// Returns true when all expectations hold; diagnostics go to stderr.
 [[nodiscard]] bool run_self_test(const std::filesystem::path& fixture_dir);
 

@@ -1,0 +1,106 @@
+// SARIF v2.1.0 emission for psched-lint findings (DESIGN.md §8). The
+// emitter is hand-rolled so the linter stays a standalone tool with no
+// dependency on the simulator libraries; tests round-trip the output
+// through the obs/json parser and the psched-report-check --sarif
+// validator to pin the schema.
+
+#include "lint.hpp"
+
+#include <sstream>
+
+namespace psched::lint {
+
+namespace {
+
+/// Minimal JSON string escaping (control characters, quotes, backslash).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_catalog() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "wall-clock or ambient-entropy read in simulated code"},
+      {"D2", "iteration over an unordered container (hash-order dependent)"},
+      {"D3", "std::mt19937 constructed without a named seed parameter"},
+      {"D4", "floating-point ==/!= against a literal"},
+      {"D5", "seed-stream name not registered (or colliding) in the central registry"},
+      {"D6", "additive arithmetic mixing time units (ms/us vs seconds/hours)"},
+      {"D7", "observer callback mutates the simulation it observes"},
+      {"D8", "cross-worker compound accumulation inside a parallel wave lambda"},
+      {"SUPP", "malformed or unjustified psched-lint suppression annotation"},
+      {"BASE", "malformed or stale baseline entry"},
+  };
+  return kRules;
+}
+
+std::string sarif_json(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"psched-lint\",\n"
+      << "          \"informationUri\": \"DESIGN.md\",\n"
+      << "          \"rules\": [\n";
+  const std::vector<RuleInfo>& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << escape(rules[i].id)
+        << "\", \"shortDescription\": {\"text\": \"" << escape(rules[i].summary)
+        << "\"}}" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << escape(f.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << escape(f.message) << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \"" << escape(f.file)
+        << "\"},\n"
+        << "                \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+        << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace psched::lint
