@@ -1,5 +1,8 @@
 #include "cloud/failure.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/assert.hpp"
 #include "util/seed_streams.hpp"
 
@@ -73,12 +76,31 @@ bool FailureModel::api_blocked(SimTime now) {
   return now >= outage_start_;
 }
 
+std::size_t BackoffSchedule::doublings_to_cap(SimDuration base,
+                                              SimDuration cap) noexcept {
+  // Bounded scan: 2^64 exceeds any finite cap/base ratio we accept, and a
+  // base of 0 (or a subnormal that doubles to itself) must not loop forever
+  // the way the old per-call `while (delay < cap) delay *= 2` walk did.
+  std::size_t doublings = 0;
+  SimDuration delay = base;
+  while (doublings < kMaxDoublings && delay < cap && delay * 2.0 > delay) {
+    delay *= 2.0;
+    ++doublings;
+  }
+  return doublings;
+}
+
 SimDuration BackoffSchedule::next() {
-  SimDuration delay = base_;
-  for (std::size_t i = 0; i < attempts_ && delay < cap_; ++i) delay *= 2.0;
+  // Closed-form saturating exponential: delay(n) = min(base * 2^min(n, K),
+  // cap) where K is precomputed so the product can neither overflow to inf
+  // nor cost O(n) per call at high retry counts. Doubling a double is an
+  // exact exponent increment, so ldexp reproduces the old repeated-*2 loop
+  // bit for bit over its valid range.
+  SimDuration delay =
+      std::ldexp(base_, static_cast<int>(std::min(attempts_, max_doublings_)));
   if (delay > cap_) delay = cap_;
   if (jitter_ > 0.0) delay *= 1.0 + jitter_ * rng_.uniform();
-  ++attempts_;
+  if (attempts_ != SIZE_MAX) ++attempts_;  // saturate, never wrap
   return delay;
 }
 

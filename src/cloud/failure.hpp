@@ -128,7 +128,11 @@ class FailureModel {
 /// Capped exponential backoff with deterministic jitter, advanced in sim
 /// time: delay(n) = min(base * 2^n, cap) * (1 + jitter * U[0,1)). The
 /// jitter stream is seeded once, so a fixed seed reproduces the exact
-/// delay sequence (unit-tested).
+/// delay sequence (unit-tested). The exponential saturates: the number of
+/// doublings is clamped to the point where the cap is reached (precomputed
+/// at construction), and the attempt counter itself saturates rather than
+/// wrapping, so arbitrarily long rejection storms keep returning the capped
+/// delay in O(1) instead of walking — or overflowing — the exponent.
 class BackoffSchedule {
  public:
   BackoffSchedule() : BackoffSchedule(ResilienceConfig{}, 0) {}
@@ -136,7 +140,8 @@ class BackoffSchedule {
       : base_(config.retry_backoff_base),
         cap_(config.retry_backoff_cap),
         jitter_(config.retry_jitter),
-        rng_(seed) {}
+        rng_(seed),
+        max_doublings_(doublings_to_cap(base_, cap_)) {}
 
   /// Next delay in sim seconds; advances the attempt counter.
   [[nodiscard]] SimDuration next();
@@ -144,14 +149,24 @@ class BackoffSchedule {
   /// Back to the base delay (call after a successful attempt).
   void reset() noexcept { attempts_ = 0; }
 
-  /// Consecutive failed attempts since the last reset().
+  /// Consecutive failed attempts since the last reset(). Saturates at
+  /// SIZE_MAX instead of wrapping back to the base delay.
   [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
 
  private:
+  /// Doublings must give out by the time the mantissa-exponent budget does.
+  static constexpr std::size_t kMaxDoublings = 64;
+
+  /// Smallest number of doublings that carries `base` to `cap` (or the
+  /// overflow/progress bound), computed once so next() is O(1).
+  [[nodiscard]] static std::size_t doublings_to_cap(SimDuration base,
+                                                    SimDuration cap) noexcept;
+
   SimDuration base_;
   SimDuration cap_;
   double jitter_;
   util::Rng rng_;
+  std::size_t max_doublings_ = 0;
   std::size_t attempts_ = 0;
 };
 

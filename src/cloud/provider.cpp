@@ -6,7 +6,8 @@
 
 namespace psched::cloud {
 
-CloudProvider::CloudProvider(ProviderConfig config) : config_(config) {
+CloudProvider::CloudProvider(ProviderConfig config)
+    : config_(config), structural_max_vms_(config.max_vms) {
   PSCHED_ASSERT(config_.max_vms > 0);
   PSCHED_ASSERT(config_.boot_delay >= 0.0);
 }
@@ -335,7 +336,12 @@ CloudProfile CloudProvider::snapshot(SimTime now) const {
 
 void CloudProvider::fill_pricing_view(PricingView& view, SimTime now) const {
   if (pricing_ == nullptr) return;
-  pricing_->fill_view(view, now, config_.max_vms, family_live_, reserved_live_);
+  // Family caps resolve against the structural capacity, not the live
+  // allowance: the global cap is enforced separately (lease admission and
+  // the planner's headroom), and baking a shrunk multi-tenant allowance
+  // into the family caps would make jobs wider than the allowance look
+  // permanently unplaceable to the what-if simulator.
+  pricing_->fill_view(view, now, structural_max_vms_, family_live_, reserved_live_);
 }
 
 }  // namespace psched::cloud

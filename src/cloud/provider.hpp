@@ -84,6 +84,12 @@ class CloudProvider {
 
   [[nodiscard]] const ProviderConfig& config() const noexcept { return config_; }
 
+  /// Re-cap the lease concurrency limit mid-run (the multi-tenant arbiter
+  /// moves each tenant's allowance every epoch). Never evicts: the cap may
+  /// drop below the live fleet, in which case lease() grants nothing until
+  /// releases bring the fleet back under it.
+  void set_vm_cap(std::size_t cap) noexcept { config_.max_vms = cap; }
+
   /// Attach (or detach, with nullptr) a validation observer. Borrowed; must
   /// outlive the provider or be detached first.
   void set_observer(ProviderObserver* observer) noexcept { observer_ = observer; }
@@ -252,6 +258,11 @@ class CloudProvider {
   void settle_price(const VmInstance& vm, SimTime now);
 
   ProviderConfig config_;
+  /// Construction-time lease cap. set_vm_cap() re-caps config_.max_vms (the
+  /// admission limit the arbiter moves every epoch) but never this: pricing
+  /// views resolve family caps against the structural capacity so what-if
+  /// planning stays feasible for jobs wider than a transient allowance.
+  std::size_t structural_max_vms_ = 0;
   std::vector<VmInstance> vms_;  // live VMs, sorted by id (append + erase)
   VmId next_id_ = 0;
   double charged_hours_ = 0.0;

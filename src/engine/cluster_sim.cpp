@@ -144,7 +144,13 @@ cloud::CloudProfile ClusterSimulation::make_profile() const {
   const SimTime now = sim_.now();
   cloud::CloudProfile profile;
   profile.now = now;
-  profile.max_vms = provider_.config().max_vms;
+  // Planning cap, not the provider's live cap: under a multi-tenant arbiter
+  // the live cap is the tenant's transient allowance, which can sit below a
+  // queued job's width — a what-if simulation against it could never place
+  // the job and would spin to its iteration cap. Candidates plan against
+  // the structural capacity (identical to the live cap outside multi-tenant
+  // mode); the real provisioning context still reads the live allowance.
+  profile.max_vms = config_.provider.max_vms;
   profile.boot_delay = provider_.config().boot_delay;
   profile.billing_quantum = provider_.config().billing_quantum;
   profile.vms.reserve(provider_.vms().size());
@@ -481,7 +487,7 @@ void ClusterSimulation::kill_running_job(JobId id, VmId crashed_vm, SimTime now)
   const workload::Job* job = running.job;
   running_.erase(it);
 
-  const std::size_t resubmits = ++resubmits_[id];
+  const std::size_t resubmits = resubmits_->record_kill(tenant_id_, id);
   if (resubmits <= config_.resilience.max_resubmits) {
     ++fstats_.job_resubmissions;
     if (recorder_ != nullptr) recorder_->counter_add("engine.job_resubmissions", 1.0);
@@ -566,18 +572,61 @@ void ClusterSimulation::on_job_finish(JobId id) {
   }
 }
 
-RunResult ClusterSimulation::run() {
-  PSCHED_ASSERT_MSG(collector_.jobs() == 0, "ClusterSimulation::run is single-shot");
+void ClusterSimulation::set_tenant(std::size_t tenant_id, ResubmitLedger* ledger) {
+  PSCHED_ASSERT_MSG(!started_, "set_tenant after start()");
+  PSCHED_ASSERT_MSG(ledger != nullptr && tenant_id < ledger->tenants(),
+                    "tenant id outside the shared ledger");
+  tenant_id_ = tenant_id;
+  resubmits_ = ledger;
+}
+
+void ClusterSimulation::set_vm_allowance(std::size_t allowance) {
+  PSCHED_ASSERT_MSG(allowance >= provider_.leased_count(),
+                    "allowance below the live fleet (arbiter floors violated)");
+  provider_.set_vm_cap(allowance);
+}
+
+ClusterSimulation::LoadView ClusterSimulation::load_view() const {
+  LoadView view;
+  view.leased_vms = provider_.leased_count();
+  for (const Waiting& w : queue_)
+    view.queued_procs += static_cast<std::size_t>(w.job->procs);
+  return view;
+}
+
+void ClusterSimulation::start() {
+  PSCHED_ASSERT_MSG(!started_ && collector_.jobs() == 0,
+                    "ClusterSimulation is single-shot");
+  started_ = true;
+  // Resubmission budgets must never leak across experiments: the owned
+  // ledger is cleared here; a shared ledger is reset once by the experiment
+  // before any tenant starts.
+  if (resubmits_ == &owned_resubmits_) resubmits_->reset(tenant_id_ + 1);
   // All arrivals are scheduled up front so they carry lower sequence
   // numbers than any tick: a batch of jobs submitted at the same instant is
   // fully enqueued before the scheduling tick at that instant fires.
   for (std::size_t i = 0; i < trace_.size(); ++i) {
     sim_.at(trace_.jobs()[i].submit, [this] { on_arrival(); });
   }
+}
+
+void ClusterSimulation::advance_until(SimTime horizon) {
+  PSCHED_ASSERT_MSG(started_, "advance_until before start()");
+  sim_.run_until(horizon);
+}
+
+RunResult ClusterSimulation::run() {
+  start();
   {
     const obs::Recorder::Scope run_scope(recorder_, "engine.run", 0);
     sim_.run();
   }
+  return finish();
+}
+
+RunResult ClusterSimulation::finish() {
+  PSCHED_ASSERT_MSG(started_ && !sim_.has_pending(),
+                    "finish() before the event queue drained");
   detail::sim_context().set(sim_.now(), "run-end");
 
   PSCHED_ASSERT_MSG(queue_.empty(), "simulation ended with waiting jobs");

@@ -26,6 +26,7 @@
 
 #include "cloud/provider.hpp"
 #include "core/scheduler.hpp"
+#include "engine/resubmit_ledger.hpp"
 #include "metrics/collector.hpp"
 #include "obs/provider_tracer.hpp"
 #include "predict/predictor.hpp"
@@ -109,7 +110,50 @@ class ClusterSimulation {
   /// Execute the whole trace to completion and return the metrics.
   /// Single-shot: constructing a fresh ClusterSimulation per run keeps
   /// stateful predictors and schedulers from leaking state across runs.
+  /// Exactly start() + drain + finish(), so a full run is bit-identical to
+  /// an incremental one stepped with advance_until().
   [[nodiscard]] RunResult run();
+
+  // --- incremental stepping (the multi-tenant epoch loop; DESIGN.md §13) ---
+  // A MultiTenantExperiment interleaves N simulations on shared provider
+  // capacity: start() each once, advance_until() them wave by wave, adjust
+  // allowances between waves, then finish() each when no events remain.
+
+  /// Schedule every trace arrival. Single-shot, implied by run().
+  void start();
+  /// Dispatch all events with time <= horizon (monotone in `horizon`).
+  void advance_until(SimTime horizon);
+  /// True while undispatched events remain.
+  [[nodiscard]] bool active() const noexcept { return sim_.has_pending(); }
+  /// Final end-of-trace assertions, stats, and metrics. Call once, after
+  /// active() turns false.
+  [[nodiscard]] RunResult finish();
+
+  /// Identify this simulation as tenant `tenant_id` of a shared experiment
+  /// and charge crash resubmissions to `ledger` (borrowed; sized by the
+  /// caller via ResubmitLedger::reset). Must precede start().
+  void set_tenant(std::size_t tenant_id, ResubmitLedger* ledger);
+
+  /// Clamp the provider's lease cap to the arbiter's allowance for the next
+  /// epoch. Policies see the allowance as the cloud's max_vms; the cap never
+  /// drops below the live fleet (the arbiter floors at leased VMs).
+  void set_vm_allowance(std::size_t allowance);
+
+  /// Current simulated time (epoch bookkeeping for the arbiter).
+  [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }
+
+  /// Demand snapshot the fairness arbiter prices: live fleet + queued width.
+  struct LoadView {
+    std::size_t leased_vms = 0;
+    std::size_t queued_procs = 0;
+  };
+  [[nodiscard]] LoadView load_view() const;
+
+  /// Hours charged so far, counting still-open leases as if settled now
+  /// (per-tenant budget accounting between epochs).
+  [[nodiscard]] double charged_hours_so_far() const noexcept {
+    return provider_.charged_hours_total(sim_.now());
+  }
 
  private:
   struct Waiting {
@@ -189,11 +233,18 @@ class ClusterSimulation {
   std::unordered_map<JobId, const workload::Job*> arrived_blocked_;
 
   // Failure/resilience state (inert — and mostly empty — when
-  // config_.failure.enabled() is false).
+  // config_.failure.enabled() is false). Each simulation owns its backoff
+  // schedule, so a multi-tenant experiment gets per-tenant backoff state
+  // (seeded from the tenant's own failure seed) for free.
   std::unique_ptr<cloud::FailureModel> failure_model_;  // only when enabled
   cloud::BackoffSchedule lease_backoff_;
   SimTime next_lease_attempt_ = 0.0;  // lease calls held back until here
-  std::unordered_map<JobId, std::size_t> resubmits_;  // kills per job
+  // Crash-kill counts, keyed (tenant, job). Standalone runs use the owned
+  // ledger (reset in start()); set_tenant() points at a shared one.
+  ResubmitLedger owned_resubmits_;
+  ResubmitLedger* resubmits_ = &owned_resubmits_;
+  std::size_t tenant_id_ = 0;
+  bool started_ = false;
   std::unordered_set<JobId> dead_jobs_;  // killed-final + dead dependents
   metrics::FailureStats fstats_;
 

@@ -15,6 +15,7 @@ namespace {
 constexpr const char* kRunReportSchema = "psched-run-report/v1";
 constexpr const char* kFailuresSchema = "psched-failures/v1";
 constexpr const char* kPricingSchema = "psched-pricing/v1";
+constexpr const char* kTenantsSchema = "psched-tenants/v1";
 
 void append_kv(std::string& out, const char* key, const std::string& value_json,
                bool& first) {
@@ -119,6 +120,47 @@ std::string pricing_json(const RunReportInputs& inputs) {
   return out;
 }
 
+std::string tenants_json(const ReportTenants& t) {
+  if (!t.present) return "null";
+  std::string out = "{";
+  bool first = true;
+  append_kv(out, "schema", quoted(kTenantsSchema), first);
+  append_kv(out, "count", json_number(static_cast<double>(t.tenants.size())), first);
+  append_kv(out, "global_cap", json_number(static_cast<double>(t.global_cap)), first);
+  append_kv(out, "arbitration_period_ticks",
+            json_number(static_cast<double>(t.arbitration_period_ticks)), first);
+  append_kv(out, "epochs", json_number(static_cast<double>(t.epochs)), first);
+  append_kv(out, "arbitrations",
+            json_number(static_cast<double>(t.arbitrations)), first);
+  append_kv(out, "peak_leased", json_number(static_cast<double>(t.peak_leased)),
+            first);
+  std::string rows = "[";
+  for (std::size_t i = 0; i < t.tenants.size(); ++i) {
+    const ReportTenant& row = t.tenants[i];
+    if (i != 0) rows += ',';
+    std::string entry = "{";
+    bool rfirst = true;
+    append_kv(entry, "name", quoted(row.name), rfirst);
+    append_kv(entry, "weight", json_number(row.weight), rfirst);
+    append_kv(entry, "budget_vm_hours", json_number(row.budget_vm_hours), rfirst);
+    append_kv(entry, "over_budget", row.over_budget ? "true" : "false", rfirst);
+    append_kv(entry, "jobs", json_number(static_cast<double>(row.jobs)), rfirst);
+    append_kv(entry, "killed", json_number(static_cast<double>(row.killed)), rfirst);
+    append_kv(entry, "charged_hours", json_number(row.charged_hours), rfirst);
+    append_kv(entry, "min_allocation",
+              json_number(static_cast<double>(row.min_allocation)), rfirst);
+    append_kv(entry, "mean_allocation", json_number(row.mean_allocation), rfirst);
+    append_kv(entry, "max_allocation",
+              json_number(static_cast<double>(row.max_allocation)), rfirst);
+    entry += '}';
+    rows += entry;
+  }
+  rows += ']';
+  append_kv(out, "per_tenant", rows, first);
+  out += '}';
+  return out;
+}
+
 std::string portfolio_json(const ReportPortfolio& p) {
   if (!p.present) return "null";
   std::string out = "{";
@@ -215,6 +257,7 @@ std::string run_report_json(const RunReportInputs& inputs, const Recorder* recor
 
   append_kv(out, "failures", failures_json(inputs), first);
   append_kv(out, "pricing", pricing_json(inputs), first);
+  append_kv(out, "tenants", tenants_json(inputs.tenants), first);
   append_kv(out, "portfolio", portfolio_json(inputs.portfolio), first);
   append_kv(out, "selection", selection_json(recorder), first);
   append_kv(out, "phases", phases_json(recorder), first);
@@ -355,6 +398,50 @@ ValidationResult validate_run_report(std::string_view json) {
     }
   } else if (!pricing->is(JsonValue::Type::kNull)) {
     return fail("pricing is neither null nor an object");
+  }
+
+  const JsonValue* tenants = root.find("tenants");
+  if (tenants == nullptr) return fail("missing key \"tenants\"");
+  if (tenants->is(JsonValue::Type::kObject)) {
+    const JsonValue* tschema = tenants->find("schema");
+    if (tschema == nullptr || !tschema->is(JsonValue::Type::kString))
+      return fail("tenants.schema missing or not a string");
+    if (tschema->string != kTenantsSchema)
+      return fail("unexpected tenants schema tag \"" + tschema->string + '"');
+    for (const char* key : {"count", "global_cap", "arbitration_period_ticks",
+                            "epochs", "arbitrations", "peak_leased"}) {
+      const JsonValue* field = tenants->find(key);
+      if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+        return fail(std::string("tenants.") + key + " missing or not a number");
+    }
+    const JsonValue* rows = tenants->find("per_tenant");
+    if (rows == nullptr || !rows->is(JsonValue::Type::kArray))
+      return fail("tenants.per_tenant missing or not an array");
+    const JsonValue* count = tenants->find("count");
+    if (rows->array.size() != static_cast<std::size_t>(count->number))
+      return fail("tenants.per_tenant length does not match tenants.count");
+    for (std::size_t i = 0; i < rows->array.size(); ++i) {
+      const JsonValue& row = rows->array[i];
+      const std::string at = " (tenant " + std::to_string(i) + ")";
+      if (!row.is(JsonValue::Type::kObject))
+        return fail("per_tenant entry is not an object" + at);
+      const JsonValue* name = row.find("name");
+      if (name == nullptr || !name->is(JsonValue::Type::kString))
+        return fail("per_tenant name missing or not a string" + at);
+      const JsonValue* over = row.find("over_budget");
+      if (over == nullptr || !over->is(JsonValue::Type::kBool))
+        return fail("per_tenant over_budget missing or not a boolean" + at);
+      for (const char* key :
+           {"weight", "budget_vm_hours", "jobs", "killed", "charged_hours",
+            "min_allocation", "mean_allocation", "max_allocation"}) {
+        const JsonValue* field = row.find(key);
+        if (field == nullptr || !field->is(JsonValue::Type::kNumber))
+          return fail(std::string("per_tenant ") + key +
+                      " missing or not a number" + at);
+      }
+    }
+  } else if (!tenants->is(JsonValue::Type::kNull)) {
+    return fail("tenants is neither null nor an object");
   }
 
   const JsonValue* portfolio = root.find("portfolio");

@@ -36,6 +36,32 @@ struct ReportPortfolio {
   std::vector<std::size_t> chosen_counts;  ///< per portfolio policy index
 };
 
+/// One tenant's row in the report's "tenants" section.
+struct ReportTenant {
+  std::string name;
+  double weight = 1.0;
+  double budget_vm_hours = 0.0;  ///< 0 = unlimited
+  bool over_budget = false;
+  std::size_t jobs = 0;    ///< finished
+  std::size_t killed = 0;  ///< killed for good (resubmission budget spent)
+  double charged_hours = 0.0;
+  std::size_t min_allocation = 0;  ///< arbiter allowance, across arbitrations
+  double mean_allocation = 0.0;
+  std::size_t max_allocation = 0;
+};
+
+/// Multi-tenant extras mirrored into the report (absent for single-tenant
+/// runs: `present == false` serializes the "tenants" key as null).
+struct ReportTenants {
+  bool present = false;
+  std::size_t global_cap = 0;  ///< shared provider capacity
+  std::size_t arbitration_period_ticks = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t arbitrations = 0;
+  std::size_t peak_leased = 0;  ///< max summed live fleets at arbitration
+  std::vector<ReportTenant> tenants;
+};
+
 /// Everything a run report needs beyond what the Recorder holds.
 struct RunReportInputs {
   std::string trace_name;
@@ -58,6 +84,9 @@ struct RunReportInputs {
   /// and as a schema-versioned ("psched-pricing/v1") object built from
   /// metrics.pricing when true.
   bool pricing_enabled = false;
+  /// Multi-tenant section ("psched-tenants/v1"); `tenants.present == false`
+  /// (the default, i.e. single-tenant mode) serializes the key as null.
+  ReportTenants tenants;
 };
 
 /// Serialize the "psched-run-report/v1" document. `recorder` may be null or

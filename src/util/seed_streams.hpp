@@ -36,5 +36,7 @@ PSCHED_SEED_STREAM(kStreamOutage, "outage");  ///< FailureModel: provider API ou
 PSCHED_SEED_STREAM(kStreamBackoff, "backoff");///< ClusterSim engine: lease-retry backoff jitter
 PSCHED_SEED_STREAM(kStreamSpot, "spot");      ///< PricingModel: spot-revocation times
 PSCHED_SEED_STREAM(kStreamWalk, "walk");      ///< PricingModel: price random-walk steps
+PSCHED_SEED_STREAM(kStreamTenantWorkload, "tenant-workload");  ///< MultiTenantExperiment: per-tenant trace-generation seeds
+PSCHED_SEED_STREAM(kStreamTenantFailure, "tenant-failure");    ///< MultiTenantExperiment: per-tenant FailureConfig root seeds
 
 }  // namespace psched::util

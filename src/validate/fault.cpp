@@ -9,6 +9,8 @@ const char* to_string(FaultInjection fault) noexcept {
     case FaultInjection::kSkipBootDelay: return "skip-boot-delay";
     case FaultInjection::kCapOvershoot: return "cap-overshoot";
     case FaultInjection::kCandidateThrow: return "candidate-throw";
+    case FaultInjection::kTenantCapOvershoot: return "tenant-cap-overshoot";
+    case FaultInjection::kTenantUnfairShare: return "tenant-unfair-share";
   }
   return "unknown";
 }
@@ -20,6 +22,8 @@ FaultInjection fault_from_string(const std::string& name, bool& ok) {
   if (name == "skip-boot-delay") return FaultInjection::kSkipBootDelay;
   if (name == "cap-overshoot") return FaultInjection::kCapOvershoot;
   if (name == "candidate-throw") return FaultInjection::kCandidateThrow;
+  if (name == "tenant-cap-overshoot") return FaultInjection::kTenantCapOvershoot;
+  if (name == "tenant-unfair-share") return FaultInjection::kTenantUnfairShare;
   ok = false;
   return FaultInjection::kNone;
 }

@@ -23,13 +23,17 @@ enum class FaultInjection {
   kCandidateThrow,   ///< every online candidate simulation throws — the
                      ///< selector's graceful-degradation path must absorb
                      ///< it (quarantine + last-known-good), not abort
+  kTenantCapOvershoot,  ///< the multi-tenant arbiter allocates one VM beyond
+                        ///< the shared global cap (tenant.global-cap)
+  kTenantUnfairShare,   ///< the arbiter hands the lowest-id tenant everything
+                        ///< above the other tenants' floors (tenant.fairness)
 };
 
 [[nodiscard]] const char* to_string(FaultInjection fault) noexcept;
 
 /// Parse a CLI spelling ("none", "billing-off-by-one", "skip-boot-delay",
-/// "cap-overshoot", "candidate-throw"). Sets ok=false and returns kNone on
-/// unknown input.
+/// "cap-overshoot", "candidate-throw", "tenant-cap-overshoot",
+/// "tenant-unfair-share"). Sets ok=false and returns kNone on unknown input.
 [[nodiscard]] FaultInjection fault_from_string(const std::string& name, bool& ok);
 
 }  // namespace psched::validate

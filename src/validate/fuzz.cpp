@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "engine/experiment.hpp"
+#include "engine/tenant.hpp"
 #include "util/rng.hpp"
 #include "workload/generator.hpp"
 
@@ -26,6 +27,13 @@ struct Scenario {
   std::size_t selector_eval_threads = 1;
   bool selector_memoize = true;
   bool selector_verify_memo = false;
+  /// Multi-tenant scenarios (engine/tenant.hpp): the job prefix is sharded
+  /// round-robin across this many tenants, each cleaned to its quota floor.
+  /// 0 = single-tenant (the classic path).
+  std::size_t tenant_count = 0;
+  std::size_t arbitration_ticks = 1;
+  std::vector<double> tenant_weights;
+  std::vector<double> tenant_budgets;  ///< VM-hours; 0 = unlimited
   std::string description;
 };
 
@@ -152,6 +160,27 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
     }
   }
 
+  const bool tenant_fault =
+      fuzz.inject_fault == FaultInjection::kTenantCapOvershoot ||
+      fuzz.inject_fault == FaultInjection::kTenantUnfairShare;
+  // Provider-fault self-tests stay single-tenant: inside a tenant the
+  // provider's cap is its (smaller) allowance, so e.g. cap-overshoot
+  // surfaces as tenant.global-cap instead of the vm.cap the self-test pins.
+  const bool provider_fault =
+      fuzz.inject_fault != FaultInjection::kNone && !tenant_fault;
+  if ((fuzz.fuzz_tenants && seed % 4 == 1 && !provider_fault) || tenant_fault) {
+    // Drawn after every scenario-shape, failure, and pricing draw (see
+    // FuzzConfig::fuzz_tenants). Small mixes: 2-4 tenants over the already
+    // tight caps keep the arbiter busy every epoch.
+    s.tenant_count = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    s.arbitration_ticks = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    for (std::size_t t = 0; t < s.tenant_count; ++t) {
+      s.tenant_weights.push_back(rng.bernoulli(0.3) ? 2.0 : 1.0);
+      s.tenant_budgets.push_back(rng.bernoulli(0.3) ? rng.uniform(0.05, 2.0)
+                                                    : 0.0);
+    }
+  }
+
   char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "%s, %zu jobs, cap=%zu, boot=%.0fs, quantum=%.0fs, %s, %s, "
@@ -182,6 +211,12 @@ Scenario make_scenario(std::uint64_t seed, const FuzzConfig& fuzz,
                   s.config.pricing.reserved_count);
     s.description += pbuf;
   }
+  if (s.tenant_count >= 2) {
+    char tbuf[64];
+    std::snprintf(tbuf, sizeof(tbuf), ", tenants(n=%zu, ticks=%zu)",
+                  s.tenant_count, s.arbitration_ticks);
+    s.description += tbuf;
+  }
   return s;
 }
 
@@ -191,24 +226,76 @@ struct RunOutcome {
   std::vector<Violation> violations;
 };
 
+core::PortfolioSchedulerConfig fuzz_portfolio_config(const Scenario& s) {
+  core::PortfolioSchedulerConfig pconfig = engine::paper_portfolio_config(s.config);
+  // Select infrequently: the invariants under test live in the engine and
+  // provider, and a cheap selector keeps 50-seed runs inside the smoke cap.
+  pconfig.selection_period_ticks = 16;
+  pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
+  pconfig.selector.fixed_count = s.selector_fixed_count;
+  pconfig.selector.eval_threads = s.selector_eval_threads;
+  pconfig.selector.memoize = s.selector_memoize;
+  pconfig.selector.verify_memo = s.selector_verify_memo;
+  return pconfig;
+}
+
 RunOutcome run_scenario(const Scenario& s, std::size_t job_count,
                         const policy::Portfolio& portfolio) {
   std::vector<workload::Job> jobs(s.jobs.begin(),
                                   s.jobs.begin() + static_cast<std::ptrdiff_t>(job_count));
   const workload::Trace trace("fuzz", static_cast<int>(s.config.provider.max_vms),
                               std::move(jobs));
+
+  if (s.tenant_count >= 2) {
+    // Multi-tenant path: shard the prefix round-robin, clean each shard to
+    // its tenant's quota floor (jobs wider than the guaranteed share could
+    // livelock under max-min; see MultiTenantExperiment's ctor), and run
+    // the service loop. Tenant faults are injected at arbitration; provider
+    // faults hit every tenant's own engine and checker.
+    double total_weight = 0.0;
+    for (const double w : s.tenant_weights) total_weight += w;
+    const auto cap = static_cast<double>(s.config.provider.max_vms);
+    const std::vector<workload::Trace> shards =
+        workload::shard_round_robin(trace, s.tenant_count);
+    std::vector<workload::Trace> tenant_traces;
+    tenant_traces.reserve(s.tenant_count);
+    for (std::size_t i = 0; i < s.tenant_count; ++i) {
+      const auto quota_floor =
+          static_cast<int>(cap * s.tenant_weights[i] / total_weight);
+      tenant_traces.push_back(shards[i].cleaned(quota_floor));
+    }
+
+    engine::MultiTenantConfig mt;
+    mt.engine = s.config;
+    mt.arbitration_period_ticks = s.arbitration_ticks;
+    mt.predictor = s.predictor;
+    if (s.portfolio) {
+      mt.portfolio = &portfolio;
+      mt.scheduler = fuzz_portfolio_config(s);
+    } else {
+      mt.policy = s.triple;
+    }
+    for (std::size_t i = 0; i < s.tenant_count; ++i) {
+      engine::TenantConfig t;
+      t.weight = s.tenant_weights[i];
+      t.budget_vm_hours = s.tenant_budgets[i];
+      t.resilience = s.config.resilience;
+      t.failure = s.config.failure;
+      if (t.failure.enabled())
+        t.failure.seed = engine::tenant_failure_seed(s.config.failure.seed, i);
+      t.trace = &tenant_traces[i];
+      mt.tenants.push_back(std::move(t));
+    }
+    engine::MultiTenantExperiment experiment(std::move(mt));
+    engine::MultiTenantResult result = experiment.run();
+    return RunOutcome{result.invariant_checks,
+                      std::move(result.invariant_violations)};
+  }
+
   engine::ScenarioResult result;
   if (s.portfolio) {
-    core::PortfolioSchedulerConfig pconfig = engine::paper_portfolio_config(s.config);
-    // Select infrequently: the invariants under test live in the engine and
-    // provider, and a cheap selector keeps 50-seed runs inside the smoke cap.
-    pconfig.selection_period_ticks = 16;
-    pconfig.selector.budget_mode = core::BudgetMode::kFixedCount;
-    pconfig.selector.fixed_count = s.selector_fixed_count;
-    pconfig.selector.eval_threads = s.selector_eval_threads;
-    pconfig.selector.memoize = s.selector_memoize;
-    pconfig.selector.verify_memo = s.selector_verify_memo;
-    result = engine::run_portfolio(s.config, trace, portfolio, pconfig, s.predictor);
+    result = engine::run_portfolio(s.config, trace, portfolio,
+                                   fuzz_portfolio_config(s), s.predictor);
   } else {
     result = engine::run_single_policy(s.config, trace, s.triple, s.predictor);
   }

@@ -52,6 +52,16 @@ struct FuzzConfig {
   /// Draws happen after every scenario-shape and failure draw, so disabling
   /// this reproduces the exact pre-pricing scenarios.
   bool fuzz_pricing = true;
+  /// Also fuzz multi-tenant service mode: every fourth seed draws a tenant
+  /// mix (2-4 tenants, weights, optional VM-hour budgets, arbitration
+  /// cadence), shards the scenario's workload round-robin across the
+  /// tenants, and runs a MultiTenantExperiment so the arbitration-level
+  /// invariants (tenant.global-cap, tenant.fairness, tenant.conservation)
+  /// run under the checker too. Draws happen after every scenario-shape,
+  /// failure, and pricing draw, so disabling this reproduces the exact
+  /// pre-tenant scenarios. A tenant FaultInjection forces every seed
+  /// multi-tenant regardless.
+  bool fuzz_tenants = true;
 };
 
 /// The first violating seed, with its (possibly shrunk) instance size and

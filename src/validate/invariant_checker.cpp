@@ -433,4 +433,83 @@ void InvariantChecker::on_run_end(const metrics::RunMetrics& metrics,
   }
 }
 
+// --- multi-tenant service hooks ----------------------------------------------
+
+void InvariantChecker::on_tenant_arbitration(
+    const std::vector<TenantAllocation>& allocations, std::size_t global_cap,
+    SimTime now) {
+  std::size_t total_alloc = 0;
+  std::size_t total_leased = 0;
+  double total_weight = 0.0;
+  for (const TenantAllocation& a : allocations) {
+    total_alloc += a.allocated_vms;
+    total_leased += a.leased_vms;
+    total_weight += a.weight;
+  }
+  if (!check(total_alloc <= global_cap)) {
+    fail("tenant.global-cap", now,
+         format("arbiter allocated %.0f VMs against a global cap of %.0f",
+                static_cast<double>(total_alloc),
+                static_cast<double>(global_cap)));
+  }
+  if (!check(total_leased <= global_cap)) {
+    fail("tenant.global-cap", now,
+         format("%.0f VMs leased across tenants against a global cap of %.0f",
+                static_cast<double>(total_leased),
+                static_cast<double>(global_cap)));
+  }
+  for (const TenantAllocation& a : allocations) {
+    if (!check(a.allocated_vms >= a.leased_vms)) {
+      fail("tenant.global-cap", now,
+           format("tenant %.0f allocated %.0f VMs, below its live fleet of "
+                  "%.0f (allowances never evict)",
+                  static_cast<double>(a.tenant),
+                  static_cast<double>(a.allocated_vms),
+                  static_cast<double>(a.leased_vms)));
+    }
+  }
+  if (total_weight <= 0.0) return;
+  // Weighted max-min fairness, with one VM of integer-rounding slack on each
+  // side: an in-budget tenant with unmet queued demand must not sit more
+  // than one VM below its quota share (cap * w_i / Σw) while any other
+  // tenant holds more than one VM above its own share — unless the excess is
+  // merely that tenant's live fleet, which the arbiter may never evict.
+  for (const TenantAllocation& starved : allocations) {
+    if (starved.over_budget) continue;
+    if (starved.demand_vms <= starved.allocated_vms) continue;  // demand met
+    const double quota =
+        static_cast<double>(global_cap) * starved.weight / total_weight;
+    if (static_cast<double>(starved.allocated_vms + 1) >= quota) continue;
+    for (const TenantAllocation& other : allocations) {
+      if (other.tenant == starved.tenant) continue;
+      const double other_quota =
+          static_cast<double>(global_cap) * other.weight / total_weight;
+      const double bound =
+          std::max(static_cast<double>(other.leased_vms), other_quota + 1.0);
+      if (!check(static_cast<double>(other.allocated_vms) <= bound)) {
+        fail("tenant.fairness", now,
+             format("tenant %.0f allocated %.0f VMs (quota %.2f) while tenant "
+                    "%.0f sits at %.0f of quota %.2f with unmet demand %.0f",
+                    static_cast<double>(other.tenant),
+                    static_cast<double>(other.allocated_vms), other_quota,
+                    static_cast<double>(starved.tenant),
+                    static_cast<double>(starved.allocated_vms), quota,
+                    static_cast<double>(starved.demand_vms)));
+      }
+    }
+  }
+}
+
+void InvariantChecker::on_tenant_run_end(std::size_t tenant, std::size_t submitted,
+                                         std::size_t finished, std::size_t killed,
+                                         SimTime now) {
+  if (!check(submitted == finished + killed)) {
+    fail("tenant.conservation", now,
+         format("tenant %.0f submitted %.0f jobs but finished %.0f + "
+                "killed-final %.0f",
+                static_cast<double>(tenant), static_cast<double>(submitted),
+                static_cast<double>(finished), static_cast<double>(killed)));
+  }
+}
+
 }  // namespace psched::validate

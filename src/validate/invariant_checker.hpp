@@ -37,6 +37,16 @@
 //                          precedes the kill), billed ceil like a crash
 //   pricing.consistent     pricing metrics match the observed event stream
 //                          (warnings, revocations, per-tier spend, waste)
+//   tenant.global-cap      arbiter allocations (and live leases) summed
+//                          across tenants never exceed the shared provider
+//                          cap, and no tenant is allocated below its live
+//                          fleet (allowances never evict)
+//   tenant.fairness        weighted max-min bound: no in-budget tenant with
+//                          unmet demand sits more than one VM below its
+//                          quota share while another tenant holds more than
+//                          one VM above its own share (beyond its floor)
+//   tenant.conservation    per-tenant submitted == finished + killed-final
+//                          at the end of a multi-tenant run
 //
 // Violations either abort through util/assert.hpp::invariant_fail (with the
 // simulated clock / event / policy context) or, in record mode, accumulate
@@ -76,6 +86,18 @@ struct JobCensus {
   /// budget exhausted, or a workflow dependent of such a job. 0 without a
   /// failure model.
   std::size_t killed = 0;
+};
+
+/// One tenant's slice of a multi-tenant arbitration decision, reported by
+/// MultiTenantExperiment after every epoch (engine/tenant.hpp).
+struct TenantAllocation {
+  std::size_t tenant = 0;
+  double weight = 1.0;
+  std::size_t leased_vms = 0;     ///< live fleet (the allocation floor)
+  std::size_t demand_vms = 0;     ///< leased + queued width
+  std::size_t allocated_vms = 0;  ///< the arbiter's grant for the next epoch
+  bool over_budget = false;       ///< past its VM-hour budget (forfeits the
+                                  ///< fairness guarantee, keeps its floor)
 };
 
 /// All observer hooks run on the engine's event-loop thread: the engine is
@@ -131,6 +153,17 @@ class InvariantChecker final : public sim::SimObserver, public cloud::ProviderOb
   /// End of run: event conservation, metric consistency, utility inputs.
   void on_run_end(const metrics::RunMetrics& metrics, const sim::Simulator& sim,
                   double provider_charged_hours);
+
+  // --- multi-tenant service hooks (engine/tenant.hpp, DESIGN.md §13) --------
+  // Called on the coordinating thread between tenant waves — never
+  // concurrently with the per-tenant engine hooks above, which run on
+  // per-tenant checkers.
+  /// One arbitration decision: global-cap and weighted max-min fairness.
+  void on_tenant_arbitration(const std::vector<TenantAllocation>& allocations,
+                             std::size_t global_cap, SimTime now);
+  /// One tenant's end-of-run totals: per-tenant job conservation.
+  void on_tenant_run_end(std::size_t tenant, std::size_t submitted,
+                         std::size_t finished, std::size_t killed, SimTime now);
 
   // --- results --------------------------------------------------------------
   [[nodiscard]] std::uint64_t checks_run() const noexcept { return checks_; }

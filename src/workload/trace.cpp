@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/assert.hpp"
+
 namespace psched::workload {
 
 Trace::Trace(std::string name, int system_cpus, std::vector<Job> jobs)
@@ -94,6 +96,20 @@ std::string validate(const Trace& trace) {
     }
   }
   return {};
+}
+
+std::vector<Trace> shard_round_robin(const Trace& trace, std::size_t shards) {
+  PSCHED_ASSERT_MSG(shards >= 1, "shard_round_robin needs at least one shard");
+  std::vector<std::vector<Job>> buckets(shards);
+  for (auto& bucket : buckets) bucket.reserve(trace.size() / shards + 1);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    buckets[i % shards].push_back(trace.jobs()[i]);
+  std::vector<Trace> out;
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    out.emplace_back(trace.name() + '#' + std::to_string(s), trace.system_cpus(),
+                     std::move(buckets[s]));
+  return out;
 }
 
 }  // namespace psched::workload

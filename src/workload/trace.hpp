@@ -67,4 +67,12 @@ class Trace {
 /// string when valid, else a description of the first violation.
 [[nodiscard]] std::string validate(const Trace& trace);
 
+/// Deal the trace's jobs round-robin (in trace order) into `shards`
+/// sub-traces named "<name>#<i>". Submit order, system size, and job ids
+/// are preserved, so sharding is deterministic and the shards partition the
+/// source exactly — the multi-tenant harnesses (engine/tenant.hpp) use this
+/// to split one workload across tenants. `shards` must be >= 1.
+[[nodiscard]] std::vector<Trace> shard_round_robin(const Trace& trace,
+                                                   std::size_t shards);
+
 }  // namespace psched::workload

@@ -191,6 +191,27 @@ TEST(BackoffSchedule, JitterBoundedAndDeterministicUnderFixedSeed) {
   EXPECT_TRUE(any_differs);
 }
 
+TEST(BackoffSchedule, SaturatesAtHighRetryCountsInsteadOfWrapping) {
+  // Regression: the delay used to be computed with an integer left shift
+  // that overflowed once a retry storm pushed the attempt counter past the
+  // width of the shift — wrapping the backoff down to (near) the base delay
+  // exactly when the system most needed to stay backed off. High attempt
+  // counts must saturate at the cap forever.
+  ResilienceConfig config;
+  config.retry_backoff_base = 1.0;
+  config.retry_backoff_cap = 1.0e9;
+  config.retry_jitter = 0.0;
+  BackoffSchedule backoff(config, 3);
+  SimDuration last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    last = backoff.next();
+    EXPECT_GE(last, 1.0) << "attempt " << i;
+    EXPECT_LE(last, 1.0e9) << "attempt " << i;
+  }
+  EXPECT_DOUBLE_EQ(last, 1.0e9);
+  EXPECT_EQ(backoff.attempts(), 200u);
+}
+
 TEST(BackoffSchedule, ResetRestartsTheSchedule) {
   ResilienceConfig config;
   config.retry_backoff_base = 40.0;

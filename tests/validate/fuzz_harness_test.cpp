@@ -69,12 +69,20 @@ INSTANTIATE_TEST_SUITE_P(
     AllFaults, FuzzFaultTest,
     testing::Values(FaultCase{FaultInjection::kBillingOffByOne, "billing.ceil", 10},
                     FaultCase{FaultInjection::kSkipBootDelay, "vm.boot-before-run", 10},
-                    FaultCase{FaultInjection::kCapOvershoot, "vm.cap", 40}),
+                    FaultCase{FaultInjection::kCapOvershoot, "vm.cap", 40},
+                    // Tenant faults force every scenario multi-tenant, so the
+                    // arbitration-level checks see each seed (engine/tenant.hpp).
+                    FaultCase{FaultInjection::kTenantCapOvershoot,
+                              "tenant.global-cap", 10},
+                    FaultCase{FaultInjection::kTenantUnfairShare,
+                              "tenant.fairness", 10}),
     [](const testing::TestParamInfo<FaultCase>& info) {
       switch (info.param.fault) {
         case FaultInjection::kBillingOffByOne: return "BillingOffByOne";
         case FaultInjection::kSkipBootDelay: return "SkipBootDelay";
         case FaultInjection::kCapOvershoot: return "CapOvershoot";
+        case FaultInjection::kTenantCapOvershoot: return "TenantCapOvershoot";
+        case FaultInjection::kTenantUnfairShare: return "TenantUnfairShare";
         // candidate-throw is a selector-level fault: the engine/provider
         // checkers never see it, so it has no place in this provider-fault
         // suite (the selector degradation tests cover it).

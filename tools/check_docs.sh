@@ -18,15 +18,15 @@ check_config_fields() {
   local struct_name=$1 header=$2
   local fields
   fields=$(sed -n "/^struct $struct_name {/,/^};/p" "$header" \
-    | grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>]*\s+[a-z_]+\s*(=|;)' \
-    | sed -E 's/\s*(=|;).*//; s/.*\s([a-z_]+)$/\1/')
+    | grep -E '^\s+(const\s+)?[A-Za-z_][A-Za-z0-9_:<>]*\*?\s+[a-z_]+\s*(=|;)' \
+    | sed -E 's/\s*(=|;).*//; s/.*[ *]([a-z_]+)$/\1/')
   if [ -z "$fields" ]; then
     echo "docs-lint: could not extract $struct_name fields from $header" >&2
     fail=1
     return
   fi
   local ref field
-  for ref in $(grep -ohE "$struct_name::[a-zA-Z_]+" $docs | sort -u); do
+  for ref in $(grep -ohE "\b$struct_name::[a-zA-Z_]+" $docs | sort -u); do
     field=${ref#"$struct_name"::}
     if ! printf '%s\n' "$fields" | grep -qx "$field"; then
       echo "docs-lint: $ref is referenced in docs but is not a $struct_name field" >&2
@@ -43,6 +43,8 @@ check_config_fields ResilienceConfig src/cloud/failure.hpp
 check_config_fields BenchGateConfig src/obs/bench_gate.hpp
 check_config_fields PricingConfig src/cloud/pricing.hpp
 check_config_fields VmFamily src/cloud/pricing.hpp
+check_config_fields TenantConfig src/engine/tenant.hpp
+check_config_fields MultiTenantConfig src/engine/tenant.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.
@@ -90,6 +92,23 @@ for rule in $rules; do
       fi
       ;;
   esac
+done
+
+# --- 3b. Registered seed streams must be documented in DESIGN.md -----------
+# Source of truth: the PSCHED_SEED_STREAM registry (util/seed_streams.hpp,
+# rule D5). Every registered stream name must appear quoted in DESIGN.md so
+# the documented determinism surface tracks the registry.
+streams=$(grep -ohE 'PSCHED_SEED_STREAM\([A-Za-z0-9_]+, "[a-z-]+"\)' \
+            src/util/seed_streams.hpp | sed -E 's/.*"([a-z-]+)".*/\1/' | sort -u)
+if [ -z "$streams" ]; then
+  echo "docs-lint: could not extract seed streams from src/util/seed_streams.hpp" >&2
+  fail=1
+fi
+for stream in $streams; do
+  if ! grep -q "\"$stream\"" DESIGN.md; then
+    echo "docs-lint: seed stream \"$stream\" is registered but not documented in DESIGN.md" >&2
+    fail=1
+  fi
 done
 
 # --- 4. "DESIGN.md §N" references must resolve to a real section -----------

@@ -23,6 +23,8 @@
 //        [--vm-families NAME:PRICE[:BOOT[:CAP]],...] [--spot-rate F[:MTBF[:WARN]]]
 //        [--price-schedule T:MULT,...[,walk:STEP]] [--reserved N[:DISCOUNT]]
 //        [--pricing-seed S]
+//        [--tenants N] [--tenant-weights W1,...,WN] [--tenant-budget HOURS]
+//        [--arbitration-ticks T]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
@@ -61,16 +63,34 @@
 //       commitment; --pricing-seed seeds the "spot"/"walk" streams. Any
 //       pricing flag switches the portfolio to the 108-policy tier-aware
 //       set; no pricing flags (the default) is a provable no-op.
+//       Multi-tenant service mode (DESIGN.md §13): --tenants N (N >= 2)
+//       runs N sharded virtual clusters over the shared provider cap, the
+//       deterministic fairness arbiter re-dividing capacity every
+//       --arbitration-ticks scheduling periods (default 1). A generated
+//       archetype gives every tenant its own independently seeded
+//       instance of the workload (the registered "tenant-workload" seed
+//       stream); a trace file or --workflows campaign is sharded
+//       round-robin. --tenant-weights sets per-tenant fairness weights
+//       (comma list, default equal); --tenant-budget sets one per-tenant
+//       VM-hour budget (0 = unlimited). The run report gains the
+//       "psched-tenants/v1" section; --trace-out and --differential are
+//       not supported in this mode.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/experiment.hpp"
+#include "engine/tenant.hpp"
+#include "obs/report.hpp"
 #include "util/argparse.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "validate/differential.hpp"
 #include "workload/characterize.hpp"
 #include "workload/generator.hpp"
@@ -295,6 +315,192 @@ int cmd_differential(const engine::EngineConfig& config, const workload::Trace& 
   return report.pass() ? 0 : 2;
 }
 
+/// Per-tenant workloads for `run --tenants N`. A generated archetype gives
+/// every tenant its own independently seeded instance via the registered
+/// "tenant-workload" stream; a trace file or --workflows campaign is sharded
+/// round-robin. Either way each tenant's jobs are cleaned to its quota floor
+/// so the arbiter can always make progress.
+std::vector<workload::Trace> tenant_traces_from_args(
+    const util::ArgParser& args, const workload::Trace& shared,
+    const std::vector<int>& quota_floors) {
+  const std::size_t count = quota_floors.size();
+  bool generated = !args.get_bool("workflows");
+  for (const std::string& positional : args.positional())
+    if (positional.find(".swf") != std::string::npos) generated = false;
+
+  std::vector<workload::Trace> traces;
+  traces.reserve(count);
+  if (generated) {
+    const double days = args.get_double("days", 7.0);
+    const auto root = static_cast<std::uint64_t>(args.get_int("seed", 20130717));
+    const std::string archetype = args.get("archetype", "KTH-SP2");
+    for (const auto& config : workload::paper_archetypes(days)) {
+      if (config.name != archetype) continue;
+      for (std::size_t i = 0; i < count; ++i)
+        traces.push_back(workload::TraceGenerator(config)
+                             .generate(engine::tenant_workload_seed(root, i))
+                             .cleaned(std::min(quota_floors[i], 64)));
+    }
+    return traces;
+  }
+  std::vector<workload::Trace> shards = workload::shard_round_robin(shared, count);
+  for (std::size_t i = 0; i < count; ++i)
+    traces.push_back(shards[i].cleaned(quota_floors[i]));
+  return traces;
+}
+
+/// `run --tenants N`: the multi-tenant service mode (DESIGN.md §13).
+/// `portfolio` is null in fixed-policy mode (then `triple` is the policy).
+int cmd_run_tenants(const util::ArgParser& args, const engine::EngineConfig& config,
+                    const workload::Trace& trace,
+                    const policy::Portfolio* portfolio,
+                    const core::PortfolioSchedulerConfig& pconfig,
+                    const policy::PolicyTriple* triple,
+                    engine::PredictorKind predictor, obs::Recorder* rec,
+                    const std::string& report_out, std::size_t count) {
+  const std::int64_t ticks = args.get_int("arbitration-ticks", 1);
+  if (ticks < 1) {
+    std::fputs("error: --arbitration-ticks must be >= 1\n", stderr);
+    return 1;
+  }
+  const double budget = args.get_double("tenant-budget", 0.0);
+  if (budget < 0.0) {
+    std::fputs("error: --tenant-budget must be >= 0 VM-hours\n", stderr);
+    return 1;
+  }
+  std::vector<double> weights(count, 1.0);
+  const std::string weights_arg = args.get("tenant-weights", "");
+  if (!weights_arg.empty()) {
+    const std::vector<std::string> parts = split(weights_arg, ',');
+    bool weights_ok = parts.size() == count;
+    for (std::size_t i = 0; weights_ok && i < count; ++i)
+      weights_ok = to_double(parts[i], weights[i]) && weights[i] > 0.0;
+    if (!weights_ok) {
+      std::fprintf(stderr,
+                   "error: --tenant-weights wants %zu comma-separated weights "
+                   "> 0\n",
+                   count);
+      return 1;
+    }
+  }
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+  std::vector<int> quota_floors;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto floor = static_cast<int>(
+        static_cast<double>(config.provider.max_vms) * weights[i] / total_weight);
+    if (floor < 1) {
+      std::fprintf(stderr,
+                   "error: tenant %zu's quota floor is zero — raise the cap "
+                   "(%zu VMs across %zu tenants) or its weight\n",
+                   i, config.provider.max_vms, count);
+      return 1;
+    }
+    quota_floors.push_back(floor);
+  }
+
+  const std::vector<workload::Trace> tenant_traces =
+      tenant_traces_from_args(args, trace, quota_floors);
+  if (tenant_traces.size() != count) {
+    std::fputs("error: could not build per-tenant traces\n", stderr);
+    return 2;
+  }
+
+  engine::MultiTenantConfig mt;
+  mt.engine = config;
+  mt.portfolio = portfolio;
+  mt.scheduler = pconfig;
+  if (triple != nullptr) mt.policy = *triple;
+  mt.predictor = predictor;
+  mt.arbitration_period_ticks = static_cast<std::size_t>(ticks);
+  for (std::size_t i = 0; i < count; ++i) {
+    engine::TenantConfig tenant;
+    tenant.weight = weights[i];
+    tenant.budget_vm_hours = budget;
+    tenant.resilience = config.resilience;
+    tenant.failure = config.failure;
+    if (config.failure.enabled())
+      tenant.failure.seed = engine::tenant_failure_seed(config.failure.seed, i);
+    tenant.trace = &tenant_traces[i];
+    mt.tenants.push_back(std::move(tenant));
+  }
+
+  // The pool hosts both tenant waves and every tenant selector's candidate
+  // waves; results are bit-identical at any width (0 = hardware concurrency).
+  const auto eval_threads = static_cast<std::size_t>(args.get_int("eval-threads", 1));
+  std::unique_ptr<util::ThreadPool> pool;
+  if (eval_threads != 1) pool = std::make_unique<util::ThreadPool>(eval_threads);
+  engine::MultiTenantExperiment experiment(mt, pool.get());
+  const engine::MultiTenantResult result = experiment.run();
+
+  const auto& m = result.metrics;
+  util::Table table({"Metric", "Value"});
+  table.add_row({"scheduler", result.scheduler_name});
+  table.add_row({"trace", result.trace_name});
+  table.add_row({"predictor", engine::to_string(predictor)});
+  table.add_row({"tenants", count});
+  table.add_row({"global cap [VMs]", config.provider.max_vms});
+  table.add_row({"arbitration period [ticks]", static_cast<std::size_t>(ticks)});
+  table.add_row({"epochs / arbitrations",
+                 std::to_string(result.epochs) + "/" +
+                     std::to_string(result.arbitrations)});
+  table.add_row({"peak leased [VMs]", result.peak_leased});
+  table.add_row({"jobs", m.jobs});
+  table.add_row({"avg bounded slowdown", util::Cell(m.avg_bounded_slowdown, 3)});
+  table.add_row({"avg wait [s]", util::Cell(m.avg_wait, 1)});
+  table.add_row({"charged cost [VM-h]", util::Cell(m.charged_hours(), 1)});
+  table.add_row({"utility", util::Cell(m.utility(config.utility), 2)});
+  if (result.is_portfolio) {
+    table.add_row({"selection invocations", result.portfolio.invocations});
+    table.add_row({"policies simulated/selection",
+                   util::Cell(result.portfolio.mean_simulated_per_invocation, 1)});
+  }
+  if (config.validation.check_invariants) {
+    table.add_row({"invariant checks", result.invariant_checks});
+    table.add_row({"invariant violations", result.invariant_violations.size()});
+  }
+  std::fputs(table.render("psched run --tenants").c_str(), stdout);
+
+  util::Table per_tenant({"Tenant", "Weight", "Jobs", "Killed", "BSD",
+                          "Cost [VM-h]", "Budget [VM-h]", "Alloc min/mean/max"});
+  for (const engine::TenantResult& t : result.tenants) {
+    const auto& tm = t.scenario.run.metrics;
+    char alloc[64];
+    std::snprintf(alloc, sizeof alloc, "%zu/%.1f/%zu", t.min_allocation,
+                  t.mean_allocation, t.max_allocation);
+    std::string budget_cell = "unlimited";
+    if (t.budget_vm_hours > 0.0) {
+      char text[48];
+      std::snprintf(text, sizeof text, "%.1f%s", t.budget_vm_hours,
+                    t.over_budget ? " (over)" : "");
+      budget_cell = text;
+    }
+    per_tenant.add_row({t.name, util::Cell(t.weight, 1), tm.jobs,
+                        tm.failures.jobs_killed_final,
+                        util::Cell(tm.avg_bounded_slowdown, 3),
+                        util::Cell(t.charged_hours, 1), budget_cell, alloc});
+  }
+  std::fputs(per_tenant.render("tenants").c_str(), stdout);
+
+  for (const validate::Violation& v : result.invariant_violations)
+    std::fprintf(stderr, "invariant violated: %s at t=%.3f s\n  %s\n",
+                 v.invariant.c_str(), v.when, v.detail.c_str());
+
+  const std::string csv = args.get("csv", "");
+  if (!csv.empty() && !table.save_csv(csv)) {
+    std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
+    return 2;
+  }
+  if (!report_out.empty() &&
+      !obs::write_text_file(
+          report_out,
+          obs::run_report_json(engine::multi_tenant_report_inputs(result, mt), rec))) {
+    std::fputs("error: cannot write --report-out file\n", stderr);
+    return 2;
+  }
+  return result.invariant_violations.empty() ? 0 : 2;
+}
+
 int cmd_run(const util::ArgParser& args) {
   bool ok = true;
   const workload::Trace trace = trace_from_args(args, ok);
@@ -387,7 +593,8 @@ int cmd_run(const util::ArgParser& args) {
   if (!ok) {
     std::fputs(
         "error: unknown --inject-fault (none, billing-off-by-one, "
-        "skip-boot-delay, cap-overshoot, candidate-throw)\n",
+        "skip-boot-delay, cap-overshoot, candidate-throw, "
+        "tenant-cap-overshoot, tenant-unfair-share)\n",
         stderr);
     return 1;
   }
@@ -398,12 +605,29 @@ int cmd_run(const util::ArgParser& args) {
     config.validation.abort_on_violation = false;
   }
 
+  // Multi-tenant service mode: N >= 2 sharded virtual clusters (handled
+  // inside the scheduler dispatch below, once the selector is configured).
+  const std::int64_t tenants_arg = args.get_int("tenants", 0);
+  if (tenants_arg != 0 && tenants_arg < 2) {
+    std::fputs("error: --tenants wants N >= 2 virtual clusters\n", stderr);
+    return 1;
+  }
+  const auto tenant_count = static_cast<std::size_t>(tenants_arg);
+  if (tenant_count > 0 && args.get_bool("differential")) {
+    std::fputs("error: --differential is not supported with --tenants\n", stderr);
+    return 1;
+  }
+
   if (args.get_bool("differential")) return cmd_differential(config, trace);
 
   // Observability: the requested outputs raise the level to what they need
   // (--trace-out needs the event tracer, --report-out at least counters).
   const std::string report_out = args.get("report-out", "");
   const std::string trace_out = args.get("trace-out", "");
+  if (tenant_count > 0 && !trace_out.empty()) {
+    std::fputs("error: --trace-out is not supported with --tenants\n", stderr);
+    return 1;
+  }
   obs::ObsConfig obs_config;
   obs_config.level = obs::obs_level_from_string(args.get("obs-level", "off"), ok);
   if (!ok) {
@@ -449,6 +673,10 @@ int cmd_run(const util::ArgParser& args) {
     // degradation), exiting 0 with zero invariant violations.
     if (config.validation.inject_fault == validate::FaultInjection::kCandidateThrow)
       pconfig.online_sim.inject_fault = validate::FaultInjection::kCandidateThrow;
+    if (tenant_count > 0)
+      return cmd_run_tenants(args, config, trace, &portfolio, pconfig,
+                             /*triple=*/nullptr, predictor, rec, report_out,
+                             tenant_count);
     result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor,
                                    /*eval_pool=*/nullptr, rec);
   } else {
@@ -458,6 +686,10 @@ int cmd_run(const util::ArgParser& args) {
                    scheduler.c_str());
       return 1;
     }
+    if (tenant_count > 0)
+      return cmd_run_tenants(args, config, trace, /*portfolio=*/nullptr,
+                             core::PortfolioSchedulerConfig{}, triple, predictor,
+                             rec, report_out, tenant_count);
     result = engine::run_single_policy(config, trace, *triple, predictor, rec);
   }
 
