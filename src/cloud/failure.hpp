@@ -25,6 +25,7 @@
 #include <string_view>
 
 #include "util/rng.hpp"
+#include "util/state_digest.hpp"
 #include "util/types.hpp"
 
 namespace psched::cloud {
@@ -116,6 +117,16 @@ class FailureModel {
   /// materialized lazily and never rewound.
   [[nodiscard]] bool api_blocked(SimTime now);
 
+  /// Checkpoint support (DESIGN.md §14): fold every stream position and the
+  /// materialized outage window into `digest`, bit-exactly.
+  void capture_digest(util::StateDigest& digest) const {
+    digest.add_u64("failure.boot_rng", boot_rng_.state());
+    digest.add_u64("failure.crash_rng", crash_rng_.state());
+    digest.add_u64("failure.outage_rng", outage_rng_.state());
+    digest.add_double("failure.outage_start", outage_start_);
+    digest.add_double("failure.outage_end", outage_end_);
+  }
+
  private:
   FailureConfig config_;
   util::Rng boot_rng_;
@@ -152,6 +163,13 @@ class BackoffSchedule {
   /// Consecutive failed attempts since the last reset(). Saturates at
   /// SIZE_MAX instead of wrapping back to the base delay.
   [[nodiscard]] std::size_t attempts() const noexcept { return attempts_; }
+
+  /// Checkpoint support: the jitter stream position plus the attempt
+  /// counter are the schedule's whole mutable state.
+  void capture_digest(util::StateDigest& digest) const {
+    digest.add_u64("backoff.rng", rng_.state());
+    digest.add_size("backoff.attempts", attempts_);
+  }
 
  private:
   /// Doublings must give out by the time the mantissa-exponent budget does.

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/state_digest.hpp"
 #include "util/types.hpp"
 
 namespace psched::cloud {
@@ -228,6 +229,18 @@ class PricingModel {
   void fill_view(PricingView& view, SimTime now, std::size_t provider_cap,
                  const std::vector<std::size_t>& family_in_use,
                  std::size_t reserved_in_use);
+
+  /// Checkpoint support (DESIGN.md §14): both stream positions plus every
+  /// materialized walk factor, bit-exactly. The walk vector is ordered
+  /// (epoch index), so an order-sensitive fold is deterministic.
+  void capture_digest(util::StateDigest& digest) const {
+    digest.add_u64("pricing.spot_rng", spot_rng_.state());
+    digest.add_u64("pricing.walk_rng", walk_rng_.state());
+    digest.add_size("pricing.walk_epochs", walk_.size());
+    std::uint64_t walk_hash = 0;
+    for (const double factor : walk_) walk_hash = util::digest_mix(walk_hash, factor);
+    digest.add_u64("pricing.walk_factors", walk_hash);
+  }
 
  private:
   /// Walk factor of `epoch`, materializing every epoch up to it.

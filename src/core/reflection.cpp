@@ -50,6 +50,28 @@ std::vector<double> ReflectionStore::invocation_ratios() const {
   return ratios;
 }
 
+void ReflectionStore::capture_digest(util::StateDigest& digest) const {
+  digest.add_size("reflection.invocations", invocations_);
+  digest.add_size("reflection.total_simulated", total_simulated_);
+  std::uint64_t chosen = 0;
+  for (const std::size_t c : chosen_counts_)
+    chosen = util::digest_mix(chosen, static_cast<std::uint64_t>(c));
+  digest.add_u64("reflection.chosen_counts", chosen);
+  digest.add_size("reflection.history", history_.size());
+  util::UnorderedFold contexts;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const auto& [context, wins] : context_wins_) {
+    util::UnorderedFold inner;
+    // psched-lint: order-insensitive(UnorderedFold is commutative)
+    for (const auto& [policy, count] : wins) {
+      inner.absorb(util::digest_mix(util::digest_mix(0, static_cast<std::uint64_t>(policy)),
+                                    static_cast<std::uint64_t>(count)));
+    }
+    contexts.absorb(util::digest_mix(util::digest_mix(0, context), inner.value()));
+  }
+  digest.add_fold("reflection.context_wins", contexts);
+}
+
 double ReflectionStore::mean_simulated_per_invocation() const noexcept {
   return invocations_ ? static_cast<double>(total_simulated_) /
                             static_cast<double>(invocations_)

@@ -61,6 +61,13 @@ class ReflectionStore {
     return history_;
   }
 
+  /// Checkpoint support (DESIGN.md §14): fold the deterministic reflection
+  /// state — invocation counters, per-policy chosen counts, and the
+  /// per-context win tables that feed reflection hints — into `digest`.
+  /// Wall-clock cost totals are excluded (psched-lint D1): they vary run to
+  /// run in measured mode and are derived state in deterministic modes.
+  void capture_digest(util::StateDigest& digest) const;
+
  private:
   std::size_t max_history_;
   std::size_t invocations_ = 0;

@@ -62,4 +62,14 @@ policy::PolicyTriple PortfolioScheduler::policy_for_tick(
   return current_;
 }
 
+void PortfolioScheduler::capture_checkpoint_state(util::StateDigest& digest) const {
+  digest.add_size("scheduler.current_index", current_index_);
+  digest.add_u64("scheduler.next_selection_tick", next_selection_tick_);
+  digest.add_bool("scheduler.selected_once", selected_once_);
+  digest.add_u64("scheduler.last_selection_tick", last_selection_tick_);
+  digest.add_u64("scheduler.last_signature", signature_key(last_signature_));
+  selector_.capture_checkpoint_state(digest);
+  reflection_.capture_digest(digest);
+}
+
 }  // namespace psched::core

@@ -14,6 +14,7 @@
 #include "core/selector.hpp"
 #include "core/trigger.hpp"
 #include "policy/portfolio.hpp"
+#include "util/state_digest.hpp"
 
 namespace psched::core {
 
@@ -33,6 +34,13 @@ class Scheduler {
   /// base implementation ignores it; the portfolio scheduler forwards it to
   /// its selector for round telemetry and candidate trace spans.
   virtual void set_recorder(obs::Recorder* /*recorder*/) {}
+
+  /// Checkpoint support (DESIGN.md §14): fold the scheduler's cross-tick
+  /// mutable state into `digest`, bit-exactly. The base implementation is a
+  /// no-op — a fixed policy carries no state; the portfolio scheduler folds
+  /// its selection cadence, selector partition, RNG position, and memo
+  /// fingerprints.
+  virtual void capture_checkpoint_state(util::StateDigest& /*digest*/) const {}
 };
 
 /// Applies one fixed policy forever.
@@ -102,6 +110,8 @@ class PortfolioScheduler final : public Scheduler {
   void set_recorder(obs::Recorder* recorder) override {
     selector_.set_recorder(recorder);
   }
+
+  void capture_checkpoint_state(util::StateDigest& digest) const override;
 
  private:
   const policy::Portfolio& portfolio_;

@@ -75,6 +75,40 @@ void TimeConstrainedSelector::reset() {
   for (MemoSlot& slot : memo_) slot.valid = false;
 }
 
+void TimeConstrainedSelector::capture_checkpoint_state(util::StateDigest& digest) const {
+  digest.add_u64("selector.rng", rng_.state());
+  // The partition sequences are order-sensitive state: Smart/Stale are
+  // drained front to back and Poor is indexed by the RNG.
+  std::uint64_t partition = 0;
+  for (const std::size_t i : smart_) partition = util::digest_mix(partition, static_cast<std::uint64_t>(i));
+  digest.add_u64("selector.smart", partition);
+  partition = 0;
+  for (const std::size_t i : stale_) partition = util::digest_mix(partition, static_cast<std::uint64_t>(i));
+  digest.add_u64("selector.stale", partition);
+  partition = 0;
+  for (const std::size_t i : poor_) partition = util::digest_mix(partition, static_cast<std::uint64_t>(i));
+  digest.add_u64("selector.poor", partition);
+  digest.add_size("selector.smart_len", smart_.size());
+  digest.add_size("selector.stale_len", stale_.size());
+  digest.add_size("selector.poor_len", poor_.size());
+  // Memo slots are indexed by portfolio position, so folding them in index
+  // order is deterministic. Only identity-bearing fields enter the digest:
+  // the fingerprint proves which problem instance each cached outcome
+  // answers for.
+  std::uint64_t memo = 0;
+  std::size_t valid_slots = 0;
+  for (std::size_t i = 0; i < memo_.size(); ++i) {
+    const MemoSlot& slot = memo_[i];
+    if (!slot.valid) continue;
+    ++valid_slots;
+    memo = util::digest_mix(memo, static_cast<std::uint64_t>(i));
+    memo = util::digest_mix(memo, slot.fp.lo());
+    memo = util::digest_mix(memo, slot.fp.hi());
+  }
+  digest.add_u64("selector.memo", memo);
+  digest.add_size("selector.memo_valid", valid_slots);
+}
+
 bool TimeConstrainedSelector::memo_enabled() const noexcept {
   // Fault injection makes simulate() throw; serving such a candidate from
   // the cache would silently skip the failure path under test.

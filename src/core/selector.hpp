@@ -45,6 +45,7 @@
 #include "core/online_sim.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
+#include "util/state_digest.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace psched::util {
@@ -219,6 +220,15 @@ class TimeConstrainedSelector {
   /// depends on the recorder, so selection output is bit-identical with it
   /// attached, detached, or at any ObsLevel.
   void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+
+  /// Checkpoint support (DESIGN.md §14): fold the selector's cross-round
+  /// mutable state — the Poor-sampling RNG position, the Smart/Stale/Poor
+  /// partition, and every memo slot's fingerprint — into `digest`,
+  /// bit-exactly. Wall-clock costs never enter the digest (psched-lint D1):
+  /// in measured kWallclock mode they vary run to run by design, and in the
+  /// deterministic budget modes they are derived state. Must be called from
+  /// the coordinating thread, like select().
+  void capture_checkpoint_state(util::StateDigest& digest) const;
 
  private:
   /// One cached candidate outcome (per portfolio index): valid iff `fp`

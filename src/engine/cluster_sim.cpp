@@ -683,4 +683,105 @@ RunResult ClusterSimulation::finish() {
   return result;
 }
 
+void ClusterSimulation::capture_checkpoint_state(util::StateDigest& digest) const {
+  // Event-loop position. Captured at a quiescent horizon, so the pending
+  // queue's *content* is implied by the deterministic replay; its size and
+  // the next due time pin the position bit-exactly.
+  digest.add_double("sim.now", sim_.now());
+  digest.add_u64("sim.events", sim_.events_dispatched());
+  digest.add_size("sim.pending", sim_.queue().size());
+  digest.add_bool("sim.started", started_);
+  digest.add_u64("sim.ticks", ticks_run_);
+  digest.add_bool("sim.tick_armed", tick_armed_);
+  digest.add_size("sim.next_arrival", next_arrival_);
+
+  // Provider fleet, in id order (vms() is id-ordered: order-sensitive fold).
+  std::uint64_t fleet = 0;
+  for (const cloud::VmInstance& vm : provider_.vms()) {
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.id));
+    fleet = util::digest_mix(fleet, vm.lease_time);
+    fleet = util::digest_mix(fleet, vm.boot_complete);
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.state));
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.running_job));
+    fleet = util::digest_mix(fleet, vm.busy_until);
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.boot_failed));
+    fleet = util::digest_mix(fleet, vm.crash_at);
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.family));
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.tier));
+    fleet = util::digest_mix(fleet, vm.revoke_warning_at);
+    fleet = util::digest_mix(fleet, vm.revoke_at);
+    fleet = util::digest_mix(fleet, static_cast<std::uint64_t>(vm.doomed));
+  }
+  digest.add_u64("provider.fleet", fleet);
+  digest.add_size("provider.leased", provider_.leased_count());
+  digest.add_size("provider.total_leases", provider_.total_leases());
+  digest.add_double("provider.charged_hours", provider_.charged_hours_released());
+  digest.add_size("provider.boot_failures", provider_.boot_failures());
+  digest.add_size("provider.crashes", provider_.crashes());
+  digest.add_size("provider.api_rejected_leases", provider_.api_rejected_leases());
+  digest.add_size("provider.api_rejected_releases", provider_.api_rejected_releases());
+  digest.add_size("provider.spot_warnings", provider_.spot_warnings());
+  digest.add_size("provider.spot_revocations", provider_.spot_revocations());
+  digest.add_double("provider.spend_on_demand", provider_.spend_on_demand_dollars());
+  digest.add_double("provider.spend_spot", provider_.spend_spot_dollars());
+  digest.add_double("provider.revoked_charged", provider_.revoked_charged_seconds());
+  digest.add_size("provider.reserved_live", provider_.reserved_live());
+
+  // Waiting queue (submit order: order-sensitive).
+  std::uint64_t waiting = 0;
+  for (const Waiting& w : queue_) {
+    waiting = util::digest_mix(waiting, static_cast<std::uint64_t>(w.job->id));
+    waiting = util::digest_mix(waiting, w.eligible);
+  }
+  digest.add_u64("engine.queue", waiting);
+  digest.add_size("engine.queue_len", queue_.size());
+
+  // Running jobs and predicted-free map (unordered containers: commutative folds).
+  util::UnorderedFold running;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const auto& [id, r] : running_) {
+    std::uint64_t item = util::digest_mix(0, static_cast<std::uint64_t>(id));
+    item = util::digest_mix(item, r.start);
+    item = util::digest_mix(item, r.eligible);
+    for (const VmId vm : r.vms) item = util::digest_mix(item, static_cast<std::uint64_t>(vm));
+    running.absorb(item);
+  }
+  digest.add_fold("engine.running", running);
+  util::UnorderedFold predicted;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const auto& [vm, at] : predicted_free_)
+    predicted.absorb(util::digest_mix(util::digest_mix(0, static_cast<std::uint64_t>(vm)), at));
+  digest.add_fold("engine.predicted_free", predicted);
+
+  // Workflow dependency tracking.
+  util::UnorderedFold deps;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const auto& [id, open] : open_deps_)
+    deps.absorb(util::digest_mix(util::digest_mix(0, static_cast<std::uint64_t>(id)),
+                                 static_cast<std::uint64_t>(open)));
+  digest.add_fold("engine.open_deps", deps);
+  digest.add_size("engine.arrived_blocked", arrived_blocked_.size());
+  util::UnorderedFold dead;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const JobId id : dead_jobs_) dead.absorb(static_cast<std::uint64_t>(id));
+  digest.add_fold("engine.dead_jobs", dead);
+
+  // Failure/resilience/pricing stream positions.
+  if (failure_model_ != nullptr) failure_model_->capture_digest(digest);
+  lease_backoff_.capture_digest(digest);
+  digest.add_double("engine.next_lease_attempt", next_lease_attempt_);
+  if (pricing_model_ != nullptr) pricing_model_->capture_digest(digest);
+  resubmits_->capture_digest(digest, tenant_id_);
+  digest.add_size("engine.fstats_kills", fstats_.job_kills);
+  digest.add_size("engine.fstats_resubmissions", fstats_.job_resubmissions);
+  digest.add_size("engine.fstats_killed_final", fstats_.jobs_killed_final);
+  digest.add_size("engine.fstats_lease_retries", fstats_.lease_retries);
+  digest.add_double("engine.fstats_wasted", fstats_.wasted_proc_seconds);
+  digest.add_double("engine.fstats_paid_wasted", fstats_.failed_vm_charged_seconds);
+
+  // Metrics accumulated so far, and the scheduler's cross-tick state.
+  collector_.capture_digest(digest);
+  scheduler_.capture_checkpoint_state(digest);
+}
+
 }  // namespace psched::engine

@@ -108,11 +108,13 @@ bool write_observability_outputs(const ScenarioResult& result,
                                  const EngineConfig& config,
                                  const obs::Recorder* recorder,
                                  const std::string& report_path,
-                                 const std::string& trace_path) {
+                                 const std::string& trace_path,
+                                 const obs::ReportCheckpoint* checkpoint) {
   bool ok = true;
   if (!report_path.empty()) {
-    const std::string report =
-        obs::run_report_json(report_inputs(result, config), recorder);
+    obs::RunReportInputs inputs = report_inputs(result, config);
+    if (checkpoint != nullptr) inputs.checkpoint = *checkpoint;
+    const std::string report = obs::run_report_json(inputs, recorder);
     ok = obs::write_text_file(report_path, report) && ok;
   }
   if (!trace_path.empty() && recorder != nullptr) {

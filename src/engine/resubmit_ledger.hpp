@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/state_digest.hpp"
 #include "util/types.hpp"
 
 namespace psched::engine {
@@ -40,6 +41,22 @@ class ResubmitLedger {
 
   /// Number of tenant shards the ledger is sized for.
   [[nodiscard]] std::size_t tenants() const noexcept { return shards_.size(); }
+
+  /// Checkpoint support (DESIGN.md §14): fold one tenant's shard into
+  /// `digest` order-insensitively (the shard is an unordered map;
+  /// psched-lint D2). Each engine folds only its own shard so tenant
+  /// captures stay disjoint under a shared ledger.
+  void capture_digest(util::StateDigest& digest, std::size_t tenant) const {
+    util::UnorderedFold fold;
+    if (tenant < shards_.size()) {
+      // psched-lint: order-insensitive(UnorderedFold is commutative)
+      for (const auto& [job, kills] : shards_[tenant]) {
+        fold.absorb(util::digest_mix(util::digest_mix(0, static_cast<std::uint64_t>(job)),
+                                     static_cast<std::uint64_t>(kills)));
+      }
+    }
+    digest.add_fold("resubmits.kills", fold);
+  }
 
  private:
   // One map per tenant: a tenant's wave task only ever touches its own shard.

@@ -64,4 +64,32 @@ RunMetrics MetricsCollector::finalize() const {
   return m;
 }
 
+void MetricsCollector::capture_digest(util::StateDigest& digest) const {
+  digest.add_size("metrics.jobs", slowdowns_.count());
+  digest.add_double("metrics.slowdown_mean", slowdowns_.mean());
+  digest.add_double("metrics.slowdown_var", slowdowns_.variance());
+  digest.add_double("metrics.slowdown_min", slowdowns_.min());
+  digest.add_double("metrics.slowdown_max", slowdowns_.max());
+  digest.add_double("metrics.slowdown_sum", slowdowns_.sum());
+  digest.add_double("metrics.wait_mean", waits_.mean());
+  digest.add_double("metrics.wait_var", waits_.variance());
+  digest.add_double("metrics.wait_sum", waits_.sum());
+  digest.add_double("metrics.rj", rj_);
+  digest.add_double("metrics.rv_seconds", rv_seconds_);
+  digest.add_double("metrics.makespan", makespan_);
+  digest.add_size("metrics.records", records_.size());
+  util::UnorderedFold workflows;
+  // psched-lint: order-insensitive(UnorderedFold is commutative)
+  for (const auto& [id, span] : workflows_) {
+    std::uint64_t h = util::digest_mix(0, static_cast<std::uint64_t>(id));
+    h = util::digest_mix(h, span.first_submit);
+    h = util::digest_mix(h, span.last_finish);
+    workflows.absorb(h);
+  }
+  digest.add_fold("metrics.workflows", workflows);
+  digest.add_size("metrics.failures.job_kills", failures_.job_kills);
+  digest.add_size("metrics.failures.jobs_killed_final", failures_.jobs_killed_final);
+  digest.add_double("metrics.failures.wasted", failures_.wasted_proc_seconds);
+}
+
 }  // namespace psched::metrics

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "metrics/utility.hpp"
+#include "util/state_digest.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
@@ -150,6 +151,11 @@ class MetricsCollector {
   /// distributional analyses).
   void keep_records(bool keep) noexcept { keep_records_ = keep; }
   [[nodiscard]] const std::vector<JobRecord>& records() const noexcept { return records_; }
+
+  /// Checkpoint support (DESIGN.md §14): fold every accumulator bit-exactly.
+  /// The workflow-span map is unordered, so it goes through the
+  /// order-insensitive fold (psched-lint D2).
+  void capture_digest(util::StateDigest& digest) const;
 
  private:
   struct WorkflowSpan {

@@ -1,7 +1,11 @@
 #include "util/argparse.hpp"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
+#include <system_error>
 
 namespace psched::util {
 
@@ -33,14 +37,51 @@ std::string ArgParser::get(const std::string& name, const std::string& fallback)
   return it == flags_.end() ? fallback : it->second;
 }
 
+namespace {
+
+[[noreturn]] void malformed(const std::string& name, const char* wants,
+                            const std::string& got) {
+  std::fprintf(stderr, "error: --%s wants %s, got '%s'\n", name.c_str(), wants,
+               got.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+bool ArgParser::parse_int(const std::string& text, std::int64_t& out) {
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [end, ec] = std::from_chars(first, last, value, 10);
+  if (ec != std::errc{} || end != last) return false;
+  out = value;
+  return true;
+}
+
+bool ArgParser::parse_double(const std::string& text, double& out) {
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [end, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || end != last || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
 std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return fallback;
+  std::int64_t value = 0;
+  if (!parse_int(it->second, value)) malformed(name, "an integer", it->second);
+  return value;
 }
 
 double ArgParser::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return fallback;
+  double value = 0.0;
+  if (!parse_double(it->second, value)) malformed(name, "a finite number", it->second);
+  return value;
 }
 
 bool ArgParser::get_bool(const std::string& name, bool fallback) const {

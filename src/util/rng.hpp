@@ -61,6 +61,11 @@ class Rng {
   /// Weights need not be normalized; requires at least one positive weight.
   std::size_t weighted_index(const std::vector<double>& weights) noexcept;
 
+  /// Current stream position (the whole engine state is one word). Exposed
+  /// for checkpoint digests (util/state_digest.hpp): two Rngs with equal
+  /// state produce identical draw sequences forever.
+  [[nodiscard]] std::uint64_t state() const noexcept { return state_; }
+
  private:
   std::uint64_t state_;
 };

@@ -36,6 +36,9 @@ class SwfError : public std::runtime_error {
 /// take the value from the `; MaxProcs:` header comment (if present).
 /// Jobs with negative runtime (SWF meaning: unknown) are kept with
 /// runtime 0 so that Trace::cleaned() drops them, matching the paper.
+/// Malformed input — unparseable tokens, NaN/Inf values, or negative
+/// fields other than the -1 "unknown" sentinel — throws SwfError naming
+/// the offending 1-based line.
 [[nodiscard]] Trace read_swf(std::istream& in, std::string name, int system_cpus = 0);
 
 /// Parse an SWF file from disk. Throws SwfError if unreadable.

@@ -1,0 +1,306 @@
+// Unit tests for the checkpoint codec and supervisor (DESIGN.md §14):
+// encode/decode roundtrip, the rejection taxonomy (truncation, bit flips,
+// stale schemas, foreign configs), auto-scan ordering, fallback to the next
+// older valid checkpoint, and the write-time roundtrip verification that
+// deletes checkpoints which fail read-back.
+#include "engine/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/state_digest.hpp"
+#include "validate/fault.hpp"
+
+namespace psched::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test scratch directory under gtest's temp root.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("psched-ckpt-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] CheckpointConfig config() const {
+    CheckpointConfig c;
+    c.every_epochs = 1;
+    c.directory = dir_.string();
+    return c;
+  }
+
+  fs::path dir_;
+};
+
+CheckpointDoc sample_doc() {
+  CheckpointDoc doc;
+  doc.sequence = 3;
+  doc.epoch = 1500;
+  doc.config_lo = 0x0123456789abcdefULL;
+  doc.config_hi = 0xfedcba9876543210ULL;
+  doc.digest.add_u64("sim.now", 0xdeadbeefULL);
+  doc.digest.add_double("metrics.avg_wait", 12.5);
+  doc.digest.add_u64("rng.failure", 0);  // zero values must survive too
+  return doc;
+}
+
+std::string read_all(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CheckpointCodec, Fnv1a64MatchesTheReferenceVectors) {
+  // Standard FNV-1a 64-bit test vectors: offset basis and "a".
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(CheckpointCodec, EncodeDecodeRoundtripsEveryField) {
+  const CheckpointDoc doc = sample_doc();
+  const std::string bytes = encode_checkpoint(doc);
+  const CheckpointDecodeResult back = decode_checkpoint(bytes);
+  ASSERT_EQ(back.error, CheckpointError::kNone) << back.detail;
+  EXPECT_EQ(back.doc.sequence, doc.sequence);
+  EXPECT_EQ(back.doc.epoch, doc.epoch);
+  EXPECT_EQ(back.doc.config_lo, doc.config_lo);
+  EXPECT_EQ(back.doc.config_hi, doc.config_hi);
+  EXPECT_EQ(back.doc.digest, doc.digest);
+}
+
+TEST(CheckpointCodec, TruncationIsRejectedAsTorn) {
+  const std::string bytes = encode_checkpoint(sample_doc());
+  // A missing final newline alone is tolerated (the trailer is complete);
+  // losing any trailer byte beyond that must be rejected, as must cuts
+  // inside the body.
+  EXPECT_EQ(decode_checkpoint(bytes.substr(0, bytes.size() - 1)).error,
+            CheckpointError::kNone);
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{10},
+                                 bytes.size() / 2, bytes.size() - 2}) {
+    const CheckpointDecodeResult r = decode_checkpoint(bytes.substr(0, keep));
+    EXPECT_NE(r.error, CheckpointError::kNone) << "prefix of " << keep;
+  }
+  EXPECT_EQ(decode_checkpoint(bytes.substr(0, bytes.size() - 2)).error,
+            CheckpointError::kTornTrailer);
+}
+
+TEST(CheckpointCodec, BitFlipIsRejectedAsBadChecksum) {
+  std::string bytes = encode_checkpoint(sample_doc());
+  bytes[bytes.find("epoch") + 8] ^= 0x01;  // flip one bit inside the body
+  const CheckpointDecodeResult r = decode_checkpoint(bytes);
+  EXPECT_EQ(r.error, CheckpointError::kBadChecksum);
+}
+
+TEST(CheckpointCodec, StaleSchemaIsRejectedAsBadSchema) {
+  // Re-tag the body as v0 and re-sign it so the checksum passes; the schema
+  // gate must still reject it.
+  std::string bytes = encode_checkpoint(sample_doc());
+  const std::size_t tag = bytes.find("psched-checkpoint/v1");
+  ASSERT_NE(tag, std::string::npos);
+  bytes[tag + 19] = '0';
+  std::string body = bytes.substr(0, bytes.find('\n') + 1);
+  char trailer[64];
+  std::snprintf(trailer, sizeof trailer, "#psched-checksum fnv1a64=%016llx\n",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  const CheckpointDecodeResult r = decode_checkpoint(body + trailer);
+  EXPECT_EQ(r.error, CheckpointError::kBadSchema);
+}
+
+TEST(CheckpointCodec, NonJsonBodyIsRejectedAsParse) {
+  const std::string body = "this is not a checkpoint\n";
+  char trailer[64];
+  std::snprintf(trailer, sizeof trailer, "#psched-checksum fnv1a64=%016llx\n",
+                static_cast<unsigned long long>(fnv1a64(body)));
+  const CheckpointDecodeResult r = decode_checkpoint(body + trailer);
+  EXPECT_EQ(r.error, CheckpointError::kParse);
+}
+
+TEST_F(CheckpointTest, FileWriteLoadRoundtrip) {
+  const CheckpointDoc doc = sample_doc();
+  const std::string path = checkpoint_path(config(), doc.epoch);
+  EXPECT_NE(path.find("psched-00001500.ckpt"), std::string::npos)
+      << "epoch must be zero-padded in " << path;
+  ASSERT_TRUE(write_checkpoint_file(path, doc));
+  const CheckpointDecodeResult back = load_checkpoint_file(path);
+  ASSERT_EQ(back.error, CheckpointError::kNone) << back.detail;
+  EXPECT_EQ(back.doc.digest, doc.digest);
+}
+
+TEST_F(CheckpointTest, MissingFileIsRejectedAsIo) {
+  const CheckpointDecodeResult r =
+      load_checkpoint_file((dir_ / "nope.ckpt").string());
+  EXPECT_EQ(r.error, CheckpointError::kIo);
+}
+
+TEST_F(CheckpointTest, ListCheckpointsReturnsNewestEpochFirst) {
+  const CheckpointConfig c = config();
+  CheckpointDoc doc = sample_doc();
+  for (const std::uint64_t epoch : {5ULL, 100ULL, 20ULL}) {
+    doc.epoch = epoch;
+    ASSERT_TRUE(write_checkpoint_file(checkpoint_path(c, epoch), doc));
+  }
+  // A non-matching file must be ignored by the scan.
+  std::ofstream(dir_ / "unrelated.txt") << "noise\n";
+  const std::vector<std::string> found = list_checkpoints(c);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_NE(found[0].find("00000100"), std::string::npos);
+  EXPECT_NE(found[1].find("00000020"), std::string::npos);
+  EXPECT_NE(found[2].find("00000005"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, SupervisorWritesVerifiesAndPrunes) {
+  CheckpointConfig c = config();
+  c.keep = 2;
+  CheckpointSupervisor supervisor(c, 1, 2);
+  util::StateDigest digest;
+  digest.add_u64("x", 7);
+  supervisor.write(10, digest);
+  supervisor.write(20, digest);
+  supervisor.write(30, digest);
+  EXPECT_EQ(supervisor.stats().written, 3u);
+  EXPECT_EQ(supervisor.stats().rejected, 0u);
+  const std::vector<std::string> kept = list_checkpoints(c);
+  ASSERT_EQ(kept.size(), 2u) << "older checkpoints must be pruned to keep=2";
+  EXPECT_NE(kept[0].find("00000030"), std::string::npos);
+  EXPECT_NE(kept[1].find("00000020"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, SupervisorCreatesAMissingDirectory) {
+  CheckpointConfig c = config();
+  c.directory = (dir_ / "nested" / "ckpt").string();
+  CheckpointSupervisor supervisor(c, 1, 2);
+  util::StateDigest digest;
+  digest.add_u64("x", 7);
+  supervisor.write(10, digest);
+  EXPECT_EQ(supervisor.stats().written, 1u);
+  EXPECT_EQ(list_checkpoints(c).size(), 1u);
+}
+
+TEST_F(CheckpointTest, RoundtripVerificationDeletesACorruptWrite) {
+  CheckpointConfig c = config();
+  c.inject_fault = validate::FaultInjection::kCheckpointBitFlip;
+  ASSERT_TRUE(c.verify_roundtrip);
+  CheckpointSupervisor supervisor(c, 1, 2);
+  util::StateDigest digest;
+  digest.add_u64("x", 7);
+  supervisor.write(10, digest);
+  EXPECT_EQ(supervisor.stats().written, 0u);
+  EXPECT_EQ(supervisor.stats().rejected, 1u);
+  EXPECT_TRUE(list_checkpoints(c).empty())
+      << "a write that fails read-back must not survive on disk";
+}
+
+TEST_F(CheckpointTest, PlanResumePicksTheNewestValidCheckpoint) {
+  const CheckpointConfig writer = config();
+  CheckpointDoc doc = sample_doc();
+  doc.config_lo = 1;
+  doc.config_hi = 2;
+  doc.epoch = 100;
+  ASSERT_TRUE(write_checkpoint_file(checkpoint_path(writer, 100), doc));
+  doc.epoch = 200;
+  ASSERT_TRUE(write_checkpoint_file(checkpoint_path(writer, 200), doc));
+
+  CheckpointConfig c = config();
+  c.resume_from = "auto";
+  CheckpointSupervisor supervisor(c, 1, 2);
+  const CheckpointDoc* resume = supervisor.plan_resume();
+  ASSERT_NE(resume, nullptr);
+  EXPECT_EQ(resume->epoch, 200u);
+  EXPECT_EQ(supervisor.stats().rejected, 0u);
+}
+
+TEST_F(CheckpointTest, PlanResumeFallsBackPastACorruptNewestCheckpoint) {
+  const CheckpointConfig writer = config();
+  CheckpointDoc doc = sample_doc();
+  doc.config_lo = 1;
+  doc.config_hi = 2;
+  doc.epoch = 100;
+  ASSERT_TRUE(write_checkpoint_file(checkpoint_path(writer, 100), doc));
+  doc.epoch = 200;
+  const std::string newest = checkpoint_path(writer, 200);
+  ASSERT_TRUE(write_checkpoint_file(newest, doc));
+  // Truncate the newest file — what a torn non-atomic write would leave.
+  const std::string bytes = read_all(newest);
+  std::ofstream(newest, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+
+  CheckpointConfig c = config();
+  c.resume_from = "auto";
+  CheckpointSupervisor supervisor(c, 1, 2);
+  const CheckpointDoc* resume = supervisor.plan_resume();
+  ASSERT_NE(resume, nullptr) << "the older valid checkpoint must be used";
+  EXPECT_EQ(resume->epoch, 100u);
+  EXPECT_EQ(supervisor.stats().rejected, 1u);
+}
+
+TEST_F(CheckpointTest, PlanResumeRejectsAForeignConfigFingerprint) {
+  const CheckpointConfig writer = config();
+  CheckpointDoc doc = sample_doc();
+  doc.config_lo = 1;
+  doc.config_hi = 2;
+  doc.epoch = 100;
+  ASSERT_TRUE(write_checkpoint_file(checkpoint_path(writer, 100), doc));
+
+  CheckpointConfig c = config();
+  c.resume_from = "auto";
+  CheckpointSupervisor supervisor(c, 99, 2);  // different producing config
+  EXPECT_EQ(supervisor.plan_resume(), nullptr);
+  EXPECT_EQ(supervisor.stats().rejected, 1u);
+  EXPECT_EQ(supervisor.stats().resumed_epoch, 0u);
+}
+
+TEST_F(CheckpointTest, ConfirmRestoreCountsMatchesAndMismatches) {
+  const CheckpointConfig writer = config();
+  CheckpointDoc doc = sample_doc();
+  doc.config_lo = 1;
+  doc.config_hi = 2;
+  ASSERT_TRUE(write_checkpoint_file(checkpoint_path(writer, doc.epoch), doc));
+
+  CheckpointConfig c = config();
+  c.resume_from = "auto";
+  {
+    CheckpointSupervisor supervisor(c, 1, 2);
+    ASSERT_NE(supervisor.plan_resume(), nullptr);
+    EXPECT_TRUE(supervisor.confirm_restore(doc.digest));
+    EXPECT_EQ(supervisor.stats().restored, 1u);
+    EXPECT_EQ(supervisor.stats().resumed_epoch, doc.epoch);
+  }
+  {
+    CheckpointSupervisor supervisor(c, 1, 2);
+    ASSERT_NE(supervisor.plan_resume(), nullptr);
+    util::StateDigest drifted = doc.digest;
+    drifted.add_u64("extra", 1);
+    EXPECT_FALSE(supervisor.confirm_restore(drifted));
+    EXPECT_EQ(supervisor.stats().restored, 0u);
+    EXPECT_EQ(supervisor.stats().rejected, 1u);
+  }
+}
+
+TEST(CheckpointError2String, CoversEveryEnumerator) {
+  EXPECT_STREQ(to_string(CheckpointError::kTornTrailer), "torn-trailer");
+  EXPECT_STREQ(to_string(CheckpointError::kBadChecksum), "bad-checksum");
+  EXPECT_STREQ(to_string(CheckpointError::kBadSchema), "bad-schema");
+  EXPECT_STREQ(to_string(CheckpointError::kConfigMismatch), "config-mismatch");
+  EXPECT_STREQ(to_string(CheckpointError::kDigestMismatch), "digest-mismatch");
+}
+
+}  // namespace
+}  // namespace psched::engine

@@ -49,6 +49,36 @@ TEST(ArgParser, PositionalArguments) {
   EXPECT_EQ(p.positional()[1], "other");
 }
 
+TEST(ArgParser, ParseIntIsStrict) {
+  // The building block behind get_int: full-consume base-10 only. Anything
+  // else is a usage error the CLI must reject, not silently truncate.
+  std::int64_t value = 0;
+  EXPECT_TRUE(ArgParser::parse_int("42", value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ArgParser::parse_int("-7", value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ArgParser::parse_int("", value));
+  EXPECT_FALSE(ArgParser::parse_int("12x", value)) << "trailing garbage";
+  EXPECT_FALSE(ArgParser::parse_int("4.5", value)) << "not an integer";
+  EXPECT_FALSE(ArgParser::parse_int("0x10", value)) << "no hex";
+  EXPECT_FALSE(ArgParser::parse_int(" 3", value)) << "no leading space";
+  EXPECT_FALSE(ArgParser::parse_int("99999999999999999999", value)) << "overflow";
+}
+
+TEST(ArgParser, ParseDoubleIsStrictAndFinite) {
+  double value = 0.0;
+  EXPECT_TRUE(ArgParser::parse_double("0.75", value));
+  EXPECT_DOUBLE_EQ(value, 0.75);
+  EXPECT_TRUE(ArgParser::parse_double("-2e3", value));
+  EXPECT_DOUBLE_EQ(value, -2000.0);
+  EXPECT_FALSE(ArgParser::parse_double("", value));
+  EXPECT_FALSE(ArgParser::parse_double("1.5days", value)) << "trailing garbage";
+  EXPECT_FALSE(ArgParser::parse_double("nan", value)) << "NaN rejected";
+  EXPECT_FALSE(ArgParser::parse_double("inf", value)) << "Inf rejected";
+  EXPECT_FALSE(ArgParser::parse_double("-inf", value)) << "-Inf rejected";
+  EXPECT_FALSE(ArgParser::parse_double("1e999", value)) << "overflow to Inf";
+}
+
 TEST(ArgParser, BoolSpellings) {
   EXPECT_TRUE(parse({"--a=true"}).get_bool("a"));
   EXPECT_TRUE(parse({"--a=1"}).get_bool("a"));

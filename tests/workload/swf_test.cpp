@@ -74,6 +74,60 @@ TEST(Swf, ThrowsOnMissingFile) {
   EXPECT_THROW((void)load_swf("/does/not/exist.swf"), SwfError);
 }
 
+/// Exact message text of the SwfError a stream produces (empty = no throw).
+std::string swf_error_of(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_swf(in, "t", 4);
+  } catch (const SwfError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Swf, RejectsNaNAndInfFields) {
+  // A NaN runtime or an Inf width must never reach the engine: NaN poisons
+  // every downstream metric and comparison silently.
+  EXPECT_NE(swf_error_of("1 0 0 nan 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n")
+                .find("non-finite"),
+            std::string::npos);
+  EXPECT_NE(swf_error_of("1 0 0 10 inf -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n")
+                .find("non-finite"),
+            std::string::npos);
+  EXPECT_NE(swf_error_of("1 -inf 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n")
+                .find("non-finite"),
+            std::string::npos);
+}
+
+TEST(Swf, RejectsNegativeValuesOtherThanTheSentinel) {
+  // -1 is SWF's "unknown" sentinel; any other negative width/runtime is
+  // trace corruption, not a convention.
+  const std::string error =
+      swf_error_of("1 0 0 -300 4 -1 -1 4 600 -1 1 7 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+  EXPECT_NE(error.find("sentinel"), std::string::npos) << error;
+  // The sentinel itself stays legal.
+  EXPECT_TRUE(swf_error_of("1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n")
+                  .empty());
+}
+
+TEST(Swf, RejectsTrailingGarbageInsideAField) {
+  const std::string error =
+      swf_error_of("1 0 0 10x 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n");
+  EXPECT_NE(error.find("malformed"), std::string::npos) << error;
+}
+
+TEST(Swf, ErrorsNameTheOffendingOneBasedLine) {
+  // Line numbering counts every input line — comments and blanks included —
+  // so the message matches what an editor shows.
+  const std::string good = "1 0 0 10 1 -1 -1 1 20 -1 1 1 -1 -1 -1 -1 -1 -1\n";
+  const std::string error = swf_error_of("; MaxProcs: 4\n" + good + good +
+                                         "4 0 0 bad 1\n");
+  EXPECT_NE(error.find("line 4"), std::string::npos) << error;
+  const std::string short_error = swf_error_of(good + "2 0 3\n");
+  EXPECT_NE(short_error.find("line 2"), std::string::npos) << short_error;
+}
+
 TEST(Swf, RoundTripPreservesModeledFields) {
   std::vector<Job> jobs;
   for (int i = 0; i < 20; ++i) {

@@ -45,6 +45,7 @@ check_config_fields PricingConfig src/cloud/pricing.hpp
 check_config_fields VmFamily src/cloud/pricing.hpp
 check_config_fields TenantConfig src/engine/tenant.hpp
 check_config_fields MultiTenantConfig src/engine/tenant.hpp
+check_config_fields CheckpointConfig src/engine/checkpoint.hpp
 
 # --- 2. --flags mentioned in docs must exist in the sources ----------------
 # Flags of external tools (cmake/ctest/gtest themselves) are allowlisted.
@@ -94,7 +95,23 @@ for rule in $rules; do
   esac
 done
 
-# --- 3b. Registered seed streams must be documented in DESIGN.md -----------
+# --- 3b. Emitted schema tags must be documented in DESIGN.md ---------------
+# Source of truth: every "psched-<name>/vK" schema constant in src/. A
+# schema a consumer can encounter (run reports and their sections, bench
+# reports, checkpoints) must be described somewhere in DESIGN.md.
+schemas=$(grep -rhoE '"psched-[a-z-]+/v[0-9]+"' src | tr -d '"' | sort -u)
+if [ -z "$schemas" ]; then
+  echo "docs-lint: could not extract schema tags from src/" >&2
+  fail=1
+fi
+for schema in $schemas; do
+  if ! grep -q "$schema" DESIGN.md; then
+    echo "docs-lint: schema \"$schema\" is emitted but not documented in DESIGN.md" >&2
+    fail=1
+  fi
+done
+
+# --- 3c. Registered seed streams must be documented in DESIGN.md -----------
 # Source of truth: the PSCHED_SEED_STREAM registry (util/seed_streams.hpp,
 # rule D5). Every registered stream name must appear quoted in DESIGN.md so
 # the documented determinism surface tracks the registry.

@@ -1,0 +1,287 @@
+// psched-chaos — crash-safe supervision harness (DESIGN.md §14).
+//
+// usage: psched-chaos --psched PATH [--dir DIR] [--rounds N]
+//                     [--kill-after-ms M] [--archetype NAME] [--days D]
+//                     [--scheduler NAME] [--checkpoint-every E]
+//                     [--baseline-report FILE.json]
+//
+// Proves the checkpoint/restore subsystem survives real crashes, not just
+// unit-test ones. Each chaos round spawns
+//
+//   psched run --archetype A --days D --scheduler S
+//              --checkpoint-every E --checkpoint-dir DIR --resume-from auto
+//              --report-out DIR/report.json
+//
+// and SIGKILLs it after a delay (growing per round, so kills land between
+// different checkpoints). SIGKILL cannot be caught: whatever was on disk at
+// that instant — including a checkpoint mid-write, which the atomic
+// temp+fsync+rename discipline must make invisible — is what the next round
+// resumes from. The final round runs to completion and must exit 0; the
+// harness then gates on the report:
+//   * it validates as "psched-run-report/v1" (obs::validate_run_report);
+//   * its "checkpoint" section is present with written + restored >= 1
+//     (counters are per-process: a final round resumed near the horizon may
+//     legitimately write no further checkpoint, but then restored == 1);
+//   * rejected == 0 — a crashed *write* must never leave a file that decodes
+//     and then gets rejected; atomic rename means torn files don't exist;
+//   * with --baseline-report FILE (a clean, uninterrupted run's report),
+//     the "metrics" subtrees must be recursively identical — resume is
+//     validated deterministic replay, so crashes must not move a single
+//     bit of the results. Only the supervision counters may differ.
+//
+// Exit codes: 0 chaos survived and the report gates pass, 1 usage error,
+// 2 gate failure. POSIX-only (fork/exec/SIGKILL); other platforms exit 2.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "util/argparse.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+namespace {
+
+using namespace psched;
+
+int usage() {
+  std::fputs(
+      "usage: psched-chaos --psched PATH [--dir DIR] [--rounds N]\n"
+      "                    [--kill-after-ms M] [--archetype NAME] [--days D]\n"
+      "                    [--scheduler NAME] [--checkpoint-every E]\n",
+      stderr);
+  return 1;
+}
+
+/// Deterministic pause — no clock *reads*, just a relative sleep, so the
+/// harness stays clean under psched-lint D1.
+void sleep_ms(long ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = (ms % 1000) * 1000000L;
+  nanosleep(&ts, nullptr);
+}
+
+/// Spawn one `psched run`. Returns the child pid, or -1 on failure.
+pid_t spawn(const std::vector<std::string>& argv_strings) {
+  std::vector<char*> argv;
+  argv.reserve(argv_strings.size() + 1);
+  for (const std::string& s : argv_strings) argv.push_back(const_cast<char*>(s.c_str()));
+  argv.push_back(nullptr);
+  std::fflush(stdout);  // don't let the child replay buffered parent output
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Child: silence the table output; stderr stays visible for errors.
+    std::freopen("/dev/null", "w", stdout);
+    execv(argv[0], argv.data());
+    std::fprintf(stderr, "psched-chaos: execv %s failed\n", argv[0]);
+    _exit(127);
+  }
+  return pid;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Recursive JSON equality (objects compare in insertion order — both
+/// documents come from the same writer, so key order is fixed).
+bool json_equal(const obs::JsonValue& a, const obs::JsonValue& b) {
+  if (a.type != b.type) return false;
+  switch (a.type) {
+    case obs::JsonValue::Type::kNull: return true;
+    case obs::JsonValue::Type::kBool: return a.boolean == b.boolean;
+    case obs::JsonValue::Type::kNumber:
+      // psched-lint: suppress(D4) bit-identity gate, not a tolerance check
+      return a.number == b.number;
+    case obs::JsonValue::Type::kString: return a.string == b.string;
+    case obs::JsonValue::Type::kArray: {
+      if (a.array.size() != b.array.size()) return false;
+      for (std::size_t i = 0; i < a.array.size(); ++i)
+        if (!json_equal(a.array[i], b.array[i])) return false;
+      return true;
+    }
+    case obs::JsonValue::Type::kObject: {
+      if (a.object.size() != b.object.size()) return false;
+      for (std::size_t i = 0; i < a.object.size(); ++i) {
+        if (a.object[i].first != b.object[i].first) return false;
+        if (!json_equal(a.object[i].second, b.object[i].second)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The final gate: the surviving report must be a valid run report whose
+/// checkpoint section shows writes and zero rejections; with a baseline,
+/// its "metrics" subtree must be bit-identical to the clean run's.
+int gate_report(const std::string& path, const std::string& baseline_path) {
+  std::string content;
+  if (!read_file(path, content)) {
+    std::fprintf(stderr, "psched-chaos: cannot read final report %s\n", path.c_str());
+    return 2;
+  }
+  const obs::ValidationResult valid = obs::validate_run_report(content);
+  if (!valid.ok) {
+    std::fprintf(stderr, "psched-chaos: final report invalid: %s\n",
+                 valid.detail.c_str());
+    return 2;
+  }
+  const obs::JsonParseResult parsed = obs::json_parse(content);
+  const obs::JsonValue* checkpoint =
+      parsed.ok ? parsed.value.find("checkpoint") : nullptr;
+  if (checkpoint == nullptr || !checkpoint->is(obs::JsonValue::Type::kObject)) {
+    std::fputs("psched-chaos: final report has no checkpoint section\n", stderr);
+    return 2;
+  }
+  const auto counter = [&](const char* name) {
+    const obs::JsonValue* v = checkpoint->find(name);
+    return v != nullptr && v->is(obs::JsonValue::Type::kNumber)
+               ? static_cast<long>(v->number)
+               : -1L;
+  };
+  const long written = counter("written");
+  const long restored = counter("restored");
+  const long rejected = counter("rejected");
+  std::printf("psched-chaos: final report ok — written=%ld restored=%ld rejected=%ld\n",
+              written, restored, rejected);
+  if (written < 1 && restored < 1) {
+    std::fputs("psched-chaos: the final run neither wrote nor restored a "
+               "checkpoint — the run is too short for the configured cadence\n",
+               stderr);
+    return 2;
+  }
+  if (rejected != 0) {
+    std::fputs("psched-chaos: a crashed write left a rejectable checkpoint — "
+               "the atomic-write discipline is broken\n",
+               stderr);
+    return 2;
+  }
+  if (!baseline_path.empty()) {
+    std::string baseline;
+    if (!read_file(baseline_path, baseline)) {
+      std::fprintf(stderr, "psched-chaos: cannot read baseline report %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    const obs::JsonParseResult base_parsed = obs::json_parse(baseline);
+    const obs::JsonValue* ours = parsed.value.find("metrics");
+    const obs::JsonValue* theirs =
+        base_parsed.ok ? base_parsed.value.find("metrics") : nullptr;
+    if (ours == nullptr || theirs == nullptr || !json_equal(*ours, *theirs)) {
+      std::fputs("psched-chaos: metrics diverged from the clean baseline run — "
+                 "resume is not bit-identical\n",
+                 stderr);
+      return 2;
+    }
+    std::puts("psched-chaos: metrics bit-identical to the clean baseline run");
+  }
+  return 0;
+}
+
+int run_chaos(const util::ArgParser& args) {
+  const std::string psched = args.get("psched", "");
+  if (psched.empty()) return usage();
+  const std::string dir = args.get("dir", "chaos-ckpt");
+  const std::int64_t rounds = args.get_int("rounds", 4);
+  const std::int64_t kill_after_ms = args.get_int("kill-after-ms", 120);
+  if (rounds < 1 || kill_after_ms < 1) {
+    std::fputs("error: --rounds and --kill-after-ms must be >= 1\n", stderr);
+    return 1;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "psched-chaos: cannot create --dir %s: %s\n",
+                 dir.c_str(), ec.message().c_str());
+    return 2;
+  }
+  const std::string report = dir + "/report.json";
+  const std::vector<std::string> child_argv = {
+      psched,
+      "run",
+      "--archetype",
+      args.get("archetype", "KTH-SP2"),
+      "--days",
+      args.get("days", "7"),
+      "--scheduler",
+      args.get("scheduler", "portfolio"),
+      "--checkpoint-every",
+      args.get("checkpoint-every", "200"),
+      "--checkpoint-dir",
+      dir,
+      "--resume-from",
+      "auto",
+      "--report-out",
+      report,
+  };
+
+  for (std::int64_t round = 1; round <= rounds; ++round) {
+    const bool last = round == rounds;
+    const pid_t pid = spawn(child_argv);
+    if (pid < 0) {
+      std::fputs("psched-chaos: fork failed\n", stderr);
+      return 2;
+    }
+    if (!last) {
+      // Grow the delay per round so kills land between different epochs.
+      sleep_ms(kill_after_ms * round);
+      kill(pid, SIGKILL);
+    }
+    int status = 0;
+    if (waitpid(pid, &status, 0) != pid) {
+      std::fputs("psched-chaos: waitpid failed\n", stderr);
+      return 2;
+    }
+    if (last) {
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr, "psched-chaos: final run failed (status %d)\n", status);
+        return 2;
+      }
+      std::printf("psched-chaos: round %lld/%lld completed cleanly\n",
+                  static_cast<long long>(round), static_cast<long long>(rounds));
+    } else if (WIFSIGNALED(status)) {
+      std::printf("psched-chaos: round %lld/%lld killed mid-run (SIGKILL)\n",
+                  static_cast<long long>(round), static_cast<long long>(rounds));
+    } else {
+      // The run beat the timer; the next round still resumes from its
+      // checkpoints, so the chaos sequence keeps going.
+      std::printf("psched-chaos: round %lld/%lld finished before the kill\n",
+                  static_cast<long long>(round), static_cast<long long>(rounds));
+    }
+  }
+  return gate_report(report, args.get("baseline-report", ""));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const psched::util::ArgParser args(argc, argv);
+  return run_chaos(args);
+}
+
+#else  // !POSIX
+
+int main() {
+  std::fputs("psched-chaos: unsupported platform (needs fork/SIGKILL)\n", stderr);
+  return 2;
+}
+
+#endif

@@ -25,6 +25,8 @@
 //        [--pricing-seed S]
 //        [--tenants N] [--tenant-weights W1,...,WN] [--tenant-budget HOURS]
 //        [--arbitration-ticks T]
+//        [--checkpoint-every N] [--checkpoint-dir DIR] [--checkpoint-keep K]
+//        [--resume-from FILE|auto]
 //       Run one scenario and print the paper's metrics. --eval-threads N
 //       simulates selector candidates in parallel waves of N (0 = hardware
 //       concurrency; default 1 = the sequential algorithm).
@@ -75,6 +77,18 @@
 //       VM-hour budget (0 = unlimited). The run report gains the
 //       "psched-tenants/v1" section; --trace-out and --differential are
 //       not supported in this mode.
+//       Checkpoint/restore (DESIGN.md §14): --checkpoint-every N writes a
+//       "psched-checkpoint/v1" file every N epochs (scheduling periods, or
+//       arbitration epochs with --tenants) into --checkpoint-dir (default
+//       "."), keeping the newest --checkpoint-keep files (default 2);
+//       --resume-from FILE resumes from a checkpoint file and
+//       --resume-from auto from the newest valid checkpoint in the
+//       directory. A resumed run's report is byte-identical to an
+//       uninterrupted one; corrupt or mismatched checkpoints are rejected
+//       (counted in the report's "checkpoint" section) with fallback to
+//       the next older checkpoint, then to a fresh start. --inject-fault
+//       checkpoint-torn-write / checkpoint-bit-flip corrupt every
+//       checkpoint write to prove the detection path fires.
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <algorithm>
@@ -85,6 +99,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/checkpoint.hpp"
 #include "engine/experiment.hpp"
 #include "engine/tenant.hpp"
 #include "obs/report.hpp"
@@ -195,14 +210,9 @@ std::vector<std::string> split(const std::string& text, char sep) {
 }
 
 bool to_double(const std::string& text, double& out) {
-  if (text.empty()) return false;
-  try {
-    std::size_t pos = 0;
-    out = std::stod(text, &pos);
-    return pos == text.size();
-  } catch (...) {
-    return false;
-  }
+  // Strict: whole-string, finite. "nan"/"inf" prices must not slip past the
+  // range checks below (NaN compares false against every bound).
+  return util::ArgParser::parse_double(text, out);
 }
 
 /// "name:price[:boot[:cap]],..." — one VM family per comma entry.
@@ -349,15 +359,30 @@ std::vector<workload::Trace> tenant_traces_from_args(
   return traces;
 }
 
+/// The report's "checkpoint" section from a finished supervised run.
+obs::ReportCheckpoint checkpoint_report(const engine::CheckpointConfig& config,
+                                        const engine::CheckpointStats& stats) {
+  obs::ReportCheckpoint section;
+  section.present = true;
+  section.every_epochs = config.every_epochs;
+  section.written = stats.written;
+  section.restored = stats.restored;
+  section.rejected = stats.rejected;
+  section.resumed_epoch = stats.resumed_epoch;
+  return section;
+}
+
 /// `run --tenants N`: the multi-tenant service mode (DESIGN.md §13).
 /// `portfolio` is null in fixed-policy mode (then `triple` is the policy).
+/// `checkpoint` is null unless checkpoint supervision was requested.
 int cmd_run_tenants(const util::ArgParser& args, const engine::EngineConfig& config,
                     const workload::Trace& trace,
                     const policy::Portfolio* portfolio,
                     const core::PortfolioSchedulerConfig& pconfig,
                     const policy::PolicyTriple* triple,
                     engine::PredictorKind predictor, obs::Recorder* rec,
-                    const std::string& report_out, std::size_t count) {
+                    const std::string& report_out, std::size_t count,
+                    const engine::CheckpointConfig* checkpoint) {
   const std::int64_t ticks = args.get_int("arbitration-ticks", 1);
   if (ticks < 1) {
     std::fputs("error: --arbitration-ticks must be >= 1\n", stderr);
@@ -430,8 +455,14 @@ int cmd_run_tenants(const util::ArgParser& args, const engine::EngineConfig& con
   const auto eval_threads = static_cast<std::size_t>(args.get_int("eval-threads", 1));
   std::unique_ptr<util::ThreadPool> pool;
   if (eval_threads != 1) pool = std::make_unique<util::ThreadPool>(eval_threads);
-  engine::MultiTenantExperiment experiment(mt, pool.get());
-  const engine::MultiTenantResult result = experiment.run();
+  engine::MultiTenantResult result;
+  engine::CheckpointStats ckpt_stats;
+  if (checkpoint != nullptr) {
+    result = engine::run_tenants_checkpointed(mt, *checkpoint, ckpt_stats, pool.get());
+  } else {
+    engine::MultiTenantExperiment experiment(mt, pool.get());
+    result = experiment.run();
+  }
 
   const auto& m = result.metrics;
   util::Table table({"Metric", "Value"});
@@ -458,6 +489,13 @@ int cmd_run_tenants(const util::ArgParser& args, const engine::EngineConfig& con
   if (config.validation.check_invariants) {
     table.add_row({"invariant checks", result.invariant_checks});
     table.add_row({"invariant violations", result.invariant_violations.size()});
+  }
+  if (checkpoint != nullptr) {
+    table.add_row({"checkpoints written/restored/rejected",
+                   std::to_string(ckpt_stats.written) + "/" +
+                       std::to_string(ckpt_stats.restored) + "/" +
+                       std::to_string(ckpt_stats.rejected)});
+    table.add_row({"resumed from epoch", ckpt_stats.resumed_epoch});
   }
   std::fputs(table.render("psched run --tenants").c_str(), stdout);
 
@@ -491,12 +529,13 @@ int cmd_run_tenants(const util::ArgParser& args, const engine::EngineConfig& con
     std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
     return 2;
   }
-  if (!report_out.empty() &&
-      !obs::write_text_file(
-          report_out,
-          obs::run_report_json(engine::multi_tenant_report_inputs(result, mt), rec))) {
-    std::fputs("error: cannot write --report-out file\n", stderr);
-    return 2;
+  if (!report_out.empty()) {
+    obs::RunReportInputs inputs = engine::multi_tenant_report_inputs(result, mt);
+    if (checkpoint != nullptr) inputs.checkpoint = checkpoint_report(*checkpoint, ckpt_stats);
+    if (!obs::write_text_file(report_out, obs::run_report_json(inputs, rec))) {
+      std::fputs("error: cannot write --report-out file\n", stderr);
+      return 2;
+    }
   }
   return result.invariant_violations.empty() ? 0 : 2;
 }
@@ -594,10 +633,45 @@ int cmd_run(const util::ArgParser& args) {
     std::fputs(
         "error: unknown --inject-fault (none, billing-off-by-one, "
         "skip-boot-delay, cap-overshoot, candidate-throw, "
-        "tenant-cap-overshoot, tenant-unfair-share)\n",
+        "tenant-cap-overshoot, tenant-unfair-share, checkpoint-torn-write, "
+        "checkpoint-bit-flip)\n",
         stderr);
     return 1;
   }
+
+  // Checkpoint supervision (DESIGN.md §14). The checkpoint faults corrupt
+  // checkpoint *writes*, not provider behavior, so they route to the
+  // supervisor and stay out of the invariant checker's fault plumbing.
+  engine::CheckpointConfig ckpt;
+  const bool ckpt_fault =
+      config.validation.inject_fault ==
+          validate::FaultInjection::kCheckpointTornWrite ||
+      config.validation.inject_fault == validate::FaultInjection::kCheckpointBitFlip;
+  if (ckpt_fault) {
+    ckpt.inject_fault = config.validation.inject_fault;
+    config.validation.inject_fault = validate::FaultInjection::kNone;
+  }
+  const std::int64_t ckpt_every = args.get_int("checkpoint-every", 0);
+  const std::int64_t ckpt_keep = args.get_int("checkpoint-keep", 2);
+  if (ckpt_every < 0 || ckpt_keep < 1) {
+    std::fputs("error: --checkpoint-every wants N >= 0 epochs and "
+               "--checkpoint-keep wants K >= 1 files\n",
+               stderr);
+    return 1;
+  }
+  ckpt.every_epochs = static_cast<std::size_t>(ckpt_every);
+  ckpt.keep = static_cast<std::size_t>(ckpt_keep);
+  ckpt.directory = args.get("checkpoint-dir", ".");
+  ckpt.resume_from = args.get("resume-from", "");
+  const bool checkpointed =
+      ckpt.every_epochs > 0 || !ckpt.resume_from.empty() || ckpt_fault;
+  if (checkpointed && args.get_bool("differential")) {
+    std::fputs("error: --checkpoint-every/--resume-from are not supported "
+               "with --differential\n",
+               stderr);
+    return 1;
+  }
+
   if (config.validation.inject_fault != validate::FaultInjection::kNone) {
     // A seeded fault is a checker self-test: record violations and report
     // them instead of dying on the first one.
@@ -646,6 +720,7 @@ int cmd_run(const util::ArgParser& args) {
   const std::string scheduler = args.get("scheduler", "portfolio");
 
   engine::ScenarioResult result;
+  engine::CheckpointStats ckpt_stats;
   if (scheduler == "portfolio") {
     auto pconfig = engine::paper_portfolio_config(config);
     pconfig.selector.time_constraint_ms = args.get_double("delta", 0.0);
@@ -676,9 +751,15 @@ int cmd_run(const util::ArgParser& args) {
     if (tenant_count > 0)
       return cmd_run_tenants(args, config, trace, &portfolio, pconfig,
                              /*triple=*/nullptr, predictor, rec, report_out,
-                             tenant_count);
-    result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor,
-                                   /*eval_pool=*/nullptr, rec);
+                             tenant_count, checkpointed ? &ckpt : nullptr);
+    if (checkpointed)
+      result = engine::run_portfolio_checkpointed(config, trace, portfolio,
+                                                  pconfig, predictor, ckpt,
+                                                  ckpt_stats,
+                                                  /*eval_pool=*/nullptr, rec);
+    else
+      result = engine::run_portfolio(config, trace, portfolio, pconfig, predictor,
+                                     /*eval_pool=*/nullptr, rec);
   } else {
     const policy::PolicyTriple* triple = portfolio.find(scheduler);
     if (triple == nullptr) {
@@ -689,8 +770,14 @@ int cmd_run(const util::ArgParser& args) {
     if (tenant_count > 0)
       return cmd_run_tenants(args, config, trace, /*portfolio=*/nullptr,
                              core::PortfolioSchedulerConfig{}, triple, predictor,
-                             rec, report_out, tenant_count);
-    result = engine::run_single_policy(config, trace, *triple, predictor, rec);
+                             rec, report_out, tenant_count,
+                             checkpointed ? &ckpt : nullptr);
+    if (checkpointed)
+      result = engine::run_single_policy_checkpointed(config, trace, *triple,
+                                                      predictor, ckpt, ckpt_stats,
+                                                      rec);
+    else
+      result = engine::run_single_policy(config, trace, *triple, predictor, rec);
   }
 
   const auto& m = result.run.metrics;
@@ -753,6 +840,13 @@ int cmd_run(const util::ArgParser& args) {
     table.add_row({"invariant checks", result.run.invariant_checks});
     table.add_row({"invariant violations", result.run.invariant_violations.size()});
   }
+  if (checkpointed) {
+    table.add_row({"checkpoints written/restored/rejected",
+                   std::to_string(ckpt_stats.written) + "/" +
+                       std::to_string(ckpt_stats.restored) + "/" +
+                       std::to_string(ckpt_stats.rejected)});
+    table.add_row({"resumed from epoch", ckpt_stats.resumed_epoch});
+  }
   std::fputs(table.render("psched run").c_str(), stdout);
 
   for (const validate::Violation& v : result.run.invariant_violations)
@@ -764,8 +858,10 @@ int cmd_run(const util::ArgParser& args) {
     std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
     return 2;
   }
+  const obs::ReportCheckpoint ckpt_section = checkpoint_report(ckpt, ckpt_stats);
   if (!engine::write_observability_outputs(result, config, rec, report_out,
-                                           trace_out)) {
+                                           trace_out,
+                                           checkpointed ? &ckpt_section : nullptr)) {
     std::fputs("error: cannot write --report-out/--trace-out file\n", stderr);
     return 2;
   }
